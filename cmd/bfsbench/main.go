@@ -1,0 +1,57 @@
+// bfsbench regenerates the paper's tables and figures on the simulated GPU
+// cluster. Run with -exp all (default) or a specific id; see -list for the
+// available experiments.
+//
+// Usage:
+//
+//	bfsbench -list
+//	bfsbench -exp fig9
+//	bfsbench -exp all -quick -sources 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gcbfs/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		quick   = flag.Bool("quick", false, "reduced scales (same settings as the bench harness)")
+		sources = flag.Int("sources", 0, "BFS runs per data point (0 = default)")
+		seed    = flag.Int64("seed", 0, "source-selection seed (0 = default)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		desc := experiments.Describe()
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-6s %s\n", id, desc[id])
+		}
+		return
+	}
+
+	params := experiments.Params{Quick: *quick, Sources: *sources, Seed: *seed}
+	if *exp == "all" {
+		if err := experiments.RunAll(params, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "bfsbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	run, ok := experiments.Lookup(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "bfsbench: unknown experiment %q (try -list)\n", *exp)
+		os.Exit(2)
+	}
+	tab, err := run(params)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bfsbench: %s: %v\n", *exp, err)
+		os.Exit(1)
+	}
+	tab.Render(os.Stdout)
+}

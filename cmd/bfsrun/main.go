@@ -1,0 +1,159 @@
+// bfsrun executes BFS/DOBFS on the simulated GPU cluster and prints per-run
+// rates and the four-component timing breakdown of the paper's Figs. 8/10.
+//
+// Usage:
+//
+//	bfsrun -rmat 16 -nodes 4 -ranks 2 -gpus 2 -sources 6
+//	bfsrun -graph scale20.gcbf -nodes 8 -ranks 2 -gpus 2 -no-do
+//	bfsrun -rmat 14 -nodes 1 -ranks 1 -gpus 4 -validate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gcbfs/internal/baseline"
+	"gcbfs/internal/core"
+	"gcbfs/internal/g500"
+	"gcbfs/internal/graph"
+	"gcbfs/internal/metrics"
+	"gcbfs/internal/partition"
+	"gcbfs/internal/rmat"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "binary graph file (from rmatgen)")
+		rmatScale = flag.Int("rmat", 0, "generate an RMAT graph of this scale instead of -graph")
+		nodes     = flag.Int("nodes", 1, "cluster nodes")
+		ranks     = flag.Int("ranks", 2, "MPI ranks per node")
+		gpus      = flag.Int("gpus", 2, "GPUs per rank")
+		th        = flag.Int64("th", 0, "degree threshold TH (0 = auto via 4n/p rule)")
+		nSources  = flag.Int("sources", 6, "number of randomly chosen BFS sources")
+		seed      = flag.Int64("seed", 1, "source selection seed")
+		noDO      = flag.Bool("no-do", false, "disable direction optimization (plain BFS)")
+		l2a       = flag.Bool("local-all2all", false, "enable the Local-All2All optimization (L)")
+		uniq      = flag.Bool("uniquify", false, "enable send-bin uniquification (U)")
+		ir        = flag.Bool("iallreduce", false, "use non-blocking delegate reduction (IR instead of BR)")
+		amp       = flag.Float64("amp", 1, "work amplification for the timing model (2^(paperScale-localScale))")
+		validate  = flag.Bool("validate", false, "validate distances against serial BFS + Graph500 rules")
+	)
+	flag.Parse()
+
+	el, err := loadGraph(*graphPath, *rmatScale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bfsrun: %v\n", err)
+		os.Exit(1)
+	}
+	shape := core.ClusterShape{Nodes: *nodes, RanksPerNode: *ranks, GPUsPerRank: *gpus}
+	deg := el.OutDegrees()
+	threshold := *th
+	if threshold <= 0 {
+		threshold = partition.SuggestThreshold(deg, 4*el.N/int64(shape.P()))
+	}
+	sep := partition.Separate(el, threshold)
+	sg, err := partition.Distribute(el, sep, shape.PartitionConfig())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bfsrun: %v\n", err)
+		os.Exit(1)
+	}
+	opts := core.DefaultOptions()
+	opts.DirectionOptimized = !*noDO
+	opts.LocalAll2All = *l2a
+	opts.Uniquify = *uniq
+	opts.BlockingReduce = !*ir
+	opts.WorkAmplification = *amp
+	opts.CollectLevels = *validate
+	engine, err := core.NewEngine(sg, shape, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bfsrun: %v\n", err)
+		os.Exit(1)
+	}
+
+	mem := sg.Memory()
+	fmt.Printf("graph: n=%d m=%d | cluster %s (%d GPUs) | TH=%d d=%d (%.2f%% of n) nn=%.2f%% of m\n",
+		el.N, el.M(), shape, shape.P(), threshold, sg.D(),
+		100*float64(sg.D())/float64(el.N), 100*float64(sg.CountNN)/float64(el.M()))
+	fmt.Printf("memory: %.1f MB total (edge list %.1f MB, plain CSR %.1f MB), max GPU %.1f MB\n",
+		mb(mem.Total()), mb(sg.EdgeListBytes()), mb(sg.PlainCSRBytes()), mb(sg.MaxGPUBytes()))
+
+	// Sources: deterministic picks among positive-degree vertices.
+	rng := seed64(uint64(*seed))
+	var sources []int64
+	seen := map[int64]bool{}
+	for len(sources) < *nSources {
+		v := int64(rng() % uint64(el.N))
+		if deg[v] > 0 && !seen[v] {
+			seen[v] = true
+			sources = append(sources, v)
+		}
+	}
+
+	var results []*metrics.RunResult
+	var serialCSR *graph.CSR
+	if *validate {
+		serialCSR = graph.BuildCSR(el)
+	}
+	for _, src := range sources {
+		res, err := engine.Run(src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bfsrun: source %d: %v\n", src, err)
+			os.Exit(1)
+		}
+		results = append(results, res)
+		fmt.Printf("source %-10d iters=%-3d %8.3f ms  %8.3f GTEPS  edges-scanned=%d\n",
+			src, res.Iterations, res.SimSeconds*1e3, res.GTEPS(), res.EdgesScanned)
+		if *validate {
+			if err := g500.Validate(el, src, res.Levels); err != nil {
+				fmt.Fprintf(os.Stderr, "bfsrun: VALIDATION FAILED: %v\n", err)
+				os.Exit(1)
+			}
+			want := baseline.SerialBFS(serialCSR, src)
+			if err := g500.CompareLevels(res.Levels, want); err != nil {
+				fmt.Fprintf(os.Stderr, "bfsrun: MISMATCH vs serial: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+	agg := metrics.AggregateRuns(results)
+	fmt.Printf("\naggregate (geo-mean over %d runs, %d filtered): %.3f GTEPS, mean %.3f ms, %.1f iterations\n",
+		agg.Runs, agg.Filtered, agg.GTEPS, agg.MeanMS, agg.Iterations)
+	fmt.Printf("breakdown (mean ms): computation=%.3f local-comm=%.3f remote-normal=%.3f remote-delegate=%.3f\n",
+		agg.Parts.Computation*1e3, agg.Parts.LocalComm*1e3,
+		agg.Parts.RemoteNormal*1e3, agg.Parts.RemoteDelegate*1e3)
+	if *validate {
+		fmt.Println("validation: all runs match serial BFS and pass Graph500-style checks")
+	}
+}
+
+func loadGraph(path string, scale int) (*graph.EdgeList, error) {
+	switch {
+	case path != "" && scale != 0:
+		return nil, fmt.Errorf("use either -graph or -rmat, not both")
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.ReadBinary(f)
+	case scale > 0:
+		return rmat.Generate(rmat.DefaultParams(scale)), nil
+	default:
+		return nil, fmt.Errorf("one of -graph or -rmat is required")
+	}
+}
+
+func mb(b int64) float64 { return float64(b) / (1 << 20) }
+
+func seed64(seed uint64) func() uint64 {
+	state := seed
+	return func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+}

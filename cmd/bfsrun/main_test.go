@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gcbfs/internal/gen"
+	"gcbfs/internal/graph"
+)
+
+func TestLoadGraphFromRMAT(t *testing.T) {
+	el, err := loadGraph("", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.N != 256 || el.M() != 256*32 {
+		t.Fatalf("sizes %d/%d", el.N, el.M())
+	}
+}
+
+func TestLoadGraphFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.gcbf")
+	want := gen.Path(12)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteBinary(f, want); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := loadGraph(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != want.N || got.M() != want.M() {
+		t.Fatalf("loaded %d/%d, want %d/%d", got.N, got.M(), want.N, want.M())
+	}
+}
+
+func TestLoadGraphErrors(t *testing.T) {
+	if _, err := loadGraph("", 0); err == nil {
+		t.Fatal("accepted no input")
+	}
+	if _, err := loadGraph("x.gcbf", 8); err == nil {
+		t.Fatal("accepted both inputs")
+	}
+	if _, err := loadGraph("/does/not/exist.gcbf", 0); err == nil {
+		t.Fatal("accepted missing file")
+	}
+}
+
+func TestSeed64Deterministic(t *testing.T) {
+	a, b := seed64(7), seed64(7)
+	for i := 0; i < 10; i++ {
+		if a() != b() {
+			t.Fatal("seed64 nondeterministic")
+		}
+	}
+	c := seed64(8)
+	if seed64(7)() == c() {
+		t.Fatal("different seeds identical")
+	}
+}
+
+func TestMB(t *testing.T) {
+	if mb(1<<20) != 1.0 {
+		t.Fatalf("mb(1MB) = %f", mb(1<<20))
+	}
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"gcbfs/internal/graph"
+)
+
+func TestBuildGraphKinds(t *testing.T) {
+	for _, kind := range []string{"rmat", "social", "web"} {
+		el, err := buildGraph(kind, 8, 16, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if el.M() == 0 {
+			t.Fatalf("%s: empty graph", kind)
+		}
+		if err := el.Validate(); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+	}
+}
+
+func TestBuildGraphUnknownKind(t *testing.T) {
+	if _, err := buildGraph("nope", 8, 16, 0); err == nil {
+		t.Fatal("accepted unknown kind")
+	}
+}
+
+func TestBuildGraphSeedChangesRMAT(t *testing.T) {
+	a, err := buildGraph("rmat", 8, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildGraph("rmat", 8, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical graphs")
+	}
+}
+
+func TestGeneratedGraphSerializes(t *testing.T) {
+	el, err := buildGraph("rmat", 8, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := graph.WriteBinary(&buf, el); err != nil {
+		t.Fatal(err)
+	}
+	got, err := graph.ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.M() != el.M() || got.N != el.N {
+		t.Fatal("round trip changed sizes")
+	}
+}

@@ -1,0 +1,85 @@
+// Social-network scenario (paper §VI-D, Figs. 12–13): BFS over a
+// Friendster-like graph — scale-free core, about half the vertices isolated.
+// Sweeps the degree threshold to show the wide near-optimal plateau the
+// paper reports, then compares BFS vs DOBFS at the best setting.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gcbfs"
+)
+
+func main() {
+	g := gcbfs.SocialNetwork(12)
+	fmt.Printf("friendster-like graph: %d vertices, %d directed edges\n",
+		g.NumVertices(), g.NumEdges())
+	deg := g.OutDegrees()
+	isolated := 0
+	for _, d := range deg {
+		if d == 0 {
+			isolated++
+		}
+	}
+	fmt.Printf("isolated vertices: %.1f%% (Friendster: ~50%%)\n",
+		100*float64(isolated)/float64(g.NumVertices()))
+
+	cluster := gcbfs.Cluster{Nodes: 1, RanksPerNode: 2, GPUsPerRank: 2} // paper: 1×2×2
+	sources := gcbfs.Sources(g, 4, 7)
+
+	fmt.Println("\nthreshold sweep (paper Fig. 13 — expect a wide good range):")
+	fmt.Println("   TH   delegates      BFS GTEPS   DOBFS GTEPS")
+	bestTH, bestRate := int64(0), 0.0
+	for _, th := range []int64{4, 8, 16, 32, 64} {
+		var rates [2]float64
+		var delegates int64
+		for i, do := range []bool{false, true} {
+			cfg := gcbfs.DefaultConfig(cluster)
+			cfg.Threshold = th
+			cfg.DirectionOptimized = do
+			solver, err := gcbfs.NewSolver(g, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			delegates = solver.Delegates()
+			results, err := solver.RunMany(sources)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rates[i] = gcbfs.GeoMeanGTEPS(results)
+		}
+		fmt.Printf("  %3d   %9d   %10.3f   %10.3f\n", th, delegates, rates[0], rates[1])
+		if rates[1] > bestRate {
+			bestRate, bestTH = rates[1], th
+		}
+	}
+	fmt.Printf("\nbest DOBFS threshold: TH=%d (%.3f GTEPS)\n", bestTH, bestRate)
+
+	// Validate the winner end to end.
+	cfg := gcbfs.DefaultConfig(cluster)
+	cfg.Threshold = bestTH
+	solver, err := gcbfs.NewSolver(g, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := solver.Run(sources[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := solver.Validate(res); err != nil {
+		log.Fatalf("validation failed: %v", err)
+	}
+	fmt.Printf("validated: source %d reaches %d vertices in %d iterations\n",
+		res.Source, reached(res.Levels), res.Iterations)
+}
+
+func reached(levels []int32) int {
+	n := 0
+	for _, l := range levels {
+		if l >= 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,85 @@
+// Tuning scenario (paper §VI-B, Fig. 8): how the optimization options —
+// direction optimization (DO), Local-All2All (L), Uniquify (U), and
+// blocking vs non-blocking delegate reduction (BR/IR) — change the runtime
+// composition on a multi-node cluster, plus a mini weak-scaling sweep.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gcbfs"
+)
+
+func main() {
+	g := gcbfs.RMAT(14)
+	cluster := gcbfs.Cluster{Nodes: 4, RanksPerNode: 2, GPUsPerRank: 2}
+	sources := gcbfs.Sources(g, 4, 11)
+
+	fmt.Printf("options ablation on %d GPUs (RMAT scale 14):\n", cluster.GPUs())
+	fmt.Println("  options      compute   local  normal  delegate  elapsed   (ms)")
+	type variant struct {
+		name string
+		mod  func(*gcbfs.Config)
+	}
+	variants := []variant{
+		{"BFS+BR", func(c *gcbfs.Config) { c.DirectionOptimized = false }},
+		{"DO+BR", func(c *gcbfs.Config) {}},
+		{"DO+IR", func(c *gcbfs.Config) { c.BlockingReduce = false }},
+		{"DO+L+BR", func(c *gcbfs.Config) { c.LocalAll2All = true }},
+		{"DO+L+U+BR", func(c *gcbfs.Config) { c.LocalAll2All = true; c.Uniquify = true }},
+	}
+	for _, v := range variants {
+		cfg := gcbfs.DefaultConfig(cluster)
+		v.mod(&cfg)
+		solver, err := gcbfs.NewSolver(g, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results, err := solver.RunMany(sources)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var comp, local, normal, delegate, elapsed float64
+		for _, r := range results {
+			comp += r.Computation
+			local += r.LocalComm
+			normal += r.RemoteNormal
+			delegate += r.RemoteDelegate
+			elapsed += r.SimSeconds
+		}
+		n := float64(len(results))
+		fmt.Printf("  %-10s  %7.3f %7.3f %7.3f  %8.3f  %7.3f\n",
+			v.name, comp/n*1e3, local/n*1e3, normal/n*1e3, delegate/n*1e3, elapsed/n*1e3)
+	}
+
+	fmt.Println("\nmini weak scaling (scale-12 RMAT per GPU, DOBFS):")
+	fmt.Println("  GPUs  layout  geo-mean GTEPS")
+	for _, gpus := range []int{1, 4, 16} {
+		scale := 12
+		for g := 1; g < gpus; g *= 2 {
+			scale++
+		}
+		wg := gcbfs.RMAT(scale)
+		var c gcbfs.Cluster
+		switch gpus {
+		case 1:
+			c = gcbfs.Cluster{Nodes: 1, RanksPerNode: 1, GPUsPerRank: 1}
+		case 4:
+			c = gcbfs.Cluster{Nodes: 1, RanksPerNode: 2, GPUsPerRank: 2}
+		default:
+			c = gcbfs.Cluster{Nodes: gpus / 4, RanksPerNode: 2, GPUsPerRank: 2}
+		}
+		solver, err := gcbfs.NewSolver(wg, gcbfs.DefaultConfig(c))
+		if err != nil {
+			log.Fatal(err)
+		}
+		results, err := solver.RunMany(gcbfs.Sources(wg, 3, 5))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %4d  %d×%d×%d  %10.3f\n",
+			gpus, c.Nodes, c.RanksPerNode, c.GPUsPerRank, gcbfs.GeoMeanGTEPS(results))
+	}
+	fmt.Println("\n(the paper's full sweeps: go run ./cmd/bfsbench -exp all)")
+}

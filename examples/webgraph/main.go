@@ -1,0 +1,80 @@
+// Web-graph scenario (paper §VI-D): BFS over a WDC-like long-tail graph —
+// a scale-free core plus long chains, pushing the search to hundreds of
+// iterations. Reproduces the paper's observation that on such graphs the
+// per-iteration overhead dominates and direction optimization stops paying:
+// plain BFS edges out DOBFS (WDC 2012: 84.2 vs 79.7 GTEPS).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gcbfs"
+)
+
+func main() {
+	g := gcbfs.WebGraph(12)
+	fmt.Printf("web-like graph: %d vertices, %d directed edges\n",
+		g.NumVertices(), g.NumEdges())
+
+	cluster := gcbfs.Cluster{Nodes: 4, RanksPerNode: 2, GPUsPerRank: 2}
+	sources := gcbfs.Sources(g, 3, 3)
+
+	type outcome struct {
+		name  string
+		rate  float64
+		iters int
+		ms    float64
+	}
+	var outcomes []outcome
+	for _, do := range []bool{false, true} {
+		cfg := gcbfs.DefaultConfig(cluster)
+		cfg.DirectionOptimized = do
+		solver, err := gcbfs.NewSolver(g, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results, err := solver.RunMany(sources)
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := "BFS  "
+		if do {
+			name = "DOBFS"
+		}
+		var iters int
+		var msSum float64
+		for _, r := range results {
+			if r.Iterations > iters {
+				iters = r.Iterations
+			}
+			msSum += r.SimSeconds * 1e3
+		}
+		// Validate one run per mode.
+		one, err := solver.Run(sources[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := solver.Validate(one); err != nil {
+			log.Fatalf("%s validation failed: %v", name, err)
+		}
+		outcomes = append(outcomes, outcome{
+			name:  name,
+			rate:  gcbfs.GeoMeanGTEPS(results),
+			iters: iters,
+			ms:    msSum / float64(len(results)),
+		})
+	}
+
+	fmt.Println("\nlong-tail traversal (validated against serial BFS):")
+	for _, o := range outcomes {
+		fmt.Printf("  %s  %8.4f GTEPS  max %4d iterations  mean %7.3f ms\n",
+			o.name, o.rate, o.iters, o.ms)
+	}
+	if outcomes[0].rate >= outcomes[1].rate {
+		fmt.Println("\nas in the paper: on long-tail graphs plain BFS matches or beats DOBFS —")
+		fmt.Println("tiny frontiers make the direction-decision work pure overhead.")
+	} else {
+		fmt.Println("\nnote: DOBFS won here; try longer chains (deeper tail) to see the crossover.")
+	}
+}

@@ -1,0 +1,326 @@
+// Package gcbfs is a Go reproduction of "Scalable Breadth-First Search on a
+// GPU Cluster" (Pan, Pearce, Owens — IPDPS workshops 2018, arXiv:1803.03922).
+//
+// It implements the paper's full system on a simulated GPU cluster:
+// degree-separated graph representation (delegates vs normal vertices, §III),
+// the Algorithm-1 edge distributor with four per-GPU subgraphs, per-subgraph
+// direction-optimized traversal kernels (§IV), and the two-tier
+// communication model — global bitmask reduction for delegates plus
+// point-to-point exchange for normal vertices (§V).
+//
+// Runs are functionally exact (hop distances match a serial BFS and pass
+// Graph500-style validation) while time is simulated through calibrated
+// device and interconnect models, so the paper's scaling behaviour is
+// reproducible on any host. See DESIGN.md for the architecture and
+// EXPERIMENTS.md for paper-vs-measured comparisons.
+//
+// Quickstart:
+//
+//	g := gcbfs.RMAT(16)
+//	solver, err := gcbfs.NewSolver(g, gcbfs.DefaultConfig(gcbfs.Cluster{
+//		Nodes: 4, RanksPerNode: 2, GPUsPerRank: 2,
+//	}))
+//	if err != nil { ... }
+//	res, err := solver.Run(gcbfs.Sources(g, 1, 1)[0])
+//	fmt.Printf("%.1f GTEPS in %d iterations\n", res.GTEPS, res.Iterations)
+package gcbfs
+
+import (
+	"fmt"
+
+	"gcbfs/internal/baseline"
+	"gcbfs/internal/core"
+	"gcbfs/internal/g500"
+	"gcbfs/internal/gen"
+	"gcbfs/internal/graph"
+	"gcbfs/internal/metrics"
+	"gcbfs/internal/partition"
+	"gcbfs/internal/rmat"
+)
+
+// Graph is a symmetric (edge-doubled) graph over vertices [0, NumVertices).
+type Graph struct {
+	el *graph.EdgeList
+}
+
+// NewGraph returns an empty graph over n vertices.
+func NewGraph(n int64) *Graph {
+	return &Graph{el: graph.NewEdgeList(n)}
+}
+
+// AddUndirectedEdge inserts both directions of the edge {u, v}, keeping the
+// graph symmetric as the system requires (§II-A).
+func (g *Graph) AddUndirectedEdge(u, v int64) {
+	g.el.Add(u, v)
+	g.el.Add(v, u)
+}
+
+// RMAT generates the Graph500 RMAT graph the paper evaluates on: edge
+// factor 16, A,B,C,D = 0.57/0.19/0.19/0.05, vertex numbers randomized by a
+// deterministic hash, symmetric by edge doubling.
+func RMAT(scale int) *Graph {
+	return &Graph{el: rmat.Generate(rmat.DefaultParams(scale))}
+}
+
+// RMATWithSeed is RMAT with a custom generator seed.
+func RMATWithSeed(scale int, seed uint64) *Graph {
+	p := rmat.DefaultParams(scale)
+	p.Seed = seed
+	return &Graph{el: rmat.Generate(p)}
+}
+
+// SocialNetwork generates the Friendster-like synthetic social graph used by
+// the §VI-D experiments: a scale-free core with about half the vertices
+// isolated.
+func SocialNetwork(coreScale int) *Graph {
+	return &Graph{el: gen.SocialNetwork(gen.DefaultSocialParams(coreScale))}
+}
+
+// WebGraph generates the WDC-like long-tail web graph of §VI-D: a scale-free
+// core plus long chains that push BFS to hundreds of iterations.
+func WebGraph(coreScale int) *Graph {
+	return &Graph{el: gen.WebGraph(gen.DefaultWebParams(coreScale))}
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int64 { return g.el.N }
+
+// NumEdges returns the directed edge count (twice the undirected count).
+func (g *Graph) NumEdges() int64 { return g.el.M() }
+
+// OutDegrees returns the out-degree of every vertex.
+func (g *Graph) OutDegrees() []int64 { return g.el.OutDegrees() }
+
+// Validate checks edge endpoints are in range.
+func (g *Graph) Validate() error { return g.el.Validate() }
+
+// Cluster is the paper's hardware notation: nodes × MPI ranks per node ×
+// GPUs per rank.
+type Cluster struct {
+	Nodes        int
+	RanksPerNode int
+	GPUsPerRank  int
+}
+
+// GPUs returns the total simulated GPU count.
+func (c Cluster) GPUs() int { return c.Nodes * c.RanksPerNode * c.GPUsPerRank }
+
+func (c Cluster) shape() core.ClusterShape {
+	return core.ClusterShape{Nodes: c.Nodes, RanksPerNode: c.RanksPerNode, GPUsPerRank: c.GPUsPerRank}
+}
+
+// Config selects the cluster layout and the paper's tuning options (§VI-B).
+type Config struct {
+	Cluster Cluster
+	// Threshold is the degree-separation threshold TH; 0 selects it
+	// automatically with the paper's d ≤ 4n/p rule.
+	Threshold int64
+	// DirectionOptimized enables DOBFS (per-subgraph direction switching).
+	DirectionOptimized bool
+	// LocalAll2All enables the intra-rank staging optimization (L).
+	LocalAll2All bool
+	// Uniquify removes duplicate destinations from send bins (U).
+	Uniquify bool
+	// BlockingReduce selects MPI_Allreduce (BR) over MPI_Iallreduce (IR)
+	// for delegate masks.
+	BlockingReduce bool
+	// WorkAmplification scales the timing model into a larger-graph
+	// regime (see EXPERIMENTS.md); ≤1 disables.
+	WorkAmplification float64
+	// CollectLevels gathers hop distances into results.
+	CollectLevels bool
+}
+
+// DefaultConfig returns the paper's tuned DOBFS configuration for a cluster.
+func DefaultConfig(c Cluster) Config {
+	return Config{
+		Cluster:            c,
+		DirectionOptimized: true,
+		BlockingReduce:     true,
+		CollectLevels:      true,
+	}
+}
+
+func (cfg Config) engineOptions() core.Options {
+	o := core.DefaultOptions()
+	o.DirectionOptimized = cfg.DirectionOptimized
+	o.LocalAll2All = cfg.LocalAll2All
+	o.Uniquify = cfg.Uniquify
+	o.BlockingReduce = cfg.BlockingReduce
+	o.WorkAmplification = cfg.WorkAmplification
+	o.CollectLevels = cfg.CollectLevels
+	return o
+}
+
+// Result reports one BFS run.
+type Result struct {
+	Source     int64
+	Iterations int
+	// SimSeconds is modeled cluster time; GTEPS uses the Graph500 m/2
+	// convention (§VI-A3).
+	SimSeconds float64
+	GTEPS      float64
+	// Levels holds hop distances per vertex (-1 unreachable); nil when
+	// CollectLevels is off.
+	Levels []int32
+	// EdgesScanned counts actual traversal work (forward scans plus
+	// backward parent checks).
+	EdgesScanned int64
+	// Breakdown components in seconds (Fig. 8/10's four parts).
+	Computation, LocalComm, RemoteNormal, RemoteDelegate float64
+}
+
+// Solver runs BFS over a partitioned graph on the simulated cluster.
+type Solver struct {
+	g      *Graph
+	cfg    Config
+	engine *core.Engine
+	sub    *partition.Subgraphs
+}
+
+// NewSolver partitions the graph (degree separation + Algorithm 1) for the
+// configured cluster and prepares the engine.
+func NewSolver(g *Graph, cfg Config) (*Solver, error) {
+	shape := cfg.Cluster.shape()
+	if err := shape.Validate(); err != nil {
+		return nil, err
+	}
+	th := cfg.Threshold
+	if th <= 0 {
+		th = partition.SuggestThreshold(g.el.OutDegrees(), 4*g.el.N/int64(shape.P()))
+	}
+	sep := partition.Separate(g.el, th)
+	sub, err := partition.Distribute(g.el, sep, shape.PartitionConfig())
+	if err != nil {
+		return nil, err
+	}
+	engine, err := core.NewEngine(sub, shape, cfg.engineOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &Solver{g: g, cfg: cfg, engine: engine, sub: sub}, nil
+}
+
+// Threshold returns the degree threshold in effect (useful when auto-tuned).
+func (s *Solver) Threshold() int64 { return s.sub.Sep.Threshold }
+
+// Delegates returns the number of delegate vertices.
+func (s *Solver) Delegates() int64 { return s.sub.D() }
+
+// Run executes one BFS from source.
+func (s *Solver) Run(source int64) (*Result, error) {
+	r, err := s.engine.Run(source)
+	if err != nil {
+		return nil, err
+	}
+	return convert(r), nil
+}
+
+// RunMany executes one BFS per source.
+func (s *Solver) RunMany(sources []int64) ([]*Result, error) {
+	out := make([]*Result, 0, len(sources))
+	for _, src := range sources {
+		r, err := s.Run(src)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func convert(r *metrics.RunResult) *Result {
+	return &Result{
+		Source:         r.Source,
+		Iterations:     r.Iterations,
+		SimSeconds:     r.SimSeconds,
+		GTEPS:          r.GTEPS(),
+		Levels:         r.Levels,
+		EdgesScanned:   r.EdgesScanned,
+		Computation:    r.Parts.Computation,
+		LocalComm:      r.Parts.LocalComm,
+		RemoteNormal:   r.Parts.RemoteNormal,
+		RemoteDelegate: r.Parts.RemoteDelegate,
+	}
+}
+
+// Validate checks a result's hop distances against the Graph500-style rules
+// and against a serial reference BFS. The result must carry levels.
+func (s *Solver) Validate(r *Result) error {
+	if r.Levels == nil {
+		return fmt.Errorf("gcbfs: result has no levels (CollectLevels off)")
+	}
+	if err := g500.Validate(s.g.el, r.Source, r.Levels); err != nil {
+		return err
+	}
+	want := baseline.SerialBFS(graph.BuildCSR(s.g.el), r.Source)
+	return g500.CompareLevels(r.Levels, want)
+}
+
+// MemoryReport summarizes the Table-I storage accounting of the partitioned
+// graph.
+type MemoryReport struct {
+	TotalBytes     int64 // measured across all GPUs
+	PredictedBytes int64 // 8n + 8d·p + 4m + 4|Enn|
+	MaxGPUBytes    int64 // largest single-GPU footprint
+	EdgeListBytes  int64 // conventional 16m representation
+	PlainCSRBytes  int64 // 8n + 8m without degree separation
+	Delegates      int64
+	NNEdges        int64
+}
+
+// Memory returns the solver's storage accounting.
+func (s *Solver) Memory() MemoryReport {
+	return MemoryReport{
+		TotalBytes:     s.sub.Memory().Total(),
+		PredictedBytes: s.sub.PredictedTotal(),
+		MaxGPUBytes:    s.sub.MaxGPUBytes(),
+		EdgeListBytes:  s.sub.EdgeListBytes(),
+		PlainCSRBytes:  s.sub.PlainCSRBytes(),
+		Delegates:      s.sub.D(),
+		NNEdges:        s.sub.CountNN,
+	}
+}
+
+// Sources picks count distinct vertices with at least one edge,
+// deterministically from seed — the paper's random-source methodology with
+// reproducibility.
+func Sources(g *Graph, count int, seed int64) []int64 {
+	deg := g.el.OutDegrees()
+	rng := newSplitMix(uint64(seed))
+	var out []int64
+	seen := map[int64]bool{}
+	n := g.el.N
+	for int64(len(out)) < int64(count) {
+		v := int64(rng.next() % uint64(n))
+		if deg[v] > 0 && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+type splitMix struct{ state uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{state: seed} }
+
+func (s *splitMix) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// GeoMeanGTEPS aggregates run rates the way the paper reports data points:
+// geometric mean over runs with more than one iteration.
+func GeoMeanGTEPS(results []*Result) float64 {
+	var rates []float64
+	for _, r := range results {
+		if r.Iterations > 1 {
+			rates = append(rates, r.GTEPS)
+		}
+	}
+	return metrics.GeoMean(rates)
+}

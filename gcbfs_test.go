@@ -1,0 +1,199 @@
+package gcbfs
+
+import "testing"
+
+func TestQuickstartFlow(t *testing.T) {
+	g := RMAT(10)
+	if g.NumVertices() != 1024 || g.NumEdges() != 1024*32 {
+		t.Fatalf("graph sizes: %d/%d", g.NumVertices(), g.NumEdges())
+	}
+	solver, err := NewSolver(g, DefaultConfig(Cluster{Nodes: 2, RanksPerNode: 1, GPUsPerRank: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := Sources(g, 1, 7)[0]
+	res, err := solver.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GTEPS <= 0 || res.Iterations <= 1 {
+		t.Fatalf("res = %+v", res)
+	}
+	if err := solver.Validate(res); err != nil {
+		t.Fatalf("validation: %v", err)
+	}
+}
+
+func TestManualGraphConstruction(t *testing.T) {
+	g := NewGraph(6)
+	g.AddUndirectedEdge(0, 1)
+	g.AddUndirectedEdge(1, 2)
+	g.AddUndirectedEdge(2, 3)
+	g.AddUndirectedEdge(3, 4)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	solver, err := NewSolver(g, DefaultConfig(Cluster{Nodes: 1, RanksPerNode: 2, GPUsPerRank: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := solver.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{0, 1, 2, 3, 4, -1}
+	for v, w := range want {
+		if res.Levels[v] != w {
+			t.Fatalf("levels = %v, want %v", res.Levels, want)
+		}
+	}
+	if err := solver.Validate(res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAutoThreshold(t *testing.T) {
+	g := RMAT(10)
+	solver, err := NewSolver(g, DefaultConfig(Cluster{Nodes: 4, RanksPerNode: 2, GPUsPerRank: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solver.Threshold() <= 0 {
+		t.Fatal("auto threshold not set")
+	}
+	// The 4n/p rule must hold.
+	if max := 4 * g.NumVertices() / 16; solver.Delegates() > max {
+		t.Fatalf("delegates %d exceed 4n/p=%d", solver.Delegates(), max)
+	}
+}
+
+func TestExplicitThresholdRespected(t *testing.T) {
+	g := RMAT(9)
+	cfg := DefaultConfig(Cluster{Nodes: 1, RanksPerNode: 1, GPUsPerRank: 2})
+	cfg.Threshold = 40
+	solver, err := NewSolver(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solver.Threshold() != 40 {
+		t.Fatalf("threshold = %d", solver.Threshold())
+	}
+}
+
+func TestMemoryReport(t *testing.T) {
+	g := RMAT(12)
+	solver, err := NewSolver(g, DefaultConfig(Cluster{Nodes: 2, RanksPerNode: 2, GPUsPerRank: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := solver.Memory()
+	if m.TotalBytes <= 0 || m.MaxGPUBytes <= 0 {
+		t.Fatalf("memory report: %+v", m)
+	}
+	if m.TotalBytes >= m.EdgeListBytes {
+		t.Fatalf("representation (%d) not smaller than edge list (%d)", m.TotalBytes, m.EdgeListBytes)
+	}
+	slack := int64(8*16 + 16)
+	if diff := m.TotalBytes - m.PredictedBytes; diff > slack || diff < -slack {
+		t.Fatalf("measured %d vs predicted %d", m.TotalBytes, m.PredictedBytes)
+	}
+}
+
+func TestRunManyAndGeoMean(t *testing.T) {
+	g := RMAT(10)
+	solver, err := NewSolver(g, DefaultConfig(Cluster{Nodes: 1, RanksPerNode: 2, GPUsPerRank: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := solver.RunMany(Sources(g, 4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d results", len(results))
+	}
+	if GeoMeanGTEPS(results) <= 0 {
+		t.Fatal("geomean not positive")
+	}
+}
+
+func TestPlainBFSConfig(t *testing.T) {
+	g := RMAT(10)
+	cfg := DefaultConfig(Cluster{Nodes: 1, RanksPerNode: 1, GPUsPerRank: 4})
+	cfg.DirectionOptimized = false
+	solver, err := NewSolver(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := solver.Run(Sources(g, 1, 5)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := solver.Validate(res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyntheticDatasets(t *testing.T) {
+	soc := SocialNetwork(9)
+	web := WebGraph(9)
+	for _, g := range []*Graph{soc, web} {
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		solver, err := NewSolver(g, DefaultConfig(Cluster{Nodes: 1, RanksPerNode: 2, GPUsPerRank: 1}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := solver.Run(Sources(g, 1, 2)[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := solver.Validate(res); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestValidateRequiresLevels(t *testing.T) {
+	g := RMAT(9)
+	cfg := DefaultConfig(Cluster{Nodes: 1, RanksPerNode: 1, GPUsPerRank: 1})
+	cfg.CollectLevels = false
+	solver, err := NewSolver(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := solver.Run(Sources(g, 1, 1)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Levels != nil {
+		t.Fatal("levels present despite CollectLevels=false")
+	}
+	if err := solver.Validate(res); err == nil {
+		t.Fatal("Validate accepted result without levels")
+	}
+}
+
+func TestBadClusterRejected(t *testing.T) {
+	if _, err := NewSolver(RMAT(8), DefaultConfig(Cluster{})); err == nil {
+		t.Fatal("accepted zero cluster")
+	}
+}
+
+func TestSourcesDeterministic(t *testing.T) {
+	g := RMAT(10)
+	a := Sources(g, 5, 42)
+	b := Sources(g, 5, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Sources not deterministic")
+		}
+	}
+	deg := g.OutDegrees()
+	for _, s := range a {
+		if deg[s] == 0 {
+			t.Fatalf("source %d is isolated", s)
+		}
+	}
+}

@@ -1,0 +1,333 @@
+package core
+
+import (
+	"gcbfs/internal/metrics"
+	"gcbfs/internal/simgpu"
+)
+
+// This file implements the local computation of one BFS iteration (§IV,
+// Fig. 3): the previsit kernels that form queues and estimate workloads, the
+// four visit kernels in their forward (push) and backward (pull) variants,
+// and the per-subgraph direction decisions.
+//
+// Work is counted exactly: forward kernels scan every neighbor of every
+// queued source; backward kernels count parent checks until the first
+// visited parent. The counts drive both the direction decisions (FV vs BV)
+// and the simulated kernel times.
+
+// previsitOut carries queue and workload info from the previsit kernels.
+type previsitOut struct {
+	// Delegate-sourced queues (dense delegate ids with local edges).
+	qDD, qDN []int64
+	// Forward workloads per subgraph: Σ out-degrees of queued sources.
+	fvDD, fvDN, fvND, fvNN int64
+	// Max row lengths for the TWB skew estimate (dd's is only consulted
+	// by the ForceTWBForDD ablation — merge-path ignores skew).
+	maxDD, maxDN, maxND, maxNN int64
+}
+
+// previsit runs both previsit kernels (§IV: level marking, duplicate and
+// zero-degree filtering, queue formation, workload calculation) and charges
+// their cost to the respective streams.
+func (e *Engine) previsit(gs *gpuState) previsitOut {
+	var out previsitOut
+	// Delegate previsit: scan the (globally consistent) delegate frontier
+	// and keep delegates with local dd or dn edges.
+	frontierBits := int64(0)
+	gs.dFront.ForEach(func(di int64) {
+		frontierBits++
+		if ddDeg := gs.pg.DD.Degree(di); ddDeg > 0 {
+			out.qDD = append(out.qDD, di)
+			out.fvDD += ddDeg
+			if ddDeg > out.maxDD {
+				out.maxDD = ddDeg
+			}
+		}
+		if dnDeg := gs.pg.DN.Degree(di); dnDeg > 0 {
+			out.qDN = append(out.qDN, di)
+			out.fvDN += dnDeg
+			if dnDeg > out.maxDN {
+				out.maxDN = dnDeg
+			}
+		}
+	})
+	gs.it.delegateStream += e.charge(gs, simgpu.KernelCost{
+		Vertices: frontierBits + e.d/64, Strategy: simgpu.TWBDynamic,
+	})
+
+	// Normal previsit: the input frontier is already deduplicated (levels
+	// are set exactly once at discovery); compute per-subgraph workloads
+	// and filter zero-degree rows at kernel time.
+	for _, u := range gs.inFront {
+		row := int64(u)
+		if deg := gs.pg.ND.Degree(row); deg > 0 {
+			out.fvND += deg
+			if deg > out.maxND {
+				out.maxND = deg
+			}
+		}
+		if deg := gs.pg.NN.Degree(row); deg > 0 {
+			out.fvNN += deg
+			if deg > out.maxNN {
+				out.maxNN = deg
+			}
+		}
+	}
+	gs.it.normalStream += e.charge(gs, simgpu.KernelCost{
+		Vertices: 2 * int64(len(gs.inFront)), Strategy: simgpu.TWBDynamic,
+	})
+	return out
+}
+
+// backwardWorkload evaluates the paper's BV estimate: |U|·(q+s)/q, the
+// expected number of parent checks until the first newly visited parent
+// (§IV-B). q=0 means no potential parents: return infinity so the kernel
+// stays (or returns) forward, where FV=0 elides it anyway.
+func backwardWorkload(u, q, s int64) float64 {
+	if q <= 0 {
+		return 1e300
+	}
+	return float64(u) * float64(q+s) / float64(q)
+}
+
+// decide applies the two-factor switching rule to one subgraph's direction.
+func decide(cur metrics.Direction, f SwitchFactors, fv int64, bv float64) metrics.Direction {
+	switch cur {
+	case metrics.Forward:
+		if float64(fv) > f.Fwd2Bwd*bv {
+			return metrics.Backward
+		}
+	case metrics.Backward:
+		if float64(fv) < f.Bwd2Fwd*bv {
+			return metrics.Forward
+		}
+	}
+	return cur
+}
+
+// decideDirections updates the per-subgraph directions for this iteration.
+// qD/sD are the global newly-visited and unvisited delegate counts (the
+// delegate masks are globally consistent, so no communication is needed).
+func (e *Engine) decideDirections(gs *gpuState, pv previsitOut, qD, sD int64) {
+	if !e.opts.DirectionOptimized {
+		gs.dirDD, gs.dirDN, gs.dirND = metrics.Forward, metrics.Forward, metrics.Forward
+		return
+	}
+	// Candidate-set sizes for the backward variants.
+	uDD := gs.pg.DDSourceMask.CountExcluding(gs.visited)
+	uND := gs.pg.DNSourceMask.CountExcluding(gs.visited)
+	uDN := gs.unvisitedNDSources
+	qN := int64(len(gs.inFront))
+	sN := gs.unvisitedNDSources
+
+	gs.dirDD = decide(gs.dirDD, e.opts.FactorsDD, pv.fvDD, backwardWorkload(uDD, qD, sD))
+	gs.dirDN = decide(gs.dirDN, e.opts.FactorsDN, pv.fvDN, backwardWorkload(uDN, qD, sD))
+	gs.dirND = decide(gs.dirND, e.opts.FactorsND, pv.fvND, backwardWorkload(uND, qN, sN))
+
+	// The decision scans (mask sweeps) are extra DO work the paper calls
+	// out on long-tail graphs (§VI-D). They fuse into the previsit
+	// kernels, so charge compute time without a separate launch.
+	gs.it.delegateStream += float64(2*(e.d/64)) / e.opts.GPU.VertexRate
+}
+
+// discover marks a local normal vertex visited at the given depth and
+// appends it to the output frontier. parent is the global id of the
+// discovering vertex, or -1 for remote nn discoveries whose parent arrives
+// in the post-BFS resolution round.
+func (gs *gpuState) discover(local uint32, depth int32, parent int64) {
+	gs.levels[local] = depth
+	gs.outFront = append(gs.outFront, local)
+	if gs.isNDSource[local] {
+		gs.unvisitedNDSources--
+	}
+	if gs.parents != nil {
+		if parent >= 0 {
+			gs.parents[local] = parent
+		} else {
+			gs.remoteNeedsParent[local] = true
+		}
+	}
+}
+
+// kernelDD processes delegate→delegate edges into the new-delegate mask.
+func (e *Engine) kernelDD(gs *gpuState, pv previsitOut) {
+	var edges int64
+	var vertices int64
+	strategy := simgpu.MergePath
+	if e.opts.ForceTWBForDD {
+		strategy = simgpu.TWBDynamic
+	}
+	if gs.dirDD == metrics.Forward {
+		for _, u := range pv.qDD {
+			for _, dv := range gs.pg.DD.Neighbors(u) {
+				edges++
+				dvi := int64(dv)
+				if !gs.visited.Get(dvi) {
+					gs.newMask.Set(dvi)
+				}
+			}
+		}
+		vertices = int64(len(pv.qDD))
+	} else {
+		// Backward pull: unvisited delegates with local dd edges check
+		// their local parents against the visited mask (depth ≤ iter).
+		gs.scratch.CopyFrom(gs.pg.DDSourceMask)
+		gs.scratch.AndNot(gs.visited)
+		gs.scratch.ForEach(func(u int64) {
+			vertices++
+			for _, dv := range gs.pg.DD.Neighbors(u) {
+				edges++
+				if gs.visited.Get(int64(dv)) {
+					gs.newMask.Set(u)
+					break
+				}
+			}
+		})
+		vertices += e.d / 64
+	}
+	gs.it.edgesScanned += edges
+	gs.it.delegateStream += e.charge(gs, simgpu.KernelCost{
+		Edges: edges, Vertices: vertices, Strategy: strategy,
+		Skew: rowSkew(pv.maxDD, pv.fvDD, int64(len(pv.qDD))),
+	})
+}
+
+// kernelND processes normal→delegate edges into the new-delegate mask.
+func (e *Engine) kernelND(gs *gpuState, pv previsitOut, iter int32) {
+	var edges, vertices int64
+	var skew float64
+	if gs.dirND == metrics.Forward {
+		for _, u := range gs.inFront {
+			for _, dv := range gs.pg.ND.Neighbors(int64(u)) {
+				edges++
+				dvi := int64(dv)
+				if !gs.visited.Get(dvi) {
+					gs.newMask.Set(dvi)
+				}
+			}
+		}
+		vertices = int64(len(gs.inFront))
+		skew = rowSkew(pv.maxND, pv.fvND, vertices)
+	} else {
+		// Backward: unvisited delegates with local dn edges look for a
+		// visited local normal parent (depth ≤ iter; this iteration's
+		// discoveries are iter+1 and must not count).
+		gs.scratch.CopyFrom(gs.pg.DNSourceMask)
+		gs.scratch.AndNot(gs.visited)
+		gs.scratch.AndNot(gs.newMask) // already found by dd this iteration
+		gs.scratch.ForEach(func(u int64) {
+			vertices++
+			for _, lv := range gs.pg.DN.Neighbors(u) {
+				edges++
+				if lvl := gs.levels[lv]; lvl >= 0 && lvl <= iter {
+					gs.newMask.Set(u)
+					break
+				}
+			}
+		})
+		vertices += e.d / 64
+	}
+	gs.it.edgesScanned += edges
+	gs.it.delegateStream += e.charge(gs, simgpu.KernelCost{
+		Edges: edges, Vertices: vertices, Strategy: simgpu.TWBDynamic, Skew: skew,
+	})
+}
+
+// kernelDN processes delegate→normal edges into the output normal frontier.
+func (e *Engine) kernelDN(gs *gpuState, pv previsitOut, iter int32) {
+	var edges, vertices int64
+	var skew float64
+	if gs.dirDN == metrics.Forward {
+		for _, u := range pv.qDN {
+			parent := e.sg.Sep.DelegateGlobal[u]
+			for _, lv := range gs.pg.DN.Neighbors(u) {
+				edges++
+				if gs.levels[lv] == -1 {
+					gs.discover(lv, iter+1, parent)
+				}
+			}
+		}
+		vertices = int64(len(pv.qDN))
+		skew = rowSkew(pv.maxDN, pv.fvDN, vertices)
+	} else {
+		// Backward: unvisited members of the nd source list (exactly the
+		// potential dn destinations, §IV-B) look for a visited delegate
+		// parent in the visited-as-of-iteration-start mask.
+		for _, v := range gs.pg.NDSources {
+			if gs.levels[v] != -1 {
+				continue
+			}
+			vertices++
+			for _, dv := range gs.pg.ND.Neighbors(int64(v)) {
+				edges++
+				if gs.visited.Get(int64(dv)) {
+					gs.discover(v, iter+1, e.sg.Sep.DelegateGlobal[dv])
+					break
+				}
+			}
+		}
+	}
+	gs.it.edgesScanned += edges
+	gs.it.normalStream += e.charge(gs, simgpu.KernelCost{
+		Edges: edges, Vertices: vertices, Strategy: simgpu.TWBDynamic, Skew: skew,
+	})
+}
+
+// kernelNN processes normal→normal edges: local destinations are applied
+// immediately; remote ones are binned by destination GPU with the 64→32-bit
+// id conversion done sender-side (§V-B). nn never runs backward (§IV-B).
+func (e *Engine) kernelNN(gs *gpuState, pv previsitOut, iter int32) {
+	var edges, binned int64
+	p64 := int64(e.p)
+	self := gs.pg.GPU
+	for _, u := range gs.inFront {
+		uGlobal := e.cfg.GlobalID(u, gs.pg.Rank, gs.pg.Slot)
+		for _, v := range gs.pg.NN.Neighbors(int64(u)) {
+			edges++
+			owner := e.cfg.OwnerGPU(v)
+			local := uint32(v / p64)
+			if owner == self {
+				if gs.levels[local] == -1 {
+					gs.discover(local, iter+1, uGlobal)
+				}
+			} else {
+				gs.bins.Add(owner, local)
+				binned++
+			}
+		}
+	}
+	gs.it.edgesScanned += edges
+	skew := rowSkew(pv.maxNN, pv.fvNN, int64(len(gs.inFront)))
+	gs.it.normalStream += e.charge(gs, simgpu.KernelCost{
+		Edges: edges, Vertices: int64(len(gs.inFront)), Strategy: simgpu.TWBDynamic, Skew: skew,
+	})
+	// Binning + id conversion cost, O(|Enn|/p) across the whole run.
+	if binned > 0 {
+		gs.it.normalStream += e.charge(gs, simgpu.KernelCost{
+			Vertices: binned, Strategy: simgpu.TWBDynamic,
+		})
+	}
+}
+
+// rowSkew estimates maxRow/avgRow - 1 for the TWB imbalance penalty.
+func rowSkew(maxRow, total, rows int64) float64 {
+	if rows == 0 || total == 0 || maxRow == 0 {
+		return 0
+	}
+	avg := float64(total) / float64(rows)
+	return float64(maxRow)/avg - 1
+}
+
+// runKernels executes one iteration's local computation on one GPU and
+// returns the previsit info (the run loop needs the workloads for stats).
+func (e *Engine) runKernels(gs *gpuState, iter int32, qD, sD int64) previsitOut {
+	pv := e.previsit(gs)
+	e.decideDirections(gs, pv, qD, sD)
+	// Delegate stream: dd then nd (both write the delegate mask).
+	e.kernelDD(gs, pv)
+	e.kernelND(gs, pv, iter)
+	// Normal stream: dn then nn (both write the normal frontier).
+	e.kernelDN(gs, pv, iter)
+	e.kernelNN(gs, pv, iter)
+	return pv
+}

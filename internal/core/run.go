@@ -1,0 +1,370 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"gcbfs/internal/bitmask"
+	"gcbfs/internal/frontier"
+	"gcbfs/internal/metrics"
+	"gcbfs/internal/mpi"
+	"gcbfs/internal/simgpu"
+)
+
+// This file drives the BSP super-step loop (Figs. 3 and 4): per-rank
+// goroutines run the local kernels on their GPUs, reduce delegate masks
+// locally then globally, exchange binned normal vertices point-to-point,
+// and agree on termination — exactly the communication structure of §V.
+
+// recorder collects per-iteration statistics; only rank 0 writes to it, and
+// the main goroutine reads it after all ranks join.
+type recorder struct {
+	iterations    []metrics.IterationStats
+	delegateComms int
+	edgesScanned  int64
+	dupsRemoved   int64
+	simSeconds    float64
+	parts         metrics.Breakdown
+}
+
+// Run executes one BFS from the given global source vertex and returns the
+// result with simulated timing. The run is functionally exact and
+// deterministic: identical inputs produce identical distances, counters and
+// simulated times.
+func (e *Engine) Run(source int64) (*metrics.RunResult, error) {
+	if source < 0 || source >= e.sg.N {
+		return nil, fmt.Errorf("core: source %d out of range [0,%d)", source, e.sg.N)
+	}
+	e.reset()
+
+	// Seed the search at depth 0.
+	srcIsDelegate := e.sg.Sep.IsDelegate(source)
+	if srcIsDelegate {
+		di := int64(e.sg.Sep.DelegateID[source])
+		for _, gs := range e.gpus {
+			gs.visited.Set(di)
+			gs.dFront.Set(di)
+			gs.delegateLevel[di] = 0
+		}
+	} else {
+		gs := e.gpus[e.cfg.OwnerGPU(source)]
+		local := e.cfg.LocalID(source)
+		gs.levels[local] = 0
+		gs.inFront = append(gs.inFront, local)
+		if gs.isNDSource[local] {
+			gs.unvisitedNDSources--
+		}
+		if gs.parents != nil {
+			gs.parents[local] = source // Graph500: parent[source] = source
+		}
+	}
+
+	prank := e.shape.Ranks()
+	world := mpi.NewWorld(prank)
+	rec := &recorder{}
+	var wg sync.WaitGroup
+	for r := 0; r < prank; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			e.runRank(rank, world.Rank(rank), rec, srcIsDelegate, source)
+		}(r)
+	}
+	wg.Wait()
+
+	res := &metrics.RunResult{
+		Source:        source,
+		Iterations:    len(rec.iterations),
+		SimSeconds:    rec.simSeconds,
+		TEPSEdges:     e.sg.M / 2,
+		EdgesScanned:  rec.edgesScanned,
+		DupsRemoved:   rec.dupsRemoved,
+		Parts:         rec.parts,
+		PerIteration:  rec.iterations,
+		DelegateComms: rec.delegateComms,
+	}
+	if e.opts.CollectLevels {
+		res.Levels = e.gatherLevels()
+	}
+	if e.opts.CollectParents {
+		res.Parents = e.gatherParents()
+		res.ParentPairs = e.parentExchangePairs
+	}
+	return res, nil
+}
+
+// RunMany executes one run per source and returns all results.
+func (e *Engine) RunMany(sources []int64) ([]*metrics.RunResult, error) {
+	out := make([]*metrics.RunResult, 0, len(sources))
+	for _, s := range sources {
+		r, err := e.Run(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// runRank is the per-rank BSP loop ("the CPU thread that controls GPU0"
+// performs the global phases, §V-A).
+func (e *Engine) runRank(rank int, comm *mpi.Comm, rec *recorder, srcIsDelegate bool, source int64) {
+	pgpu := e.shape.GPUsPerRank
+	prank := e.shape.Ranks()
+	myGPUs := e.gpus[rank*pgpu : (rank+1)*pgpu]
+	rankMask := bitmask.New(e.d)
+	maskBytes := rankMask.ByteSize()
+
+	// Input frontier sizes of the upcoming iteration (globally known).
+	inputNormals, inputDelegates := int64(1), int64(0)
+	if srcIsDelegate {
+		inputNormals, inputDelegates = 0, 1
+	}
+
+	for iter := int32(0); ; iter++ {
+		// ---- Local computation (all GPUs of this rank).
+		qD := myGPUs[0].dFront.Count() // globally consistent masks
+		sD := e.d - myGPUs[0].visited.Count()
+		for _, gs := range myGPUs {
+			gs.it = iterWork{}
+			e.runKernels(gs, iter, qD, sD)
+		}
+		dir0 := myGPUs[0]
+
+		// ---- Delegate mask reduction: local OR to "GPU0", then global
+		// allreduce across ranks, skipped entirely on iterations without
+		// updates anywhere (the S' < S saving of §V-A).
+		rankMask.CopyFrom(myGPUs[0].newMask)
+		for _, gs := range myGPUs[1:] {
+			rankMask.Or(gs.newMask)
+		}
+		anyGlobal := comm.AllreduceBoolOr(rankMask.Any())
+		maskExchanged := false
+		var newDelegates int64
+		if anyGlobal {
+			comm.AllreduceOr(rankMask.Words())
+			maskExchanged = true
+			newDelegates = rankMask.Count()
+			for _, gs := range myGPUs {
+				rankMask.ForEach(func(di int64) { gs.delegateLevel[di] = iter + 1 })
+				gs.visited.Or(rankMask)
+				gs.dFront.CopyFrom(rankMask)
+				gs.newMask.Reset()
+			}
+		} else {
+			for _, gs := range myGPUs {
+				gs.dFront.Reset()
+				gs.newMask.Reset()
+			}
+		}
+
+		// ---- Normal-vertex exchange (§V-B).
+		var dupsRemoved int64
+		if e.opts.Uniquify {
+			for _, gs := range myGPUs {
+				n := gs.bins.UniquifyAll()
+				gs.it.dupsRemoved += n
+				dupsRemoved += n
+				// Uniquify is extra local work (sort + compact).
+				if c := gs.bins.Count(); c > 0 {
+					gs.it.normalStream += e.charge(gs, simgpu.KernelCost{
+						Vertices: 2 * c, Strategy: simgpu.TWBDynamic,
+					})
+				}
+			}
+		}
+		var sentBytes, intraBytes int64
+		// Remote sends: one packed message per destination rank carrying
+		// every source GPU's bins for that rank's slots.
+		for dst := 0; dst < prank; dst++ {
+			if dst == rank {
+				continue
+			}
+			payload := e.packForRank(myGPUs, dst)
+			// Count id bytes only (the paper's 4·|Enn| accounting);
+			// the per-slot count headers are wire framing.
+			sentBytes += int64(len(payload)) - 4*int64(pgpu)
+			comm.Isend(dst, int(iter), payload)
+		}
+		// Intra-rank cross-GPU bins apply directly (NVLink, not NIC).
+		for _, src := range myGPUs {
+			for s := 0; s < pgpu; s++ {
+				dstGPU := rank*pgpu + s
+				if dstGPU == src.pg.GPU {
+					continue
+				}
+				ids := src.bins.PerGPU[dstGPU]
+				intraBytes += 4 * int64(len(ids))
+				applyIDs(e.gpus[dstGPU], ids, iter+1)
+			}
+		}
+		// Receives.
+		var recvBytes, applied int64
+		for src := 0; src < prank; src++ {
+			if src == rank {
+				continue
+			}
+			buf := comm.Recv(src, int(iter))
+			recvBytes += int64(len(buf)) - 4*int64(pgpu)
+			slots, err := frontier.UnpackRank(buf, pgpu)
+			if err != nil {
+				panic(fmt.Sprintf("core: corrupt exchange payload: %v", err))
+			}
+			for s, ids := range slots {
+				applied += int64(len(ids))
+				applyIDs(myGPUs[s], ids, iter+1)
+			}
+		}
+		// Scatter cost of applying received ids on the destination GPUs.
+		if applied+intraBytes/4 > 0 {
+			myGPUs[0].it.normalStream += e.charge(myGPUs[0], simgpu.KernelCost{
+				Vertices: applied + intraBytes/4, Strategy: simgpu.TWBDynamic,
+			})
+		}
+		for _, gs := range myGPUs {
+			gs.bins.Reset()
+		}
+
+		// ---- Timing assembly (model time, reduced across ranks).
+		var comp float64
+		for _, gs := range myGPUs {
+			if c := streamCombine(gs.it.delegateStream, gs.it.normalStream); c > comp {
+				comp = c
+			}
+		}
+		// Timing uses amplified volumes (scale-model, see Options).
+		aSent, aRecv, aIntra := e.ampBytes(sentBytes), e.ampBytes(recvBytes), e.ampBytes(intraBytes)
+		aMask := e.ampBytes(maskBytes)
+		var localComm float64
+		if maskExchanged {
+			localComm += e.opts.Net.LocalReduce(aMask, pgpu)
+			localComm += e.opts.Net.LocalBroadcast(aMask, pgpu)
+		}
+		if e.opts.LocalAll2All && aSent > 0 && pgpu > 1 {
+			// Staging bins through peer GPUs: (pgpu-1)/pgpu of the
+			// outgoing volume crosses NVLink first.
+			localComm += e.opts.Net.LocalExchange(aSent*int64(pgpu-1)/int64(pgpu), pgpu)
+		}
+		localComm += e.opts.Net.Staging(aSent) + e.opts.Net.Staging(aRecv) + e.opts.Net.Staging(aIntra)
+		remoteNormal := e.opts.Net.PointToPoint(aSent, e.effMessageBytes(aSent))
+		var remoteDelegate float64
+		if maskExchanged {
+			remoteDelegate = e.opts.Net.Allreduce(aMask, prank, e.opts.BlockingReduce)
+		}
+		vec := []float64{comp, localComm, remoteNormal, remoteDelegate}
+		maxFloatsAllreduce(comm, vec)
+		parts := metrics.Breakdown{
+			Computation:    vec[0],
+			LocalComm:      vec[1],
+			RemoteNormal:   vec[2],
+			RemoteDelegate: vec[3],
+		}
+		elapsed := e.iterElapsed(parts)
+
+		// ---- Global sums: work stats and termination flag.
+		var nextNormals, edges int64
+		for _, gs := range myGPUs {
+			nextNormals += int64(len(gs.outFront))
+			edges += gs.it.edgesScanned
+		}
+		flag := int64(0)
+		if nextNormals > 0 || newDelegates > 0 {
+			flag = 1
+		}
+		sums := []int64{edges, sentBytes, nextNormals, dupsRemoved, flag}
+		comm.AllreduceSum(sums)
+
+		if rank == 0 {
+			rec.iterations = append(rec.iterations, metrics.IterationStats{
+				Iteration:         int(iter),
+				FrontierNormals:   inputNormals,
+				FrontierDelegates: inputDelegates,
+				DirDD:             dir0.dirDD,
+				DirDN:             dir0.dirDN,
+				DirND:             dir0.dirND,
+				EdgesScanned:      sums[0],
+				BytesNormal:       sums[1],
+				BytesDelegate:     boolToBytes(maskExchanged, maskBytes),
+				Elapsed:           elapsed,
+				Parts:             parts,
+			})
+			rec.edgesScanned += sums[0]
+			rec.dupsRemoved += sums[3]
+			rec.simSeconds += elapsed
+			rec.parts.Add(parts)
+			if maskExchanged {
+				rec.delegateComms++
+			}
+		}
+		inputNormals, inputDelegates = sums[2], newDelegates
+
+		// Rotate frontiers for the next iteration.
+		for _, gs := range myGPUs {
+			gs.inFront, gs.outFront = gs.outFront, gs.inFront[:0]
+		}
+		if sums[4] == 0 {
+			break
+		}
+	}
+
+	if e.opts.CollectParents {
+		e.resolveParents(rank, comm, myGPUs, source)
+	}
+}
+
+// applyIDs marks received local ids visited at the given depth (duplicates
+// and already-visited ids are ignored, as on the receiving GPU). Parents of
+// remotely discovered vertices are unknown here; the post-BFS resolution
+// round fills them in.
+func applyIDs(gs *gpuState, ids []uint32, depth int32) {
+	for _, id := range ids {
+		if gs.levels[id] == -1 {
+			gs.discover(id, depth, -1)
+		}
+	}
+}
+
+// packForRank serializes all of this rank's bins destined for dst's GPUs:
+// for each destination slot, a count header followed by the merged ids from
+// every source GPU of this rank.
+func (e *Engine) packForRank(myGPUs []*gpuState, dst int) []byte {
+	pgpu := e.shape.GPUsPerRank
+	merged := frontier.NewBins(pgpu)
+	for s := 0; s < pgpu; s++ {
+		dstGPU := dst*pgpu + s
+		for _, gs := range myGPUs {
+			merged.PerGPU[s] = append(merged.PerGPU[s], gs.bins.PerGPU[dstGPU]...)
+		}
+	}
+	return merged.PackRank(0, pgpu)
+}
+
+func boolToBytes(ok bool, b int64) int64 {
+	if ok {
+		return b
+	}
+	return 0
+}
+
+// gatherLevels assembles the global hop-distance array from the owning GPUs
+// (normal vertices) and the replicated delegate directory.
+func (e *Engine) gatherLevels() []int32 {
+	levels := make([]int32, e.sg.N)
+	for i := range levels {
+		levels[i] = -1
+	}
+	for _, gs := range e.gpus {
+		for slot := int64(0); slot < gs.pg.NumLocal; slot++ {
+			if lvl := gs.levels[slot]; lvl >= 0 {
+				v := e.cfg.GlobalID(uint32(slot), gs.pg.Rank, gs.pg.Slot)
+				levels[v] = lvl
+			}
+		}
+	}
+	for di, v := range e.sg.Sep.DelegateGlobal {
+		if lvl := e.gpus[0].delegateLevel[di]; lvl >= 0 {
+			levels[v] = lvl
+		}
+	}
+	return levels
+}

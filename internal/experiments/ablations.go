@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gcbfs/internal/concomp"
+	"gcbfs/internal/core"
+	"gcbfs/internal/pagerank"
+	"gcbfs/internal/partition"
+)
+
+// Abl2LoadBalance ablates the §IV-A load-balancing choice: the dd subgraph
+// "covers a wide range of degree distribution, and has large average
+// out-degrees", which is why it gets merge-based workload partitioning;
+// forcing TWB dynamic mapping onto it must cost computation time via the
+// skew penalty, without changing results.
+func Abl2LoadBalance(p Params) (*Table, error) {
+	scale := p.pick(15, 12)
+	el := rmatGraph(scale)
+	shape := core.ClusterShape{Nodes: 2, RanksPerNode: 1, GPUsPerRank: 2}
+	amp := ampFor(26, scale-2)
+	th := suggestTH(el, shape.P())
+	sources := pickSources(el.OutDegrees(), p.sources(), p.seed())
+	t := &Table{
+		ID:      "abl2",
+		Title:   fmt.Sprintf("dd-kernel load-balance ablation, RMAT scale %d, %s, TH=%d", scale, shape, th),
+		Paper:   "§IV-A — merge-path for dd (wide degree range); TWB for nd/dn/nn (bounded, low degrees)",
+		Headers: []string{"dd strategy", "mode", "comp ms", "elapsed ms"},
+		Notes: []string{
+			"forcing TWB onto the skewed dd subgraph pays the imbalance penalty the design avoids",
+		},
+	}
+	for _, forced := range []bool{false, true} {
+		name := "merge-path (paper)"
+		if forced {
+			name = "twb-dynamic (forced)"
+		}
+		for _, do := range []bool{true, false} {
+			opts := core.DefaultOptions()
+			opts.DirectionOptimized = do
+			opts.ForceTWBForDD = forced
+			opts.WorkAmplification = amp
+			opts.CollectLevels = false
+			e, _, err := buildEngine(el, shape, th, opts)
+			if err != nil {
+				return nil, err
+			}
+			agg, err := measure(e, sources)
+			if err != nil {
+				return nil, err
+			}
+			mode := "BFS"
+			if do {
+				mode = "DOBFS"
+			}
+			t.Rows = append(t.Rows, []string{name, mode, ms(agg.Parts.Computation), f2(agg.MeanMS)})
+		}
+	}
+	return t, nil
+}
+
+// App1BeyondBFS reproduces the §VI-D discussion quantitatively: PageRank and
+// connected components on the same degree-separated substrate, compared to
+// DOBFS on computation workload and communication volume. The paper's
+// argument — local computation is O(m) per iteration (≫ DOBFS) and delegate
+// state is 64 bits instead of 1, but compute and communication grow in
+// roughly the same proportion, so the model still scales.
+func App1BeyondBFS(p Params) (*Table, error) {
+	scale := p.pick(14, 11)
+	el := rmatGraph(scale)
+	shape := core.ClusterShape{Nodes: 2, RanksPerNode: 2, GPUsPerRank: 2}
+	amp := ampFor(26, scale-3)
+	th := suggestTH(el, shape.P())
+	sep := partition.Separate(el, th)
+	sg, err := partition.Distribute(el, sep, shape.PartitionConfig())
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "app1",
+		Title:   fmt.Sprintf("beyond BFS on the delegate substrate, RMAT scale %d, %s, TH=%d", scale, shape, th),
+		Paper:   "§VI-D — general algorithms: more compute (O(m)/iter), more state (64-bit vs 1-bit delegates)",
+		Headers: []string{"algorithm", "iterations", "comp ms", "normal kB", "delegate kB", "elapsed ms"},
+	}
+
+	// DOBFS reference point.
+	src := pickSources(el.OutDegrees(), 1, p.seed())[0]
+	bopts := core.DefaultOptions()
+	bopts.WorkAmplification = amp
+	bopts.CollectLevels = false
+	be, err := core.NewEngine(sg, shape, bopts)
+	if err != nil {
+		return nil, err
+	}
+	bres, err := be.Run(src)
+	if err != nil {
+		return nil, err
+	}
+	var bfsNormal, bfsDelegate int64
+	for _, it := range bres.PerIteration {
+		bfsNormal += it.BytesNormal
+		bfsDelegate += it.BytesDelegate
+	}
+	t.Rows = append(t.Rows, []string{
+		"DOBFS", i64(int64(bres.Iterations)), ms(bres.Parts.Computation),
+		f1(float64(bfsNormal) / 1024), f1(float64(bfsDelegate) / 1024),
+		ms(bres.SimSeconds),
+	})
+
+	// PageRank.
+	popts := pagerank.DefaultOptions()
+	popts.MaxIterations = p.pick(20, 10)
+	popts.WorkAmplification = amp
+	pres, err := pagerank.Run(sg, shape, popts)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, []string{
+		"PageRank", i64(int64(pres.Iterations)), ms(pres.Parts.Computation),
+		f1(float64(pres.BytesNormal) / 1024), f1(float64(pres.BytesDelegate) / 1024),
+		ms(pres.SimSeconds),
+	})
+
+	// Connected components.
+	copts := concomp.DefaultOptions()
+	copts.WorkAmplification = amp
+	cres, err := concomp.Run(sg, shape, copts)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, []string{
+		"ConnComp", i64(int64(cres.Iterations)), ms(cres.Parts.Computation),
+		f1(float64(cres.BytesNormal) / 1024), f1(float64(cres.BytesDelegate) / 1024),
+		ms(cres.SimSeconds),
+	})
+	t.Notes = append(t.Notes,
+		"per-delegate reduction payload: BFS 1 bit, PageRank/ConnComp 64 bits (§VI-D)",
+	)
+	return t, nil
+}

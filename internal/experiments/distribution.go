@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gcbfs/internal/gen"
+	"gcbfs/internal/graph"
+	"gcbfs/internal/partition"
+)
+
+// distRow computes the Fig 5/12 quantities for one threshold: shares of dd,
+// dn/nd, nn edges and the delegate share of vertices.
+func distRow(el *graph.EdgeList, sep *partition.Separation) (ddShare, dnndShare, nnShare, delShare float64) {
+	var dd, dnnd, nn int64
+	for _, e := range el.Edges {
+		uDel, vDel := sep.IsDelegate(e.U), sep.IsDelegate(e.V)
+		switch {
+		case uDel && vDel:
+			dd++
+		case uDel || vDel:
+			dnnd++
+		default:
+			nn++
+		}
+	}
+	m := float64(el.M())
+	return float64(dd) / m, float64(dnnd) / m, float64(nn) / m,
+		float64(sep.D()) / float64(el.N)
+}
+
+// Fig5Distribution reproduces Fig. 5: the distribution of edge kinds and
+// delegates as a function of degree threshold on an RMAT graph (paper:
+// scale 30; local: scale 16/12). Expected shape: dd falls and nn rises as TH
+// grows, with a wide middle band where delegates are few and nn is small.
+func Fig5Distribution(p Params) (*Table, error) {
+	scale := p.pick(16, 12)
+	el := rmatGraph(scale)
+	t := &Table{
+		ID:      "fig5",
+		Title:   fmt.Sprintf("edge/delegate distribution vs degree threshold (RMAT scale %d)", scale),
+		Paper:   "Fig. 5 — scale-30 RMAT; TH∈[16,512] keeps delegates ~few % and nn <10%",
+		Headers: []string{"TH", "dd edges", "dn/nd edges", "nn edges", "delegates"},
+		Notes: []string{
+			fmt.Sprintf("paper scale 30 → local scale %d; thresholds sweep the same 1..max-degree range", scale),
+		},
+	}
+	for th := int64(1); ; th *= 4 {
+		sep := partition.Separate(el, th)
+		dd, dnnd, nn, del := distRow(el, sep)
+		t.Rows = append(t.Rows, []string{i64(th), pct(dd), pct(dnnd), pct(nn), pct(del)})
+		if sep.D() == 0 {
+			break
+		}
+	}
+	return t, nil
+}
+
+// Fig7SuggestedTH reproduces Fig. 7: suggested degree thresholds for a range
+// of scales under weak scaling (scale-26 per GPU in the paper, scale-12 per
+// GPU locally), with the resulting delegate and nn-edge percentages and the
+// 4n/p guidance line.
+func Fig7SuggestedTH(p Params) (*Table, error) {
+	perGPU := 12
+	maxScale := p.pick(17, 14)
+	t := &Table{
+		ID:      "fig7",
+		Title:   fmt.Sprintf("suggested thresholds, scale-%d RMAT per GPU", perGPU),
+		Paper:   "Fig. 7 — optimal TH grows ≈√2 per scale; delegates stay under the 4n/p line; nn grows slowly",
+		Headers: []string{"scale", "GPUs", "TH", "delegates", "nn edges", "4n/p line"},
+		Notes: []string{
+			"paper scales 25–33 with scale-26 per GPU → local scales with scale-12 per GPU",
+		},
+	}
+	for scale := perGPU; scale <= maxScale; scale++ {
+		gpus := 1 << uint(scale-perGPU)
+		el := rmatGraph(scale)
+		th := suggestTH(el, gpus)
+		sep := partition.Separate(el, th)
+		_, _, nnShare, delShare := distRow(el, sep)
+		line := 4.0 / float64(gpus)
+		if line > 1 {
+			line = 1
+		}
+		t.Rows = append(t.Rows, []string{
+			i64(int64(scale)), i64(int64(gpus)), i64(th), pct(delShare), pct(nnShare), pct(line),
+		})
+	}
+	return t, nil
+}
+
+// Fig12FriendsterDist reproduces Fig. 12 on the synthetic Friendster
+// stand-in: edge/delegate distribution vs threshold.
+func Fig12FriendsterDist(p Params) (*Table, error) {
+	scale := p.pick(14, 11)
+	el := gen.SocialNetwork(gen.DefaultSocialParams(scale))
+	t := &Table{
+		ID:      "fig12",
+		Title:   fmt.Sprintf("friendster-like edge/delegate distribution (core scale %d)", scale),
+		Paper:   "Fig. 12 — friendster; a wide suitable-TH range like RMAT",
+		Headers: []string{"TH", "dd edges", "dn/nd edges", "nn edges", "delegates"},
+		Notes: []string{
+			"Friendster (66M vertices, 5.17B edges after prep) → synthetic social graph (substitution per DESIGN.md)",
+		},
+	}
+	for _, th := range []int64{2, 4, 8, 16, 32, 64, 128, 256} {
+		sep := partition.Separate(el, th)
+		dd, dnnd, nn, del := distRow(el, sep)
+		t.Rows = append(t.Rows, []string{i64(th), pct(dd), pct(dnnd), pct(nn), pct(del)})
+	}
+	return t, nil
+}
+
+// Mem1Capacity reproduces the §VI-C capacity claim: "Because of our
+// efficient graph representation, we can fit the 34 billion edge [scale-30]
+// graph onto 12 GPUs, at about 2.9 billion edges per GPU" — while neither a
+// conventional edge list nor undistributed CSR fits 16 GB P100s at that
+// density. Delegate and nn fractions are measured on a local instance at the
+// suggested threshold and plugged into the byte-exact Table-I formula.
+func Mem1Capacity(p Params) (*Table, error) {
+	localScale := p.pick(16, 13)
+	el := rmatGraph(localScale)
+	gpuMem := float64(15 << 30) // 16 GB minus working-set headroom
+	t := &Table{
+		ID:    "mem1",
+		Title: "device-memory capacity per representation (Table I formula, measured fractions)",
+		Paper: "§VI-C — scale-30 (34.4B directed edges) fits on 12 P100s with degree separation",
+		Headers: []string{"scale", "GPUs", "sep bytes/GPU", "CSR bytes/GPU", "edge-list bytes/GPU", "fits (sep/csr/el)"},
+	}
+	for _, cfg := range []struct {
+		scale, gpus int
+	}{{28, 4}, {30, 12}, {30, 8}, {32, 48}, {33, 124}} {
+		n := float64(int64(1) << uint(cfg.scale))
+		m := n * 32 // doubled edges
+		pp := float64(cfg.gpus)
+		// Measure the fractions at the local stand-in scale with the
+		// threshold rule the target configuration would use.
+		th := suggestTH(el, cfg.gpus)
+		sep := partition.Separate(el, th)
+		_, _, nnShare, delShare := distRow(el, sep)
+		sepBytes := (8*n + 8*(delShare*n)*pp + 4*m + 4*nnShare*m) / pp
+		csrBytes := (8*n + 8*m) / pp
+		elBytes := 16 * m / pp
+		t.Rows = append(t.Rows, []string{
+			i64(int64(cfg.scale)), i64(int64(cfg.gpus)),
+			gb(sepBytes), gb(csrBytes), gb(elBytes),
+			fmt.Sprintf("%v/%v/%v", sepBytes <= gpuMem, csrBytes <= gpuMem, elBytes <= gpuMem),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("delegate/nn fractions measured at local scale %d and the matching suggested TH", localScale),
+		"the paper's headline row: scale-30 on 12 GPUs fits only with degree separation",
+	)
+	return t, nil
+}
+
+func gb(b float64) string { return fmt.Sprintf("%.1fGB", b/(1<<30)) }
+
+// Table1Memory reproduces Table I: measured per-subgraph storage against the
+// closed-form model and the conventional representations.
+func Table1Memory(p Params) (*Table, error) {
+	scale := p.pick(16, 12)
+	el := rmatGraph(scale)
+	shape := gpuCountShapes(8)[0] // 2×2×2
+	th := suggestTH(el, shape.P())
+	sep := partition.Separate(el, th)
+	sg, err := partition.Distribute(el, sep, shape.PartitionConfig())
+	if err != nil {
+		return nil, err
+	}
+	mem := sg.Memory()
+	t := &Table{
+		ID:      "tab1",
+		Title:   fmt.Sprintf("subgraph memory, RMAT scale %d, %s, TH=%d", scale, shape, th),
+		Paper:   "Table I — totals 8n+8d·p+4m+4|Enn|; ≈1/3 of a 16m edge list, ~half of 8n+8m CSR",
+		Headers: []string{"subgraph", "row bytes", "col bytes", "paper formula"},
+	}
+	pp := int64(shape.P())
+	t.Rows = append(t.Rows,
+		[]string{"nn", i64(mem.NNRows), i64(mem.NNCols), "n/p·4 + |Enn|/p·8 per GPU"},
+		[]string{"nd", i64(mem.NDRows), i64(mem.NDCols), "n/p·4 + |End|/p·4 per GPU"},
+		[]string{"dn", i64(mem.DNRows), i64(mem.DNCols), "d·4 + |Edn|/p·4 per GPU"},
+		[]string{"dd", i64(mem.DDRows), i64(mem.DDCols), "d·4 + |Edd|/p·4 per GPU"},
+		[]string{"total", i64(mem.Total()), "", fmt.Sprintf("predicted %d", sg.PredictedTotal())},
+		[]string{"edge list (16m)", i64(sg.EdgeListBytes()), "", fmt.Sprintf("ratio %.2f×", float64(sg.EdgeListBytes())/float64(mem.Total()))},
+		[]string{"plain CSR (8n+8m)", i64(sg.PlainCSRBytes()), "", fmt.Sprintf("ratio %.2f×", float64(sg.PlainCSRBytes())/float64(mem.Total()))},
+	)
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("d=%d delegates (%s of n), |Enn|=%d (%s of m), p=%d",
+			sg.D(), pct(float64(sg.D())/float64(sg.N)), sg.CountNN, pct(float64(sg.CountNN)/float64(sg.M)), pp),
+		fmt.Sprintf("balance ratio (max/mean edges per GPU) = %.3f", sg.BalanceRatio()),
+	)
+	return t, nil
+}

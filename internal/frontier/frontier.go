@@ -1,0 +1,145 @@
+// Package frontier provides the queue and binning machinery around the BFS
+// visit kernels (§V-B): per-destination-GPU bins for the normal-vertex
+// exchange, the 64→32-bit vertex-number conversion performed before sending,
+// uniquification (duplicate removal within a bin), and the wire packing used
+// by the rank-to-rank exchange.
+package frontier
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Bins accumulates outgoing normal-vertex discoveries grouped by destination
+// GPU. Ids stored are already converted to 32-bit local ids at the
+// destination (the paper sends 4 bytes per nn edge — the conversion happens
+// sender-side since local id = v / p is computable anywhere).
+type Bins struct {
+	PerGPU [][]uint32
+}
+
+// NewBins creates empty bins for p destination GPUs.
+func NewBins(p int) *Bins {
+	return &Bins{PerGPU: make([][]uint32, p)}
+}
+
+// Add appends a destination-local vertex id to gpu's bin.
+func (b *Bins) Add(gpu int, localID uint32) {
+	b.PerGPU[gpu] = append(b.PerGPU[gpu], localID)
+}
+
+// Reset empties all bins, retaining capacity.
+func (b *Bins) Reset() {
+	for i := range b.PerGPU {
+		b.PerGPU[i] = b.PerGPU[i][:0]
+	}
+}
+
+// Count returns the total number of queued ids.
+func (b *Bins) Count() int64 {
+	var c int64
+	for _, bin := range b.PerGPU {
+		c += int64(len(bin))
+	}
+	return c
+}
+
+// Bytes returns the wire payload size of all bins at 4 bytes per id,
+// excluding per-slot headers — the paper's 4·|Enn| volume accounting.
+func (b *Bins) Bytes() int64 { return 4 * b.Count() }
+
+// Uniquify removes duplicate ids within gpu's bin (sort + compact, so the
+// result is deterministic) and returns how many duplicates were dropped —
+// the §V-B optimization whose payoff the paper found marginal because few
+// nn destinations repeat within one GPU's frontier.
+func (b *Bins) Uniquify(gpu int) int64 {
+	bin := b.PerGPU[gpu]
+	if len(bin) < 2 {
+		return 0
+	}
+	sort.Slice(bin, func(i, j int) bool { return bin[i] < bin[j] })
+	out := bin[:1]
+	for _, v := range bin[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	removed := int64(len(bin) - len(out))
+	b.PerGPU[gpu] = out
+	return removed
+}
+
+// UniquifyAll runs Uniquify on every bin and returns the total removed.
+func (b *Bins) UniquifyAll() int64 {
+	var removed int64
+	for gpu := range b.PerGPU {
+		removed += b.Uniquify(gpu)
+	}
+	return removed
+}
+
+// PackRank serializes the bins destined for the GPUs of one rank into a
+// single message: for each slot s in [0, gpusPerRank), a uint32 count
+// followed by count uint32 ids. gpuIndex(rank, slot) maps to the flat GPU
+// index used by the bins.
+func (b *Bins) PackRank(rank, gpusPerRank int) []byte {
+	var size int
+	for s := 0; s < gpusPerRank; s++ {
+		size += 4 + 4*len(b.PerGPU[rank*gpusPerRank+s])
+	}
+	buf := make([]byte, size)
+	off := 0
+	for s := 0; s < gpusPerRank; s++ {
+		bin := b.PerGPU[rank*gpusPerRank+s]
+		binary.LittleEndian.PutUint32(buf[off:], uint32(len(bin)))
+		off += 4
+		for _, v := range bin {
+			binary.LittleEndian.PutUint32(buf[off:], v)
+			off += 4
+		}
+	}
+	return buf
+}
+
+// UnpackRank parses a PackRank payload back into per-slot id lists.
+func UnpackRank(buf []byte, gpusPerRank int) ([][]uint32, error) {
+	out := make([][]uint32, gpusPerRank)
+	off := 0
+	for s := 0; s < gpusPerRank; s++ {
+		if off+4 > len(buf) {
+			return nil, fmt.Errorf("frontier: truncated header for slot %d", s)
+		}
+		count := binary.LittleEndian.Uint32(buf[off:])
+		off += 4
+		if off+4*int(count) > len(buf) {
+			return nil, fmt.Errorf("frontier: truncated payload for slot %d (%d ids)", s, count)
+		}
+		ids := make([]uint32, count)
+		for i := range ids {
+			ids[i] = binary.LittleEndian.Uint32(buf[off:])
+			off += 4
+		}
+		out[s] = ids
+	}
+	if off != len(buf) {
+		return nil, fmt.Errorf("frontier: %d trailing bytes", len(buf)-off)
+	}
+	return out, nil
+}
+
+// SortUnique sorts ids ascending and removes duplicates in place, returning
+// the compacted slice.
+func SortUnique(ids []uint32) []uint32 {
+	if len(ids) < 2 {
+		return ids
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := ids[:1]
+	for _, v := range ids[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package g500
+
+import (
+	"testing"
+
+	"gcbfs/internal/baseline"
+	"gcbfs/internal/gen"
+	"gcbfs/internal/graph"
+	"gcbfs/internal/rmat"
+)
+
+func TestValidateAcceptsSerialBFS(t *testing.T) {
+	for _, el := range []*graph.EdgeList{
+		gen.Path(20),
+		gen.Star(15),
+		gen.Grid2D(4, 5),
+		rmat.Generate(rmat.DefaultParams(8)),
+	} {
+		c := graph.BuildCSR(el)
+		deg := el.OutDegrees()
+		var src int64
+		for deg[src] == 0 {
+			src++
+		}
+		levels := baseline.SerialBFS(c, src)
+		if err := Validate(el, src, levels); err != nil {
+			t.Fatalf("valid BFS rejected: %v", err)
+		}
+	}
+}
+
+func TestValidateRejectsBadSource(t *testing.T) {
+	el := gen.Path(5)
+	levels := baseline.SerialBFS(graph.BuildCSR(el), 0)
+	if err := Validate(el, 99, levels); err == nil {
+		t.Fatal("accepted out-of-range source")
+	}
+	levels[0] = 3
+	if err := Validate(el, 0, levels); err == nil {
+		t.Fatal("accepted source level != 0")
+	}
+}
+
+func TestValidateRejectsLevelJump(t *testing.T) {
+	el := gen.Path(5)
+	levels := baseline.SerialBFS(graph.BuildCSR(el), 0)
+	levels[3] = 5 // edge 2–3 now spans 2→5
+	if err := Validate(el, 0, levels); err == nil {
+		t.Fatal("accepted level jump across an edge")
+	}
+}
+
+func TestValidateRejectsUnvisitedNeighbor(t *testing.T) {
+	el := gen.Path(5)
+	levels := baseline.SerialBFS(graph.BuildCSR(el), 0)
+	levels[4] = -1
+	if err := Validate(el, 0, levels); err == nil {
+		t.Fatal("accepted visited vertex with unvisited neighbor")
+	}
+}
+
+func TestValidateRejectsOrphanLevel(t *testing.T) {
+	// Two components: 0–1 and 2–3. Mark 2,3 visited with no path.
+	el := graph.NewEdgeList(4)
+	el.Add(0, 1)
+	el.Add(1, 0)
+	el.Add(2, 3)
+	el.Add(3, 2)
+	levels := []int32{0, 1, 5, 6}
+	if err := Validate(el, 0, levels); err == nil {
+		t.Fatal("accepted orphan component levels (no parent at level 4)")
+	}
+}
+
+func TestValidateRejectsBadSentinel(t *testing.T) {
+	el := graph.NewEdgeList(3)
+	el.Add(0, 1)
+	el.Add(1, 0)
+	levels := []int32{0, 1, -7}
+	if err := Validate(el, 0, levels); err == nil {
+		t.Fatal("accepted level < -1")
+	}
+}
+
+func TestValidateLengthMismatch(t *testing.T) {
+	el := gen.Path(5)
+	if err := Validate(el, 0, make([]int32, 3)); err == nil {
+		t.Fatal("accepted short levels array")
+	}
+}
+
+func TestCompareLevels(t *testing.T) {
+	if err := CompareLevels([]int32{1, 2}, []int32{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := CompareLevels([]int32{1}, []int32{1, 2}); err == nil {
+		t.Fatal("accepted length mismatch")
+	}
+	if err := CompareLevels([]int32{1, 3}, []int32{1, 2}); err == nil {
+		t.Fatal("accepted value mismatch")
+	}
+}
+
+func TestVisitedCount(t *testing.T) {
+	if got := VisitedCount([]int32{0, -1, 3, -1, 2}); got != 3 {
+		t.Fatalf("VisitedCount = %d", got)
+	}
+}

@@ -1,0 +1,179 @@
+// Package gen provides synthetic graph generators beyond RMAT: structured
+// graphs for unit tests (paths, stars, grids, cycles, uniform random) and
+// scaled-down stand-ins for the two real datasets in the paper's §VI-D that
+// cannot be redistributed here:
+//
+//   - SocialNetwork ≈ Friendster: scale-free core, a large fraction of
+//     isolated vertices (the paper's copy has ~50% isolated), wide range of
+//     workable degree thresholds (Fig 12/13).
+//   - WebGraph ≈ WDC 2012 hyperlink graph: scale-free core plus long chains,
+//     producing the long-tail BFS behaviour the paper reports (~330
+//     iterations, DOBFS slightly slower than BFS).
+//
+// All generators return symmetric (edge-doubled) graphs unless noted, since
+// the paper's system assumes symmetric inputs (§II-A).
+package gen
+
+import (
+	"math/rand"
+
+	"gcbfs/internal/graph"
+	"gcbfs/internal/rmat"
+)
+
+// Path returns the symmetric path 0–1–…–(n-1); diameter n-1. The worst case
+// for DOBFS and the simplest graph with known BFS depths.
+func Path(n int64) *graph.EdgeList {
+	el := graph.NewEdgeList(n)
+	for v := int64(0); v+1 < n; v++ {
+		el.Add(v, v+1)
+		el.Add(v+1, v)
+	}
+	return el
+}
+
+// Cycle returns the symmetric cycle on n vertices.
+func Cycle(n int64) *graph.EdgeList {
+	el := graph.NewEdgeList(n)
+	if n < 2 {
+		return el
+	}
+	for v := int64(0); v < n; v++ {
+		el.Add(v, (v+1)%n)
+		el.Add((v+1)%n, v)
+	}
+	return el
+}
+
+// Star returns the symmetric star with hub 0 and n-1 leaves: the extreme
+// degree-separation case (one obvious delegate).
+func Star(n int64) *graph.EdgeList {
+	el := graph.NewEdgeList(n)
+	for v := int64(1); v < n; v++ {
+		el.Add(0, v)
+		el.Add(v, 0)
+	}
+	return el
+}
+
+// Grid2D returns the symmetric rows×cols grid; diameter rows+cols-2.
+func Grid2D(rows, cols int64) *graph.EdgeList {
+	n := rows * cols
+	el := graph.NewEdgeList(n)
+	id := func(r, c int64) int64 { return r*cols + c }
+	for r := int64(0); r < rows; r++ {
+		for c := int64(0); c < cols; c++ {
+			if c+1 < cols {
+				el.Add(id(r, c), id(r, c+1))
+				el.Add(id(r, c+1), id(r, c))
+			}
+			if r+1 < rows {
+				el.Add(id(r, c), id(r+1, c))
+				el.Add(id(r+1, c), id(r, c))
+			}
+		}
+	}
+	return el
+}
+
+// Uniform returns a symmetric Erdős–Rényi-style multigraph with m undirected
+// edges (2m directed) drawn uniformly at random.
+func Uniform(n, m int64, seed int64) *graph.EdgeList {
+	rng := rand.New(rand.NewSource(seed))
+	el := graph.NewEdgeList(n)
+	for i := int64(0); i < m; i++ {
+		u, v := rng.Int63n(n), rng.Int63n(n)
+		el.Add(u, v)
+		el.Add(v, u)
+	}
+	return el
+}
+
+// SocialParams configures the Friendster stand-in.
+type SocialParams struct {
+	Scale         int     // core is an RMAT graph of this scale
+	EdgeFactor    int64   // core edge factor (Friendster: ~38 edges/active vertex; default 16)
+	IsolatedShare float64 // fraction of total vertices with no edges (Friendster: ~0.5)
+	Seed          uint64
+}
+
+// DefaultSocialParams mimics the paper's prepared Friendster graph at a
+// reduced scale: about half the vertices isolated, scale-free remainder.
+func DefaultSocialParams(scale int) SocialParams {
+	return SocialParams{Scale: scale, EdgeFactor: 16, IsolatedShare: 0.5, Seed: 0xf71e4d57}
+}
+
+// SocialNetwork builds the Friendster-like graph: an RMAT core embedded in a
+// larger vertex range so that IsolatedShare of ids never appear in any edge,
+// then vertex-randomized. Symmetric by construction.
+func SocialNetwork(p SocialParams) *graph.EdgeList {
+	core := rmat.Generate(rmat.Params{
+		Scale:      p.Scale,
+		EdgeFactor: p.EdgeFactor,
+		A:          0.57, B: 0.19, C: 0.19, D: 0.05,
+		Seed:      p.Seed,
+		Permute:   true,
+		Symmetric: true,
+	})
+	nCore := core.N
+	// Total vertex count such that nCore ≈ (1-IsolatedShare) of the total.
+	total := int64(float64(nCore) / (1 - p.IsolatedShare))
+	if total < nCore {
+		total = nCore
+	}
+	out := &graph.EdgeList{N: total, Edges: core.Edges}
+	// Re-randomize over the full range so the isolated ids are interleaved,
+	// as in the paper's preparation ("randomizing the vertex numbers").
+	perm := graph.NewPermutation(total, p.Seed^0x51ce)
+	perm.Apply(out)
+	return out
+}
+
+// WebParams configures the WDC stand-in.
+type WebParams struct {
+	Scale       int   // RMAT core scale
+	EdgeFactor  int64 // core edge factor
+	NumChains   int   // number of long chains attached to core vertices
+	ChainLength int64 // vertices per chain — drives BFS iteration count
+	Seed        uint64
+}
+
+// DefaultWebParams yields a long-tail graph whose BFS takes a few hundred
+// iterations, echoing the paper's WDC observation (~330 iterations).
+func DefaultWebParams(scale int) WebParams {
+	return WebParams{Scale: scale, EdgeFactor: 8, NumChains: 16, ChainLength: 300, Seed: 0x3dc2012}
+}
+
+// WebGraph builds the WDC-like graph: an RMAT core plus NumChains chains of
+// ChainLength vertices, each chain anchored at a random core vertex. The
+// chains create the hundreds-of-iterations long tail in which per-iteration
+// frontiers are tiny and direction optimization stops paying off (§VI-D).
+func WebGraph(p WebParams) *graph.EdgeList {
+	core := rmat.Generate(rmat.Params{
+		Scale:      p.Scale,
+		EdgeFactor: p.EdgeFactor,
+		A:          0.57, B: 0.19, C: 0.19, D: 0.05,
+		Seed:      p.Seed,
+		Permute:   false, // permute at the end over the full range instead
+		Symmetric: true,
+	})
+	nCore := core.N
+	total := nCore + int64(p.NumChains)*p.ChainLength
+	out := &graph.EdgeList{N: total, Edges: core.Edges}
+	rng := rand.New(rand.NewSource(int64(p.Seed)))
+	next := nCore
+	for c := 0; c < p.NumChains; c++ {
+		anchor := rng.Int63n(nCore)
+		prev := anchor
+		for i := int64(0); i < p.ChainLength; i++ {
+			v := next
+			next++
+			out.Add(prev, v)
+			out.Add(v, prev)
+			prev = v
+		}
+	}
+	perm := graph.NewPermutation(total, p.Seed^0xdc02)
+	perm.Apply(out)
+	return out
+}

@@ -1,0 +1,75 @@
+package graph
+
+// Binary graph serialization for the command-line tools: a small
+// little-endian format (magic, version, n, m, then 16 bytes per directed
+// edge). The format stores the same information as the "conventional edge
+// list representation" whose size Table I uses as the baseline.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+const (
+	magic   = uint32(0x47434246) // "GCBF"
+	version = uint32(1)
+)
+
+// WriteBinary serializes the edge list.
+func WriteBinary(w io.Writer, el *EdgeList) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magic)
+	binary.LittleEndian.PutUint32(hdr[4:], version)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(el.N))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(el.M()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [16]byte
+	for _, e := range el.Edges {
+		binary.LittleEndian.PutUint64(buf[0:], uint64(e.U))
+		binary.LittleEndian.PutUint64(buf[8:], uint64(e.V))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes an edge list written by WriteBinary.
+func ReadBinary(r io.Reader) (*EdgeList, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var hdr [24]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[0:]); got != magic {
+		return nil, fmt.Errorf("graph: bad magic %#x", got)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[4:]); got != version {
+		return nil, fmt.Errorf("graph: unsupported version %d", got)
+	}
+	n := int64(binary.LittleEndian.Uint64(hdr[8:]))
+	m := int64(binary.LittleEndian.Uint64(hdr[16:]))
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("graph: corrupt sizes n=%d m=%d", n, m)
+	}
+	el := &EdgeList{N: n, Edges: make([]Edge, m)}
+	var buf [16]byte
+	for i := int64(0); i < m; i++ {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("graph: reading edge %d: %w", i, err)
+		}
+		el.Edges[i] = Edge{
+			U: int64(binary.LittleEndian.Uint64(buf[0:])),
+			V: int64(binary.LittleEndian.Uint64(buf[8:])),
+		}
+	}
+	if err := el.Validate(); err != nil {
+		return nil, err
+	}
+	return el, nil
+}

@@ -1,0 +1,60 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	el := smallList()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, el); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != el.N || got.M() != el.M() {
+		t.Fatalf("sizes: %d/%d vs %d/%d", got.N, got.M(), el.N, el.M())
+	}
+	for i := range el.Edges {
+		if got.Edges[i] != el.Edges[i] {
+			t.Fatalf("edge %d mismatch", i)
+		}
+	}
+}
+
+func TestBinaryEmptyGraph(t *testing.T) {
+	el := NewEdgeList(5)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, el); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != 5 || got.M() != 0 {
+		t.Fatalf("got %d/%d", got.N, got.M())
+	}
+}
+
+func TestReadBinaryErrors(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Fatal("accepted empty input")
+	}
+	if _, err := ReadBinary(bytes.NewReader(make([]byte, 24))); err == nil {
+		t.Fatal("accepted zero magic")
+	}
+	// Valid header but truncated edges.
+	el := smallList()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, el); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-8]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("accepted truncated payload")
+	}
+}

@@ -1,0 +1,84 @@
+package graph
+
+// Deterministic vertex-number randomization (paper §VI-A3: "Vertex numbers
+// are randomized using a deterministic hashing function after edge
+// generation"). Randomizing vertex ids destroys the locality the RMAT
+// recursion bakes into low vertex numbers, so partition balance reflects the
+// distributor, not generator artifacts.
+//
+// We need a *bijection* on [0, n) that is cheap, seedable and stateless. A
+// 4-round Feistel network over the index bits gives exactly that for any n
+// (cycle-walking handles non-power-of-two domains).
+
+// Permutation is a deterministic bijection on [0, n).
+type Permutation struct {
+	n    int64
+	bits uint // Feistel domain is 2^bits ≥ n
+	half uint // bits/2 rounded up
+	keys [4]uint64
+}
+
+// NewPermutation builds the identity-free bijection on [0, n) seeded by seed.
+// n must be positive.
+func NewPermutation(n int64, seed uint64) *Permutation {
+	if n <= 0 {
+		panic("graph: permutation over empty domain")
+	}
+	bits := uint(1)
+	for int64(1)<<bits < n {
+		bits++
+	}
+	if bits%2 != 0 {
+		bits++ // even split for the Feistel halves
+	}
+	p := &Permutation{n: n, bits: bits, half: bits / 2}
+	x := seed
+	for i := range p.keys {
+		// splitmix64 round per key
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		p.keys[i] = z ^ (z >> 31)
+	}
+	return p
+}
+
+func (p *Permutation) feistel(x uint64) uint64 {
+	mask := (uint64(1) << p.half) - 1
+	l := x >> p.half
+	r := x & mask
+	for _, k := range p.keys {
+		f := mix(r ^ k)
+		l, r = r, (l^f)&mask
+	}
+	return l<<p.half | r
+}
+
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 33)) * 0xff51afd7ed558ccd
+	z = (z ^ (z >> 33)) * 0xc4ceb9fe1a85ec53
+	return z ^ (z >> 33)
+}
+
+// Map returns the permuted image of v. Cycle-walking: apply the Feistel
+// permutation over the enclosing power of two until the value lands back in
+// [0, n); because the Feistel network is a bijection on the bigger domain,
+// the walk terminates and the restriction to [0, n) is a bijection.
+func (p *Permutation) Map(v int64) int64 {
+	x := uint64(v)
+	for {
+		x = p.feistel(x)
+		if int64(x) < p.n {
+			return int64(x)
+		}
+	}
+}
+
+// Apply permutes every endpoint of the edge list in place.
+func (p *Permutation) Apply(el *EdgeList) {
+	for i := range el.Edges {
+		el.Edges[i].U = p.Map(el.Edges[i].U)
+		el.Edges[i].V = p.Map(el.Edges[i].V)
+	}
+}

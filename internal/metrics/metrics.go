@@ -1,0 +1,159 @@
+// Package metrics defines the timing breakdown and reporting conventions of
+// the paper's evaluation (§VI): the four-way runtime split of Figs. 8/10
+// (computation, local communication, remote normal exchange, remote delegate
+// reduce), traversal rates in GTEPS, and geometric-mean aggregation over
+// randomly sourced runs with the Graph500 more-than-one-iteration filter.
+package metrics
+
+import "math"
+
+// Direction of a visit kernel in the direction-optimizing engine.
+type Direction uint8
+
+const (
+	Forward  Direction = iota // top-down push
+	Backward                  // bottom-up pull
+)
+
+func (d Direction) String() string {
+	if d == Forward {
+		return "fwd"
+	}
+	return "bwd"
+}
+
+// Breakdown is simulated seconds split into the paper's four components.
+// The sum of parts exceeds elapsed time when phases overlap (Fig. 10's
+// caption makes the same caveat).
+type Breakdown struct {
+	Computation    float64
+	LocalComm      float64
+	RemoteNormal   float64
+	RemoteDelegate float64
+}
+
+// Add accumulates other into b.
+func (b *Breakdown) Add(other Breakdown) {
+	b.Computation += other.Computation
+	b.LocalComm += other.LocalComm
+	b.RemoteNormal += other.RemoteNormal
+	b.RemoteDelegate += other.RemoteDelegate
+}
+
+// Sum returns the total of all parts (an upper bound on elapsed time).
+func (b Breakdown) Sum() float64 {
+	return b.Computation + b.LocalComm + b.RemoteNormal + b.RemoteDelegate
+}
+
+// IterationStats records one BSP super-step.
+type IterationStats struct {
+	Iteration           int
+	FrontierNormals     int64 // input normal frontier size (global)
+	FrontierDelegates   int64 // input delegate frontier size (global)
+	DirDD, DirDN, DirND Direction
+	EdgesScanned        int64 // actual edges touched by kernels this iteration
+	BytesNormal         int64 // inter-rank normal-exchange payload
+	BytesDelegate       int64 // delegate-mask reduction payload
+	Elapsed             float64
+	Parts               Breakdown
+}
+
+// RunResult is the outcome of one BFS execution.
+type RunResult struct {
+	Source        int64
+	Iterations    int
+	SimSeconds    float64
+	TEPSEdges     int64 // edge count used for the rate (Graph500: m/2)
+	EdgesScanned  int64 // actual traversal work
+	DupsRemoved   int64 // uniquify hits
+	Parts         Breakdown
+	PerIteration  []IterationStats
+	Levels        []int32 // hop distances per global vertex (-1 unreachable)
+	Parents       []int64 // BFS-tree parents (-1 unreachable); nil unless collected
+	ParentPairs   int64   // pairs moved by the post-BFS parent resolution
+	DelegateComms int     // iterations that exchanged delegate masks
+}
+
+// GTEPS returns the traversal rate in giga-traversed-edges per second using
+// the Graph500 convention (TEPSEdges / elapsed).
+func (r *RunResult) GTEPS() float64 {
+	if r.SimSeconds <= 0 {
+		return 0
+	}
+	return float64(r.TEPSEdges) / r.SimSeconds / 1e9
+}
+
+// MultipleIterations reports whether the run executed more than one
+// iteration — the paper's filter for reported data points ("only the ones
+// that executed for more than 1 iteration are considered").
+func (r *RunResult) MultipleIterations() bool { return r.Iterations > 1 }
+
+// GeoMean returns the geometric mean of positive values; zero for empty
+// input. The paper reports geometric means of traversal rates.
+func GeoMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var logSum float64
+	n := 0
+	for _, v := range vals {
+		if v <= 0 {
+			continue
+		}
+		logSum += math.Log(v)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// Aggregate summarizes a batch of runs the way the paper reports data
+// points: filter out ≤1-iteration runs, then geometric-mean the rates and
+// arithmetic-mean the breakdowns.
+type Aggregate struct {
+	Runs       int
+	Filtered   int // runs dropped by the >1-iteration rule
+	GTEPS      float64
+	MeanMS     float64
+	Iterations float64 // mean iterations
+	Parts      Breakdown
+}
+
+// Aggregate reduces results into a reportable data point.
+func AggregateRuns(results []*RunResult) Aggregate {
+	var agg Aggregate
+	var rates []float64
+	var times []float64
+	kept := 0
+	for _, r := range results {
+		agg.Runs++
+		if !r.MultipleIterations() {
+			agg.Filtered++
+			continue
+		}
+		kept++
+		rates = append(rates, r.GTEPS())
+		times = append(times, r.SimSeconds)
+		agg.Iterations += float64(r.Iterations)
+		agg.Parts.Add(r.Parts)
+	}
+	if kept == 0 {
+		return agg
+	}
+	agg.GTEPS = GeoMean(rates)
+	var sum float64
+	for _, t := range times {
+		sum += t
+	}
+	agg.MeanMS = sum / float64(kept) * 1e3
+	agg.Iterations /= float64(kept)
+	agg.Parts = Breakdown{
+		Computation:    agg.Parts.Computation / float64(kept),
+		LocalComm:      agg.Parts.LocalComm / float64(kept),
+		RemoteNormal:   agg.Parts.RemoteNormal / float64(kept),
+		RemoteDelegate: agg.Parts.RemoteDelegate / float64(kept),
+	}
+	return agg
+}

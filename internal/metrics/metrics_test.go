@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDirectionString(t *testing.T) {
+	if Forward.String() != "fwd" || Backward.String() != "bwd" {
+		t.Fatal("direction strings wrong")
+	}
+}
+
+func TestBreakdownAddSum(t *testing.T) {
+	a := Breakdown{1, 2, 3, 4}
+	a.Add(Breakdown{10, 20, 30, 40})
+	if a.Computation != 11 || a.LocalComm != 22 || a.RemoteNormal != 33 || a.RemoteDelegate != 44 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+	if a.Sum() != 110 {
+		t.Fatalf("Sum = %f", a.Sum())
+	}
+}
+
+func TestGTEPS(t *testing.T) {
+	r := &RunResult{TEPSEdges: 1 << 30, SimSeconds: 0.5}
+	want := float64(1<<30) / 0.5 / 1e9
+	if got := r.GTEPS(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("GTEPS = %f, want %f", got, want)
+	}
+	if (&RunResult{TEPSEdges: 10}).GTEPS() != 0 {
+		t.Fatal("zero-time GTEPS should be 0")
+	}
+}
+
+func TestMultipleIterationsFilter(t *testing.T) {
+	if (&RunResult{Iterations: 1}).MultipleIterations() {
+		t.Fatal("1 iteration passed the filter")
+	}
+	if !(&RunResult{Iterations: 2}).MultipleIterations() {
+		t.Fatal("2 iterations failed the filter")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if GeoMean(nil) != 0 {
+		t.Fatal("GeoMean(nil) != 0")
+	}
+	if got := GeoMean([]float64{4, 9}); math.Abs(got-6) > 1e-12 {
+		t.Fatalf("GeoMean(4,9) = %f", got)
+	}
+	// Non-positive values are skipped.
+	if got := GeoMean([]float64{0, -1, 8}); math.Abs(got-8) > 1e-12 {
+		t.Fatalf("GeoMean with zeros = %f", got)
+	}
+	if GeoMean([]float64{0, 0}) != 0 {
+		t.Fatal("all-zero GeoMean != 0")
+	}
+}
+
+// Property: GeoMean lies between min and max of positive inputs.
+func TestQuickGeoMeanBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var vals []float64
+		for _, r := range raw {
+			vals = append(vals, float64(r)+1)
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		g := GeoMean(vals)
+		min, max := vals[0], vals[0]
+		for _, v := range vals {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		return g >= min-1e-9 && g <= max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggregateRuns(t *testing.T) {
+	mk := func(iters int, secs float64) *RunResult {
+		return &RunResult{
+			Iterations: iters,
+			SimSeconds: secs,
+			TEPSEdges:  1e9,
+			Parts:      Breakdown{Computation: secs},
+		}
+	}
+	agg := AggregateRuns([]*RunResult{mk(5, 0.1), mk(1, 0.001), mk(5, 0.1)})
+	if agg.Runs != 3 || agg.Filtered != 1 {
+		t.Fatalf("agg = %+v", agg)
+	}
+	if math.Abs(agg.MeanMS-100) > 1e-9 {
+		t.Fatalf("MeanMS = %f", agg.MeanMS)
+	}
+	if math.Abs(agg.GTEPS-10) > 1e-9 { // 1e9 edges / 0.1s = 10 GTEPS
+		t.Fatalf("GTEPS = %f", agg.GTEPS)
+	}
+	if agg.Iterations != 5 {
+		t.Fatalf("Iterations = %f", agg.Iterations)
+	}
+	if math.Abs(agg.Parts.Computation-0.1) > 1e-12 {
+		t.Fatalf("Parts = %+v", agg.Parts)
+	}
+}
+
+func TestAggregateAllFiltered(t *testing.T) {
+	agg := AggregateRuns([]*RunResult{{Iterations: 1}, {Iterations: 0}})
+	if agg.GTEPS != 0 || agg.Filtered != 2 {
+		t.Fatalf("agg = %+v", agg)
+	}
+}

@@ -1,0 +1,340 @@
+// Package mpi provides an in-process message-passing runtime with MPI-like
+// semantics for the simulated cluster: a World of ranks (one goroutine
+// each), non-blocking point-to-point sends with unbounded buffering
+// (MPI_Isend/Irecv as used for the normal-vertex exchange, §V-B), and
+// OR/SUM/MAX allreduce collectives (the delegate-mask reduction, §V-A).
+//
+// The package is purely functional — data really moves between rank heaps
+// and collectives really fold — while *timing* is modeled separately by
+// internal/simnet from the byte volumes this package counts.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// World is a fixed-size communicator. Create one per simulated job and hand
+// each rank goroutine its Comm via Rank.
+type World struct {
+	size  int
+	boxes []*mailbox
+	coll  *collective
+
+	bytesSent atomic.Int64
+	msgsSent  atomic.Int64
+}
+
+// NewWorld creates a communicator with size ranks.
+func NewWorld(size int) *World {
+	if size <= 0 {
+		panic(fmt.Sprintf("mpi: invalid world size %d", size))
+	}
+	w := &World{size: size, boxes: make([]*mailbox, size)}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	w.coll = newCollective(size)
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// BytesSent returns the total point-to-point payload bytes sent so far.
+func (w *World) BytesSent() int64 { return w.bytesSent.Load() }
+
+// MessagesSent returns the total point-to-point message count so far.
+func (w *World) MessagesSent() int64 { return w.msgsSent.Load() }
+
+// Rank returns the communicator handle for rank r.
+func (w *World) Rank(r int) *Comm {
+	if r < 0 || r >= w.size {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", r, w.size))
+	}
+	return &Comm{w: w, rank: r}
+}
+
+// Comm is one rank's endpoint.
+type Comm struct {
+	w    *World
+	rank int
+}
+
+// Rank returns this endpoint's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.w.size }
+
+type message struct {
+	src, tag int
+	data     []byte
+}
+
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []message
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+// Isend delivers data to dst's mailbox immediately (buffered semantics — it
+// never blocks, so any send/recv ordering is deadlock-free, mirroring the
+// paper's use of non-blocking MPI to keep the pipeline running). The data
+// slice is retained by the receiver; callers must not mutate it afterwards.
+func (c *Comm) Isend(dst, tag int, data []byte) {
+	if dst < 0 || dst >= c.w.size {
+		panic(fmt.Sprintf("mpi: Isend to invalid rank %d", dst))
+	}
+	c.w.bytesSent.Add(int64(len(data)))
+	c.w.msgsSent.Add(1)
+	mb := c.w.boxes[dst]
+	mb.mu.Lock()
+	mb.queue = append(mb.queue, message{src: c.rank, tag: tag, data: data})
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// Recv blocks until a message with the given source and tag arrives and
+// returns its payload. Messages from the same (src, tag) are delivered in
+// send order.
+func (c *Comm) Recv(src, tag int) []byte {
+	mb := c.w.boxes[c.rank]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i, m := range mb.queue {
+			if m.src == src && m.tag == tag {
+				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+				return m.data
+			}
+		}
+		mb.cond.Wait()
+	}
+}
+
+// collective implements generation-counted fold-and-broadcast, reused for
+// every allreduce flavor and for barriers.
+type collective struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	size    int
+	gen     uint64
+	arrived int
+	acc     any
+	result  any
+}
+
+func newCollective(size int) *collective {
+	cl := &collective{size: size}
+	cl.cond = sync.NewCond(&cl.mu)
+	return cl
+}
+
+// run folds contribution into the shared accumulator with combine (called
+// under the lock) and returns the final accumulator once all ranks arrive.
+// init clones the first contribution. The returned value is shared — callers
+// copy out of it.
+func (cl *collective) run(contrib any, init func(any) any, combine func(acc, in any)) any {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	gen := cl.gen
+	if cl.arrived == 0 {
+		cl.acc = init(contrib)
+	} else {
+		combine(cl.acc, contrib)
+	}
+	cl.arrived++
+	if cl.arrived == cl.size {
+		cl.result = cl.acc
+		cl.acc = nil
+		cl.arrived = 0
+		cl.gen++
+		cl.cond.Broadcast()
+		return cl.result
+	}
+	for cl.gen == gen {
+		cl.cond.Wait()
+	}
+	return cl.result
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() {
+	c.w.coll.run(nil,
+		func(any) any { return nil },
+		func(any, any) {})
+}
+
+// AllreduceOr ORs the word slices of all ranks element-wise and stores the
+// result in-place in every rank's slice. All ranks must pass equal lengths.
+// This is the delegate-mask reduction primitive (§V-A).
+func (c *Comm) AllreduceOr(words []uint64) {
+	res := c.w.coll.run(words,
+		func(in any) any {
+			v := in.([]uint64)
+			acc := make([]uint64, len(v))
+			copy(acc, v)
+			return acc
+		},
+		func(acc, in any) {
+			a, b := acc.([]uint64), in.([]uint64)
+			if len(a) != len(b) {
+				panic(fmt.Sprintf("mpi: AllreduceOr length mismatch %d vs %d", len(a), len(b)))
+			}
+			for i, w := range b {
+				a[i] |= w
+			}
+		}).([]uint64)
+	copy(words, res)
+}
+
+// AllreduceSum sums int64 slices element-wise across ranks, in-place.
+func (c *Comm) AllreduceSum(vals []int64) {
+	res := c.w.coll.run(vals,
+		func(in any) any {
+			v := in.([]int64)
+			acc := make([]int64, len(v))
+			copy(acc, v)
+			return acc
+		},
+		func(acc, in any) {
+			a, b := acc.([]int64), in.([]int64)
+			if len(a) != len(b) {
+				panic(fmt.Sprintf("mpi: AllreduceSum length mismatch %d vs %d", len(a), len(b)))
+			}
+			for i, w := range b {
+				a[i] += w
+			}
+		}).([]int64)
+	copy(vals, res)
+}
+
+// AllreduceMax takes the element-wise max of int64 slices across ranks.
+func (c *Comm) AllreduceMax(vals []int64) {
+	res := c.w.coll.run(vals,
+		func(in any) any {
+			v := in.([]int64)
+			acc := make([]int64, len(v))
+			copy(acc, v)
+			return acc
+		},
+		func(acc, in any) {
+			a, b := acc.([]int64), in.([]int64)
+			for i, w := range b {
+				if w > a[i] {
+					a[i] = w
+				}
+			}
+		}).([]int64)
+	copy(vals, res)
+}
+
+// AllreduceMin takes the element-wise min of int64 slices across ranks —
+// the label-propagation primitive of connected components and the parent
+// resolution of the BFS-tree output (smallest candidate parent wins,
+// deterministically).
+func (c *Comm) AllreduceMin(vals []int64) {
+	res := c.w.coll.run(vals,
+		func(in any) any {
+			v := in.([]int64)
+			acc := make([]int64, len(v))
+			copy(acc, v)
+			return acc
+		},
+		func(acc, in any) {
+			a, b := acc.([]int64), in.([]int64)
+			if len(a) != len(b) {
+				panic(fmt.Sprintf("mpi: AllreduceMin length mismatch %d vs %d", len(a), len(b)))
+			}
+			for i, w := range b {
+				if w < a[i] {
+					a[i] = w
+				}
+			}
+		}).([]int64)
+	copy(vals, res)
+}
+
+// AllreduceSumFloat64 sums float64 slices element-wise across ranks — the
+// delegate-state reduction for rank-valued algorithms like PageRank, where
+// delegates carry scores instead of one visited bit (§VI-D's
+// generalization). Floating-point addition is not associative, so the fold
+// happens in rank order regardless of arrival order — results are
+// bit-reproducible across runs.
+func (c *Comm) AllreduceSumFloat64(vals []float64) {
+	type contrib struct {
+		rank int
+		vals []float64
+	}
+	mine := contrib{rank: c.rank, vals: append([]float64(nil), vals...)}
+	res := c.w.coll.run(mine,
+		func(in any) any {
+			all := make([][]float64, c.w.size)
+			first := in.(contrib)
+			all[first.rank] = first.vals
+			return all
+		},
+		func(acc, in any) {
+			all := acc.([][]float64)
+			cb := in.(contrib)
+			if all[cb.rank] != nil {
+				panic(fmt.Sprintf("mpi: duplicate contribution from rank %d", cb.rank))
+			}
+			all[cb.rank] = cb.vals
+		}).([][]float64)
+	for i := range vals {
+		vals[i] = 0
+	}
+	for r := 0; r < c.w.size; r++ {
+		row := res[r]
+		if len(row) != len(vals) {
+			panic(fmt.Sprintf("mpi: AllreduceSumFloat64 length mismatch %d vs %d", len(row), len(vals)))
+		}
+		for i, w := range row {
+			vals[i] += w
+		}
+	}
+}
+
+// AllreduceBoolOr returns the logical OR of every rank's flag — the global
+// "anyone still has work?" termination test.
+func (c *Comm) AllreduceBoolOr(flag bool) bool {
+	res := c.w.coll.run(flag,
+		func(in any) any { b := in.(bool); return &b },
+		func(acc, in any) {
+			if in.(bool) {
+				*(acc.(*bool)) = true
+			}
+		}).(*bool)
+	return *res
+}
+
+// Request is a handle for a non-blocking allreduce started with
+// IallreduceOr; Wait blocks until completion. Functionally the reduction
+// completes eagerly on a helper goroutine — the blocking/non-blocking
+// distinction matters only to the timing model (§VI-B's BR vs IR options).
+type Request struct {
+	done chan struct{}
+}
+
+// Wait blocks until the operation completes.
+func (r *Request) Wait() { <-r.done }
+
+// IallreduceOr starts a non-blocking OR-allreduce on words; the slice is
+// updated in place by the time Wait returns.
+func (c *Comm) IallreduceOr(words []uint64) *Request {
+	req := &Request{done: make(chan struct{})}
+	go func() {
+		c.AllreduceOr(words)
+		close(req.done)
+	}()
+	return req
+}

@@ -1,0 +1,309 @@
+package mpi
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// spawn runs fn on every rank of a fresh world and waits for completion.
+func spawn(t *testing.T, size int, fn func(c *Comm)) *World {
+	t.Helper()
+	w := NewWorld(size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			fn(w.Rank(r))
+		}(r)
+	}
+	wg.Wait()
+	return w
+}
+
+func TestWorldBasics(t *testing.T) {
+	w := NewWorld(4)
+	if w.Size() != 4 {
+		t.Fatalf("Size = %d", w.Size())
+	}
+	if w.Rank(2).Rank() != 2 || w.Rank(2).Size() != 4 {
+		t.Fatal("Comm identity wrong")
+	}
+}
+
+func TestInvalidWorldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWorld(0) did not panic")
+		}
+	}()
+	NewWorld(0)
+}
+
+func TestInvalidRankPanics(t *testing.T) {
+	w := NewWorld(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Rank(5) did not panic")
+		}
+	}()
+	w.Rank(5)
+}
+
+func TestSendRecvPair(t *testing.T) {
+	spawn(t, 2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Isend(1, 7, []byte("hello"))
+		} else {
+			got := c.Recv(0, 7)
+			if string(got) != "hello" {
+				t.Errorf("got %q", got)
+			}
+		}
+	})
+}
+
+func TestRecvFiltersBySourceAndTag(t *testing.T) {
+	spawn(t, 3, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Isend(2, 1, []byte("from0tag1"))
+		case 1:
+			c.Isend(2, 2, []byte("from1tag2"))
+			c.Isend(2, 1, []byte("from1tag1"))
+		case 2:
+			if got := string(c.Recv(1, 2)); got != "from1tag2" {
+				t.Errorf("recv(1,2) = %q", got)
+			}
+			if got := string(c.Recv(0, 1)); got != "from0tag1" {
+				t.Errorf("recv(0,1) = %q", got)
+			}
+			if got := string(c.Recv(1, 1)); got != "from1tag1" {
+				t.Errorf("recv(1,1) = %q", got)
+			}
+		}
+	})
+}
+
+func TestMessageOrderPreservedPerPair(t *testing.T) {
+	const n = 100
+	spawn(t, 2, func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				c.Isend(1, 0, []byte{byte(i)})
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				if got := c.Recv(0, 0); got[0] != byte(i) {
+					t.Errorf("message %d out of order: %d", i, got[0])
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestByteAccounting(t *testing.T) {
+	w := spawn(t, 2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Isend(1, 0, make([]byte, 123))
+			c.Isend(1, 0, make([]byte, 77))
+		} else {
+			c.Recv(0, 0)
+			c.Recv(0, 0)
+		}
+	})
+	if w.BytesSent() != 200 {
+		t.Fatalf("BytesSent = %d, want 200", w.BytesSent())
+	}
+	if w.MessagesSent() != 2 {
+		t.Fatalf("MessagesSent = %d", w.MessagesSent())
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	const size = 8
+	var before, after atomic64
+	spawn(t, size, func(c *Comm) {
+		before.add(1)
+		c.Barrier()
+		// Every rank must have passed `before` by now.
+		if before.load() != size {
+			t.Errorf("rank %d passed barrier with before=%d", c.Rank(), before.load())
+		}
+		after.add(1)
+	})
+	if after.load() != size {
+		t.Fatalf("after = %d", after.load())
+	}
+}
+
+type atomic64 struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (a *atomic64) add(d int64) { a.mu.Lock(); a.v += d; a.mu.Unlock() }
+func (a *atomic64) load() int64 { a.mu.Lock(); defer a.mu.Unlock(); return a.v }
+
+func TestAllreduceOr(t *testing.T) {
+	const size = 4
+	spawn(t, size, func(c *Comm) {
+		words := []uint64{0, 0}
+		words[0] = 1 << uint(c.Rank())
+		words[1] = 1 << uint(10+c.Rank())
+		c.AllreduceOr(words)
+		if words[0] != 0b1111 {
+			t.Errorf("rank %d: words[0] = %b", c.Rank(), words[0])
+		}
+		if words[1] != 0b1111<<10 {
+			t.Errorf("rank %d: words[1] = %b", c.Rank(), words[1])
+		}
+	})
+}
+
+func TestAllreduceSumAndMax(t *testing.T) {
+	const size = 5
+	spawn(t, size, func(c *Comm) {
+		sums := []int64{int64(c.Rank()), 1}
+		c.AllreduceSum(sums)
+		if sums[0] != 0+1+2+3+4 || sums[1] != size {
+			t.Errorf("rank %d: sums = %v", c.Rank(), sums)
+		}
+		maxs := []int64{int64(c.Rank() * 10)}
+		c.AllreduceMax(maxs)
+		if maxs[0] != 40 {
+			t.Errorf("rank %d: max = %d", c.Rank(), maxs[0])
+		}
+	})
+}
+
+func TestAllreduceMin(t *testing.T) {
+	const size = 4
+	spawn(t, size, func(c *Comm) {
+		vals := []int64{int64(10 + c.Rank()), int64(-c.Rank())}
+		c.AllreduceMin(vals)
+		if vals[0] != 10 || vals[1] != -3 {
+			t.Errorf("rank %d: min = %v", c.Rank(), vals)
+		}
+	})
+}
+
+func TestAllreduceSumFloat64(t *testing.T) {
+	const size = 3
+	spawn(t, size, func(c *Comm) {
+		vals := []float64{float64(c.Rank()) + 0.5, 1.0}
+		c.AllreduceSumFloat64(vals)
+		if vals[0] != 0.5+1.5+2.5 || vals[1] != 3.0 {
+			t.Errorf("rank %d: sum = %v", c.Rank(), vals)
+		}
+	})
+}
+
+func TestAllreduceBoolOr(t *testing.T) {
+	spawn(t, 4, func(c *Comm) {
+		if got := c.AllreduceBoolOr(c.Rank() == 2); !got {
+			t.Errorf("rank %d: OR = false", c.Rank())
+		}
+	})
+	spawn(t, 4, func(c *Comm) {
+		if got := c.AllreduceBoolOr(false); got {
+			t.Errorf("rank %d: OR = true with all false", c.Rank())
+		}
+	})
+}
+
+func TestRepeatedCollectives(t *testing.T) {
+	// Generations must not bleed into each other across iterations.
+	const size, iters = 4, 50
+	spawn(t, size, func(c *Comm) {
+		for i := 0; i < iters; i++ {
+			v := []int64{int64(i)}
+			c.AllreduceMax(v)
+			if v[0] != int64(i) {
+				t.Errorf("iter %d: max = %d", i, v[0])
+				return
+			}
+			c.Barrier()
+		}
+	})
+}
+
+func TestIallreduceOr(t *testing.T) {
+	spawn(t, 3, func(c *Comm) {
+		words := []uint64{1 << uint(c.Rank())}
+		req := c.IallreduceOr(words)
+		req.Wait()
+		if words[0] != 0b111 {
+			t.Errorf("rank %d: %b", c.Rank(), words[0])
+		}
+	})
+}
+
+// Property: OR-allreduce equals the serial fold for random contributions.
+func TestQuickAllreduceOrEqualsFold(t *testing.T) {
+	f := func(seed int64, sizeRaw uint8) bool {
+		size := int(sizeRaw%6) + 1
+		rng := rand.New(rand.NewSource(seed))
+		const words = 8
+		contribs := make([][]uint64, size)
+		want := make([]uint64, words)
+		for r := range contribs {
+			contribs[r] = make([]uint64, words)
+			for i := range contribs[r] {
+				contribs[r][i] = rng.Uint64()
+				want[i] |= contribs[r][i]
+			}
+		}
+		w := NewWorld(size)
+		var wg sync.WaitGroup
+		ok := true
+		var mu sync.Mutex
+		for r := 0; r < size; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				local := make([]uint64, words)
+				copy(local, contribs[r])
+				w.Rank(r).AllreduceOr(local)
+				mu.Lock()
+				for i := range local {
+					if local[i] != want[i] {
+						ok = false
+					}
+				}
+				mu.Unlock()
+			}(r)
+		}
+		wg.Wait()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllToAllPattern(t *testing.T) {
+	// The normal-vertex exchange pattern: every rank sends a distinct
+	// payload to every other rank, then receives from all.
+	const size = 5
+	spawn(t, size, func(c *Comm) {
+		for dst := 0; dst < size; dst++ {
+			if dst == c.Rank() {
+				continue
+			}
+			c.Isend(dst, 9, []byte{byte(c.Rank()), byte(dst)})
+		}
+		for src := 0; src < size; src++ {
+			if src == c.Rank() {
+				continue
+			}
+			got := c.Recv(src, 9)
+			if got[0] != byte(src) || got[1] != byte(c.Rank()) {
+				t.Errorf("rank %d: bad payload from %d: %v", c.Rank(), src, got)
+			}
+		}
+	})
+}

@@ -1,0 +1,93 @@
+package partition
+
+// Table-I memory accounting (§III-C). The paper's claim: with a suitable TH
+// the degree-separated representation totals 8n + 8d·p + 4m + 4|Enn| bytes
+// across all GPUs — about one third of a conventional 16m edge list and a
+// little more than half of undistributed 8n + 8m CSR.
+
+// MemoryUsage breaks down measured subgraph storage in bytes, summed over
+// all GPUs, in the same rows as Table I.
+type MemoryUsage struct {
+	NNRows, NNCols int64
+	NDRows, NDCols int64
+	DNRows, DNCols int64
+	DDRows, DDCols int64
+}
+
+// Total sums all components.
+func (m MemoryUsage) Total() int64 {
+	return m.NNRows + m.NNCols + m.NDRows + m.NDCols +
+		m.DNRows + m.DNCols + m.DDRows + m.DDCols
+}
+
+// Memory measures the actual byte footprint of every subgraph array.
+func (sg *Subgraphs) Memory() MemoryUsage {
+	var m MemoryUsage
+	for _, g := range sg.GPUs {
+		m.NNRows += g.NN.RowBytes()
+		m.NNCols += g.NN.ColBytes()
+		m.NDRows += g.ND.RowBytes()
+		m.NDCols += g.ND.ColBytes()
+		m.DNRows += g.DN.RowBytes()
+		m.DNCols += g.DN.ColBytes()
+		m.DDRows += g.DD.RowBytes()
+		m.DDCols += g.DD.ColBytes()
+	}
+	return m
+}
+
+// PredictTotal evaluates the closed-form Table-I total
+// 8n + 8d·p + 4m + 4|Enn| for the given quantities.
+func PredictTotal(n, d, m, enn int64, p int) int64 {
+	return 8*n + 8*d*int64(p) + 4*m + 4*enn
+}
+
+// PredictedTotal evaluates the Table-I formula on this partitioning.
+// Row-offset arrays carry one extra sentinel entry per row array versus the
+// paper's n/p accounting, so measured ≈ predicted + small O(p) slack; tests
+// bound the difference.
+func (sg *Subgraphs) PredictedTotal() int64 {
+	return PredictTotal(sg.N, sg.D(), sg.M, sg.CountNN, sg.Cfg.P())
+}
+
+// EdgeListBytes is the conventional edge-list cost the paper compares
+// against: 16 bytes per directed edge.
+func (sg *Subgraphs) EdgeListBytes() int64 { return 16 * sg.M }
+
+// PlainCSRBytes is the cost of undistributed CSR without degree separation:
+// 8n + 8m.
+func (sg *Subgraphs) PlainCSRBytes() int64 { return 8*sg.N + 8*sg.M }
+
+// MaxGPUBytes returns the largest single-GPU footprint — the quantity that
+// must fit in device memory (16 GB on P100), which bounds the processable
+// scale (§III-C, §VI-C).
+func (sg *Subgraphs) MaxGPUBytes() int64 {
+	var max int64
+	for _, g := range sg.GPUs {
+		if b := g.MemoryBytes(); b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// BalanceRatio returns max/mean edges per GPU — Algorithm 1's "balanced"
+// property says this stays close to 1.
+func (sg *Subgraphs) BalanceRatio() float64 {
+	if len(sg.GPUs) == 0 {
+		return 1
+	}
+	var max, total int64
+	for _, g := range sg.GPUs {
+		edges := g.NN.M() + g.ND.M() + g.DN.M() + g.DD.M()
+		total += edges
+		if edges > max {
+			max = edges
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	mean := float64(total) / float64(len(sg.GPUs))
+	return float64(max) / mean
+}

@@ -1,0 +1,245 @@
+package partition
+
+import (
+	"fmt"
+
+	"gcbfs/internal/bitmask"
+	"gcbfs/internal/graph"
+)
+
+// SubCSR32 is a per-GPU CSR whose column indices are 32-bit local values
+// (local normal slots or dense delegate ids). Row offsets are also 32-bit,
+// matching the 4-byte-per-row costs in Table I.
+type SubCSR32 struct {
+	NumRows    int64
+	RowOffsets []uint32 // len NumRows+1
+	Cols       []uint32
+}
+
+// Neighbors returns row u's adjacency.
+func (c *SubCSR32) Neighbors(u int64) []uint32 {
+	return c.Cols[c.RowOffsets[u]:c.RowOffsets[u+1]]
+}
+
+// Degree returns row u's length.
+func (c *SubCSR32) Degree(u int64) int64 {
+	return int64(c.RowOffsets[u+1] - c.RowOffsets[u])
+}
+
+// M returns the number of edges stored.
+func (c *SubCSR32) M() int64 { return int64(len(c.Cols)) }
+
+// RowBytes and ColBytes are the Table-I byte costs of this subgraph.
+func (c *SubCSR32) RowBytes() int64 { return c.NumRows * 4 }
+func (c *SubCSR32) ColBytes() int64 { return int64(len(c.Cols)) * 4 }
+
+// SubCSR64 is the nn subgraph: rows are local normal slots, columns are
+// global 64-bit vertex ids (destinations may live on any GPU, so they cannot
+// be narrowed — the 8-byte nn column cost in Table I).
+type SubCSR64 struct {
+	NumRows    int64
+	RowOffsets []uint32
+	Cols       []int64
+}
+
+// Neighbors returns row u's adjacency (global ids).
+func (c *SubCSR64) Neighbors(u int64) []int64 {
+	return c.Cols[c.RowOffsets[u]:c.RowOffsets[u+1]]
+}
+
+// Degree returns row u's length.
+func (c *SubCSR64) Degree(u int64) int64 {
+	return int64(c.RowOffsets[u+1] - c.RowOffsets[u])
+}
+
+// M returns the number of edges stored.
+func (c *SubCSR64) M() int64 { return int64(len(c.Cols)) }
+
+// RowBytes and ColBytes are the Table-I byte costs of this subgraph.
+func (c *SubCSR64) RowBytes() int64 { return c.NumRows * 4 }
+func (c *SubCSR64) ColBytes() int64 { return int64(len(c.Cols)) * 8 }
+
+// GPUGraph is everything one simulated GPU stores: the four subgraphs plus
+// the direction-optimization side structures (§IV-B): the nd source list
+// (potential destinations of backward dn pulls) and the dd/dn source masks.
+type GPUGraph struct {
+	GPU        int // global GPU index
+	Rank, Slot int
+	NumLocal   int64 // local vertex slots (≈ n/p)
+
+	NN *SubCSR64 // local normal → global normal
+	ND *SubCSR32 // local normal → delegate id
+	DN *SubCSR32 // delegate id → local normal
+	DD *SubCSR32 // delegate id → delegate id
+
+	// NDSources lists local slots with at least one nd edge, ascending.
+	// In the reverse direction these are exactly the vertices a dn
+	// backward pull may discover ("we keep a source list of the
+	// normal-to-delegate subgraph").
+	NDSources []uint32
+	// DDSourceMask/DNSourceMask mark delegates with local dd/dn edges
+	// ("we keep source masks for the dd and dn subgraphs").
+	DDSourceMask *bitmask.Mask
+	DNSourceMask *bitmask.Mask
+}
+
+// MemoryBytes returns the measured Table-I footprint of this GPU's subgraphs
+// (row offsets + column indices, at their true element widths).
+func (g *GPUGraph) MemoryBytes() int64 {
+	return g.NN.RowBytes() + g.NN.ColBytes() +
+		g.ND.RowBytes() + g.ND.ColBytes() +
+		g.DN.RowBytes() + g.DN.ColBytes() +
+		g.DD.RowBytes() + g.DD.ColBytes()
+}
+
+// Subgraphs is the fully distributed graph: one GPUGraph per simulated GPU
+// plus the global separation metadata every GPU keeps (delegate directory).
+type Subgraphs struct {
+	Cfg Config
+	Sep *Separation
+	N   int64 // global vertex count
+	M   int64 // global directed edge count
+
+	GPUs []*GPUGraph
+
+	// Per-category global edge counts (Fig 5/7/12 report their shares).
+	CountNN, CountND, CountDN, CountDD int64
+
+	// DelegateOutDeg[d] is the global out-degree of delegate d — previsit
+	// kernels use it for forward-workload estimates; it is part of the
+	// replicated delegate directory.
+	DelegateOutDeg []int64
+}
+
+// D returns the delegate count.
+func (sg *Subgraphs) D() int64 { return sg.Sep.D() }
+
+// Distribute runs Algorithm 1 over the edge list and materializes the four
+// subgraphs on every GPU. The input must be symmetric (every u→v paired with
+// v→u) for the dn/nd/dd subgraph symmetry the engine relies on; Distribute
+// does not verify that (generators guarantee it; tests cover it).
+func Distribute(el *graph.EdgeList, sep *Separation, cfg Config) (*Subgraphs, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if sep.N != el.N {
+		return nil, fmt.Errorf("partition: separation over %d vertices, graph has %d", sep.N, el.N)
+	}
+	p := cfg.P()
+	d := sep.D()
+	sg := &Subgraphs{Cfg: cfg, Sep: sep, N: el.N, M: el.M()}
+
+	// Pass 1: count rows per (gpu, category) to size the CSR arrays.
+	type counts struct {
+		nn, nd, dn, dd []uint32 // per-row edge counts
+	}
+	per := make([]counts, p)
+	for i := range per {
+		rank, slot := i/cfg.GPUsPerRank, i%cfg.GPUsPerRank
+		nLocal := cfg.LocalCount(el.N, rank, slot)
+		per[i].nn = make([]uint32, nLocal+1)
+		per[i].nd = make([]uint32, nLocal+1)
+		per[i].dn = make([]uint32, d+1)
+		per[i].dd = make([]uint32, d+1)
+	}
+	route := make([]uint8, len(el.Edges)) // cache gpu*4+cat per edge? gpu may exceed 63 → store separately
+	gpus := make([]int32, len(el.Edges))
+	for i, e := range el.Edges {
+		gpu, cat := Route(cfg, sep, e.U, e.V)
+		route[i] = uint8(cat)
+		gpus[i] = int32(gpu)
+		pc := &per[gpu]
+		switch cat {
+		case NN:
+			pc.nn[cfg.LocalID(e.U)+1]++
+			sg.CountNN++
+		case ND:
+			pc.nd[cfg.LocalID(e.U)+1]++
+			sg.CountND++
+		case DN:
+			pc.dn[sep.DelegateID[e.U]+1]++
+			sg.CountDN++
+		case DD:
+			pc.dd[sep.DelegateID[e.U]+1]++
+			sg.CountDD++
+		}
+	}
+
+	// Prefix sums → row offsets; allocate column arrays.
+	sg.GPUs = make([]*GPUGraph, p)
+	for i := 0; i < p; i++ {
+		rank, slot := i/cfg.GPUsPerRank, i%cfg.GPUsPerRank
+		nLocal := cfg.LocalCount(el.N, rank, slot)
+		pc := &per[i]
+		prefix := func(a []uint32) {
+			for j := 1; j < len(a); j++ {
+				a[j] += a[j-1]
+			}
+		}
+		prefix(pc.nn)
+		prefix(pc.nd)
+		prefix(pc.dn)
+		prefix(pc.dd)
+		g := &GPUGraph{
+			GPU: i, Rank: rank, Slot: slot, NumLocal: nLocal,
+			NN:           &SubCSR64{NumRows: nLocal, RowOffsets: pc.nn, Cols: make([]int64, pc.nn[nLocal])},
+			ND:           &SubCSR32{NumRows: nLocal, RowOffsets: pc.nd, Cols: make([]uint32, pc.nd[nLocal])},
+			DN:           &SubCSR32{NumRows: d, RowOffsets: pc.dn, Cols: make([]uint32, pc.dn[d])},
+			DD:           &SubCSR32{NumRows: d, RowOffsets: pc.dd, Cols: make([]uint32, pc.dd[d])},
+			DDSourceMask: bitmask.New(d),
+			DNSourceMask: bitmask.New(d),
+		}
+		sg.GPUs[i] = g
+	}
+
+	// Pass 2: fill columns. Cursor arrays track the next free slot per row.
+	cursors := make([]counts, p)
+	for i := range cursors {
+		g := sg.GPUs[i]
+		cursors[i].nn = make([]uint32, g.NumLocal)
+		cursors[i].nd = make([]uint32, g.NumLocal)
+		cursors[i].dn = make([]uint32, d)
+		cursors[i].dd = make([]uint32, d)
+	}
+	for i, e := range el.Edges {
+		gpu := int(gpus[i])
+		g := sg.GPUs[gpu]
+		cur := &cursors[gpu]
+		switch EdgeCategory(route[i]) {
+		case NN:
+			row := int64(cfg.LocalID(e.U))
+			g.NN.Cols[g.NN.RowOffsets[row]+cur.nn[row]] = e.V
+			cur.nn[row]++
+		case ND:
+			row := int64(cfg.LocalID(e.U))
+			g.ND.Cols[g.ND.RowOffsets[row]+cur.nd[row]] = uint32(sep.DelegateID[e.V])
+			cur.nd[row]++
+		case DN:
+			row := int64(sep.DelegateID[e.U])
+			g.DN.Cols[g.DN.RowOffsets[row]+cur.dn[row]] = cfg.LocalID(e.V)
+			cur.dn[row]++
+			g.DNSourceMask.Set(row)
+		case DD:
+			row := int64(sep.DelegateID[e.U])
+			g.DD.Cols[g.DD.RowOffsets[row]+cur.dd[row]] = uint32(sep.DelegateID[e.V])
+			cur.dd[row]++
+			g.DDSourceMask.Set(row)
+		}
+	}
+
+	// Side structures: nd source lists.
+	for _, g := range sg.GPUs {
+		for row := int64(0); row < g.NumLocal; row++ {
+			if g.ND.Degree(row) > 0 {
+				g.NDSources = append(g.NDSources, uint32(row))
+			}
+		}
+	}
+
+	// Replicated delegate directory.
+	sg.DelegateOutDeg = make([]int64, d)
+	for di, v := range sep.DelegateGlobal {
+		sg.DelegateOutDeg[di] = sep.OutDeg[v]
+	}
+	return sg, nil
+}

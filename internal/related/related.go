@@ -1,0 +1,100 @@
+// Package related encodes the prior-work data points the paper plots in
+// Fig. 1 and tabulates in Table II, so the comparison artifacts can be
+// regenerated alongside our measured results. Values come from the paper's
+// own annotations; processor counts for some cluster systems are the
+// figure-resolution approximations the paper plots (marked Approx).
+package related
+
+// Kind classifies a system the way Fig. 1's legend does.
+type Kind uint8
+
+const (
+	GPU1Node Kind = iota
+	CPU1Node
+	CPUCluster
+	GPUCluster
+	ThisWork
+)
+
+func (k Kind) String() string {
+	switch k {
+	case GPU1Node:
+		return "GPU 1 Node"
+	case CPU1Node:
+		return "CPU 1 Node"
+	case CPUCluster:
+		return "CPU Cluster"
+	case GPUCluster:
+		return "GPU Cluster"
+	case ThisWork:
+		return "This Work"
+	}
+	return "?"
+}
+
+// Point is one prior-work result: maximum RMAT scale, processor count and
+// aggregate GTEPS.
+type Point struct {
+	Ref        string // citation tag used in the paper
+	System     string
+	Kind       Kind
+	Scale      int
+	Processors int
+	GTEPS      float64
+	Approx     bool
+}
+
+// GTEPSPerProcessor is the y-axis of Fig. 1 (right).
+func (p Point) GTEPSPerProcessor() float64 {
+	if p.Processors == 0 {
+		return 0
+	}
+	return p.GTEPS / float64(p.Processors)
+}
+
+// Figure1 returns the paper's related-work scatter, including the paper's
+// own point ([T], 259.8 GTEPS, scale 33, 124 GPUs).
+func Figure1() []Point {
+	return []Point{
+		{Ref: "[5]", System: "Gunrock multi-GPU (Pan et al.)", Kind: GPU1Node, Scale: 26, Processors: 4, GTEPS: 46.1},
+		{Ref: "[9]", System: "Yasui & Fujisawa shared-memory", Kind: CPU1Node, Scale: 33, Processors: 128, GTEPS: 174.7},
+		{Ref: "[9]", System: "Yasui & Fujisawa single node", Kind: CPU1Node, Scale: 27, Processors: 1, GTEPS: 40, Approx: true},
+		{Ref: "[14]", System: "Ueno et al. (K computer, scale 37)", Kind: CPUCluster, Scale: 37, Processors: 16384, GTEPS: 5363, Approx: true},
+		{Ref: "[14]", System: "Ueno et al. (K computer, scale 40)", Kind: CPUCluster, Scale: 40, Processors: 82944, GTEPS: 38621.4},
+		{Ref: "[15]", System: "Lin et al. (Sunway TaihuLight)", Kind: CPUCluster, Scale: 40, Processors: 40960, GTEPS: 23755.7},
+		{Ref: "[16]", System: "Buluç et al. (scale 36)", Kind: CPUCluster, Scale: 36, Processors: 4096, GTEPS: 850, Approx: true},
+		{Ref: "[16]", System: "Buluç et al. (scale 33)", Kind: CPUCluster, Scale: 33, Processors: 1204, GTEPS: 240, Approx: true},
+		{Ref: "[17]", System: "Ueno & Suzumura GPU cluster", Kind: GPUCluster, Scale: 35, Processors: 4096, GTEPS: 317, Approx: true},
+		{Ref: "[1]", System: "TSUBAME 2.0 (June 2017 list)", Kind: GPUCluster, Scale: 35, Processors: 4096, GTEPS: 462.25},
+		{Ref: "[18]", System: "Bernaschi et al.", Kind: GPUCluster, Scale: 33, Processors: 4096, GTEPS: 828.39},
+		{Ref: "[19]", System: "Fu et al.", Kind: GPUCluster, Scale: 27, Processors: 64, GTEPS: 29.1},
+		{Ref: "[20]", System: "Krajecki et al.", Kind: GPUCluster, Scale: 29, Processors: 64, GTEPS: 13.7},
+		{Ref: "[21]", System: "Young et al.", Kind: GPUCluster, Scale: 27, Processors: 64, GTEPS: 3.26},
+		{Ref: "[T]", System: "This work (paper)", Kind: ThisWork, Scale: 33, Processors: 124, GTEPS: 259.8},
+	}
+}
+
+// Table2Row is one comparison row of Table II.
+type Table2Row struct {
+	Scale      int
+	Ref        string
+	RefHW      string
+	RefComm    string
+	RefGTEPS   float64
+	PaperHW    string
+	PaperGTEPS float64
+}
+
+// Table2 returns the paper's comparison table (reference results and the
+// paper's own numbers); the experiment harness appends our simulated column.
+func Table2() []Table2Row {
+	return []Table2Row{
+		{Scale: 24, Ref: "Pan [5]", RefHW: "1×1×1 Tesla P100", RefComm: "single node", RefGTEPS: 31.6, PaperHW: "1×1×1 Tesla P100", PaperGTEPS: 22.9},
+		{Scale: 25, Ref: "Pan [5]", RefHW: "1×1×2 Tesla P100", RefComm: "single node", RefGTEPS: 42.9, PaperHW: "1×1×2 Tesla P100", PaperGTEPS: 32.5},
+		{Scale: 26, Ref: "Pan [5]", RefHW: "1×1×4 Tesla P100", RefComm: "single node", RefGTEPS: 46.1, PaperHW: "1×1×4 Tesla P100", PaperGTEPS: 39.8},
+		{Scale: 33, Ref: "Bernaschi [18]", RefHW: "4096×1×1 Tesla K20X", RefComm: "Dragonfly 100Gbps", RefGTEPS: 828.39, PaperHW: "31×2×2 Tesla P100", PaperGTEPS: 259.8},
+		{Scale: 29, Ref: "Krajecki [20]", RefHW: "64×1×1 Tesla K20Xm", RefComm: "FatTree 10Gbps", RefGTEPS: 13.7, PaperHW: "2×1×4 Tesla P100", PaperGTEPS: 53.13},
+		{Scale: 33, Ref: "Yasui [9]", RefHW: "128×10×1/10 Xeon E5-4650 v2", RefComm: "shared memory", RefGTEPS: 174.7, PaperHW: "31×2×2 Tesla P100", PaperGTEPS: 259.8},
+		{Scale: 33, Ref: "Buluç [16]", RefHW: "1204×1×1 Xeon E5-2695 v2", RefComm: "Dragonfly 64Gbps", RefGTEPS: 240, PaperHW: "31×2×2 Tesla P100", PaperGTEPS: 259.8},
+	}
+}

@@ -1,0 +1,69 @@
+package related
+
+import "testing"
+
+func TestFigure1Coverage(t *testing.T) {
+	pts := Figure1()
+	if len(pts) < 12 {
+		t.Fatalf("only %d points", len(pts))
+	}
+	kinds := map[Kind]int{}
+	for _, p := range pts {
+		kinds[p.Kind]++
+		if p.Scale < 20 || p.Scale > 45 {
+			t.Errorf("%s: implausible scale %d", p.Ref, p.Scale)
+		}
+		if p.Processors <= 0 || p.GTEPS <= 0 {
+			t.Errorf("%s: missing processors/GTEPS", p.Ref)
+		}
+	}
+	for _, k := range []Kind{GPU1Node, CPU1Node, CPUCluster, GPUCluster, ThisWork} {
+		if kinds[k] == 0 {
+			t.Errorf("no points of kind %v", k)
+		}
+	}
+}
+
+func TestFigure1PaperPoint(t *testing.T) {
+	for _, p := range Figure1() {
+		if p.Kind == ThisWork {
+			if p.GTEPS != 259.8 || p.Scale != 33 || p.Processors != 124 {
+				t.Fatalf("paper point wrong: %+v", p)
+			}
+			per := p.GTEPSPerProcessor()
+			if per < 2.0 || per > 2.2 {
+				t.Fatalf("GTEPS/processor = %f", per)
+			}
+			return
+		}
+	}
+	t.Fatal("paper point missing")
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range []Kind{GPU1Node, CPU1Node, CPUCluster, GPUCluster, ThisWork} {
+		if k.String() == "?" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 7 {
+		t.Fatalf("Table II has %d rows, want 7", len(rows))
+	}
+	// The headline comparison: 259.8 GTEPS vs Bernaschi with 3% of GPUs.
+	var bern *Table2Row
+	for i := range rows {
+		if rows[i].Ref == "Bernaschi [18]" {
+			bern = &rows[i]
+		}
+	}
+	if bern == nil {
+		t.Fatal("Bernaschi row missing")
+	}
+	if ratio := bern.PaperGTEPS / bern.RefGTEPS; ratio < 0.30 || ratio > 0.32 {
+		t.Fatalf("paper/Bernaschi ratio = %f, want ≈0.31", ratio)
+	}
+}
