@@ -201,6 +201,18 @@ func BenchmarkAbl1CommModel(b *testing.B) {
 	}
 }
 
+// BenchmarkCmp1Compression regenerates the frontier-exchange codec ablation
+// (internal/wire) and reports adaptive's byte savings on the R-MAT graph.
+// Per-codec encode/decode microbenchmarks live in internal/wire.
+func BenchmarkCmp1Compression(b *testing.B) {
+	tab := runBench(b, "cmp1")
+	for i, row := range tab.Rows {
+		if row[0] == "rmat" && row[1] == "adaptive" {
+			b.ReportMetric(cell(tab, i, 4), "adaptive-saved%")
+		}
+	}
+}
+
 // BenchmarkAbl2LoadBalance regenerates the §IV-A strategy ablation
 // (merge-path vs forced TWB on the dd subgraph).
 func BenchmarkAbl2LoadBalance(b *testing.B) {

@@ -20,6 +20,7 @@ import (
 	"gcbfs/internal/metrics"
 	"gcbfs/internal/partition"
 	"gcbfs/internal/rmat"
+	"gcbfs/internal/wire"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func main() {
 		l2a       = flag.Bool("local-all2all", false, "enable the Local-All2All optimization (L)")
 		uniq      = flag.Bool("uniquify", false, "enable send-bin uniquification (U)")
 		ir        = flag.Bool("iallreduce", false, "use non-blocking delegate reduction (IR instead of BR)")
+		compress  = flag.String("compress", "off", "frontier-exchange codec: off, adaptive, raw, delta or bitmap")
 		amp       = flag.Float64("amp", 1, "work amplification for the timing model (2^(paperScale-localScale))")
 		validate  = flag.Bool("validate", false, "validate distances against serial BFS + Graph500 rules")
 	)
@@ -58,11 +60,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bfsrun: %v\n", err)
 		os.Exit(1)
 	}
+	mode, err := wire.ParseMode(*compress)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bfsrun: %v\n", err)
+		os.Exit(1)
+	}
 	opts := core.DefaultOptions()
 	opts.DirectionOptimized = !*noDO
 	opts.LocalAll2All = *l2a
 	opts.Uniquify = *uniq
 	opts.BlockingReduce = !*ir
+	opts.Compression = mode
 	opts.WorkAmplification = *amp
 	opts.CollectLevels = *validate
 	engine, err := core.NewEngine(sg, shape, opts)
@@ -122,6 +130,15 @@ func main() {
 	fmt.Printf("breakdown (mean ms): computation=%.3f local-comm=%.3f remote-normal=%.3f remote-delegate=%.3f\n",
 		agg.Parts.Computation*1e3, agg.Parts.LocalComm*1e3,
 		agg.Parts.RemoteNormal*1e3, agg.Parts.RemoteDelegate*1e3)
+	if mode != wire.ModeOff {
+		var w metrics.WireStats
+		for _, r := range results {
+			w.Accumulate(r.Wire)
+		}
+		fmt.Printf("wire (%s): %.1f kB raw -> %.1f kB sent (%.1f%% saved; schemes raw=%d delta=%d bitmap=%d)\n",
+			mode, float64(w.RawBytes)/1024, float64(w.CompressedBytes)/1024,
+			100*w.Savings(), w.SchemeRaw, w.SchemeDelta, w.SchemeBitmap)
+	}
 	if *validate {
 		fmt.Println("validation: all runs match serial BFS and pass Graph500-style checks")
 	}

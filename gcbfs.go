@@ -14,6 +14,18 @@
 // reproducible on any host. See DESIGN.md for the architecture and
 // EXPERIMENTS.md for paper-vs-measured comparisons.
 //
+// # Frontier-exchange compression
+//
+// The Config.Compression knob routes the inter-rank normal-vertex payloads
+// through the internal/wire codec. CompressionAdaptive encodes every
+// message as the smallest of a raw uint32 list, a sorted varint delta
+// stream, or a dense bitmap (checksummed, with a 1-byte scheme header);
+// CompressionRaw/Delta/Bitmap force one scheme for ablations, and
+// CompressionOff (the default) keeps the paper's fixed-width packing.
+// Compression never changes levels or parents — only bytes on the wire and
+// therefore the simulated remote-normal communication time. Result reports
+// the achieved reduction in WireRawBytes vs WireBytes.
+//
 // Quickstart:
 //
 //	g := gcbfs.RMAT(16)
@@ -36,6 +48,7 @@ import (
 	"gcbfs/internal/metrics"
 	"gcbfs/internal/partition"
 	"gcbfs/internal/rmat"
+	"gcbfs/internal/wire"
 )
 
 // Graph is a symmetric (edge-doubled) graph over vertices [0, NumVertices).
@@ -129,6 +142,41 @@ type Config struct {
 	WorkAmplification float64
 	// CollectLevels gathers hop distances into results.
 	CollectLevels bool
+	// Compression selects the frontier-exchange codec for inter-rank
+	// normal-vertex payloads (see the package comment). The zero value is
+	// CompressionOff.
+	Compression Compression
+}
+
+// Compression selects how inter-rank frontier payloads are encoded.
+type Compression int
+
+const (
+	// CompressionOff keeps the fixed-width packing (4 bytes per id plus
+	// per-slot count headers) the paper assumes.
+	CompressionOff Compression = iota
+	// CompressionAdaptive picks the smallest of the raw, delta and bitmap
+	// schemes for every message.
+	CompressionAdaptive
+	// CompressionRaw, CompressionDelta and CompressionBitmap force one
+	// scheme for every message — ablation knobs.
+	CompressionRaw
+	CompressionDelta
+	CompressionBitmap
+)
+
+func (c Compression) mode() wire.Mode {
+	switch c {
+	case CompressionAdaptive:
+		return wire.ModeAdaptive
+	case CompressionRaw:
+		return wire.ModeRaw
+	case CompressionDelta:
+		return wire.ModeDelta
+	case CompressionBitmap:
+		return wire.ModeBitmap
+	}
+	return wire.ModeOff
 }
 
 // DefaultConfig returns the paper's tuned DOBFS configuration for a cluster.
@@ -149,6 +197,7 @@ func (cfg Config) engineOptions() core.Options {
 	o.BlockingReduce = cfg.BlockingReduce
 	o.WorkAmplification = cfg.WorkAmplification
 	o.CollectLevels = cfg.CollectLevels
+	o.Compression = cfg.Compression.mode()
 	return o
 }
 
@@ -168,6 +217,10 @@ type Result struct {
 	EdgesScanned int64
 	// Breakdown components in seconds (Fig. 8/10's four parts).
 	Computation, LocalComm, RemoteNormal, RemoteDelegate float64
+	// WireBytes is the inter-rank normal-exchange volume actually sent;
+	// WireRawBytes is its fixed-width (4 bytes/id) equivalent. The two are
+	// equal when Compression is off.
+	WireBytes, WireRawBytes int64
 }
 
 // Solver runs BFS over a partitioned graph on the simulated cluster.
@@ -184,6 +237,9 @@ func NewSolver(g *Graph, cfg Config) (*Solver, error) {
 	shape := cfg.Cluster.shape()
 	if err := shape.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Compression < CompressionOff || cfg.Compression > CompressionBitmap {
+		return nil, fmt.Errorf("gcbfs: invalid compression mode %d", cfg.Compression)
 	}
 	th := cfg.Threshold
 	if th <= 0 {
@@ -241,6 +297,8 @@ func convert(r *metrics.RunResult) *Result {
 		LocalComm:      r.Parts.LocalComm,
 		RemoteNormal:   r.Parts.RemoteNormal,
 		RemoteDelegate: r.Parts.RemoteDelegate,
+		WireBytes:      r.Wire.CompressedBytes,
+		WireRawBytes:   r.Wire.RawBytes,
 	}
 }
 

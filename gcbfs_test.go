@@ -197,3 +197,50 @@ func TestSourcesDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestCompressionConfig exercises the public Compression knob end to end:
+// every mode validates against the serial reference, and adaptive reports a
+// wire volume below the raw equivalent in a normal-exchange-heavy setup.
+func TestCompressionConfig(t *testing.T) {
+	g := RMAT(12)
+	src := Sources(g, 1, 3)[0]
+	var refLevels []int32
+	for _, comp := range []Compression{CompressionOff, CompressionAdaptive,
+		CompressionRaw, CompressionDelta, CompressionBitmap} {
+		cfg := DefaultConfig(Cluster{Nodes: 2, RanksPerNode: 2, GPUsPerRank: 1})
+		cfg.Threshold = 1 << 20 // all-normal graph: everything rides the exchange
+		cfg.Compression = comp
+		solver, err := NewSolver(g, cfg)
+		if err != nil {
+			t.Fatalf("compression %d: %v", comp, err)
+		}
+		res, err := solver.Run(src)
+		if err != nil {
+			t.Fatalf("compression %d: %v", comp, err)
+		}
+		if err := solver.Validate(res); err != nil {
+			t.Fatalf("compression %d: validation: %v", comp, err)
+		}
+		if comp == CompressionOff {
+			refLevels = res.Levels
+			if res.WireBytes != res.WireRawBytes {
+				t.Fatalf("off: wire bytes %d != raw bytes %d", res.WireBytes, res.WireRawBytes)
+			}
+		} else {
+			for v := range refLevels {
+				if res.Levels[v] != refLevels[v] {
+					t.Fatalf("compression %d: vertex %d level diverged", comp, v)
+				}
+			}
+		}
+		if comp == CompressionAdaptive && res.WireBytes >= res.WireRawBytes {
+			t.Fatalf("adaptive: wire bytes %d not below raw %d", res.WireBytes, res.WireRawBytes)
+		}
+	}
+
+	cfg := DefaultConfig(Cluster{Nodes: 1, RanksPerNode: 2, GPUsPerRank: 1})
+	cfg.Compression = Compression(7)
+	if _, err := NewSolver(g, cfg); err == nil {
+		t.Fatal("NewSolver accepted an out-of-range compression mode")
+	}
+}

@@ -1,0 +1,3 @@
+module gcbfs
+
+go 1.24

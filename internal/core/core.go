@@ -20,6 +20,7 @@ import (
 	"gcbfs/internal/partition"
 	"gcbfs/internal/simgpu"
 	"gcbfs/internal/simnet"
+	"gcbfs/internal/wire"
 )
 
 // ClusterShape is the paper's hardware notation: nodes × MPI ranks per node
@@ -102,6 +103,13 @@ type Options struct {
 	// §IV-A strategy choice (the dd subgraph's wide degree range is
 	// exactly where TWB pays its skew penalty).
 	ForceTWBForDD bool
+	// Compression selects the frontier-exchange codec (internal/wire) for
+	// the inter-rank normal-vertex payloads: wire.ModeOff keeps the seed's
+	// fixed-width packing, wire.ModeAdaptive picks the smallest of raw /
+	// varint-delta / bitmap per message, and the forced modes pin one
+	// scheme for ablations. The codec changes bytes on the wire (and hence
+	// the simulated remote-normal time) but never the traversal results.
+	Compression wire.Mode
 	// WorkAmplification scales all counted work and communication volume
 	// before the timing model (not the functional run or reported work
 	// stats). Setting it to 2^(paperScale-localScale) makes a scaled-down
@@ -236,6 +244,9 @@ func NewEngine(sg *partition.Subgraphs, shape ClusterShape, opts Options) (*Engi
 	}
 	if opts.WorkAmplification <= 0 {
 		opts.WorkAmplification = 1
+	}
+	if opts.Compression < wire.ModeOff || opts.Compression > wire.ModeBitmap {
+		return nil, fmt.Errorf("core: invalid compression mode %d", opts.Compression)
 	}
 	e := &Engine{
 		sg:    sg,

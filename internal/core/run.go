@@ -9,6 +9,7 @@ import (
 	"gcbfs/internal/metrics"
 	"gcbfs/internal/mpi"
 	"gcbfs/internal/simgpu"
+	"gcbfs/internal/wire"
 )
 
 // This file drives the BSP super-step loop (Figs. 3 and 4): per-rank
@@ -25,6 +26,7 @@ type recorder struct {
 	dupsRemoved   int64
 	simSeconds    float64
 	parts         metrics.Breakdown
+	wire          metrics.WireStats
 }
 
 // Run executes one BFS from the given global source vertex and returns the
@@ -82,7 +84,9 @@ func (e *Engine) Run(source int64) (*metrics.RunResult, error) {
 		Parts:         rec.parts,
 		PerIteration:  rec.iterations,
 		DelegateComms: rec.delegateComms,
+		Wire:          rec.wire,
 	}
+	res.Wire.Enabled = e.opts.Compression != wire.ModeOff
 	if e.opts.CollectLevels {
 		res.Levels = e.gatherLevels()
 	}
@@ -173,17 +177,35 @@ func (e *Engine) runRank(rank int, comm *mpi.Comm, rec *recorder, srcIsDelegate 
 				}
 			}
 		}
-		var sentBytes, intraBytes int64
+		mode := e.opts.Compression
+		var sentBytes, rawSentBytes, intraBytes int64
+		var schemeSel [wire.NumSchemes]int64
 		// Remote sends: one packed message per destination rank carrying
-		// every source GPU's bins for that rank's slots.
+		// every source GPU's bins for that rank's slots. With compression
+		// off, count id bytes only (the paper's 4·|Enn| accounting; the
+		// per-slot count headers are wire framing). With a codec active,
+		// the encoded message — framing, checksums and all — is what
+		// crosses the NIC, so that is what the timing model sees.
 		for dst := 0; dst < prank; dst++ {
 			if dst == rank {
 				continue
 			}
-			payload := e.packForRank(myGPUs, dst)
-			// Count id bytes only (the paper's 4·|Enn| accounting);
-			// the per-slot count headers are wire framing.
-			sentBytes += int64(len(payload)) - 4*int64(pgpu)
+			slots := e.mergeForRank(myGPUs, dst)
+			var payload []byte
+			if mode == wire.ModeOff {
+				payload = (&frontier.Bins{PerGPU: slots}).PackRank(0, pgpu)
+				idBytes := int64(len(payload)) - 4*int64(pgpu)
+				sentBytes += idBytes
+				rawSentBytes += idBytes
+			} else {
+				var st wire.Stats
+				payload, st = wire.EncodeRank(slots, mode)
+				sentBytes += st.EncodedBytes
+				rawSentBytes += st.RawBytes
+				for i, c := range st.Selected {
+					schemeSel[i] += c
+				}
+			}
 			comm.Isend(dst, int(iter), payload)
 		}
 		// Intra-rank cross-GPU bins apply directly (NVLink, not NIC).
@@ -198,15 +220,22 @@ func (e *Engine) runRank(rank int, comm *mpi.Comm, rec *recorder, srcIsDelegate 
 				applyIDs(e.gpus[dstGPU], ids, iter+1)
 			}
 		}
-		// Receives.
+		// Receives (decoded through the same codec the sender used).
 		var recvBytes, applied int64
 		for src := 0; src < prank; src++ {
 			if src == rank {
 				continue
 			}
 			buf := comm.Recv(src, int(iter))
-			recvBytes += int64(len(buf)) - 4*int64(pgpu)
-			slots, err := frontier.UnpackRank(buf, pgpu)
+			var slots [][]uint32
+			var err error
+			if mode == wire.ModeOff {
+				recvBytes += int64(len(buf)) - 4*int64(pgpu)
+				slots, err = frontier.UnpackRank(buf, pgpu)
+			} else {
+				recvBytes += int64(len(buf))
+				slots, err = wire.DecodeRank(buf, pgpu)
+			}
 			if err != nil {
 				panic(fmt.Sprintf("core: corrupt exchange payload: %v", err))
 			}
@@ -271,7 +300,8 @@ func (e *Engine) runRank(rank int, comm *mpi.Comm, rec *recorder, srcIsDelegate 
 		if nextNormals > 0 || newDelegates > 0 {
 			flag = 1
 		}
-		sums := []int64{edges, sentBytes, nextNormals, dupsRemoved, flag}
+		sums := []int64{edges, sentBytes, nextNormals, dupsRemoved, flag,
+			rawSentBytes, schemeSel[wire.SchemeRaw], schemeSel[wire.SchemeDelta], schemeSel[wire.SchemeBitmap]}
 		comm.AllreduceSum(sums)
 
 		if rank == 0 {
@@ -284,6 +314,7 @@ func (e *Engine) runRank(rank int, comm *mpi.Comm, rec *recorder, srcIsDelegate 
 				DirND:             dir0.dirND,
 				EdgesScanned:      sums[0],
 				BytesNormal:       sums[1],
+				BytesNormalRaw:    sums[5],
 				BytesDelegate:     boolToBytes(maskExchanged, maskBytes),
 				Elapsed:           elapsed,
 				Parts:             parts,
@@ -292,6 +323,11 @@ func (e *Engine) runRank(rank int, comm *mpi.Comm, rec *recorder, srcIsDelegate 
 			rec.dupsRemoved += sums[3]
 			rec.simSeconds += elapsed
 			rec.parts.Add(parts)
+			rec.wire.CompressedBytes += sums[1]
+			rec.wire.RawBytes += sums[5]
+			rec.wire.SchemeRaw += sums[6]
+			rec.wire.SchemeDelta += sums[7]
+			rec.wire.SchemeBitmap += sums[8]
 			if maskExchanged {
 				rec.delegateComms++
 			}
@@ -324,19 +360,20 @@ func applyIDs(gs *gpuState, ids []uint32, depth int32) {
 	}
 }
 
-// packForRank serializes all of this rank's bins destined for dst's GPUs:
-// for each destination slot, a count header followed by the merged ids from
-// every source GPU of this rank.
-func (e *Engine) packForRank(myGPUs []*gpuState, dst int) []byte {
+// mergeForRank gathers all of this rank's bins destined for dst's GPUs into
+// one id list per destination slot, merging every source GPU of this rank.
+// The caller serializes the slots with the legacy fixed-width packing or the
+// wire codec, depending on Options.Compression.
+func (e *Engine) mergeForRank(myGPUs []*gpuState, dst int) [][]uint32 {
 	pgpu := e.shape.GPUsPerRank
-	merged := frontier.NewBins(pgpu)
+	merged := make([][]uint32, pgpu)
 	for s := 0; s < pgpu; s++ {
 		dstGPU := dst*pgpu + s
 		for _, gs := range myGPUs {
-			merged.PerGPU[s] = append(merged.PerGPU[s], gs.bins.PerGPU[dstGPU]...)
+			merged[s] = append(merged[s], gs.bins.PerGPU[dstGPU]...)
 		}
 	}
-	return merged.PackRank(0, pgpu)
+	return merged
 }
 
 func boolToBytes(ok bool, b int64) int64 {

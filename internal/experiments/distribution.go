@@ -121,9 +121,9 @@ func Mem1Capacity(p Params) (*Table, error) {
 	el := rmatGraph(localScale)
 	gpuMem := float64(15 << 30) // 16 GB minus working-set headroom
 	t := &Table{
-		ID:    "mem1",
-		Title: "device-memory capacity per representation (Table I formula, measured fractions)",
-		Paper: "§VI-C — scale-30 (34.4B directed edges) fits on 12 P100s with degree separation",
+		ID:      "mem1",
+		Title:   "device-memory capacity per representation (Table I formula, measured fractions)",
+		Paper:   "§VI-C — scale-30 (34.4B directed edges) fits on 12 P100s with degree separation",
 		Headers: []string{"scale", "GPUs", "sep bytes/GPU", "CSR bytes/GPU", "edge-list bytes/GPU", "fits (sep/csr/el)"},
 	}
 	for _, cfg := range []struct {

@@ -129,6 +129,7 @@ var registry = []struct {
 	{"do1", DO1FactorSweep, "§VI-B direction-factor sweep"},
 	{"abl1", Abl1CommModel, "§II-B communication-model ablation"},
 	{"abl2", Abl2LoadBalance, "§IV-A load-balance strategy ablation"},
+	{"cmp1", Cmp1Compression, "frontier-exchange compression ablation (internal/wire)"},
 	{"app1", App1BeyondBFS, "§VI-D beyond-BFS: PageRank and components"},
 	{"mem1", Mem1Capacity, "§VI-C device-memory capacity per representation"},
 }

@@ -53,7 +53,7 @@ func cellFloat(t *testing.T, cell string) float64 {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "net1", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "tab1", "tab2", "wdc1", "do1",
-		"abl1", "abl2", "app1", "mem1"}
+		"abl1", "abl2", "cmp1", "app1", "mem1"}
 	ids := IDs()
 	if len(ids) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(ids), len(want))
@@ -394,5 +394,39 @@ func TestFig1IncludesSimPoint(t *testing.T) {
 	}
 	if !foundPaper || !foundSim {
 		t.Fatalf("fig1 missing rows: paper=%v sim=%v", foundPaper, foundSim)
+	}
+}
+
+func TestCmp1Shape(t *testing.T) {
+	tab := runExp(t, "cmp1")
+	if len(tab.Rows) != 12 {
+		t.Fatalf("cmp1 has %d rows, want 12 (2 graphs × 6 variants)", len(tab.Rows))
+	}
+	// Per graph: adaptive must save bytes (positive %), never lose to any
+	// forced scheme, and cut end-to-end time versus off.
+	byKey := map[string][]string{}
+	for _, row := range tab.Rows {
+		byKey[row[0]+"/"+row[1]] = row
+	}
+	for _, g := range []string{"rmat", "uniform"} {
+		off, adaptive := byKey[g+"/off"], byKey[g+"/adaptive"]
+		if off == nil || adaptive == nil {
+			t.Fatalf("%s: missing off/adaptive rows", g)
+		}
+		if saved := cellFloat(t, adaptive[4]); saved <= 0 {
+			t.Errorf("%s: adaptive saved %.2f%%, want > 0", g, saved)
+		}
+		if cellFloat(t, off[4]) != 0 {
+			t.Errorf("%s: off row reports nonzero savings", g)
+		}
+		adaptiveWire := cellFloat(t, adaptive[3])
+		for _, forced := range []string{"raw", "delta", "bitmap"} {
+			if fw := cellFloat(t, byKey[g+"/"+forced][3]); adaptiveWire > fw+0.05 {
+				t.Errorf("%s: adaptive wire %.1f kB exceeds forced %s %.1f kB", g, adaptiveWire, forced, fw)
+			}
+		}
+		if oe, ae := cellFloat(t, off[7]), cellFloat(t, adaptive[7]); ae >= oe {
+			t.Errorf("%s: adaptive elapsed %.2f ms not below off %.2f ms", g, ae, oe)
+		}
 	}
 }

@@ -52,10 +52,45 @@ type IterationStats struct {
 	FrontierDelegates   int64 // input delegate frontier size (global)
 	DirDD, DirDN, DirND Direction
 	EdgesScanned        int64 // actual edges touched by kernels this iteration
-	BytesNormal         int64 // inter-rank normal-exchange payload
-	BytesDelegate       int64 // delegate-mask reduction payload
-	Elapsed             float64
-	Parts               Breakdown
+	BytesNormal         int64 // inter-rank normal-exchange payload on the wire
+	// BytesNormalRaw is the fixed-width (4 bytes/id) equivalent of the
+	// normal exchange — equal to BytesNormal when compression is off.
+	BytesNormalRaw int64
+	BytesDelegate  int64 // delegate-mask reduction payload
+	Elapsed        float64
+	Parts          Breakdown
+}
+
+// WireStats summarizes the frontier-exchange codec's effect over a run:
+// the fixed-width byte equivalent of every inter-rank normal payload, the
+// bytes actually sent, and how often the adaptive selector picked each
+// scheme. With compression off, Enabled is false, the scheme counters are
+// zero, and RawBytes equals CompressedBytes (both count id bytes only).
+type WireStats struct {
+	Enabled         bool
+	RawBytes        int64 // 4 bytes per exchanged id (the paper's 4·|Enn|)
+	CompressedBytes int64 // bytes on the wire, headers and checksums included
+	// Per-block scheme selections across all messages of the run.
+	SchemeRaw, SchemeDelta, SchemeBitmap int64
+}
+
+// Accumulate folds another run's wire accounting into w (Enabled is OR-ed).
+func (w *WireStats) Accumulate(other WireStats) {
+	w.Enabled = w.Enabled || other.Enabled
+	w.RawBytes += other.RawBytes
+	w.CompressedBytes += other.CompressedBytes
+	w.SchemeRaw += other.SchemeRaw
+	w.SchemeDelta += other.SchemeDelta
+	w.SchemeBitmap += other.SchemeBitmap
+}
+
+// Savings returns the fraction of raw bytes eliminated by the codec
+// (negative when framing overhead exceeded the compression win).
+func (w WireStats) Savings() float64 {
+	if w.RawBytes == 0 {
+		return 0
+	}
+	return 1 - float64(w.CompressedBytes)/float64(w.RawBytes)
 }
 
 // RunResult is the outcome of one BFS execution.
@@ -72,6 +107,7 @@ type RunResult struct {
 	Parents       []int64 // BFS-tree parents (-1 unreachable); nil unless collected
 	ParentPairs   int64   // pairs moved by the post-BFS parent resolution
 	DelegateComms int     // iterations that exchanged delegate masks
+	Wire          WireStats
 }
 
 // GTEPS returns the traversal rate in giga-traversed-edges per second using

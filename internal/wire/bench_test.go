@@ -1,0 +1,89 @@
+package wire
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchShapes are frontier payloads representative of the exchange: a dense
+// slice of a destination's id space (mid-BFS peak), a clustered sorted
+// range (delta's home turf) and a scattered unordered set (raw's).
+func benchShapes() map[string][]uint32 {
+	rng := rand.New(rand.NewSource(1))
+	dense := make([]uint32, 0, 48<<10)
+	for v := uint32(0); v < 64<<10; v++ {
+		if rng.Intn(4) != 0 {
+			dense = append(dense, v)
+		}
+	}
+	clustered := make([]uint32, 16<<10)
+	cur := uint32(0)
+	for i := range clustered {
+		cur += uint32(1 + rng.Intn(8))
+		clustered[i] = cur
+	}
+	scattered := make([]uint32, 16<<10)
+	for i := range scattered {
+		scattered[i] = rng.Uint32()
+	}
+	return map[string][]uint32{
+		"dense": dense, "clustered": clustered, "scattered": scattered,
+	}
+}
+
+// BenchmarkEncode measures every codec scheme (plus adaptive selection) on
+// each payload shape, reporting output bytes per input id.
+func BenchmarkEncode(b *testing.B) {
+	for name, ids := range benchShapes() {
+		for _, mode := range []Mode{ModeAdaptive, ModeRaw, ModeDelta, ModeBitmap} {
+			b.Run(fmt.Sprintf("%s/%v", name, mode), func(b *testing.B) {
+				b.SetBytes(4 * int64(len(ids)))
+				var buf []byte
+				for i := 0; i < b.N; i++ {
+					buf, _ = Append(buf[:0], ids, mode)
+				}
+				b.ReportMetric(float64(len(buf))/float64(len(ids)), "bytes/id")
+			})
+		}
+	}
+}
+
+// BenchmarkDecode measures decoding each scheme's output per payload shape.
+func BenchmarkDecode(b *testing.B) {
+	for name, ids := range benchShapes() {
+		for _, mode := range []Mode{ModeRaw, ModeDelta, ModeBitmap} {
+			buf, scheme := Append(nil, ids, mode)
+			b.Run(fmt.Sprintf("%s/%v", name, scheme), func(b *testing.B) {
+				b.SetBytes(4 * int64(len(ids)))
+				for i := 0; i < b.N; i++ {
+					if _, _, _, err := Decode(buf); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkEncodeRank measures the whole-message path used by the engine's
+// exchange (four slots of mixed shape).
+func BenchmarkEncodeRank(b *testing.B) {
+	shapes := benchShapes()
+	slots := [][]uint32{shapes["dense"], shapes["clustered"], shapes["scattered"], nil}
+	for _, mode := range []Mode{ModeAdaptive, ModeRaw} {
+		b.Run(mode.String(), func(b *testing.B) {
+			var raw int64
+			for _, s := range slots {
+				raw += 4 * int64(len(s))
+			}
+			b.SetBytes(raw)
+			for i := 0; i < b.N; i++ {
+				buf, _ := EncodeRank(slots, mode)
+				if _, err := DecodeRank(buf, len(slots)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,404 @@
+// Package wire implements the adaptive frontier-exchange codec used by the
+// inter-rank normal-vertex exchange (§V-B). The exchanged payloads are lists
+// of 32-bit destination-local vertex ids; depending on frontier shape, the
+// same list is smallest as a raw array (scattered, unordered), a sorted
+// varint delta stream (clustered ids), or a dense bitmap (a large fraction
+// of the destination's id space). The encoder picks the smallest
+// representation per message, which is the communication-volume reduction
+// that Romera-style frontier compression and ButterFly BFS both exploit.
+//
+// # Wire format
+//
+// One encoded block carries the ids destined for one GPU slot:
+//
+//	offset  size      field
+//	0       1         scheme byte: 0 = raw, 1 = delta, 2 = bitmap
+//	1       uvarint   n, the number of ids the block decodes to
+//	…       payload   scheme-specific body (below)
+//	end-4   4         CRC32 (IEEE, little-endian) of every preceding
+//	                  byte of the block — corruption detection
+//
+// Scheme payloads:
+//
+//	raw     n × uint32 little-endian. Exact order and multiplicity of the
+//	        input are preserved.
+//	delta   the input sorted ascending: uvarint of the first id, then n−1
+//	        uvarint gaps to the previous id (a gap of 0 encodes a
+//	        duplicate). Decodes to the sorted permutation of the input —
+//	        multiplicity preserved, order canonicalized.
+//	bitmap  uvarint word count w, then w × uint64 little-endian forming a
+//	        bitset over ids [0, 64·w). Set semantics: duplicates collapse.
+//	        The adaptive selector only picks bitmap for duplicate-free
+//	        input, so adaptive encoding always round-trips the multiset.
+//
+// A rank-to-rank message (EncodeRank/DecodeRank) is gpusPerRank blocks
+// back to back, one per destination GPU slot.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math/bits"
+	"sort"
+)
+
+// Scheme identifies one block encoding.
+type Scheme uint8
+
+const (
+	SchemeRaw Scheme = iota
+	SchemeDelta
+	SchemeBitmap
+
+	// NumSchemes bounds per-scheme counters.
+	NumSchemes = 3
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case SchemeRaw:
+		return "raw"
+	case SchemeDelta:
+		return "delta"
+	case SchemeBitmap:
+		return "bitmap"
+	}
+	return fmt.Sprintf("scheme(%d)", uint8(s))
+}
+
+// Mode is the codec policy a caller selects: disabled, adaptive (smallest
+// per block), or one scheme forced for ablations.
+type Mode int
+
+const (
+	// ModeOff disables the codec entirely; callers keep their legacy
+	// fixed-width packing.
+	ModeOff Mode = iota
+	// ModeAdaptive picks the smallest of the three schemes per block.
+	ModeAdaptive
+	// ModeRaw, ModeDelta and ModeBitmap force one scheme for every block
+	// (ablation knobs). ModeBitmap falls back to delta for blocks a bitmap
+	// cannot sensibly carry: duplicated ids, or an id range so sparse the
+	// bitmap would exceed four times the raw encoding (that guard keeps a
+	// forced-bitmap ablation from allocating gigabyte bitsets for a
+	// handful of huge ids).
+	ModeRaw
+	ModeDelta
+	ModeBitmap
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeOff:
+		return "off"
+	case ModeAdaptive:
+		return "adaptive"
+	case ModeRaw:
+		return "raw"
+	case ModeDelta:
+		return "delta"
+	case ModeBitmap:
+		return "bitmap"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// ParseMode converts a CLI/Config spelling into a Mode.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "off":
+		return ModeOff, nil
+	case "adaptive":
+		return ModeAdaptive, nil
+	case "raw":
+		return ModeRaw, nil
+	case "delta":
+		return ModeDelta, nil
+	case "bitmap":
+		return ModeBitmap, nil
+	}
+	return ModeOff, fmt.Errorf("wire: unknown compression mode %q", s)
+}
+
+// Stats accounts one or more encode calls: the fixed-width byte equivalent
+// (4 bytes per id, the paper's 4·|Enn| convention), the bytes actually
+// produced (headers and checksums included), and per-scheme block counts.
+type Stats struct {
+	RawBytes     int64
+	EncodedBytes int64
+	Selected     [NumSchemes]int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.RawBytes += other.RawBytes
+	s.EncodedBytes += other.EncodedBytes
+	for i := range s.Selected {
+		s.Selected[i] += other.Selected[i]
+	}
+}
+
+const crcLen = 4
+
+var crcTable = crc32.MakeTable(crc32.IEEE)
+
+// uvarintLen returns the encoded size of v as a uvarint.
+func uvarintLen(v uint64) int {
+	if v == 0 {
+		return 1
+	}
+	return (bits.Len64(v) + 6) / 7
+}
+
+// sortedCopy returns ids sorted ascending (a copy; input is not mutated)
+// and whether the sorted sequence is duplicate-free.
+func sortedCopy(ids []uint32) (sorted []uint32, unique bool) {
+	sorted = append(make([]uint32, 0, len(ids)), ids...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	unique = true
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			unique = false
+			break
+		}
+	}
+	return sorted, unique
+}
+
+// deltaPayloadLen returns the payload size of the delta scheme for a sorted
+// id list.
+func deltaPayloadLen(sorted []uint32) int {
+	if len(sorted) == 0 {
+		return 0
+	}
+	size := uvarintLen(uint64(sorted[0]))
+	for i := 1; i < len(sorted); i++ {
+		size += uvarintLen(uint64(sorted[i] - sorted[i-1]))
+	}
+	return size
+}
+
+// bitmapPayloadLen returns the payload size of the bitmap scheme for a
+// sorted id list (word count header plus the words themselves).
+func bitmapPayloadLen(sorted []uint32) int {
+	if len(sorted) == 0 {
+		return uvarintLen(0)
+	}
+	words := int(sorted[len(sorted)-1])/64 + 1
+	return uvarintLen(uint64(words)) + 8*words
+}
+
+// blockLen returns the full block size for a payload of the given length.
+func blockLen(n int, payload int) int {
+	return 1 + uvarintLen(uint64(n)) + payload + crcLen
+}
+
+// Append encodes ids as one block according to mode and appends it to dst,
+// returning the extended buffer and the scheme actually used. Mode must not
+// be ModeOff. See the package comment for per-scheme round-trip semantics.
+func Append(dst []byte, ids []uint32, mode Mode) ([]byte, Scheme) {
+	scheme := SchemeRaw
+	var sorted []uint32
+	switch mode {
+	case ModeRaw:
+		// No canonicalization needed.
+	case ModeDelta:
+		scheme = SchemeDelta
+		sorted, _ = sortedCopy(ids)
+	case ModeBitmap:
+		var unique bool
+		sorted, unique = sortedCopy(ids)
+		if unique && bitmapPayloadLen(sorted) <= 4*4*len(ids)+16 {
+			scheme = SchemeBitmap
+		} else {
+			scheme = SchemeDelta
+		}
+	case ModeAdaptive:
+		var unique bool
+		sorted, unique = sortedCopy(ids)
+		rawSize := 4 * len(ids)
+		bestSize := rawSize
+		if d := deltaPayloadLen(sorted); d < bestSize {
+			bestSize, scheme = d, SchemeDelta
+		}
+		if unique {
+			if b := bitmapPayloadLen(sorted); b < bestSize {
+				scheme = SchemeBitmap
+			}
+		}
+	default:
+		panic(fmt.Sprintf("wire: Append called with mode %v", mode))
+	}
+
+	start := len(dst)
+	dst = append(dst, byte(scheme))
+	dst = binary.AppendUvarint(dst, uint64(len(ids)))
+	switch scheme {
+	case SchemeRaw:
+		for _, v := range ids {
+			dst = binary.LittleEndian.AppendUint32(dst, v)
+		}
+	case SchemeDelta:
+		if len(sorted) > 0 {
+			dst = binary.AppendUvarint(dst, uint64(sorted[0]))
+			for i := 1; i < len(sorted); i++ {
+				dst = binary.AppendUvarint(dst, uint64(sorted[i]-sorted[i-1]))
+			}
+		}
+	case SchemeBitmap:
+		words := 0
+		if len(sorted) > 0 {
+			words = int(sorted[len(sorted)-1])/64 + 1
+		}
+		dst = binary.AppendUvarint(dst, uint64(words))
+		wordsStart := len(dst)
+		dst = append(dst, make([]byte, 8*words)...)
+		for _, v := range sorted {
+			off := wordsStart + int(v/64)*8
+			w := binary.LittleEndian.Uint64(dst[off:])
+			binary.LittleEndian.PutUint64(dst[off:], w|1<<(v%64))
+		}
+	}
+	sum := crc32.Checksum(dst[start:], crcTable)
+	dst = binary.LittleEndian.AppendUint32(dst, sum)
+	return dst, scheme
+}
+
+// Decode parses one block at the start of buf. It returns the decoded ids,
+// the number of bytes consumed, and the scheme. Any truncation, trailing
+// garbage inside the block, unknown scheme byte or checksum mismatch yields
+// an error — a block never decodes to wrong ids silently.
+func Decode(buf []byte) ([]uint32, int, Scheme, error) {
+	if len(buf) < 1+1+crcLen {
+		return nil, 0, 0, fmt.Errorf("wire: block truncated (%d bytes)", len(buf))
+	}
+	scheme := Scheme(buf[0])
+	if scheme >= NumSchemes {
+		return nil, 0, 0, fmt.Errorf("wire: unknown scheme byte %d", buf[0])
+	}
+	off := 1
+	count, k := binary.Uvarint(buf[off:])
+	if k <= 0 {
+		return nil, 0, 0, fmt.Errorf("wire: bad id count varint")
+	}
+	off += k
+	// Per-scheme count bounds run BEFORE any allocation, so a corrupt
+	// count field can never trigger a huge make(): raw ids take 4 bytes
+	// each, delta ids at least 1 byte each, bitmap ids at most 64 per
+	// 8-byte word.
+	body := len(buf) - off - crcLen
+	if body < 0 {
+		return nil, 0, 0, fmt.Errorf("wire: block truncated before checksum")
+	}
+	var ids []uint32
+	n := int(count)
+
+	switch scheme {
+	case SchemeRaw:
+		if count > uint64(body)/4 {
+			return nil, 0, 0, fmt.Errorf("wire: raw block truncated (%d ids, %d payload bytes)", count, body)
+		}
+		ids = make([]uint32, 0, n)
+		for i := 0; i < n; i++ {
+			ids = append(ids, binary.LittleEndian.Uint32(buf[off:]))
+			off += 4
+		}
+	case SchemeDelta:
+		if count > uint64(body) {
+			return nil, 0, 0, fmt.Errorf("wire: delta block truncated (%d ids, %d payload bytes)", count, body)
+		}
+		ids = make([]uint32, 0, n)
+		prev := uint64(0)
+		for i := 0; i < n; i++ {
+			v, k := binary.Uvarint(buf[off:])
+			if k <= 0 || off+k+crcLen > len(buf) {
+				return nil, 0, 0, fmt.Errorf("wire: delta block truncated at id %d/%d", i, n)
+			}
+			off += k
+			// Bound the gap before adding prev: a 10-byte uvarint can
+			// exceed 2^64-2^32 and wrap the sum back into uint32 range,
+			// which would decode to wrong ids instead of an error.
+			if v > 1<<32-1 {
+				return nil, 0, 0, fmt.Errorf("wire: delta gap %d overflows uint32", v)
+			}
+			if i > 0 {
+				v += prev
+			}
+			if v > 1<<32-1 {
+				return nil, 0, 0, fmt.Errorf("wire: delta id %d overflows uint32", v)
+			}
+			prev = v
+			ids = append(ids, uint32(v))
+		}
+	case SchemeBitmap:
+		words, k := binary.Uvarint(buf[off:])
+		if k <= 0 {
+			return nil, 0, 0, fmt.Errorf("wire: bad bitmap word count varint")
+		}
+		off += k
+		if words > uint64(len(buf))/8 || off+8*int(words)+crcLen > len(buf) {
+			return nil, 0, 0, fmt.Errorf("wire: bitmap block truncated (%d words)", words)
+		}
+		if count > 64*words {
+			return nil, 0, 0, fmt.Errorf("wire: bitmap id count %d exceeds capacity of %d words", count, words)
+		}
+		ids = make([]uint32, 0, n)
+		for w := 0; w < int(words); w++ {
+			word := binary.LittleEndian.Uint64(buf[off:])
+			off += 8
+			for word != 0 {
+				bit := bits.TrailingZeros64(word)
+				ids = append(ids, uint32(w*64+bit))
+				word &= word - 1
+			}
+		}
+		if len(ids) != n {
+			return nil, 0, 0, fmt.Errorf("wire: bitmap population %d does not match id count %d", len(ids), n)
+		}
+	}
+
+	if off+crcLen > len(buf) {
+		return nil, 0, 0, fmt.Errorf("wire: block truncated before checksum")
+	}
+	want := binary.LittleEndian.Uint32(buf[off:])
+	if got := crc32.Checksum(buf[:off], crcTable); got != want {
+		return nil, 0, 0, fmt.Errorf("wire: checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	return ids, off + crcLen, scheme, nil
+}
+
+// EncodeRank encodes one block per destination GPU slot into a single
+// rank-to-rank message and reports the accounting for the whole message.
+func EncodeRank(slots [][]uint32, mode Mode) ([]byte, Stats) {
+	var st Stats
+	var buf []byte
+	for _, ids := range slots {
+		var scheme Scheme
+		buf, scheme = Append(buf, ids, mode)
+		st.RawBytes += 4 * int64(len(ids))
+		st.Selected[scheme]++
+	}
+	st.EncodedBytes = int64(len(buf))
+	return buf, st
+}
+
+// DecodeRank parses an EncodeRank message back into per-slot id lists.
+// Trailing bytes after the last block are rejected, as are all per-block
+// corruption forms Decode detects.
+func DecodeRank(buf []byte, gpusPerRank int) ([][]uint32, error) {
+	out := make([][]uint32, gpusPerRank)
+	off := 0
+	for s := 0; s < gpusPerRank; s++ {
+		ids, n, _, err := Decode(buf[off:])
+		if err != nil {
+			return nil, fmt.Errorf("wire: slot %d: %w", s, err)
+		}
+		out[s] = ids
+		off += n
+	}
+	if off != len(buf) {
+		return nil, fmt.Errorf("wire: %d trailing bytes after %d slots", len(buf)-off, gpusPerRank)
+	}
+	return out, nil
+}
