@@ -213,6 +213,28 @@ func BenchmarkCmp1Compression(b *testing.B) {
 	}
 }
 
+// BenchmarkCmp2Exchange regenerates the exchange-topology ablation
+// (all-pairs vs butterfly) and reports the butterfly's remote-normal
+// speedup at the largest rank count on the R-MAT graph.
+func BenchmarkCmp2Exchange(b *testing.B) {
+	tab := runBench(b, "cmp2")
+	remote := map[string]float64{}
+	maxRanks := 0
+	for i, row := range tab.Rows {
+		if row[0] != "rmat" || row[2] != "adaptive" {
+			continue
+		}
+		remote[row[1]+"/"+row[3]] = cell(tab, i, 8)
+		if r, err := strconv.Atoi(row[1]); err == nil && r > maxRanks {
+			maxRanks = r
+		}
+	}
+	key := strconv.Itoa(maxRanks)
+	if bf := remote[key+"/butterfly"]; bf > 0 {
+		b.ReportMetric(remote[key+"/allpairs"]/bf, "butterfly-speedup-remote-normal")
+	}
+}
+
 // BenchmarkAbl2LoadBalance regenerates the §IV-A strategy ablation
 // (merge-path vs forced TWB on the dd subgraph).
 func BenchmarkAbl2LoadBalance(b *testing.B) {

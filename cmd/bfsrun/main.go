@@ -6,6 +6,14 @@
 //	bfsrun -rmat 16 -nodes 4 -ranks 2 -gpus 2 -sources 6
 //	bfsrun -graph scale20.gcbf -nodes 8 -ranks 2 -gpus 2 -no-do
 //	bfsrun -rmat 14 -nodes 1 -ranks 1 -gpus 4 -validate
+//	bfsrun -rmat 16 -nodes 8 -ranks 2 -gpus 2 -exchange butterfly -compress adaptive
+//
+// -exchange selects the inter-rank normal-vertex exchange topology:
+// "allpairs" (default, one message per destination rank per iteration) or
+// "butterfly" (log2(ranks) hypercube hops with aggregated messages; needs a
+// power-of-two rank count and otherwise falls back to allpairs with the
+// reason printed). Results are identical across strategies; message counts
+// and simulated times differ.
 package main
 
 import (
@@ -38,6 +46,7 @@ func main() {
 		uniq      = flag.Bool("uniquify", false, "enable send-bin uniquification (U)")
 		ir        = flag.Bool("iallreduce", false, "use non-blocking delegate reduction (IR instead of BR)")
 		compress  = flag.String("compress", "off", "frontier-exchange codec: off, adaptive, raw, delta or bitmap")
+		exchange  = flag.String("exchange", "allpairs", "normal-vertex exchange topology: allpairs or butterfly")
 		amp       = flag.Float64("amp", 1, "work amplification for the timing model (2^(paperScale-localScale))")
 		validate  = flag.Bool("validate", false, "validate distances against serial BFS + Graph500 rules")
 	)
@@ -65,12 +74,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bfsrun: %v\n", err)
 		os.Exit(1)
 	}
+	strat, err := core.ParseExchange(*exchange)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bfsrun: %v\n", err)
+		os.Exit(1)
+	}
 	opts := core.DefaultOptions()
 	opts.DirectionOptimized = !*noDO
 	opts.LocalAll2All = *l2a
 	opts.Uniquify = *uniq
 	opts.BlockingReduce = !*ir
 	opts.Compression = mode
+	opts.Exchange = strat
 	opts.WorkAmplification = *amp
 	opts.CollectLevels = *validate
 	engine, err := core.NewEngine(sg, shape, opts)
@@ -135,9 +150,23 @@ func main() {
 		for _, r := range results {
 			w.Accumulate(r.Wire)
 		}
-		fmt.Printf("wire (%s): %.1f kB raw -> %.1f kB sent (%.1f%% saved; schemes raw=%d delta=%d bitmap=%d)\n",
+		fmt.Printf("wire (%s): %.1f kB raw -> %.1f kB sent (%.1f%% saved; schemes raw=%d delta=%d bitmap=%d; memo hits=%d)\n",
 			mode, float64(w.RawBytes)/1024, float64(w.CompressedBytes)/1024,
-			100*w.Savings(), w.SchemeRaw, w.SchemeDelta, w.SchemeBitmap)
+			100*w.Savings(), w.SchemeRaw, w.SchemeDelta, w.SchemeBitmap, w.MemoHits)
+		if w.PairRawBytes > 0 {
+			fmt.Printf("parent pairs: %.1f kB raw -> %.1f kB sent\n",
+				float64(w.PairRawBytes)/1024, float64(w.PairWireBytes)/1024)
+		}
+	}
+	var xs metrics.ExchangeStats
+	for _, r := range results {
+		xs.Accumulate(r.Exchange)
+	}
+	fmt.Printf("exchange (%s): hops/iter=%d msgs=%d forwarded=%.1f kB max-msg=%.2f MB\n",
+		xs.Strategy, xs.HopsPerIteration, xs.Messages,
+		float64(xs.ForwardedBytes)/1024, float64(xs.MaxMessageBytes)/(1<<20))
+	if xs.Fallback != "" {
+		fmt.Printf("exchange fallback: %s\n", xs.Fallback)
 	}
 	if *validate {
 		fmt.Println("validation: all runs match serial BFS and pass Graph500-style checks")

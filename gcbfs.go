@@ -26,6 +26,19 @@
 // therefore the simulated remote-normal communication time. Result reports
 // the achieved reduction in WireRawBytes vs WireBytes.
 //
+// # Butterfly exchange
+//
+// The Config.Exchange knob replaces the all-pairs normal-vertex exchange
+// (p−1 messages per rank per iteration) with a log2(p) hypercube butterfly:
+// each hop exchanges one aggregated message with partner rank XOR 2^k,
+// forwarding everything destined for the partner's half. Message count drops
+// from quadratic to p·log2(p) and per-message size grows into the network's
+// high-efficiency regime, at the cost of relayed volume (ButterFly BFS,
+// Green 2021). The codec re-encodes per hop, so adaptive compression sees
+// the aggregated blocks. Results are bit-identical across strategies; only
+// message pattern and simulated time change. Non-power-of-two rank counts
+// fall back to all-pairs with the reason in Result.ExchangeFallback.
+//
 // Quickstart:
 //
 //	g := gcbfs.RMAT(16)
@@ -146,6 +159,14 @@ type Config struct {
 	// normal-vertex payloads (see the package comment). The zero value is
 	// CompressionOff.
 	Compression Compression
+	// Exchange selects the inter-rank exchange topology for normal
+	// vertices: ExchangeAllPairs (the zero value) sends one message per
+	// destination rank per iteration, ExchangeButterfly runs log2(ranks)
+	// hypercube hops that aggregate payloads into fewer, larger messages.
+	// The butterfly needs a power-of-two rank count and otherwise falls
+	// back to all-pairs (Result.ExchangeFallback records why). Traversal
+	// results are identical either way.
+	Exchange Exchange
 }
 
 // Compression selects how inter-rank frontier payloads are encoded.
@@ -156,7 +177,9 @@ const (
 	// per-slot count headers) the paper assumes.
 	CompressionOff Compression = iota
 	// CompressionAdaptive picks the smallest of the raw, delta and bitmap
-	// schemes for every message.
+	// schemes per block (with a per-destination scheme memory that reuses
+	// the previous iteration's winner while the block's size is stable, so
+	// an occasional block may ride a slightly stale choice).
 	CompressionAdaptive
 	// CompressionRaw, CompressionDelta and CompressionBitmap force one
 	// scheme for every message — ablation knobs.
@@ -164,6 +187,25 @@ const (
 	CompressionDelta
 	CompressionBitmap
 )
+
+// Exchange selects the inter-rank normal-vertex exchange topology.
+type Exchange int
+
+const (
+	// ExchangeAllPairs sends one message per destination rank per
+	// iteration — the paper's §V-B pattern.
+	ExchangeAllPairs Exchange = iota
+	// ExchangeButterfly runs log2(ranks) hypercube hops, aggregating
+	// payloads into fewer, larger messages (ButterFly BFS, Green 2021).
+	ExchangeButterfly
+)
+
+func (x Exchange) strategy() core.Exchange {
+	if x == ExchangeButterfly {
+		return core.ExchangeButterfly
+	}
+	return core.ExchangeAllPairs
+}
 
 func (c Compression) mode() wire.Mode {
 	switch c {
@@ -198,6 +240,7 @@ func (cfg Config) engineOptions() core.Options {
 	o.WorkAmplification = cfg.WorkAmplification
 	o.CollectLevels = cfg.CollectLevels
 	o.Compression = cfg.Compression.mode()
+	o.Exchange = cfg.Exchange.strategy()
 	return o
 }
 
@@ -221,6 +264,10 @@ type Result struct {
 	// WireRawBytes is its fixed-width (4 bytes/id) equivalent. The two are
 	// equal when Compression is off.
 	WireBytes, WireRawBytes int64
+	// Exchange is the exchange topology actually used ("allpairs" or
+	// "butterfly"); ExchangeFallback records why a requested butterfly was
+	// replaced (empty otherwise).
+	Exchange, ExchangeFallback string
 }
 
 // Solver runs BFS over a partitioned graph on the simulated cluster.
@@ -240,6 +287,9 @@ func NewSolver(g *Graph, cfg Config) (*Solver, error) {
 	}
 	if cfg.Compression < CompressionOff || cfg.Compression > CompressionBitmap {
 		return nil, fmt.Errorf("gcbfs: invalid compression mode %d", cfg.Compression)
+	}
+	if cfg.Exchange < ExchangeAllPairs || cfg.Exchange > ExchangeButterfly {
+		return nil, fmt.Errorf("gcbfs: invalid exchange strategy %d", cfg.Exchange)
 	}
 	th := cfg.Threshold
 	if th <= 0 {
@@ -287,18 +337,20 @@ func (s *Solver) RunMany(sources []int64) ([]*Result, error) {
 
 func convert(r *metrics.RunResult) *Result {
 	return &Result{
-		Source:         r.Source,
-		Iterations:     r.Iterations,
-		SimSeconds:     r.SimSeconds,
-		GTEPS:          r.GTEPS(),
-		Levels:         r.Levels,
-		EdgesScanned:   r.EdgesScanned,
-		Computation:    r.Parts.Computation,
-		LocalComm:      r.Parts.LocalComm,
-		RemoteNormal:   r.Parts.RemoteNormal,
-		RemoteDelegate: r.Parts.RemoteDelegate,
-		WireBytes:      r.Wire.CompressedBytes,
-		WireRawBytes:   r.Wire.RawBytes,
+		Source:           r.Source,
+		Iterations:       r.Iterations,
+		SimSeconds:       r.SimSeconds,
+		GTEPS:            r.GTEPS(),
+		Levels:           r.Levels,
+		EdgesScanned:     r.EdgesScanned,
+		Computation:      r.Parts.Computation,
+		LocalComm:        r.Parts.LocalComm,
+		RemoteNormal:     r.Parts.RemoteNormal,
+		RemoteDelegate:   r.Parts.RemoteDelegate,
+		WireBytes:        r.Wire.CompressedBytes,
+		WireRawBytes:     r.Wire.RawBytes,
+		Exchange:         r.Exchange.Strategy,
+		ExchangeFallback: r.Exchange.Fallback,
 	}
 }
 

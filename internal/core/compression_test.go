@@ -130,6 +130,57 @@ func TestCompressionUniquifyInteraction(t *testing.T) {
 	checkAgainstSerial(t, el, e, 3)
 }
 
+// TestParentPairsCompression checks the post-BFS parent-resolution exchange
+// routes through the pairs codec: identical parents, coherent byte
+// accounting, and a real reduction versus the fixed-width 12-byte pairs.
+func TestParentPairsCompression(t *testing.T) {
+	el := rmat.Generate(rmat.DefaultParams(13))
+	shape := ClusterShape{Nodes: 2, RanksPerNode: 2, GPUsPerRank: 1}
+	// Tight delegate cap so nn edges (the pairs traffic) really exist.
+	th := partition.SuggestThreshold(el.OutDegrees(), el.N/8)
+
+	run := func(mode wire.Mode) *metrics.RunResult {
+		opts := DefaultOptions()
+		opts.Compression = mode
+		opts.CollectParents = true
+		e := buildEngine(t, el, shape, th, opts)
+		res, err := e.Run(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	off := run(wire.ModeOff)
+	adaptive := run(wire.ModeAdaptive)
+
+	for v := range off.Parents {
+		if off.Parents[v] != adaptive.Parents[v] {
+			t.Fatalf("vertex %d: parent %d with pairs codec, %d without",
+				v, adaptive.Parents[v], off.Parents[v])
+		}
+	}
+	if off.ParentPairs == 0 {
+		t.Fatal("no parent pairs exchanged — test is vacuous")
+	}
+	if off.Wire.PairRawBytes != 12*off.ParentPairs {
+		t.Fatalf("off-mode pair raw bytes %d, want 12×%d pairs", off.Wire.PairRawBytes, off.ParentPairs)
+	}
+	if off.Wire.PairWireBytes != off.Wire.PairRawBytes {
+		t.Fatalf("off-mode pair wire bytes %d != raw %d", off.Wire.PairWireBytes, off.Wire.PairRawBytes)
+	}
+	if adaptive.Wire.PairRawBytes != off.Wire.PairRawBytes {
+		t.Fatalf("pair raw accounting differs: %d off vs %d adaptive",
+			off.Wire.PairRawBytes, adaptive.Wire.PairRawBytes)
+	}
+	if adaptive.Wire.PairWireBytes >= adaptive.Wire.PairRawBytes {
+		t.Fatalf("pairs codec did not shrink the exchange: %d wire vs %d raw",
+			adaptive.Wire.PairWireBytes, adaptive.Wire.PairRawBytes)
+	}
+	t.Logf("parent pairs: %d pairs, %d B raw -> %d B wire (%.1f%% saved)",
+		off.ParentPairs, adaptive.Wire.PairRawBytes, adaptive.Wire.PairWireBytes,
+		100*(1-float64(adaptive.Wire.PairWireBytes)/float64(adaptive.Wire.PairRawBytes)))
+}
+
 // TestCompressionRejectsBadMode covers the NewEngine validation.
 func TestCompressionRejectsBadMode(t *testing.T) {
 	el := rmat.Generate(rmat.DefaultParams(10))

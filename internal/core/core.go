@@ -106,10 +106,20 @@ type Options struct {
 	// Compression selects the frontier-exchange codec (internal/wire) for
 	// the inter-rank normal-vertex payloads: wire.ModeOff keeps the seed's
 	// fixed-width packing, wire.ModeAdaptive picks the smallest of raw /
-	// varint-delta / bitmap per message, and the forced modes pin one
-	// scheme for ablations. The codec changes bytes on the wire (and hence
+	// varint-delta / bitmap per message (reusing the previous iteration's
+	// winner per destination while block sizes are stable — see
+	// wire.Selector), and the forced modes pin one scheme for ablations. The codec changes bytes on the wire (and hence
 	// the simulated remote-normal time) but never the traversal results.
 	Compression wire.Mode
+	// Exchange selects the inter-rank normal-vertex exchange topology:
+	// ExchangeAllPairs sends one message per destination rank per iteration
+	// (p−1 sends, the paper's §V-B pattern); ExchangeButterfly runs log2(p)
+	// hypercube hops that aggregate payloads into fewer, larger messages
+	// (ButterFly BFS, Green 2021). The butterfly requires a power-of-two
+	// rank count and otherwise falls back to all-pairs, recording the
+	// reason in the result's Exchange stats. Either way the traversal
+	// results are bit-identical; only message pattern and timing change.
+	Exchange Exchange
 	// WorkAmplification scales all counted work and communication volume
 	// before the timing model (not the functional run or reported work
 	// stats). Setting it to 2^(paperScale-localScale) makes a scaled-down
@@ -165,8 +175,13 @@ type Engine struct {
 	// computes the identical reduction result).
 	delegateParents []int64
 	// parentExchangePairs counts the post-BFS resolution traffic (pairs),
-	// reported but excluded from simulated BFS time.
+	// reported but excluded from simulated BFS time. The byte counters
+	// account that exchange's fixed-width equivalent and what the codec
+	// actually put on the wire. All three are updated atomically by the
+	// rank goroutines.
 	parentExchangePairs int64
+	parentPairRawBytes  int64
+	parentPairWireBytes int64
 }
 
 // charge runs the kernel cost through the device model with work
@@ -247,6 +262,9 @@ func NewEngine(sg *partition.Subgraphs, shape ClusterShape, opts Options) (*Engi
 	}
 	if opts.Compression < wire.ModeOff || opts.Compression > wire.ModeBitmap {
 		return nil, fmt.Errorf("core: invalid compression mode %d", opts.Compression)
+	}
+	if opts.Exchange < ExchangeAllPairs || opts.Exchange > ExchangeButterfly {
+		return nil, fmt.Errorf("core: invalid exchange strategy %d", opts.Exchange)
 	}
 	e := &Engine{
 		sg:    sg,
@@ -329,4 +347,6 @@ func (e *Engine) reset() {
 	}
 	e.delegateParents = nil
 	e.parentExchangePairs = 0
+	e.parentPairRawBytes = 0
+	e.parentPairWireBytes = 0
 }

@@ -1,0 +1,398 @@
+package core
+
+// This file implements the inter-rank normal-vertex exchange (§V-B) as a
+// strategy behind a small interface, keeping run.go's BSP loop thin.
+//
+// AllPairs is the paper's pattern: every rank sends one message per
+// destination rank per iteration — p−1 sends whose size shrinks as ranks
+// grow, exactly the sub-2 MB plateau regime §VI-A1 identifies as the
+// scalability ceiling.
+//
+// Butterfly is the ButterFly BFS pattern (Green 2021): log2(p) hypercube
+// hops. At hop k a rank exchanges with partner rank XOR 2^k, forwarding
+// everything it holds — its own bins plus payloads received on earlier hops
+// — that is destined for the partner's half of the hypercube. Ids reach
+// their destination by having their rank bits corrected lowest-first, so
+// each hop carries p/2 destinations' aggregated payload in one message:
+// fewer, larger messages, re-encoded through the wire codec per hop so the
+// adaptive selector sees the denser aggregated blocks.
+//
+// Both strategies deliver the identical per-slot id multiset each iteration,
+// and run.go applies remote arrivals in canonical ascending order, so
+// levels, parents and every work counter are bit-identical across
+// strategies by construction — only message pattern, byte volume and the
+// simulated remote-normal time differ.
+
+import (
+	"fmt"
+	"math/bits"
+
+	"gcbfs/internal/frontier"
+	"gcbfs/internal/mpi"
+	"gcbfs/internal/wire"
+)
+
+// Exchange selects the inter-rank normal-vertex exchange topology.
+type Exchange int
+
+const (
+	// ExchangeAllPairs sends one message per destination rank per iteration
+	// (the paper's §V-B pattern).
+	ExchangeAllPairs Exchange = iota
+	// ExchangeButterfly runs log2(p) hypercube hops with per-hop payload
+	// aggregation and re-encoding. Requires a power-of-two rank count;
+	// other counts fall back to all-pairs with a recorded reason.
+	ExchangeButterfly
+)
+
+func (x Exchange) String() string {
+	switch x {
+	case ExchangeAllPairs:
+		return "allpairs"
+	case ExchangeButterfly:
+		return "butterfly"
+	}
+	return fmt.Sprintf("exchange(%d)", int(x))
+}
+
+// ParseExchange converts a CLI/Config spelling into an Exchange.
+func ParseExchange(s string) (Exchange, error) {
+	switch s {
+	case "", "allpairs", "all-pairs":
+		return ExchangeAllPairs, nil
+	case "butterfly":
+		return ExchangeButterfly, nil
+	}
+	return ExchangeAllPairs, fmt.Errorf("core: unknown exchange strategy %q", s)
+}
+
+// exchangePlan resolves the configured strategy against the rank count. The
+// butterfly's bit-correction routing needs a full hypercube, so non-power-
+// of-two rank counts fall back to all-pairs with the reason recorded in the
+// run's exchange stats.
+func (e *Engine) exchangePlan() (Exchange, string) {
+	prank := e.shape.Ranks()
+	if e.opts.Exchange == ExchangeButterfly && prank&(prank-1) != 0 {
+		return ExchangeAllPairs,
+			fmt.Sprintf("butterfly needs a power-of-two rank count, got %d", prank)
+	}
+	return e.opts.Exchange, ""
+}
+
+// exchangeCounts is one rank's accounting for one iteration's exchange.
+type exchangeCounts struct {
+	sent      int64 // bytes counted as sent (codec framing included when active)
+	sentRaw   int64 // fixed-width 4·id equivalent of every id sent (forwards included)
+	recv      int64 // bytes counted as received (for the staging model)
+	forwarded int64 // fixed-width equivalent of ids relayed for other ranks
+	messages  int64 // point-to-point messages sent by this rank
+	memoHits  int64
+	scheme    [wire.NumSchemes]int64
+	// hopBytes feeds the timing model: per-hop sent volume (one entry for
+	// all-pairs, log2(p) for the butterfly). Length is identical on every
+	// rank so the vectors max-reduce element-wise.
+	hopBytes []int64
+	// arrivals collects the remote ids received for each local GPU slot;
+	// run.go applies them in canonical sorted order.
+	arrivals [][]uint32
+}
+
+// exchanger is one rank's exchange strategy instance. Instances hold
+// per-rank scratch (pending payloads, scheme memory) and live for one run.
+type exchanger interface {
+	// exchange encodes and sends this iteration's outgoing bins, receives
+	// the counterpart payloads, and returns the accounting plus arrivals.
+	exchange(comm *mpi.Comm, myGPUs []*gpuState, iter int32) exchangeCounts
+	// rounds is the number of sequential communication rounds per
+	// iteration — the length of every exchangeCounts.hopBytes.
+	rounds() int
+	// remoteTime converts globally max-reduced per-hop volumes into the
+	// iteration's remote-normal seconds and the largest message the timing
+	// model saw. Deterministic: every rank computes the identical result.
+	remoteTime(hopBytes []int64) (float64, int64)
+}
+
+// newExchanger builds the strategy instance for one rank.
+func (e *Engine) newExchanger(strategy Exchange, rank int) exchanger {
+	switch strategy {
+	case ExchangeButterfly:
+		prank := e.shape.Ranks()
+		return &butterflyExchange{
+			e:             e,
+			rank:          rank,
+			nhops:         bits.Len(uint(prank)) - 1, // log2 of a power of two
+			sel:           wire.NewSelector(),
+			pending:       make([][][]uint32, prank),
+			pendingSorted: make([][]bool, prank),
+		}
+	default:
+		return &allPairsExchange{e: e, rank: rank, sel: wire.NewSelector()}
+	}
+}
+
+// hopTag derives a distinct MPI tag per (iteration, hop); the all-pairs
+// strategy uses the bare iteration as its tag, and the parent resolution
+// round sits at 1<<30, far outside both.
+func hopTag(iter int32, hop int) int {
+	return int(iter)*64 + hop
+}
+
+// mergeForRank gathers all of this rank's bins destined for dst's GPUs into
+// one id list per destination slot, merging every source GPU of this rank.
+// When every contributing bin is sorted (uniquify leaves them so), the lists
+// are merge-sorted instead of concatenated, which keeps the pre-sorted codec
+// hint alive through aggregation. The returned slices are freshly allocated;
+// callers may retain and grow them.
+func (e *Engine) mergeForRank(myGPUs []*gpuState, dst int) ([][]uint32, []bool) {
+	pgpu := e.shape.GPUsPerRank
+	merged := make([][]uint32, pgpu)
+	sorted := make([]bool, pgpu)
+	var lists [][]uint32
+	for s := 0; s < pgpu; s++ {
+		dstGPU := dst*pgpu + s
+		lists = lists[:0]
+		allSorted := true
+		for _, gs := range myGPUs {
+			if bin := gs.bins.PerGPU[dstGPU]; len(bin) > 0 {
+				lists = append(lists, bin)
+				allSorted = allSorted && gs.bins.IsSorted(dstGPU)
+			}
+		}
+		switch {
+		case len(lists) == 0:
+			sorted[s] = true
+		case allSorted:
+			merged[s] = frontier.MergeSorted(lists)
+			sorted[s] = true
+		default:
+			for _, l := range lists {
+				merged[s] = append(merged[s], l...)
+			}
+		}
+	}
+	return merged, sorted
+}
+
+// ---- all-pairs ----
+
+type allPairsExchange struct {
+	e    *Engine
+	rank int
+	sel  *wire.Selector
+}
+
+func (x *allPairsExchange) rounds() int { return 1 }
+
+func (x *allPairsExchange) exchange(comm *mpi.Comm, myGPUs []*gpuState, iter int32) exchangeCounts {
+	e, rank := x.e, x.rank
+	pgpu := e.shape.GPUsPerRank
+	prank := e.shape.Ranks()
+	mode := e.opts.Compression
+	var c exchangeCounts
+	c.arrivals = make([][]uint32, pgpu)
+
+	// Remote sends: one packed message per destination rank carrying every
+	// source GPU's bins for that rank's slots. EncodeSlots applies the
+	// shared accounting convention: with compression off, id bytes only
+	// (the paper's 4·|Enn|; the per-slot count headers are wire framing);
+	// with a codec active, the encoded message — framing, checksums and
+	// all — is what crosses the NIC and what the timing model sees.
+	for dst := 0; dst < prank; dst++ {
+		if dst == rank {
+			continue
+		}
+		slots, sorted := e.mergeForRank(myGPUs, dst)
+		payload, st := x.sel.EncodeSlots(dst, slots, sorted, mode)
+		c.sent += st.EncodedBytes
+		c.sentRaw += st.RawBytes
+		for i, n := range st.Selected {
+			c.scheme[i] += n
+		}
+		c.memoHits += st.MemoHits
+		c.messages++
+		comm.Isend(dst, int(iter), payload)
+	}
+	// Receives (decoded through the same codec the sender used).
+	for src := 0; src < prank; src++ {
+		if src == rank {
+			continue
+		}
+		buf := comm.Recv(src, int(iter))
+		var slots [][]uint32
+		var err error
+		if mode == wire.ModeOff {
+			c.recv += int64(len(buf)) - 4*int64(pgpu)
+			slots, err = frontier.UnpackRank(buf, pgpu)
+		} else {
+			c.recv += int64(len(buf))
+			slots, err = wire.DecodeRank(buf, pgpu)
+		}
+		if err != nil {
+			panic(fmt.Sprintf("core: corrupt exchange payload: %v", err))
+		}
+		for s, ids := range slots {
+			c.arrivals[s] = append(c.arrivals[s], ids...)
+		}
+	}
+	c.hopBytes = []int64{c.sent}
+	return c
+}
+
+func (x *allPairsExchange) remoteTime(hopBytes []int64) (float64, int64) {
+	b := hopBytes[0]
+	msg := x.e.effMessageBytes(b)
+	return x.e.opts.Net.PointToPoint(b, msg), msg
+}
+
+// ---- butterfly ----
+
+type butterflyExchange struct {
+	e     *Engine
+	rank  int
+	nhops int
+	sel   *wire.Selector
+	// pending holds, per final destination rank, the per-slot ids this rank
+	// currently carries for it (own bins plus relayed payloads); nil when
+	// nothing is pending.
+	pending       [][][]uint32
+	pendingSorted [][]bool
+}
+
+func (x *butterflyExchange) rounds() int { return x.nhops }
+
+func (x *butterflyExchange) exchange(comm *mpi.Comm, myGPUs []*gpuState, iter int32) exchangeCounts {
+	e, rank := x.e, x.rank
+	pgpu := e.shape.GPUsPerRank
+	prank := e.shape.Ranks()
+	mode := e.opts.Compression
+	var c exchangeCounts
+	c.arrivals = make([][]uint32, pgpu)
+	c.hopBytes = make([]int64, x.nhops)
+
+	// Stage this iteration's own bins. ownRaw is the fixed-width equivalent
+	// of originated traffic; everything sent beyond it was forwarded.
+	var ownRaw int64
+	for dst := 0; dst < prank; dst++ {
+		x.pending[dst], x.pendingSorted[dst] = nil, nil
+		if dst == rank {
+			continue
+		}
+		slots, sorted := e.mergeForRank(myGPUs, dst)
+		n := countIDs(slots)
+		if n == 0 {
+			continue
+		}
+		x.pending[dst], x.pendingSorted[dst] = slots, sorted
+		ownRaw += 4 * n
+	}
+
+	for h := 0; h < x.nhops; h++ {
+		bit := 1 << h
+		partner := rank ^ bit
+		// Forward everything destined for the partner's half: ids travel by
+		// having their destination-rank bits corrected lowest-first.
+		var secs []wire.Section
+		for dst := 0; dst < prank; dst++ {
+			if (dst^rank)&bit == 0 || x.pending[dst] == nil {
+				continue
+			}
+			secs = append(secs, wire.Section{
+				Rank:   dst,
+				Slots:  x.pending[dst],
+				Sorted: x.pendingSorted[dst],
+			})
+			x.pending[dst], x.pendingSorted[dst] = nil, nil
+		}
+		payload, st := x.sel.EncodeSections(secs, pgpu, mode)
+		c.sent += st.EncodedBytes
+		c.sentRaw += st.RawBytes
+		for i, n := range st.Selected {
+			c.scheme[i] += n
+		}
+		c.memoHits += st.MemoHits
+		c.hopBytes[h] = st.EncodedBytes
+		c.messages++
+		comm.Isend(partner, hopTag(iter, h), payload)
+
+		buf := comm.Recv(partner, hopTag(iter, h))
+		secsIn, err := wire.DecodeSections(buf, pgpu, prank, mode)
+		if err != nil {
+			panic(fmt.Sprintf("core: corrupt butterfly payload (hop %d): %v", h, err))
+		}
+		if mode == wire.ModeOff {
+			for _, sec := range secsIn {
+				c.recv += 4 * countIDs(sec.Slots)
+			}
+		} else {
+			c.recv += int64(len(buf))
+		}
+		for _, sec := range secsIn {
+			if sec.Rank == rank {
+				for s, ids := range sec.Slots {
+					c.arrivals[s] = append(c.arrivals[s], ids...)
+				}
+				continue
+			}
+			x.mergePending(sec)
+		}
+	}
+
+	// Every relayed id must have reached its destination on the last hop.
+	for dst, p := range x.pending {
+		if dst != rank && p != nil && countIDs(p) > 0 {
+			panic(fmt.Sprintf("core: butterfly left %d ids undelivered for rank %d", countIDs(p), dst))
+		}
+		x.pending[dst], x.pendingSorted[dst] = nil, nil
+	}
+	c.forwarded = c.sentRaw - ownRaw
+	return c
+}
+
+// mergePending folds a relayed section into the pending payload for its
+// destination, merge-sorting slot lists when both sides are sorted so the
+// pre-sorted hint survives relaying.
+func (x *butterflyExchange) mergePending(sec wire.Section) {
+	dst := sec.Rank
+	if x.pending[dst] == nil {
+		x.pending[dst], x.pendingSorted[dst] = sec.Slots, sec.Sorted
+		return
+	}
+	cur, curSorted := x.pending[dst], x.pendingSorted[dst]
+	for s, inc := range sec.Slots {
+		switch {
+		case len(inc) == 0:
+			// Nothing to merge.
+		case len(cur[s]) == 0:
+			cur[s], curSorted[s] = inc, sec.Sorted[s]
+		case curSorted[s] && sec.Sorted[s]:
+			cur[s] = frontier.MergeSorted([][]uint32{cur[s], inc})
+		default:
+			cur[s] = append(cur[s], inc...)
+			curSorted[s] = false
+		}
+	}
+}
+
+func (x *butterflyExchange) remoteTime(hopBytes []int64) (float64, int64) {
+	var maxMsg int64
+	msgCap := x.e.opts.MessageBytes
+	for _, b := range hopBytes {
+		msg := b
+		if msg > msgCap {
+			msg = msgCap
+		}
+		if msg > maxMsg {
+			maxMsg = msg
+		}
+	}
+	return x.e.opts.Net.Butterfly(hopBytes, msgCap), maxMsg
+}
+
+// countIDs totals the ids across a slot list.
+func countIDs(slots [][]uint32) int64 {
+	var n int64
+	for _, ids := range slots {
+		n += int64(len(ids))
+	}
+	return n
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"gcbfs/internal/metrics"
+	"gcbfs/internal/partition"
+	"gcbfs/internal/rmat"
+	"gcbfs/internal/wire"
+)
+
+// runExchange executes one run with the given strategy and full result
+// collection.
+func runExchange(t *testing.T, e *Engine, src int64) *metrics.RunResult {
+	t.Helper()
+	res, err := e.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// requireIdentical asserts two runs agree bit-for-bit on levels and parents.
+func requireIdentical(t *testing.T, label string, a, b *metrics.RunResult) {
+	t.Helper()
+	if a.Iterations != b.Iterations {
+		t.Fatalf("%s: iterations %d vs %d", label, a.Iterations, b.Iterations)
+	}
+	for v := range a.Levels {
+		if a.Levels[v] != b.Levels[v] {
+			t.Fatalf("%s: vertex %d level %d vs %d", label, v, a.Levels[v], b.Levels[v])
+		}
+	}
+	if (a.Parents == nil) != (b.Parents == nil) {
+		t.Fatalf("%s: parents collected on one side only", label)
+	}
+	for v := range a.Parents {
+		if a.Parents[v] != b.Parents[v] {
+			t.Fatalf("%s: vertex %d parent %d vs %d", label, v, a.Parents[v], b.Parents[v])
+		}
+	}
+	if a.EdgesScanned != b.EdgesScanned {
+		t.Fatalf("%s: edges scanned %d vs %d", label, a.EdgesScanned, b.EdgesScanned)
+	}
+}
+
+// TestExchangeEquivalence is the tentpole's property test: across scales,
+// cluster shapes (power-of-two and odd rank counts) and compression modes,
+// the butterfly produces levels and parents bit-identical to all-pairs.
+func TestExchangeEquivalence(t *testing.T) {
+	scales := []int{10, 13}
+	if !testing.Short() {
+		scales = append(scales, 16)
+	}
+	shapes := []ClusterShape{
+		{Nodes: 2, RanksPerNode: 2, GPUsPerRank: 2}, // 4 ranks
+		{Nodes: 4, RanksPerNode: 2, GPUsPerRank: 1}, // 8 ranks
+		{Nodes: 3, RanksPerNode: 1, GPUsPerRank: 2}, // 3 ranks → fallback
+	}
+	modes := []wire.Mode{wire.ModeOff, wire.ModeAdaptive, wire.ModeDelta}
+
+	for _, scale := range scales {
+		el := rmat.Generate(rmat.DefaultParams(scale))
+		// Tight delegate cap so the normal exchange carries real volume.
+		th := partition.SuggestThreshold(el.OutDegrees(), el.N/8)
+		src := pickSources(el.OutDegrees(), 1, 42)[0]
+		for _, shape := range shapes {
+			for _, mode := range modes {
+				for _, uniq := range []bool{false, true} {
+					if uniq && mode == wire.ModeOff {
+						continue // covered by existing uniquify tests
+					}
+					label := fmt.Sprintf("scale=%d shape=%s mode=%v uniq=%v", scale, shape, mode, uniq)
+					opts := DefaultOptions()
+					opts.Compression = mode
+					opts.Uniquify = uniq
+					opts.CollectParents = true
+					ap := opts
+					ap.Exchange = ExchangeAllPairs
+					bf := opts
+					bf.Exchange = ExchangeButterfly
+					ra := runExchange(t, buildEngine(t, el, shape, th, ap), src)
+					rb := runExchange(t, buildEngine(t, el, shape, th, bf), src)
+					requireIdentical(t, label, ra, rb)
+					if ra.Exchange.Strategy != "allpairs" || ra.Exchange.Fallback != "" {
+						t.Fatalf("%s: all-pairs run reported %q/%q", label,
+							ra.Exchange.Strategy, ra.Exchange.Fallback)
+					}
+					prank := shape.Ranks()
+					if prank&(prank-1) == 0 {
+						if rb.Exchange.Strategy != "butterfly" || rb.Exchange.Fallback != "" {
+							t.Fatalf("%s: butterfly run reported %q/%q", label,
+								rb.Exchange.Strategy, rb.Exchange.Fallback)
+						}
+					} else if rb.Exchange.Strategy != "allpairs" || rb.Exchange.Fallback == "" {
+						t.Fatalf("%s: expected recorded fallback for %d ranks, got %q/%q",
+							label, prank, rb.Exchange.Strategy, rb.Exchange.Fallback)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestExchangeFallbackNonPowerOfTwo is the regression test for the fallback
+// path: a butterfly request on 6 ranks must run all-pairs, record why, and
+// still validate against the serial reference.
+func TestExchangeFallbackNonPowerOfTwo(t *testing.T) {
+	el := rmat.Generate(rmat.DefaultParams(11))
+	shape := ClusterShape{Nodes: 3, RanksPerNode: 2, GPUsPerRank: 1} // 6 ranks
+	th := partition.SuggestThreshold(el.OutDegrees(), el.N/8)
+	opts := DefaultOptions()
+	opts.Exchange = ExchangeButterfly
+	e := buildEngine(t, el, shape, th, opts)
+	res := checkAgainstSerial(t, el, e, 3)
+	if res.Exchange.Strategy != "allpairs" {
+		t.Fatalf("strategy %q, want allpairs fallback", res.Exchange.Strategy)
+	}
+	if res.Exchange.Fallback == "" {
+		t.Fatal("fallback reason not recorded")
+	}
+	if res.Exchange.HopsPerIteration != 1 {
+		t.Fatalf("fallback hops/iteration = %d, want 1", res.Exchange.HopsPerIteration)
+	}
+}
+
+// TestExchangeMessageCounts checks the headline claim: per iteration, each
+// rank sends exactly p−1 messages under all-pairs and log2(p) under the
+// butterfly, and the butterfly pays for it with forwarded bytes.
+func TestExchangeMessageCounts(t *testing.T) {
+	el := rmat.Generate(rmat.DefaultParams(12))
+	shape := ClusterShape{Nodes: 4, RanksPerNode: 2, GPUsPerRank: 1} // 8 ranks
+	th := partition.SuggestThreshold(el.OutDegrees(), el.N/8)
+	prank := int64(shape.Ranks())
+
+	run := func(x Exchange) *metrics.RunResult {
+		opts := DefaultOptions()
+		opts.Exchange = x
+		opts.Compression = wire.ModeAdaptive
+		return runExchange(t, buildEngine(t, el, shape, th, opts), 1)
+	}
+	ap := run(ExchangeAllPairs)
+	bf := run(ExchangeButterfly)
+
+	iters := int64(ap.Iterations)
+	if got, want := ap.Exchange.Messages, iters*prank*(prank-1); got != want {
+		t.Fatalf("all-pairs messages %d, want %d (p−1 per rank per iteration)", got, want)
+	}
+	if got, want := bf.Exchange.Messages, iters*prank*3; got != want {
+		t.Fatalf("butterfly messages %d, want %d (log2(p) per rank per iteration)", got, want)
+	}
+	if bf.Exchange.HopsPerIteration != 3 {
+		t.Fatalf("butterfly hops/iteration = %d, want 3", bf.Exchange.HopsPerIteration)
+	}
+	if ap.Exchange.ForwardedBytes != 0 {
+		t.Fatalf("all-pairs forwarded %d bytes, want 0", ap.Exchange.ForwardedBytes)
+	}
+	if bf.Exchange.ForwardedBytes <= 0 {
+		t.Fatal("butterfly forwarded no bytes — relaying never happened")
+	}
+	if bf.Exchange.MaxMessageBytes <= ap.Exchange.MaxMessageBytes {
+		t.Fatalf("butterfly max message %d not above all-pairs %d — aggregation missing",
+			bf.Exchange.MaxMessageBytes, ap.Exchange.MaxMessageBytes)
+	}
+}
+
+// TestExchangeSingleAndTwoRanks covers the degenerate hypercubes: one rank
+// (zero hops) and two ranks (one hop).
+func TestExchangeSingleAndTwoRanks(t *testing.T) {
+	el := rmat.Generate(rmat.DefaultParams(10))
+	for _, shape := range []ClusterShape{
+		{Nodes: 1, RanksPerNode: 1, GPUsPerRank: 2},
+		{Nodes: 1, RanksPerNode: 2, GPUsPerRank: 2},
+	} {
+		opts := DefaultOptions()
+		opts.Exchange = ExchangeButterfly
+		e := buildEngine(t, el, shape, 64, opts)
+		checkAgainstSerial(t, el, e, 5)
+	}
+}
+
+func TestParseExchange(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Exchange
+		ok   bool
+	}{
+		{"", ExchangeAllPairs, true},
+		{"allpairs", ExchangeAllPairs, true},
+		{"all-pairs", ExchangeAllPairs, true},
+		{"butterfly", ExchangeButterfly, true},
+		{"hypercube", ExchangeAllPairs, false},
+	} {
+		got, err := ParseExchange(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Fatalf("ParseExchange(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if ExchangeButterfly.String() != "butterfly" || ExchangeAllPairs.String() != "allpairs" {
+		t.Fatal("Exchange.String spelling changed")
+	}
+}
+
+func TestEngineRejectsBadExchange(t *testing.T) {
+	el := rmat.Generate(rmat.DefaultParams(10))
+	shape := ClusterShape{Nodes: 1, RanksPerNode: 2, GPUsPerRank: 1}
+	sep := partition.Separate(el, 32)
+	sg, err := partition.Distribute(el, sep, shape.PartitionConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Exchange = Exchange(7)
+	if _, err := NewEngine(sg, shape, opts); err == nil {
+		t.Fatal("engine accepted an invalid exchange strategy")
+	}
+}

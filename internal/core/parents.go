@@ -7,6 +7,7 @@ import (
 
 	"gcbfs/internal/frontier"
 	"gcbfs/internal/mpi"
+	"gcbfs/internal/wire"
 )
 
 // BFS-tree construction (paper §VI-A3). The paper outputs hop distances and
@@ -29,10 +30,14 @@ import (
 // Resolution traffic is reported (ParentPairs) but excluded from simulated
 // BFS time, matching the paper's reporting of distance-only timings.
 
-// levelBits packs the sender's claimed child level into the high bits of a
-// pair value; vertex ids must stay below 2^48 (scale 48 — far above both the
-// paper's scale 40 ceiling and any simulated graph).
-const levelBits = 48
+// parentLevelBits packs the sender's claimed child level into the LOW bits
+// of a pair value with the parent global id above it. Low-bits level keeps
+// the value small as an integer, so the pairs codec's uvarint values shrink
+// with graph size instead of always paying for the high level bits. Vertex
+// ids must stay below 2^44 (far above the paper's scale 40 ceiling) and BFS
+// depth below 2^20 (far above the §VI-D long-tail graphs' hundreds of
+// iterations).
+const parentLevelBits = 20
 
 // resolveParents runs the two-phase resolution on this rank. All ranks
 // participate (collectives inside); rank 0 publishes the delegate result.
@@ -111,8 +116,14 @@ func (e *Engine) resolveRemoteParents(rank int, comm *mpi.Comm, myGPUs []*gpuSta
 			if lvl < 0 || gs.pg.NN.Degree(slot) == 0 {
 				continue
 			}
+			if lvl+1 >= 1<<parentLevelBits {
+				panic(fmt.Sprintf("core: BFS level %d exceeds the pairs-codec ceiling", lvl))
+			}
 			uGlobal := e.cfg.GlobalID(uint32(slot), gs.pg.Rank, gs.pg.Slot)
-			val := uint64(lvl+1)<<levelBits | uint64(uGlobal)
+			if uGlobal >= 1<<(64-parentLevelBits) {
+				panic(fmt.Sprintf("core: vertex id %d exceeds the pairs-codec ceiling", uGlobal))
+			}
+			val := uint64(uGlobal)<<parentLevelBits | uint64(lvl+1)
 			for _, v := range gs.pg.NN.Neighbors(slot) {
 				owner := e.cfg.OwnerGPU(v)
 				if owner == self {
@@ -130,18 +141,23 @@ func (e *Engine) resolveRemoteParents(rank int, comm *mpi.Comm, myGPUs []*gpuSta
 			if !gs.remoteNeedsParent[pr.ID] {
 				continue
 			}
-			childLevel := int32(pr.Val >> levelBits)
+			childLevel := int32(pr.Val & (1<<parentLevelBits - 1))
 			if gs.levels[pr.ID] != childLevel {
 				continue
 			}
-			parent := int64(pr.Val & (1<<levelBits - 1))
+			parent := int64(pr.Val >> parentLevelBits)
 			if cur := gs.parents[pr.ID]; cur == -1 || parent < cur {
 				gs.parents[pr.ID] = parent
 			}
 		}
 	}
 
-	// Intra-rank pairs apply directly; inter-rank pairs go through MPI.
+	// Intra-rank pairs apply directly; inter-rank pairs route through the
+	// same codec policy as the frontier exchange (raw 12-byte pairs when
+	// compression is off). The volume is reported in WireStats but, like
+	// the rest of the resolution round, excluded from simulated BFS time.
+	mode := e.opts.Compression
+	var rawBytes, wireBytes int64
 	for dst := 0; dst < prank; dst++ {
 		if dst == rank {
 			for s := 0; s < pgpu; s++ {
@@ -149,15 +165,35 @@ func (e *Engine) resolveRemoteParents(rank int, comm *mpi.Comm, myGPUs []*gpuSta
 			}
 			continue
 		}
-		payload := packPairsForRank(bins, dst, pgpu)
+		slots := pairSlotsForRank(bins, dst, pgpu)
+		var payload []byte
+		if mode == wire.ModeOff {
+			payload = (&frontier.PairBins{PerGPU: slots}).PackRank(0, pgpu)
+			idBytes := int64(len(payload)) - 4*int64(pgpu)
+			rawBytes += idBytes
+			wireBytes += idBytes
+		} else {
+			var st wire.Stats
+			payload, st = wire.EncodePairsRank(slots, mode)
+			rawBytes += st.RawBytes
+			wireBytes += st.EncodedBytes
+		}
 		comm.Isend(dst, tag, payload)
 	}
+	atomic.AddInt64(&e.parentPairRawBytes, rawBytes)
+	atomic.AddInt64(&e.parentPairWireBytes, wireBytes)
 	for src := 0; src < prank; src++ {
 		if src == rank {
 			continue
 		}
 		buf := comm.Recv(src, tag)
-		slots, err := frontier.UnpackPairsRank(buf, pgpu)
+		var slots [][]frontier.Pair
+		var err error
+		if mode == wire.ModeOff {
+			slots, err = frontier.UnpackPairsRank(buf, pgpu)
+		} else {
+			slots, err = wire.DecodePairsRank(buf, pgpu)
+		}
 		if err != nil {
 			panic(fmt.Sprintf("core: corrupt parent payload: %v", err))
 		}
@@ -179,13 +215,13 @@ func (e *Engine) resolveRemoteParents(rank int, comm *mpi.Comm, myGPUs []*gpuSta
 	}
 }
 
-// packPairsForRank serializes one destination rank's slice of a PairBins.
-func packPairsForRank(bins *frontier.PairBins, dst, gpusPerRank int) []byte {
-	sub := frontier.NewPairBins(gpusPerRank)
+// pairSlotsForRank extracts one destination rank's per-slot pair lists.
+func pairSlotsForRank(bins *frontier.PairBins, dst, gpusPerRank int) [][]frontier.Pair {
+	slots := make([][]frontier.Pair, gpusPerRank)
 	for s := 0; s < gpusPerRank; s++ {
-		sub.PerGPU[s] = bins.PerGPU[dst*gpusPerRank+s]
+		slots[s] = bins.PerGPU[dst*gpusPerRank+s]
 	}
-	return sub.PackRank(0, gpusPerRank)
+	return slots
 }
 
 // gatherParents assembles the global BFS tree from owner GPUs and the

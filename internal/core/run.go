@@ -2,10 +2,10 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 
 	"gcbfs/internal/bitmask"
-	"gcbfs/internal/frontier"
 	"gcbfs/internal/metrics"
 	"gcbfs/internal/mpi"
 	"gcbfs/internal/simgpu"
@@ -27,6 +27,7 @@ type recorder struct {
 	simSeconds    float64
 	parts         metrics.Breakdown
 	wire          metrics.WireStats
+	exchange      metrics.ExchangeStats
 }
 
 // Run executes one BFS from the given global source vertex and returns the
@@ -64,12 +65,15 @@ func (e *Engine) Run(source int64) (*metrics.RunResult, error) {
 	prank := e.shape.Ranks()
 	world := mpi.NewWorld(prank)
 	rec := &recorder{}
+	strategy, fallbackReason := e.exchangePlan()
+	rec.exchange.Strategy = strategy.String()
+	rec.exchange.Fallback = fallbackReason
 	var wg sync.WaitGroup
 	for r := 0; r < prank; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			e.runRank(rank, world.Rank(rank), rec, srcIsDelegate, source)
+			e.runRank(rank, world.Rank(rank), rec, strategy, srcIsDelegate, source)
 		}(r)
 	}
 	wg.Wait()
@@ -85,8 +89,11 @@ func (e *Engine) Run(source int64) (*metrics.RunResult, error) {
 		PerIteration:  rec.iterations,
 		DelegateComms: rec.delegateComms,
 		Wire:          rec.wire,
+		Exchange:      rec.exchange,
 	}
 	res.Wire.Enabled = e.opts.Compression != wire.ModeOff
+	res.Wire.PairRawBytes = e.parentPairRawBytes
+	res.Wire.PairWireBytes = e.parentPairWireBytes
 	if e.opts.CollectLevels {
 		res.Levels = e.gatherLevels()
 	}
@@ -112,12 +119,16 @@ func (e *Engine) RunMany(sources []int64) ([]*metrics.RunResult, error) {
 
 // runRank is the per-rank BSP loop ("the CPU thread that controls GPU0"
 // performs the global phases, §V-A).
-func (e *Engine) runRank(rank int, comm *mpi.Comm, rec *recorder, srcIsDelegate bool, source int64) {
+func (e *Engine) runRank(rank int, comm *mpi.Comm, rec *recorder, strategy Exchange, srcIsDelegate bool, source int64) {
 	pgpu := e.shape.GPUsPerRank
 	prank := e.shape.Ranks()
 	myGPUs := e.gpus[rank*pgpu : (rank+1)*pgpu]
 	rankMask := bitmask.New(e.d)
 	maskBytes := rankMask.ByteSize()
+	ex := e.newExchanger(strategy, rank)
+	if rank == 0 {
+		rec.exchange.HopsPerIteration = ex.rounds()
+	}
 
 	// Input frontier sizes of the upcoming iteration (globally known).
 	inputNormals, inputDelegates := int64(1), int64(0)
@@ -177,38 +188,11 @@ func (e *Engine) runRank(rank int, comm *mpi.Comm, rec *recorder, srcIsDelegate 
 				}
 			}
 		}
-		mode := e.opts.Compression
-		var sentBytes, rawSentBytes, intraBytes int64
-		var schemeSel [wire.NumSchemes]int64
-		// Remote sends: one packed message per destination rank carrying
-		// every source GPU's bins for that rank's slots. With compression
-		// off, count id bytes only (the paper's 4·|Enn| accounting; the
-		// per-slot count headers are wire framing). With a codec active,
-		// the encoded message — framing, checksums and all — is what
-		// crosses the NIC, so that is what the timing model sees.
-		for dst := 0; dst < prank; dst++ {
-			if dst == rank {
-				continue
-			}
-			slots := e.mergeForRank(myGPUs, dst)
-			var payload []byte
-			if mode == wire.ModeOff {
-				payload = (&frontier.Bins{PerGPU: slots}).PackRank(0, pgpu)
-				idBytes := int64(len(payload)) - 4*int64(pgpu)
-				sentBytes += idBytes
-				rawSentBytes += idBytes
-			} else {
-				var st wire.Stats
-				payload, st = wire.EncodeRank(slots, mode)
-				sentBytes += st.EncodedBytes
-				rawSentBytes += st.RawBytes
-				for i, c := range st.Selected {
-					schemeSel[i] += c
-				}
-			}
-			comm.Isend(dst, int(iter), payload)
-		}
+		// Inter-rank exchange through the configured strategy (all-pairs
+		// sends, or the butterfly's log(p) hops — see exchange.go).
+		counts := ex.exchange(comm, myGPUs, iter)
 		// Intra-rank cross-GPU bins apply directly (NVLink, not NIC).
+		var intraBytes int64
 		for _, src := range myGPUs {
 			for s := 0; s < pgpu; s++ {
 				dstGPU := rank*pgpu + s
@@ -220,30 +204,18 @@ func (e *Engine) runRank(rank int, comm *mpi.Comm, rec *recorder, srcIsDelegate 
 				applyIDs(e.gpus[dstGPU], ids, iter+1)
 			}
 		}
-		// Receives (decoded through the same codec the sender used).
-		var recvBytes, applied int64
-		for src := 0; src < prank; src++ {
-			if src == rank {
-				continue
-			}
-			buf := comm.Recv(src, int(iter))
-			var slots [][]uint32
-			var err error
-			if mode == wire.ModeOff {
-				recvBytes += int64(len(buf)) - 4*int64(pgpu)
-				slots, err = frontier.UnpackRank(buf, pgpu)
-			} else {
-				recvBytes += int64(len(buf))
-				slots, err = wire.DecodeRank(buf, pgpu)
-			}
-			if err != nil {
-				panic(fmt.Sprintf("core: corrupt exchange payload: %v", err))
-			}
-			for s, ids := range slots {
-				applied += int64(len(ids))
-				applyIDs(myGPUs[s], ids, iter+1)
-			}
+		// Remote arrivals apply in canonical ascending order so every
+		// exchange strategy yields the identical output-frontier order (and
+		// hence identical parents downstream). On the real GPU the apply is
+		// an order-independent parallel scatter, so no extra time is
+		// charged for the canonicalization.
+		var applied int64
+		for s, ids := range counts.arrivals {
+			applied += int64(len(ids))
+			slices.Sort(ids)
+			applyIDs(myGPUs[s], ids, iter+1)
 		}
+		sentBytes, rawSentBytes := counts.sent, counts.sentRaw
 		// Scatter cost of applying received ids on the destination GPUs.
 		if applied+intraBytes/4 > 0 {
 			myGPUs[0].it.normalStream += e.charge(myGPUs[0], simgpu.KernelCost{
@@ -262,7 +234,7 @@ func (e *Engine) runRank(rank int, comm *mpi.Comm, rec *recorder, srcIsDelegate 
 			}
 		}
 		// Timing uses amplified volumes (scale-model, see Options).
-		aSent, aRecv, aIntra := e.ampBytes(sentBytes), e.ampBytes(recvBytes), e.ampBytes(intraBytes)
+		aSent, aRecv, aIntra := e.ampBytes(sentBytes), e.ampBytes(counts.recv), e.ampBytes(intraBytes)
 		aMask := e.ampBytes(maskBytes)
 		var localComm float64
 		if maskExchanged {
@@ -275,18 +247,30 @@ func (e *Engine) runRank(rank int, comm *mpi.Comm, rec *recorder, srcIsDelegate 
 			localComm += e.opts.Net.LocalExchange(aSent*int64(pgpu-1)/int64(pgpu), pgpu)
 		}
 		localComm += e.opts.Net.Staging(aSent) + e.opts.Net.Staging(aRecv) + e.opts.Net.Staging(aIntra)
-		remoteNormal := e.opts.Net.PointToPoint(aSent, e.effMessageBytes(aSent))
 		var remoteDelegate float64
 		if maskExchanged {
 			remoteDelegate = e.opts.Net.Allreduce(aMask, prank, e.opts.BlockingReduce)
 		}
-		vec := []float64{comp, localComm, remoteNormal, remoteDelegate}
+		// The per-hop volumes ride along the reduced vector (amplified) so
+		// every rank derives the identical remote-normal time from the
+		// global per-hop maxima — the hops are synchronized pairwise
+		// exchanges, so the slowest rank paces each one.
+		vec := make([]float64, 0, 3+len(counts.hopBytes))
+		vec = append(vec, comp, localComm, remoteDelegate)
+		for _, hb := range counts.hopBytes {
+			vec = append(vec, float64(e.ampBytes(hb)))
+		}
 		maxFloatsAllreduce(comm, vec)
+		redHops := make([]int64, len(counts.hopBytes))
+		for i := range redHops {
+			redHops[i] = int64(vec[3+i])
+		}
+		remoteNormal, maxMsg := ex.remoteTime(redHops)
 		parts := metrics.Breakdown{
 			Computation:    vec[0],
 			LocalComm:      vec[1],
-			RemoteNormal:   vec[2],
-			RemoteDelegate: vec[3],
+			RemoteNormal:   remoteNormal,
+			RemoteDelegate: vec[2],
 		}
 		elapsed := e.iterElapsed(parts)
 
@@ -301,7 +285,8 @@ func (e *Engine) runRank(rank int, comm *mpi.Comm, rec *recorder, srcIsDelegate 
 			flag = 1
 		}
 		sums := []int64{edges, sentBytes, nextNormals, dupsRemoved, flag,
-			rawSentBytes, schemeSel[wire.SchemeRaw], schemeSel[wire.SchemeDelta], schemeSel[wire.SchemeBitmap]}
+			rawSentBytes, counts.scheme[wire.SchemeRaw], counts.scheme[wire.SchemeDelta], counts.scheme[wire.SchemeBitmap],
+			counts.messages, counts.forwarded, counts.memoHits}
 		comm.AllreduceSum(sums)
 
 		if rank == 0 {
@@ -328,6 +313,12 @@ func (e *Engine) runRank(rank int, comm *mpi.Comm, rec *recorder, srcIsDelegate 
 			rec.wire.SchemeRaw += sums[6]
 			rec.wire.SchemeDelta += sums[7]
 			rec.wire.SchemeBitmap += sums[8]
+			rec.exchange.Messages += sums[9]
+			rec.exchange.ForwardedBytes += sums[10]
+			rec.wire.MemoHits += sums[11]
+			if maxMsg > rec.exchange.MaxMessageBytes {
+				rec.exchange.MaxMessageBytes = maxMsg
+			}
 			if maskExchanged {
 				rec.delegateComms++
 			}
@@ -358,22 +349,6 @@ func applyIDs(gs *gpuState, ids []uint32, depth int32) {
 			gs.discover(id, depth, -1)
 		}
 	}
-}
-
-// mergeForRank gathers all of this rank's bins destined for dst's GPUs into
-// one id list per destination slot, merging every source GPU of this rank.
-// The caller serializes the slots with the legacy fixed-width packing or the
-// wire codec, depending on Options.Compression.
-func (e *Engine) mergeForRank(myGPUs []*gpuState, dst int) [][]uint32 {
-	pgpu := e.shape.GPUsPerRank
-	merged := make([][]uint32, pgpu)
-	for s := 0; s < pgpu; s++ {
-		dstGPU := dst*pgpu + s
-		for _, gs := range myGPUs {
-			merged[s] = append(merged[s], gs.bins.PerGPU[dstGPU]...)
-		}
-	}
-	return merged
 }
 
 func boolToBytes(ok bool, b int64) int64 {

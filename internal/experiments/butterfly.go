@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gcbfs/internal/core"
+	"gcbfs/internal/graph"
+	"gcbfs/internal/metrics"
+	"gcbfs/internal/wire"
+)
+
+// Cmp2Exchange ablates the exchange topology (internal/core/exchange.go):
+// all-pairs vs butterfly across rank counts and compression modes, on the
+// skewed Graph500 R-MAT graph and a uniform random graph. Work amplification
+// lifts the run into an effective scale ≥ 18 regime, where the all-pairs
+// per-message size sits deep in the sub-2 MB efficiency plateau while the
+// butterfly's aggregated hops climb toward the 4 MB optimum. Levels are
+// asserted identical across strategies on every run — the topologies differ
+// only in message pattern and simulated time.
+func Cmp2Exchange(p Params) (*Table, error) {
+	scale := p.pick(14, 11)
+	amp := ampFor(18, scale)
+	rankCounts := []int{4, 8, 16, 32}
+	if p.Quick {
+		rankCounts = []int{4, 32}
+	}
+	t := &Table{
+		ID:    "cmp2",
+		Title: fmt.Sprintf("exchange-topology ablation, scale %d (amplified to 18), 1×2 GPUs per rank", scale),
+		Paper: "beyond the paper — ButterFly BFS (Green 2021) log(p)-hop exchange vs §V-B all-pairs",
+		Headers: []string{"graph", "ranks", "mode", "exchange", "msg/rank/iter",
+			"wire kB", "fwd kB", "max msg MB", "remote-normal ms", "elapsed ms"},
+		Notes: []string{
+			"levels asserted bit-identical between strategies on every run",
+			"msg/rank/iter: all-pairs sends p−1, the butterfly log2(p) aggregated hop messages",
+			"fwd kB is the fixed-width equivalent of ids relayed through intermediate ranks — the butterfly's price for fewer, larger messages",
+			"max msg MB is the largest message the timing model saw (amplification applied), i.e. where the exchange lands on the §VI-A1 efficiency curve",
+		},
+	}
+
+	graphs := []struct {
+		name string
+		el   *graph.EdgeList
+	}{
+		{"rmat", rmatGraph(scale)},
+		{"uniform", uniformGraph(scale)},
+	}
+	modes := []struct {
+		name string
+		mode wire.Mode
+	}{
+		{"off", wire.ModeOff},
+		{"adaptive", wire.ModeAdaptive},
+	}
+	strategies := []core.Exchange{core.ExchangeAllPairs, core.ExchangeButterfly}
+
+	for _, g := range graphs {
+		// suggestTH caps d at 4n/p; passing p=32 tightens the cap to n/8 so
+		// the normal exchange — the traffic under ablation — carries volume.
+		th := suggestTH(g.el, 32)
+		sources := pickSources(g.el.OutDegrees(), p.sources(), p.seed())
+		for _, ranks := range rankCounts {
+			shape := core.ClusterShape{Nodes: ranks, RanksPerNode: 1, GPUsPerRank: 2}
+			for _, m := range modes {
+				var refLevels [][]int32
+				for _, strat := range strategies {
+					opts := core.DefaultOptions()
+					opts.Compression = m.mode
+					opts.Exchange = strat
+					opts.WorkAmplification = amp
+					opts.CollectLevels = true
+					e, _, err := buildEngine(g.el, shape, th, opts)
+					if err != nil {
+						return nil, err
+					}
+					results, err := e.RunMany(sources)
+					if err != nil {
+						return nil, err
+					}
+					if strat == core.ExchangeAllPairs {
+						for _, r := range results {
+							refLevels = append(refLevels, r.Levels)
+						}
+					} else {
+						for i, r := range results {
+							for v := range r.Levels {
+								if r.Levels[v] != refLevels[i][v] {
+									return nil, fmt.Errorf(
+										"cmp2: %s ranks=%d mode=%s: vertex %d level %d (butterfly) vs %d (allpairs)",
+										g.name, ranks, m.name, v, r.Levels[v], refLevels[i][v])
+								}
+							}
+						}
+					}
+					var xs metrics.ExchangeStats
+					var w metrics.WireStats
+					var iters int64
+					var remoteNormal, elapsed float64
+					for _, r := range results {
+						xs.Accumulate(r.Exchange)
+						w.Accumulate(r.Wire)
+						iters += int64(r.Iterations)
+						remoteNormal += r.Parts.RemoteNormal
+						elapsed += r.SimSeconds
+					}
+					n := float64(len(results))
+					msgPerRankIter := float64(xs.Messages) / float64(iters*int64(ranks))
+					t.Rows = append(t.Rows, []string{
+						g.name, i64(int64(ranks)), m.name, xs.Strategy,
+						f1(msgPerRankIter),
+						f1(float64(w.CompressedBytes) / 1024),
+						f1(float64(xs.ForwardedBytes) / 1024),
+						f2(float64(xs.MaxMessageBytes) / (1 << 20)),
+						ms(remoteNormal / n), ms(elapsed / n),
+					})
+				}
+			}
+		}
+	}
+	return t, nil
+}

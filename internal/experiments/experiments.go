@@ -130,6 +130,7 @@ var registry = []struct {
 	{"abl1", Abl1CommModel, "§II-B communication-model ablation"},
 	{"abl2", Abl2LoadBalance, "§IV-A load-balance strategy ablation"},
 	{"cmp1", Cmp1Compression, "frontier-exchange compression ablation (internal/wire)"},
+	{"cmp2", Cmp2Exchange, "exchange-topology ablation: all-pairs vs butterfly (internal/core/exchange.go)"},
 	{"app1", App1BeyondBFS, "§VI-D beyond-BFS: PageRank and components"},
 	{"mem1", Mem1Capacity, "§VI-C device-memory capacity per representation"},
 }

@@ -53,7 +53,7 @@ func cellFloat(t *testing.T, cell string) float64 {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "net1", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "tab1", "tab2", "wdc1", "do1",
-		"abl1", "abl2", "cmp1", "app1", "mem1"}
+		"abl1", "abl2", "cmp1", "cmp2", "app1", "mem1"}
 	ids := IDs()
 	if len(ids) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(ids), len(want))
@@ -427,6 +427,51 @@ func TestCmp1Shape(t *testing.T) {
 		}
 		if oe, ae := cellFloat(t, off[7]), cellFloat(t, adaptive[7]); ae >= oe {
 			t.Errorf("%s: adaptive elapsed %.2f ms not below off %.2f ms", g, ae, oe)
+		}
+	}
+}
+
+// TestCmp2ButterflyWinsAtScale is the PR's acceptance check: at 32 ranks the
+// butterfly cuts the per-rank per-iteration message count from p−1 to
+// log2(p) and the simulated remote-normal time versus all-pairs (levels are
+// asserted identical inside the experiment itself).
+func TestCmp2ButterflyWinsAtScale(t *testing.T) {
+	tab := runExp(t, "cmp2")
+	// Quick mode: 2 graphs × ranks {4, 32} × 2 modes × 2 strategies.
+	if len(tab.Rows) != 16 {
+		t.Fatalf("cmp2 has %d rows, want 16", len(tab.Rows))
+	}
+	byKey := map[string][]string{}
+	for _, row := range tab.Rows {
+		byKey[row[0]+"/"+row[1]+"/"+row[2]+"/"+row[3]] = row
+	}
+	for _, g := range []string{"rmat", "uniform"} {
+		for _, mode := range []string{"off", "adaptive"} {
+			ap := byKey[g+"/32/"+mode+"/allpairs"]
+			bf := byKey[g+"/32/"+mode+"/butterfly"]
+			if ap == nil || bf == nil {
+				t.Fatalf("%s/%s: missing 32-rank rows", g, mode)
+			}
+			if got := cellFloat(t, ap[4]); got != 31 {
+				t.Errorf("%s/%s: all-pairs sends %.1f msgs/rank/iter, want p−1 = 31", g, mode, got)
+			}
+			if got := cellFloat(t, bf[4]); got != 5 {
+				t.Errorf("%s/%s: butterfly sends %.1f msgs/rank/iter, want log2(p) = 5", g, mode, got)
+			}
+			if apT, bfT := cellFloat(t, ap[8]), cellFloat(t, bf[8]); bfT >= apT {
+				t.Errorf("%s/%s: butterfly remote-normal %.2f ms not below all-pairs %.2f ms",
+					g, mode, bfT, apT)
+			}
+			if cellFloat(t, ap[6]) != 0 {
+				t.Errorf("%s/%s: all-pairs forwarded bytes", g, mode)
+			}
+			if cellFloat(t, bf[6]) <= 0 {
+				t.Errorf("%s/%s: butterfly forwarded nothing", g, mode)
+			}
+			if apM, bfM := cellFloat(t, ap[7]), cellFloat(t, bf[7]); bfM <= apM {
+				t.Errorf("%s/%s: butterfly max message %.2f MB not above all-pairs %.2f MB",
+					g, mode, bfM, apM)
+			}
 		}
 	}
 }

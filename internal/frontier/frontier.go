@@ -14,25 +14,44 @@ import (
 // Bins accumulates outgoing normal-vertex discoveries grouped by destination
 // GPU. Ids stored are already converted to 32-bit local ids at the
 // destination (the paper sends 4 bytes per nn edge — the conversion happens
-// sender-side since local id = v / p is computable anywhere).
+// sender-side since local id = v / p is computable anywhere). Each bin also
+// tracks whether it is known sorted (uniquification leaves bins sorted and
+// duplicate-free), a hint the wire codec uses to skip its sort copy.
 type Bins struct {
 	PerGPU [][]uint32
+	sorted []bool
 }
 
 // NewBins creates empty bins for p destination GPUs.
 func NewBins(p int) *Bins {
-	return &Bins{PerGPU: make([][]uint32, p)}
+	return &Bins{PerGPU: make([][]uint32, p), sorted: make([]bool, p)}
 }
 
 // Add appends a destination-local vertex id to gpu's bin.
 func (b *Bins) Add(gpu int, localID uint32) {
 	b.PerGPU[gpu] = append(b.PerGPU[gpu], localID)
+	if b.sorted != nil {
+		b.sorted[gpu] = false
+	}
+}
+
+// IsSorted reports whether gpu's bin is known sorted ascending (trivially
+// true under two ids). Bins constructed as literals without tracking state
+// report false.
+func (b *Bins) IsSorted(gpu int) bool {
+	if len(b.PerGPU[gpu]) < 2 {
+		return true
+	}
+	return b.sorted != nil && b.sorted[gpu]
 }
 
 // Reset empties all bins, retaining capacity.
 func (b *Bins) Reset() {
 	for i := range b.PerGPU {
 		b.PerGPU[i] = b.PerGPU[i][:0]
+		if b.sorted != nil {
+			b.sorted[i] = true
+		}
 	}
 }
 
@@ -67,6 +86,9 @@ func (b *Bins) Uniquify(gpu int) int64 {
 	}
 	removed := int64(len(bin) - len(out))
 	b.PerGPU[gpu] = out
+	if b.sorted != nil {
+		b.sorted[gpu] = true
+	}
 	return removed
 }
 
@@ -126,6 +148,41 @@ func UnpackRank(buf []byte, gpusPerRank int) ([][]uint32, error) {
 		return nil, fmt.Errorf("frontier: %d trailing bytes", len(buf)-off)
 	}
 	return out, nil
+}
+
+// MergeSorted merges already-sorted id lists into one freshly allocated
+// sorted slice, preserving duplicates. Merging keeps uniquified per-GPU bins
+// sorted when they combine into one destination slot, so the pre-sorted hint
+// survives aggregation instead of dying at the first concatenation.
+func MergeSorted(lists [][]uint32) []uint32 {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return append([]uint32(nil), lists[0]...)
+	}
+	acc := mergeTwo(lists[0], lists[1])
+	for _, l := range lists[2:] {
+		acc = mergeTwo(acc, l)
+	}
+	return acc
+}
+
+// mergeTwo merges two sorted lists into a new slice.
+func mergeTwo(a, b []uint32) []uint32 {
+	out := make([]uint32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
 }
 
 // SortUnique sorts ids ascending and removes duplicates in place, returning

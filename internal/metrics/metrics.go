@@ -72,6 +72,14 @@ type WireStats struct {
 	CompressedBytes int64 // bytes on the wire, headers and checksums included
 	// Per-block scheme selections across all messages of the run.
 	SchemeRaw, SchemeDelta, SchemeBitmap int64
+	// MemoHits counts adaptive blocks encoded straight from the selector's
+	// per-destination scheme memory, skipping the full three-way probe.
+	MemoHits int64
+	// PairRawBytes/PairWireBytes account the post-BFS parent-resolution
+	// pairs exchange: the fixed-width 12-bytes-per-pair equivalent and the
+	// bytes actually sent (equal when compression is off). Like ParentPairs,
+	// this traffic is reported but excluded from simulated BFS time.
+	PairRawBytes, PairWireBytes int64
 }
 
 // Accumulate folds another run's wire accounting into w (Enabled is OR-ed).
@@ -82,6 +90,9 @@ func (w *WireStats) Accumulate(other WireStats) {
 	w.SchemeRaw += other.SchemeRaw
 	w.SchemeDelta += other.SchemeDelta
 	w.SchemeBitmap += other.SchemeBitmap
+	w.MemoHits += other.MemoHits
+	w.PairRawBytes += other.PairRawBytes
+	w.PairWireBytes += other.PairWireBytes
 }
 
 // Savings returns the fraction of raw bytes eliminated by the codec
@@ -91,6 +102,50 @@ func (w WireStats) Savings() float64 {
 		return 0
 	}
 	return 1 - float64(w.CompressedBytes)/float64(w.RawBytes)
+}
+
+// ExchangeStats summarizes the inter-rank normal-vertex exchange topology of
+// a run: the strategy actually used, why a requested strategy was replaced,
+// and the counters that separate the all-pairs and butterfly regimes —
+// message count (p−1 vs log2 p per rank per iteration), bytes relayed
+// through intermediate ranks, and the largest message the timing model saw.
+type ExchangeStats struct {
+	Strategy string // "allpairs" or "butterfly"
+	Fallback string // non-empty when the requested strategy was replaced
+	// HopsPerIteration is the number of sequential communication rounds per
+	// iteration: 1 for all-pairs, log2(ranks) for the butterfly.
+	HopsPerIteration int
+	// Messages counts inter-rank point-to-point messages across all ranks
+	// and iterations (empty payloads included — they still cross the NIC).
+	Messages int64
+	// ForwardedBytes is the fixed-width equivalent of ids relayed on behalf
+	// of other ranks — the volume the butterfly pays for its fewer, larger
+	// messages. Zero for all-pairs.
+	ForwardedBytes int64
+	// MaxMessageBytes is the largest per-message size the timing model saw
+	// (work amplification applied) — the number that decides where on the
+	// §VI-A1 efficiency curve the exchange lands.
+	MaxMessageBytes int64
+}
+
+// Accumulate folds another run's exchange accounting into e. Strategy and
+// fallback are taken from the other run when unset (all runs of one engine
+// share them).
+func (e *ExchangeStats) Accumulate(other ExchangeStats) {
+	if e.Strategy == "" {
+		e.Strategy = other.Strategy
+	}
+	if e.Fallback == "" {
+		e.Fallback = other.Fallback
+	}
+	if e.HopsPerIteration == 0 {
+		e.HopsPerIteration = other.HopsPerIteration
+	}
+	e.Messages += other.Messages
+	e.ForwardedBytes += other.ForwardedBytes
+	if other.MaxMessageBytes > e.MaxMessageBytes {
+		e.MaxMessageBytes = other.MaxMessageBytes
+	}
 }
 
 // RunResult is the outcome of one BFS execution.
@@ -108,6 +163,7 @@ type RunResult struct {
 	ParentPairs   int64   // pairs moved by the post-BFS parent resolution
 	DelegateComms int     // iterations that exchanged delegate masks
 	Wire          WireStats
+	Exchange      ExchangeStats
 }
 
 // GTEPS returns the traversal rate in giga-traversed-edges per second using

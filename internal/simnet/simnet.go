@@ -101,6 +101,34 @@ func (s Spec) PointToPoint(totalBytes, msgBytes int64) float64 {
 	return float64(msgs)*s.IB.Latency + float64(totalBytes)/(s.IB.Bandwidth*eff)
 }
 
+// ButterflyHop returns the time of one hop of a log2(p)-hop butterfly
+// exchange: the rank pushes hopBytes to its hypercube partner in messages of
+// at most msgCap bytes. Aggregating p/2 destinations' payloads into one hop
+// message is what lifts the exchange out of the sub-2 MB efficiency plateau
+// that the p−1 all-pairs sends occupy (§VI-A1's ramp to the 4 MB optimum).
+// An empty hop still costs the message latency — the hop is a synchronized
+// pairwise exchange, unlike an all-pairs send that can simply be skipped.
+func (s Spec) ButterflyHop(hopBytes, msgCap int64) float64 {
+	if hopBytes <= 0 {
+		return s.IB.Latency
+	}
+	if msgCap <= 0 || msgCap > hopBytes {
+		msgCap = hopBytes
+	}
+	return s.PointToPoint(hopBytes, msgCap)
+}
+
+// Butterfly returns the total time of one iteration's butterfly exchange:
+// the sum of its sequential hops (each hop must complete before the next
+// forwards what it received).
+func (s Spec) Butterfly(hopBytes []int64, msgCap int64) float64 {
+	var t float64
+	for _, b := range hopBytes {
+		t += s.ButterflyHop(b, msgCap)
+	}
+	return t
+}
+
 // Staging returns the NVLink copy time for moving bytes between GPU and CPU
 // memory (charged once per side per remote transfer when GPUDirectRDMA is
 // false).

@@ -1,0 +1,216 @@
+package wire
+
+// This file extends the codec to (id, value) pairs — the parent-resolution
+// exchange and the §VI-D "associative values" traffic. A pairs block mirrors
+// the id-block layout (scheme byte, uvarint count, payload, CRC32):
+//
+//	raw    n × (uint32 id, uint64 val), little-endian, input order.
+//	delta  pairs sorted by (id, val): uvarint of the first id, then uvarint
+//	       gaps to the previous id, each followed by the uvarint value.
+//	       Decodes to the sorted permutation of the input multiset.
+//
+// Values are uvarint-encoded, so callers that pack their payload into the
+// low bits (parents.go packs parent<<20|level) compress well; bitmap has no
+// pairs analogue. The adaptive mode picks the smaller of the two per block.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"gcbfs/internal/frontier"
+)
+
+// pairsScheme maps a mode to the scheme a pairs block uses for it.
+func pairsScheme(mode Mode) Scheme {
+	switch mode {
+	case ModeRaw:
+		return SchemeRaw
+	case ModeDelta, ModeBitmap:
+		// No pairs bitmap; forced-bitmap ablations degrade to delta, the
+		// same fallback the id codec uses for bitmap-hostile blocks.
+		return SchemeDelta
+	}
+	panic(fmt.Sprintf("wire: AppendPairs called with mode %v", mode))
+}
+
+// sortedPairsCopy returns pairs ordered by (ID, Val) without mutating the
+// input.
+func sortedPairsCopy(pairs []frontier.Pair) []frontier.Pair {
+	sorted := append(make([]frontier.Pair, 0, len(pairs)), pairs...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].ID != sorted[j].ID {
+			return sorted[i].ID < sorted[j].ID
+		}
+		return sorted[i].Val < sorted[j].Val
+	})
+	return sorted
+}
+
+// deltaPairsPayloadLen returns the delta payload size for sorted pairs.
+func deltaPairsPayloadLen(sorted []frontier.Pair) int {
+	if len(sorted) == 0 {
+		return 0
+	}
+	size := uvarintLen(uint64(sorted[0].ID)) + uvarintLen(sorted[0].Val)
+	for i := 1; i < len(sorted); i++ {
+		size += uvarintLen(uint64(sorted[i].ID-sorted[i-1].ID)) + uvarintLen(sorted[i].Val)
+	}
+	return size
+}
+
+// AppendPairs encodes pairs as one block according to mode and appends it to
+// dst, returning the extended buffer and the scheme used. Mode must not be
+// ModeOff.
+func AppendPairs(dst []byte, pairs []frontier.Pair, mode Mode) ([]byte, Scheme) {
+	scheme := SchemeRaw
+	var sorted []frontier.Pair
+	switch mode {
+	case ModeAdaptive:
+		sorted = sortedPairsCopy(pairs)
+		if deltaPairsPayloadLen(sorted) < 12*len(pairs) {
+			scheme = SchemeDelta
+		}
+	default:
+		scheme = pairsScheme(mode)
+		if scheme == SchemeDelta {
+			sorted = sortedPairsCopy(pairs)
+		}
+	}
+
+	start := len(dst)
+	dst = append(dst, byte(scheme))
+	dst = binary.AppendUvarint(dst, uint64(len(pairs)))
+	switch scheme {
+	case SchemeRaw:
+		for _, pr := range pairs {
+			dst = binary.LittleEndian.AppendUint32(dst, pr.ID)
+			dst = binary.LittleEndian.AppendUint64(dst, pr.Val)
+		}
+	case SchemeDelta:
+		prev := uint32(0)
+		for i, pr := range sorted {
+			if i == 0 {
+				dst = binary.AppendUvarint(dst, uint64(pr.ID))
+			} else {
+				dst = binary.AppendUvarint(dst, uint64(pr.ID-prev))
+			}
+			prev = pr.ID
+			dst = binary.AppendUvarint(dst, pr.Val)
+		}
+	}
+	sum := crc32.Checksum(dst[start:], crcTable)
+	dst = binary.LittleEndian.AppendUint32(dst, sum)
+	return dst, scheme
+}
+
+// DecodePairs parses one pairs block at the start of buf, returning the
+// decoded pairs, the bytes consumed, and the scheme. Corruption in any form
+// yields an error, never silently wrong pairs.
+func DecodePairs(buf []byte) ([]frontier.Pair, int, Scheme, error) {
+	if len(buf) < 1+1+crcLen {
+		return nil, 0, 0, fmt.Errorf("wire: pairs block truncated (%d bytes)", len(buf))
+	}
+	scheme := Scheme(buf[0])
+	if scheme != SchemeRaw && scheme != SchemeDelta {
+		return nil, 0, 0, fmt.Errorf("wire: unknown pairs scheme byte %d", buf[0])
+	}
+	off := 1
+	count, k := binary.Uvarint(buf[off:])
+	if k <= 0 {
+		return nil, 0, 0, fmt.Errorf("wire: bad pair count varint")
+	}
+	off += k
+	body := len(buf) - off - crcLen
+	if body < 0 {
+		return nil, 0, 0, fmt.Errorf("wire: pairs block truncated before checksum")
+	}
+	n := int(count)
+	pairs := make([]frontier.Pair, 0, min(n, body))
+
+	switch scheme {
+	case SchemeRaw:
+		if count > uint64(body)/12 {
+			return nil, 0, 0, fmt.Errorf("wire: raw pairs block truncated (%d pairs, %d payload bytes)", count, body)
+		}
+		for i := 0; i < n; i++ {
+			pairs = append(pairs, frontier.Pair{
+				ID:  binary.LittleEndian.Uint32(buf[off:]),
+				Val: binary.LittleEndian.Uint64(buf[off+4:]),
+			})
+			off += 12
+		}
+	case SchemeDelta:
+		if count > uint64(body)/2 {
+			return nil, 0, 0, fmt.Errorf("wire: delta pairs block truncated (%d pairs, %d payload bytes)", count, body)
+		}
+		prev := uint64(0)
+		for i := 0; i < n; i++ {
+			gap, k := binary.Uvarint(buf[off:])
+			if k <= 0 || off+k+crcLen > len(buf) {
+				return nil, 0, 0, fmt.Errorf("wire: delta pairs block truncated at pair %d/%d", i, n)
+			}
+			off += k
+			if gap > 1<<32-1 {
+				return nil, 0, 0, fmt.Errorf("wire: pair id gap %d overflows uint32", gap)
+			}
+			if i > 0 {
+				gap += prev
+			}
+			if gap > 1<<32-1 {
+				return nil, 0, 0, fmt.Errorf("wire: pair id %d overflows uint32", gap)
+			}
+			prev = gap
+			val, k := binary.Uvarint(buf[off:])
+			if k <= 0 || off+k+crcLen > len(buf) {
+				return nil, 0, 0, fmt.Errorf("wire: delta pairs value truncated at pair %d/%d", i, n)
+			}
+			off += k
+			pairs = append(pairs, frontier.Pair{ID: uint32(gap), Val: val})
+		}
+	}
+
+	if off+crcLen > len(buf) {
+		return nil, 0, 0, fmt.Errorf("wire: pairs block truncated before checksum")
+	}
+	want := binary.LittleEndian.Uint32(buf[off:])
+	if got := crc32.Checksum(buf[:off], crcTable); got != want {
+		return nil, 0, 0, fmt.Errorf("wire: pairs checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	return pairs, off + crcLen, scheme, nil
+}
+
+// EncodePairsRank encodes one pairs block per destination GPU slot into a
+// single rank-to-rank message. RawBytes counts the fixed-width 12-bytes-per-
+// pair equivalent.
+func EncodePairsRank(slots [][]frontier.Pair, mode Mode) ([]byte, Stats) {
+	var st Stats
+	var buf []byte
+	for _, pairs := range slots {
+		var scheme Scheme
+		buf, scheme = AppendPairs(buf, pairs, mode)
+		st.RawBytes += 12 * int64(len(pairs))
+		st.Selected[scheme]++
+	}
+	st.EncodedBytes = int64(len(buf))
+	return buf, st
+}
+
+// DecodePairsRank parses an EncodePairsRank message back into per-slot pairs.
+func DecodePairsRank(buf []byte, gpusPerRank int) ([][]frontier.Pair, error) {
+	out := make([][]frontier.Pair, gpusPerRank)
+	off := 0
+	for s := 0; s < gpusPerRank; s++ {
+		pairs, n, _, err := DecodePairs(buf[off:])
+		if err != nil {
+			return nil, fmt.Errorf("wire: pairs slot %d: %w", s, err)
+		}
+		out[s] = pairs
+		off += n
+	}
+	if off != len(buf) {
+		return nil, fmt.Errorf("wire: %d trailing bytes after %d pairs slots", len(buf)-off, gpusPerRank)
+	}
+	return out, nil
+}

@@ -1,0 +1,126 @@
+package wire
+
+// This file frames the butterfly exchange's hop messages. An all-pairs
+// message carries one destination rank's slots; a butterfly hop message
+// aggregates several destination ranks' payloads into one larger message —
+// the log(p) topology's whole point is that these aggregated messages climb
+// out of the sub-2 MB efficiency plateau. Wire layout:
+//
+//	uvarint   section count
+//	per section:
+//	  uvarint destination rank
+//	  uvarint payload length
+//	  payload: EncodeRank blocks (codec modes) or the fixed-width
+//	           frontier.PackRank layout (ModeOff)
+//
+// Re-encoding happens per hop: a relaying rank decodes, merges with its own
+// pending ids, and encodes afresh, so the adaptive selector always sees the
+// aggregated block — denser id coverage, smaller deltas.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"gcbfs/internal/frontier"
+)
+
+// Section is one destination rank's share of a butterfly hop message.
+type Section struct {
+	Rank   int
+	Slots  [][]uint32
+	Sorted []bool // per-slot pre-sorted hints (nil = unknown)
+}
+
+// EncodeSections frames sections into one hop message. The selector may be
+// nil (no scheme memory). Stats follow the engine's accounting conventions:
+// with a codec active, EncodedBytes is the full message (framing included);
+// with ModeOff it is the 4-bytes-per-id equivalent, matching the paper's
+// 4·|Enn| convention for uncompressed traffic.
+func (sel *Selector) EncodeSections(secs []Section, gpusPerRank int, mode Mode) ([]byte, Stats) {
+	var st Stats
+	buf := binary.AppendUvarint(nil, uint64(len(secs)))
+	for _, sec := range secs {
+		payload, pst := sel.EncodeSlots(sec.Rank, sec.Slots, sec.Sorted, mode)
+		st.RawBytes += pst.RawBytes
+		for i, c := range pst.Selected {
+			st.Selected[i] += c
+		}
+		st.MemoHits += pst.MemoHits
+		buf = binary.AppendUvarint(buf, uint64(sec.Rank))
+		buf = binary.AppendUvarint(buf, uint64(len(payload)))
+		buf = append(buf, payload...)
+	}
+	if mode == ModeOff {
+		st.EncodedBytes = st.RawBytes
+	} else {
+		st.EncodedBytes = int64(len(buf))
+	}
+	return buf, st
+}
+
+// DecodeSections parses an EncodeSections message; ranks bounds the valid
+// destination-rank space (the framing varints sit outside the per-block
+// CRCs, so the bound is what turns a corrupted rank into an error instead
+// of an out-of-range index at the caller). Decoded Sorted flags report
+// which slots are known ascending (delta/bitmap blocks canonicalize; raw
+// blocks preserve sender order), so relays can keep merge-sorting.
+func DecodeSections(buf []byte, gpusPerRank, ranks int, mode Mode) ([]Section, error) {
+	off := 0
+	count, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return nil, fmt.Errorf("wire: bad section count varint")
+	}
+	off += k
+	// Each section carries at least two framing bytes, so this bound runs
+	// before the allocation and keeps a corrupt count from reserving huge
+	// Section headers (the framing varints sit outside any CRC).
+	if count > uint64(len(buf))/2 {
+		return nil, fmt.Errorf("wire: section count %d exceeds message size", count)
+	}
+	out := make([]Section, 0, count)
+	for i := uint64(0); i < count; i++ {
+		rank, k := binary.Uvarint(buf[off:])
+		if k <= 0 || rank >= uint64(ranks) {
+			return nil, fmt.Errorf("wire: section %d: bad destination rank", i)
+		}
+		off += k
+		plen, k := binary.Uvarint(buf[off:])
+		if k <= 0 {
+			return nil, fmt.Errorf("wire: section %d: bad payload length", i)
+		}
+		off += k
+		if plen > uint64(len(buf)-off) {
+			return nil, fmt.Errorf("wire: section %d: payload truncated (%d of %d bytes)",
+				i, len(buf)-off, plen)
+		}
+		payload := buf[off : off+int(plen)]
+		off += int(plen)
+		sec := Section{Rank: int(rank), Sorted: make([]bool, gpusPerRank)}
+		if mode == ModeOff {
+			slots, err := frontier.UnpackRank(payload, gpusPerRank)
+			if err != nil {
+				return nil, fmt.Errorf("wire: section %d: %w", i, err)
+			}
+			sec.Slots = slots
+		} else {
+			slots, schemes, err := decodeRankSchemes(payload, gpusPerRank)
+			if err != nil {
+				return nil, fmt.Errorf("wire: section %d: %w", i, err)
+			}
+			sec.Slots = slots
+			for s, sch := range schemes {
+				sec.Sorted[s] = sch != SchemeRaw
+			}
+		}
+		for s := range sec.Sorted {
+			if len(sec.Slots[s]) < 2 {
+				sec.Sorted[s] = true
+			}
+		}
+		out = append(out, sec)
+	}
+	if off != len(buf) {
+		return nil, fmt.Errorf("wire: %d trailing bytes after %d sections", len(buf)-off, count)
+	}
+	return out, nil
+}

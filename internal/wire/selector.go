@@ -1,0 +1,106 @@
+package wire
+
+import "gcbfs/internal/frontier"
+
+// This file implements per-destination scheme memory for the adaptive codec.
+// Frontier shape is stable across consecutive BFS iterations: the block that
+// delta-encoded best for (dst, slot) last iteration almost always does again.
+// A Selector therefore remembers each block's winning scheme and, while the
+// block's size stays within 2× of the remembered one, encodes with that
+// scheme directly — skipping the full three-way size probe (and its sort
+// copy for raw winners). A size-ratio change falls back to full selection,
+// so phase transitions (frontier growth/collapse) re-probe immediately.
+
+type blockKey struct {
+	dst, slot int
+}
+
+type blockMemo struct {
+	scheme   Scheme
+	rawBytes int64
+}
+
+// Selector adds per-(destination, slot) scheme memory to adaptive encoding.
+// It is not safe for concurrent use; the engine keeps one per rank.
+type Selector struct {
+	memo map[blockKey]blockMemo
+}
+
+// NewSelector returns an empty selector.
+func NewSelector() *Selector {
+	return &Selector{memo: make(map[blockKey]blockMemo)}
+}
+
+// forcedMode returns the mode that pins a remembered scheme.
+func forcedMode(s Scheme) Mode {
+	if s == SchemeDelta {
+		return ModeDelta
+	}
+	return ModeRaw
+}
+
+// Append encodes ids for the (dst, slot) block, consulting the scheme memory
+// when mode is adaptive. It returns the extended buffer, the scheme used,
+// and whether the memory short-circuited full selection.
+//
+// Bitmap winners are never pinned: the forced-bitmap mode accepts blocks up
+// to ~4× the raw size (an ablation affordance), so a remembered bitmap
+// could lock in inflated encodings when the id range widens while the count
+// stays stable — and bitmap sizing needs the sorted view anyway, so the
+// full probe costs nothing extra for those blocks.
+func (sel *Selector) Append(buf []byte, ids []uint32, mode Mode, dst, slot int, presorted bool) ([]byte, Scheme, bool) {
+	if sel == nil || sel.memo == nil || mode != ModeAdaptive {
+		out, scheme := AppendSorted(buf, ids, mode, presorted)
+		return out, scheme, false
+	}
+	key := blockKey{dst: dst, slot: slot}
+	raw := 4 * int64(len(ids))
+	if m, ok := sel.memo[key]; ok && m.scheme != SchemeBitmap && m.rawBytes > 0 && raw > 0 &&
+		raw >= m.rawBytes/2 && raw <= 2*m.rawBytes {
+		out, scheme := AppendSorted(buf, ids, forcedMode(m.scheme), presorted)
+		sel.memo[key] = blockMemo{scheme: scheme, rawBytes: raw}
+		return out, scheme, true
+	}
+	out, scheme := AppendSorted(buf, ids, ModeAdaptive, presorted)
+	sel.memo[key] = blockMemo{scheme: scheme, rawBytes: raw}
+	return out, scheme, false
+}
+
+// EncodeRank encodes one block per destination GPU slot through the scheme
+// memory, keyed by the destination rank.
+func (sel *Selector) EncodeRank(dst int, slots [][]uint32, sorted []bool, mode Mode) ([]byte, Stats) {
+	var st Stats
+	var buf []byte
+	for s, ids := range slots {
+		var scheme Scheme
+		var hit bool
+		buf, scheme, hit = sel.Append(buf, ids, mode, dst, s, sorted != nil && sorted[s])
+		st.RawBytes += 4 * int64(len(ids))
+		st.Selected[scheme]++
+		if hit {
+			st.MemoHits++
+		}
+	}
+	st.EncodedBytes = int64(len(buf))
+	return buf, st
+}
+
+// EncodeSlots encodes one destination rank's per-slot id lists as a single
+// message payload under the engine's accounting conventions, shared by the
+// all-pairs sender and the butterfly's per-section encoder: with ModeOff the
+// fixed-width PackRank layout whose Stats count id bytes only (the paper's
+// 4·|Enn| convention — the per-slot headers are wire framing); otherwise
+// EncodeRank blocks through the scheme memory, with Stats counting the full
+// encoded payload.
+func (sel *Selector) EncodeSlots(dst int, slots [][]uint32, sorted []bool, mode Mode) ([]byte, Stats) {
+	if mode == ModeOff {
+		payload := (&frontier.Bins{PerGPU: slots}).PackRank(0, len(slots))
+		var st Stats
+		for _, ids := range slots {
+			st.RawBytes += 4 * int64(len(ids))
+		}
+		st.EncodedBytes = st.RawBytes
+		return payload, st
+	}
+	return sel.EncodeRank(dst, slots, sorted, mode)
+}

@@ -1,0 +1,130 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSelectorMemoHit: a second encode of a same-shaped block must come from
+// memory, use the remembered scheme, and decode to the same ids.
+func TestSelectorMemoHit(t *testing.T) {
+	ids := make([]uint32, 100)
+	for i := range ids {
+		ids[i] = uint32(600 * i) // small gaps, bitmap-hostile range → delta wins
+	}
+	sel := NewSelector()
+	buf1, s1, hit1 := sel.Append(nil, ids, ModeAdaptive, 2, 0, false)
+	if hit1 {
+		t.Fatal("first encode reported a memo hit")
+	}
+	buf2, s2, hit2 := sel.Append(nil, ids, ModeAdaptive, 2, 0, false)
+	if !hit2 {
+		t.Fatal("second encode of the same block missed the memo")
+	}
+	if s1 != s2 || !reflect.DeepEqual(buf1, buf2) {
+		t.Fatalf("memoized encode differs: %v vs %v", s1, s2)
+	}
+	got, _, _, err := Decode(buf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ids) {
+		t.Fatalf("decoded %d ids, want %d", len(got), len(ids))
+	}
+	// A different (dst, slot) key must not hit.
+	if _, _, hit := sel.Append(nil, ids, ModeAdaptive, 3, 0, false); hit {
+		t.Fatal("different destination hit the memo")
+	}
+}
+
+// TestSelectorSizeRatioFallback: a block that shrinks or grows beyond 2×
+// must re-run full selection.
+func TestSelectorSizeRatioFallback(t *testing.T) {
+	big := make([]uint32, 400)
+	for i := range big {
+		big[i] = uint32(600 * i) // delta-winning shape (see TestSelectorMemoHit)
+	}
+	sel := NewSelector()
+	sel.Append(nil, big, ModeAdaptive, 0, 0, false)
+	if _, _, hit := sel.Append(nil, big[:80], ModeAdaptive, 0, 0, false); hit {
+		t.Fatal("5× shrink still hit the memo")
+	}
+	// The fallback re-probes and refreshes the memory.
+	if _, _, hit := sel.Append(nil, big[:80], ModeAdaptive, 0, 0, false); !hit {
+		t.Fatal("refreshed memo did not hit")
+	}
+	// Empty blocks never consult the memory (no size to compare).
+	if _, _, hit := sel.Append(nil, nil, ModeAdaptive, 0, 0, false); hit {
+		t.Fatal("empty block hit the memo")
+	}
+}
+
+// TestSelectorForcedModesBypass: only adaptive mode uses the memory.
+func TestSelectorForcedModesBypass(t *testing.T) {
+	ids := []uint32{5, 1, 9, 1}
+	sel := NewSelector()
+	for _, mode := range []Mode{ModeRaw, ModeDelta, ModeBitmap} {
+		for i := 0; i < 2; i++ {
+			if _, _, hit := sel.Append(nil, ids, mode, 0, 0, false); hit {
+				t.Fatalf("mode %v consulted the memo", mode)
+			}
+		}
+	}
+}
+
+// TestSelectorBitmapNeverPinned: bitmap winners always re-run full
+// selection — pinning one through the forced-bitmap mode's lenient
+// acceptance (up to ~4× raw) could lock in inflated blocks when the id
+// range widens at a stable count.
+func TestSelectorBitmapNeverPinned(t *testing.T) {
+	dense := make([]uint32, 300)
+	for i := range dense {
+		dense[i] = uint32(i)
+	}
+	sel := NewSelector()
+	_, s1, _ := sel.Append(nil, dense, ModeAdaptive, 0, 0, false)
+	if s1 != SchemeBitmap {
+		t.Skipf("dense block picked %v, bitmap expected for this shape", s1)
+	}
+	// Same count, 25× wider id range: full adaptive must get to pick a
+	// non-bitmap scheme instead of a pinned bitmap being accepted.
+	wide := make([]uint32, 300)
+	for i := range wide {
+		wide[i] = uint32(25 * i)
+	}
+	buf, s2, hit := sel.Append(nil, wide, ModeAdaptive, 0, 0, false)
+	if hit {
+		t.Fatal("bitmap memo was pinned")
+	}
+	if s2 == SchemeBitmap {
+		t.Fatalf("wide block picked bitmap (%d B); full selection should beat it", len(buf))
+	}
+	if len(buf) > 4*len(wide)+16 {
+		t.Fatalf("wide block encoded to %d B, above raw size %d", len(buf), 4*len(wide))
+	}
+	got, _, _, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(wide) {
+		t.Fatalf("decoded %d ids, want %d", len(got), len(wide))
+	}
+}
+
+// TestSelectorEncodeRankStats: EncodeRank must count hits in Stats and
+// produce output DecodeRank accepts.
+func TestSelectorEncodeRankStats(t *testing.T) {
+	slots := [][]uint32{{1, 2, 3, 4, 5, 6, 7, 8}, {100, 200}}
+	sel := NewSelector()
+	_, st1 := sel.EncodeRank(4, slots, nil, ModeAdaptive)
+	if st1.MemoHits != 0 {
+		t.Fatalf("first message reported %d memo hits", st1.MemoHits)
+	}
+	buf, st2 := sel.EncodeRank(4, slots, nil, ModeAdaptive)
+	if st2.MemoHits != 2 {
+		t.Fatalf("second message reported %d memo hits, want 2", st2.MemoHits)
+	}
+	if _, err := DecodeRank(buf, 2); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -75,7 +75,11 @@ const (
 	// ModeOff disables the codec entirely; callers keep their legacy
 	// fixed-width packing.
 	ModeOff Mode = iota
-	// ModeAdaptive picks the smallest of the three schemes per block.
+	// ModeAdaptive picks the smallest of the three schemes per block. A
+	// Selector adds per-destination scheme memory on top: on memo hits the
+	// remembered scheme is reused without re-probing, so a block whose
+	// shape shifted inside the memory's size window may be encoded with
+	// last iteration's winner rather than today's smallest.
 	ModeAdaptive
 	// ModeRaw, ModeDelta and ModeBitmap force one scheme for every block
 	// (ablation knobs). ModeBitmap falls back to delta for blocks a bitmap
@@ -122,12 +126,15 @@ func ParseMode(s string) (Mode, error) {
 }
 
 // Stats accounts one or more encode calls: the fixed-width byte equivalent
-// (4 bytes per id, the paper's 4·|Enn| convention), the bytes actually
-// produced (headers and checksums included), and per-scheme block counts.
+// (4 bytes per id, the paper's 4·|Enn| convention; 12 bytes per pair for the
+// pairs codec), the bytes actually produced (headers and checksums included),
+// per-scheme block counts, and how many blocks a Selector encoded straight
+// from its per-destination scheme memory.
 type Stats struct {
 	RawBytes     int64
 	EncodedBytes int64
 	Selected     [NumSchemes]int64
+	MemoHits     int64
 }
 
 // Add accumulates other into s.
@@ -137,6 +144,7 @@ func (s *Stats) Add(other Stats) {
 	for i := range s.Selected {
 		s.Selected[i] += other.Selected[i]
 	}
+	s.MemoHits += other.MemoHits
 }
 
 const crcLen = 4
@@ -156,14 +164,28 @@ func uvarintLen(v uint64) int {
 func sortedCopy(ids []uint32) (sorted []uint32, unique bool) {
 	sorted = append(make([]uint32, 0, len(ids)), ids...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	unique = true
+	return sorted, isUnique(sorted)
+}
+
+// isUnique reports whether a sorted id list is duplicate-free.
+func isUnique(sorted []uint32) bool {
 	for i := 1; i < len(sorted); i++ {
 		if sorted[i] == sorted[i-1] {
-			unique = false
-			break
+			return false
 		}
 	}
-	return sorted, unique
+	return true
+}
+
+// sortedView returns a sorted view of ids plus its uniqueness. With the
+// presorted hint (the caller asserts ids are already ascending — uniquified
+// frontier bins are) the input is used directly, skipping the sort copy that
+// dominates delta encoding; only the linear duplicate scan remains.
+func sortedView(ids []uint32, presorted bool) ([]uint32, bool) {
+	if presorted {
+		return ids, isUnique(ids)
+	}
+	return sortedCopy(ids)
 }
 
 // deltaPayloadLen returns the payload size of the delta scheme for a sorted
@@ -198,6 +220,15 @@ func blockLen(n int, payload int) int {
 // returning the extended buffer and the scheme actually used. Mode must not
 // be ModeOff. See the package comment for per-scheme round-trip semantics.
 func Append(dst []byte, ids []uint32, mode Mode) ([]byte, Scheme) {
+	return AppendSorted(dst, ids, mode, false)
+}
+
+// AppendSorted is Append with a pre-sorted hint: when presorted is true the
+// caller asserts ids are already sorted ascending (duplicates allowed), so
+// the delta/bitmap paths skip their sort copy and encode the input directly.
+// A false hint on unsorted input would corrupt the delta stream — callers
+// plumb the hint from frontier.Bins, which tracks it per bin.
+func AppendSorted(dst []byte, ids []uint32, mode Mode, presorted bool) ([]byte, Scheme) {
 	scheme := SchemeRaw
 	var sorted []uint32
 	switch mode {
@@ -205,10 +236,10 @@ func Append(dst []byte, ids []uint32, mode Mode) ([]byte, Scheme) {
 		// No canonicalization needed.
 	case ModeDelta:
 		scheme = SchemeDelta
-		sorted, _ = sortedCopy(ids)
+		sorted, _ = sortedView(ids, presorted)
 	case ModeBitmap:
 		var unique bool
-		sorted, unique = sortedCopy(ids)
+		sorted, unique = sortedView(ids, presorted)
 		if unique && bitmapPayloadLen(sorted) <= 4*4*len(ids)+16 {
 			scheme = SchemeBitmap
 		} else {
@@ -216,7 +247,7 @@ func Append(dst []byte, ids []uint32, mode Mode) ([]byte, Scheme) {
 		}
 	case ModeAdaptive:
 		var unique bool
-		sorted, unique = sortedCopy(ids)
+		sorted, unique = sortedView(ids, presorted)
 		rawSize := 4 * len(ids)
 		bestSize := rawSize
 		if d := deltaPayloadLen(sorted); d < bestSize {
@@ -370,35 +401,38 @@ func Decode(buf []byte) ([]uint32, int, Scheme, error) {
 
 // EncodeRank encodes one block per destination GPU slot into a single
 // rank-to-rank message and reports the accounting for the whole message.
+// Pre-sorted hints and scheme memory are the Selector method's job; this
+// entry point encodes without either.
 func EncodeRank(slots [][]uint32, mode Mode) ([]byte, Stats) {
-	var st Stats
-	var buf []byte
-	for _, ids := range slots {
-		var scheme Scheme
-		buf, scheme = Append(buf, ids, mode)
-		st.RawBytes += 4 * int64(len(ids))
-		st.Selected[scheme]++
-	}
-	st.EncodedBytes = int64(len(buf))
-	return buf, st
+	return (*Selector)(nil).EncodeRank(0, slots, nil, mode)
 }
 
 // DecodeRank parses an EncodeRank message back into per-slot id lists.
 // Trailing bytes after the last block are rejected, as are all per-block
 // corruption forms Decode detects.
 func DecodeRank(buf []byte, gpusPerRank int) ([][]uint32, error) {
+	out, _, err := decodeRankSchemes(buf, gpusPerRank)
+	return out, err
+}
+
+// decodeRankSchemes is DecodeRank plus the per-slot scheme bytes, which tell
+// the butterfly exchange whether a decoded slot is already sorted (delta and
+// bitmap canonicalize to ascending order; raw preserves sender order).
+func decodeRankSchemes(buf []byte, gpusPerRank int) ([][]uint32, []Scheme, error) {
 	out := make([][]uint32, gpusPerRank)
+	schemes := make([]Scheme, gpusPerRank)
 	off := 0
 	for s := 0; s < gpusPerRank; s++ {
-		ids, n, _, err := Decode(buf[off:])
+		ids, n, scheme, err := Decode(buf[off:])
 		if err != nil {
-			return nil, fmt.Errorf("wire: slot %d: %w", s, err)
+			return nil, nil, fmt.Errorf("wire: slot %d: %w", s, err)
 		}
 		out[s] = ids
+		schemes[s] = scheme
 		off += n
 	}
 	if off != len(buf) {
-		return nil, fmt.Errorf("wire: %d trailing bytes after %d slots", len(buf)-off, gpusPerRank)
+		return nil, nil, fmt.Errorf("wire: %d trailing bytes after %d slots", len(buf)-off, gpusPerRank)
 	}
-	return out, nil
+	return out, schemes, nil
 }
