@@ -3,7 +3,8 @@ package gcbfs
 // Beyond-BFS analytics on the same degree-separated substrate — the paper's
 // §VI-D generalization: delegates carry richer per-vertex state (float64
 // ranks, int64 labels) reduced globally, while normal vertices exchange
-// (id, value) pairs instead of bare ids.
+// (id, value) pairs instead of bare ids. Like BFS queries, these run against
+// the Service's shared partition; the Solver methods delegate.
 
 import (
 	"gcbfs/internal/concomp"
@@ -33,8 +34,8 @@ type PageRankResult struct {
 	BytesDelegate int64
 }
 
-// PageRank runs distributed PageRank over the solver's partitioned graph.
-func (s *Solver) PageRank(opts PageRankOptions) (*PageRankResult, error) {
+// PageRank runs distributed PageRank over the service's partitioned graph.
+func (s *Service) PageRank(opts PageRankOptions) (*PageRankResult, error) {
 	po := pagerank.DefaultOptions()
 	if opts.Damping > 0 {
 		po.Damping = opts.Damping
@@ -57,6 +58,11 @@ func (s *Solver) PageRank(opts PageRankOptions) (*PageRankResult, error) {
 	}, nil
 }
 
+// PageRank runs distributed PageRank over the solver's partitioned graph.
+func (s *Solver) PageRank(opts PageRankOptions) (*PageRankResult, error) {
+	return s.svc.PageRank(opts)
+}
+
 // ComponentsResult reports a connected-components run.
 type ComponentsResult struct {
 	// Labels maps every vertex to its component id — the smallest vertex
@@ -68,9 +74,9 @@ type ComponentsResult struct {
 }
 
 // Components runs distributed connected components (min-label propagation)
-// over the solver's partitioned graph. maxIterations ≤ 0 selects a default
+// over the service's partitioned graph. maxIterations ≤ 0 selects a default
 // budget; high-diameter graphs need roughly their diameter in iterations.
-func (s *Solver) Components(maxIterations int) (*ComponentsResult, error) {
+func (s *Service) Components(maxIterations int) (*ComponentsResult, error) {
 	co := concomp.DefaultOptions()
 	if maxIterations > 0 {
 		co.MaxIterations = maxIterations
@@ -86,4 +92,10 @@ func (s *Solver) Components(maxIterations int) (*ComponentsResult, error) {
 		Converged:  res.Converged,
 		SimSeconds: res.SimSeconds,
 	}, nil
+}
+
+// Components runs distributed connected components over the solver's
+// partitioned graph.
+func (s *Solver) Components(maxIterations int) (*ComponentsResult, error) {
+	return s.svc.Components(maxIterations)
 }

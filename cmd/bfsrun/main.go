@@ -7,6 +7,7 @@
 //	bfsrun -graph scale20.gcbf -nodes 8 -ranks 2 -gpus 2 -no-do
 //	bfsrun -rmat 14 -nodes 1 -ranks 1 -gpus 4 -validate
 //	bfsrun -rmat 16 -nodes 8 -ranks 2 -gpus 2 -exchange butterfly -compress adaptive
+//	bfsrun -rmat 15 -nodes 4 -ranks 2 -gpus 2 -sources 16 -parallel 8
 //
 // -exchange selects the inter-rank normal-vertex exchange topology:
 // "allpairs" (default, one message per destination rank per iteration) or
@@ -14,9 +15,15 @@
 // power-of-two rank count and otherwise falls back to allpairs with the
 // reason printed). Results are identical across strategies; message counts
 // and simulated times differ.
+//
+// -parallel runs up to K BFS queries concurrently through the core query
+// plan's batch path — the service workload of the paper's §VI-A methodology
+// (64 random sources per data point). Results are deterministic and printed
+// in source order regardless of K.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -41,6 +48,7 @@ func main() {
 		th        = flag.Int64("th", 0, "degree threshold TH (0 = auto via 4n/p rule)")
 		nSources  = flag.Int("sources", 6, "number of randomly chosen BFS sources")
 		seed      = flag.Int64("seed", 1, "source selection seed")
+		parallel  = flag.Int("parallel", 1, "concurrent BFS queries (batch path; results stay deterministic)")
 		noDO      = flag.Bool("no-do", false, "disable direction optimization (plain BFS)")
 		l2a       = flag.Bool("local-all2all", false, "enable the Local-All2All optimization (L)")
 		uniq      = flag.Bool("uniquify", false, "enable send-bin uniquification (U)")
@@ -88,7 +96,7 @@ func main() {
 	opts.Exchange = strat
 	opts.WorkAmplification = *amp
 	opts.CollectLevels = *validate
-	engine, err := core.NewEngine(sg, shape, opts)
+	plan, err := core.NewPlan(sg, shape, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bfsrun: %v\n", err)
 		os.Exit(1)
@@ -101,38 +109,39 @@ func main() {
 	fmt.Printf("memory: %.1f MB total (edge list %.1f MB, plain CSR %.1f MB), max GPU %.1f MB\n",
 		mb(mem.Total()), mb(sg.EdgeListBytes()), mb(sg.PlainCSRBytes()), mb(sg.MaxGPUBytes()))
 
-	// Sources: deterministic picks among positive-degree vertices.
-	rng := seed64(uint64(*seed))
-	var sources []int64
-	seen := map[int64]bool{}
-	for len(sources) < *nSources {
-		v := int64(rng() % uint64(el.N))
-		if deg[v] > 0 && !seen[v] {
-			seen[v] = true
-			sources = append(sources, v)
-		}
+	// Sources: deterministic picks among positive-degree vertices (capped
+	// at the available count — no spinning on sparse graphs).
+	sources := graph.PickSources(deg, *nSources, uint64(*seed))
+	if len(sources) < *nSources {
+		fmt.Printf("note: only %d positive-degree sources available (asked for %d)\n",
+			len(sources), *nSources)
 	}
 
-	var results []*metrics.RunResult
+	// The batch path: up to -parallel queries in flight, each on its own
+	// pooled session over the shared plan; results are source-ordered.
+	results, err := plan.RunBatch(context.Background(), sources, *parallel, core.Overrides{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bfsrun: %v\n", err)
+		os.Exit(1)
+	}
+	if *parallel > 1 {
+		fmt.Printf("batch: %d queries, %d in flight (deterministic, source-ordered)\n",
+			len(sources), *parallel)
+	}
+
 	var serialCSR *graph.CSR
 	if *validate {
 		serialCSR = graph.BuildCSR(el)
 	}
-	for _, src := range sources {
-		res, err := engine.Run(src)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "bfsrun: source %d: %v\n", src, err)
-			os.Exit(1)
-		}
-		results = append(results, res)
+	for _, res := range results {
 		fmt.Printf("source %-10d iters=%-3d %8.3f ms  %8.3f GTEPS  edges-scanned=%d\n",
-			src, res.Iterations, res.SimSeconds*1e3, res.GTEPS(), res.EdgesScanned)
+			res.Source, res.Iterations, res.SimSeconds*1e3, res.GTEPS(), res.EdgesScanned)
 		if *validate {
-			if err := g500.Validate(el, src, res.Levels); err != nil {
+			if err := g500.Validate(el, res.Source, res.Levels); err != nil {
 				fmt.Fprintf(os.Stderr, "bfsrun: VALIDATION FAILED: %v\n", err)
 				os.Exit(1)
 			}
-			want := baseline.SerialBFS(serialCSR, src)
+			want := baseline.SerialBFS(serialCSR, res.Source)
 			if err := g500.CompareLevels(res.Levels, want); err != nil {
 				fmt.Fprintf(os.Stderr, "bfsrun: MISMATCH vs serial: %v\n", err)
 				os.Exit(1)
@@ -153,6 +162,8 @@ func main() {
 		fmt.Printf("wire (%s): %.1f kB raw -> %.1f kB sent (%.1f%% saved; schemes raw=%d delta=%d bitmap=%d; memo hits=%d)\n",
 			mode, float64(w.RawBytes)/1024, float64(w.CompressedBytes)/1024,
 			100*w.Savings(), w.SchemeRaw, w.SchemeDelta, w.SchemeBitmap, w.MemoHits)
+		fmt.Printf("codec: %.1f kB through pack/unpack kernels, %.2f µs charged (in remote-normal)\n",
+			float64(w.CodecBytes)/1024, w.CodecSeconds*1e6)
 		if w.PairRawBytes > 0 {
 			fmt.Printf("parent pairs: %.1f kB raw -> %.1f kB sent\n",
 				float64(w.PairRawBytes)/1024, float64(w.PairWireBytes)/1024)
@@ -192,14 +203,3 @@ func loadGraph(path string, scale int) (*graph.EdgeList, error) {
 }
 
 func mb(b int64) float64 { return float64(b) / (1 << 20) }
-
-func seed64(seed uint64) func() uint64 {
-	state := seed
-	return func() uint64 {
-		state += 0x9e3779b97f4a7c15
-		z := state
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		return z ^ (z >> 31)
-	}
-}

@@ -51,19 +51,6 @@ func TestLoadGraphErrors(t *testing.T) {
 	}
 }
 
-func TestSeed64Deterministic(t *testing.T) {
-	a, b := seed64(7), seed64(7)
-	for i := 0; i < 10; i++ {
-		if a() != b() {
-			t.Fatal("seed64 nondeterministic")
-		}
-	}
-	c := seed64(8)
-	if seed64(7)() == c() {
-		t.Fatal("different seeds identical")
-	}
-}
-
 func TestMB(t *testing.T) {
 	if mb(1<<20) != 1.0 {
 		t.Fatalf("mb(1MB) = %f", mb(1<<20))

@@ -2,10 +2,12 @@
 // on the same degree-separated substrate. PageRank puts 64-bit scores where
 // BFS kept 1-bit visited flags, and connected components propagates 64-bit
 // labels — both reuse the delegate reduction and the normal-vertex exchange,
-// demonstrating the generalization the paper sketches as future work.
+// demonstrating the generalization the paper sketches as future work. All
+// three workloads run against one query service's shared partition.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -16,15 +18,15 @@ import (
 func main() {
 	g := gcbfs.SocialNetwork(12)
 	cluster := gcbfs.Cluster{Nodes: 2, RanksPerNode: 2, GPUsPerRank: 2}
-	solver, err := gcbfs.NewSolver(g, gcbfs.DefaultConfig(cluster))
+	svc, err := gcbfs.NewService(g, gcbfs.DefaultConfig(cluster))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("graph: %d vertices, %d directed edges on %d simulated GPUs (TH=%d, %d delegates)\n",
-		g.NumVertices(), g.NumEdges(), cluster.GPUs(), solver.Threshold(), solver.Delegates())
+		g.NumVertices(), g.NumEdges(), cluster.GPUs(), svc.Threshold(), svc.Delegates())
 
 	// --- PageRank ---
-	pr, err := solver.PageRank(gcbfs.PageRankOptions{MaxIterations: 25, Tolerance: 1e-10})
+	pr, err := svc.PageRank(gcbfs.PageRankOptions{MaxIterations: 25, Tolerance: 1e-10})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,7 +49,7 @@ func main() {
 	fmt.Println("  (§VI-D: delegate state is 64 bits/vertex here vs BFS's 1 bit)")
 
 	// --- Connected components ---
-	cc, err := solver.Components(0)
+	cc, err := svc.Components(0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,9 +69,9 @@ func main() {
 		biggest, biggestSize, 100*float64(biggestSize)/float64(g.NumVertices()))
 	fmt.Println("  (isolated vertices form singleton components, as in Friendster)")
 
-	// --- BFS tree on the same solver, for contrast ---
+	// --- BFS on the same service, for contrast ---
 	src := gcbfs.Sources(g, 1, 9)[0]
-	res, err := solver.Run(src)
+	res, err := svc.Run(context.Background(), src)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,10 +1,12 @@
 // Social-network scenario (paper §VI-D, Figs. 12–13): BFS over a
 // Friendster-like graph — scale-free core, about half the vertices isolated.
 // Sweeps the degree threshold to show the wide near-optimal plateau the
-// paper reports, then compares BFS vs DOBFS at the best setting.
+// paper reports, then compares BFS vs DOBFS at the best setting. Every sweep
+// point answers its sources as one concurrent service batch.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,6 +29,7 @@ func main() {
 
 	cluster := gcbfs.Cluster{Nodes: 1, RanksPerNode: 2, GPUsPerRank: 2} // paper: 1×2×2
 	sources := gcbfs.Sources(g, 4, 7)
+	ctx := context.Background()
 
 	fmt.Println("\nthreshold sweep (paper Fig. 13 — expect a wide good range):")
 	fmt.Println("   TH   delegates      BFS GTEPS   DOBFS GTEPS")
@@ -38,16 +41,16 @@ func main() {
 			cfg := gcbfs.DefaultConfig(cluster)
 			cfg.Threshold = th
 			cfg.DirectionOptimized = do
-			solver, err := gcbfs.NewSolver(g, cfg)
+			svc, err := gcbfs.NewService(g, cfg)
 			if err != nil {
 				log.Fatal(err)
 			}
-			delegates = solver.Delegates()
-			results, err := solver.RunMany(sources)
+			delegates = svc.Delegates()
+			batch, err := svc.RunBatch(ctx, sources, gcbfs.BatchOptions{Parallelism: 4})
 			if err != nil {
 				log.Fatal(err)
 			}
-			rates[i] = gcbfs.GeoMeanGTEPS(results)
+			rates[i] = batch.Stats.GeoMeanGTEPS
 		}
 		fmt.Printf("  %3d   %9d   %10.3f   %10.3f\n", th, delegates, rates[0], rates[1])
 		if rates[1] > bestRate {
@@ -59,15 +62,15 @@ func main() {
 	// Validate the winner end to end.
 	cfg := gcbfs.DefaultConfig(cluster)
 	cfg.Threshold = bestTH
-	solver, err := gcbfs.NewSolver(g, cfg)
+	svc, err := gcbfs.NewService(g, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := solver.Run(sources[0])
+	res, err := svc.Run(ctx, sources[0])
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := solver.Validate(res); err != nil {
+	if err := svc.Validate(res); err != nil {
 		log.Fatalf("validation failed: %v", err)
 	}
 	fmt.Printf("validated: source %d reaches %d vertices in %d iterations\n",

@@ -1,10 +1,13 @@
 // Tuning scenario (paper §VI-B, Fig. 8): how the optimization options —
 // direction optimization (DO), Local-All2All (L), Uniquify (U), and
 // blocking vs non-blocking delegate reduction (BR/IR) — change the runtime
-// composition on a multi-node cluster, plus a mini weak-scaling sweep.
+// composition on a multi-node cluster, plus a mini weak-scaling sweep. Each
+// variant stands up a query service and answers its sources as one
+// concurrent batch.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,6 +18,7 @@ func main() {
 	g := gcbfs.RMAT(14)
 	cluster := gcbfs.Cluster{Nodes: 4, RanksPerNode: 2, GPUsPerRank: 2}
 	sources := gcbfs.Sources(g, 4, 11)
+	ctx := context.Background()
 
 	fmt.Printf("options ablation on %d GPUs (RMAT scale 14):\n", cluster.GPUs())
 	fmt.Println("  options      compute   local  normal  delegate  elapsed   (ms)")
@@ -32,23 +36,23 @@ func main() {
 	for _, v := range variants {
 		cfg := gcbfs.DefaultConfig(cluster)
 		v.mod(&cfg)
-		solver, err := gcbfs.NewSolver(g, cfg)
+		svc, err := gcbfs.NewService(g, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		results, err := solver.RunMany(sources)
+		batch, err := svc.RunBatch(ctx, sources, gcbfs.BatchOptions{Parallelism: 2})
 		if err != nil {
 			log.Fatal(err)
 		}
 		var comp, local, normal, delegate, elapsed float64
-		for _, r := range results {
+		for _, r := range batch.Results {
 			comp += r.Computation
 			local += r.LocalComm
 			normal += r.RemoteNormal
 			delegate += r.RemoteDelegate
 			elapsed += r.SimSeconds
 		}
-		n := float64(len(results))
+		n := float64(len(batch.Results))
 		fmt.Printf("  %-10s  %7.3f %7.3f %7.3f  %8.3f  %7.3f\n",
 			v.name, comp/n*1e3, local/n*1e3, normal/n*1e3, delegate/n*1e3, elapsed/n*1e3)
 	}
@@ -70,16 +74,16 @@ func main() {
 		default:
 			c = gcbfs.Cluster{Nodes: gpus / 4, RanksPerNode: 2, GPUsPerRank: 2}
 		}
-		solver, err := gcbfs.NewSolver(wg, gcbfs.DefaultConfig(c))
+		svc, err := gcbfs.NewService(wg, gcbfs.DefaultConfig(c))
 		if err != nil {
 			log.Fatal(err)
 		}
-		results, err := solver.RunMany(gcbfs.Sources(wg, 3, 5))
+		batch, err := svc.RunBatch(ctx, gcbfs.Sources(wg, 3, 5), gcbfs.BatchOptions{Parallelism: 3})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  %4d  %d×%d×%d  %10.3f\n",
-			gpus, c.Nodes, c.RanksPerNode, c.GPUsPerRank, gcbfs.GeoMeanGTEPS(results))
+			gpus, c.Nodes, c.RanksPerNode, c.GPUsPerRank, batch.Stats.GeoMeanGTEPS)
 	}
 	fmt.Println("\n(the paper's full sweeps: go run ./cmd/bfsbench -exp all)")
 }

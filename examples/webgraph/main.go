@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,6 +20,7 @@ func main() {
 
 	cluster := gcbfs.Cluster{Nodes: 4, RanksPerNode: 2, GPUsPerRank: 2}
 	sources := gcbfs.Sources(g, 3, 3)
+	ctx := context.Background()
 
 	type outcome struct {
 		name  string
@@ -30,11 +32,11 @@ func main() {
 	for _, do := range []bool{false, true} {
 		cfg := gcbfs.DefaultConfig(cluster)
 		cfg.DirectionOptimized = do
-		solver, err := gcbfs.NewSolver(g, cfg)
+		svc, err := gcbfs.NewService(g, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		results, err := solver.RunMany(sources)
+		batch, err := svc.RunBatch(ctx, sources, gcbfs.BatchOptions{Parallelism: 3})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -44,25 +46,25 @@ func main() {
 		}
 		var iters int
 		var msSum float64
-		for _, r := range results {
+		for _, r := range batch.Results {
 			if r.Iterations > iters {
 				iters = r.Iterations
 			}
 			msSum += r.SimSeconds * 1e3
 		}
 		// Validate one run per mode.
-		one, err := solver.Run(sources[0])
+		one, err := svc.Run(ctx, sources[0])
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := solver.Validate(one); err != nil {
+		if err := svc.Validate(one); err != nil {
 			log.Fatalf("%s validation failed: %v", name, err)
 		}
 		outcomes = append(outcomes, outcome{
 			name:  name,
-			rate:  gcbfs.GeoMeanGTEPS(results),
+			rate:  batch.Stats.GeoMeanGTEPS,
 			iters: iters,
-			ms:    msSum / float64(len(results)),
+			ms:    msSum / float64(len(batch.Results)),
 		})
 	}
 

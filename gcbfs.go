@@ -14,6 +14,45 @@
 // reproducible on any host. See DESIGN.md for the architecture and
 // EXPERIMENTS.md for paper-vs-measured comparisons.
 //
+// # Query service
+//
+// The primary API is a persistent, concurrency-safe query service: NewService
+// partitions the graph once, and the Service then answers any number of BFS
+// queries — sequentially or concurrently — against that shared partition.
+// Internally an immutable query plan holds the subgraphs while every query
+// runs on a pooled per-query session, so concurrent queries never alias
+// mutable state and every result is bit-identical to a serial run.
+//
+//	g := gcbfs.RMAT(16)
+//	svc, err := gcbfs.NewService(g, gcbfs.DefaultConfig(gcbfs.Cluster{
+//		Nodes: 4, RanksPerNode: 2, GPUsPerRank: 2,
+//	}))
+//	if err != nil { ... }
+//	ctx := context.Background()
+//
+//	// One query, with a per-query option override.
+//	res, err := svc.Run(ctx, gcbfs.Sources(g, 1, 1)[0],
+//		gcbfs.WithCompression(gcbfs.CompressionAdaptive))
+//	fmt.Printf("%.1f GTEPS in %d iterations\n", res.GTEPS, res.Iterations)
+//
+//	// The paper's §VI-A methodology — many random sources — as one batch,
+//	// eight queries in flight at a time, results source-ordered.
+//	batch, err := svc.RunBatch(ctx, gcbfs.Sources(g, 64, 1),
+//		gcbfs.BatchOptions{Parallelism: 8})
+//	fmt.Printf("geo-mean %.1f GTEPS over %d runs\n",
+//		batch.Stats.GeoMeanGTEPS, batch.Stats.Runs)
+//
+// Run honors its context at iteration boundaries: a cancelled or expired
+// context aborts the query within one BFS iteration and returns ctx.Err().
+// Per-query options (WithCompression, WithExchange, WithLevels, WithParents,
+// WithWorkAmplification) override the construction-time Config for a single
+// query without re-partitioning; knobs that change the partition or kernel
+// policies still require a new Service.
+//
+// The pre-service Solver API (NewSolver / Solver.Run / Solver.RunMany)
+// remains as a thin compatibility facade over Service; see CHANGES.md for
+// the migration path.
+//
 // # Frontier-exchange compression
 //
 // The Config.Compression knob routes the inter-rank normal-vertex payloads
@@ -22,9 +61,9 @@
 // stream, or a dense bitmap (checksummed, with a 1-byte scheme header);
 // CompressionRaw/Delta/Bitmap force one scheme for ablations, and
 // CompressionOff (the default) keeps the paper's fixed-width packing.
-// Compression never changes levels or parents — only bytes on the wire and
-// therefore the simulated remote-normal communication time. Result reports
-// the achieved reduction in WireRawBytes vs WireBytes.
+// Compression never changes levels or parents — only bytes on the wire, the
+// simulated remote-normal communication time, and the codec pack/unpack
+// compute now charged through the device model (Result.CodecSeconds).
 //
 // # Butterfly exchange
 //
@@ -35,22 +74,14 @@
 // from quadratic to p·log2(p) and per-message size grows into the network's
 // high-efficiency regime, at the cost of relayed volume (ButterFly BFS,
 // Green 2021). The codec re-encodes per hop, so adaptive compression sees
-// the aggregated blocks. Results are bit-identical across strategies; only
-// message pattern and simulated time change. Non-power-of-two rank counts
-// fall back to all-pairs with the reason in Result.ExchangeFallback.
-//
-// Quickstart:
-//
-//	g := gcbfs.RMAT(16)
-//	solver, err := gcbfs.NewSolver(g, gcbfs.DefaultConfig(gcbfs.Cluster{
-//		Nodes: 4, RanksPerNode: 2, GPUsPerRank: 2,
-//	}))
-//	if err != nil { ... }
-//	res, err := solver.Run(gcbfs.Sources(g, 1, 1)[0])
-//	fmt.Printf("%.1f GTEPS in %d iterations\n", res.GTEPS, res.Iterations)
+// the aggregated blocks — and pays the log(p)× codec compute the timing
+// model charges. Results are bit-identical across strategies; only message
+// pattern and simulated time change. Non-power-of-two rank counts fall back
+// to all-pairs with the reason in Result.ExchangeFallback.
 package gcbfs
 
 import (
+	"context"
 	"fmt"
 
 	"gcbfs/internal/baseline"
@@ -151,13 +182,19 @@ type Config struct {
 	// for delegate masks.
 	BlockingReduce bool
 	// WorkAmplification scales the timing model into a larger-graph
-	// regime (see EXPERIMENTS.md); ≤1 disables.
+	// regime (see EXPERIMENTS.md); values ≤ 0 are treated as 1
+	// (no amplification). Overridable per query with
+	// WithWorkAmplification.
 	WorkAmplification float64
-	// CollectLevels gathers hop distances into results.
+	// CollectLevels gathers hop distances into results. Overridable per
+	// query with WithLevels.
 	CollectLevels bool
+	// CollectParents additionally gathers the Graph500 BFS tree into
+	// results. Overridable per query with WithParents.
+	CollectParents bool
 	// Compression selects the frontier-exchange codec for inter-rank
 	// normal-vertex payloads (see the package comment). The zero value is
-	// CompressionOff.
+	// CompressionOff. Overridable per query with WithCompression.
 	Compression Compression
 	// Exchange selects the inter-rank exchange topology for normal
 	// vertices: ExchangeAllPairs (the zero value) sends one message per
@@ -165,7 +202,8 @@ type Config struct {
 	// hypercube hops that aggregate payloads into fewer, larger messages.
 	// The butterfly needs a power-of-two rank count and otherwise falls
 	// back to all-pairs (Result.ExchangeFallback records why). Traversal
-	// results are identical either way.
+	// results are identical either way. Overridable per query with
+	// WithExchange.
 	Exchange Exchange
 }
 
@@ -239,6 +277,7 @@ func (cfg Config) engineOptions() core.Options {
 	o.BlockingReduce = cfg.BlockingReduce
 	o.WorkAmplification = cfg.WorkAmplification
 	o.CollectLevels = cfg.CollectLevels
+	o.CollectParents = cfg.CollectParents
 	o.Compression = cfg.Compression.mode()
 	o.Exchange = cfg.Exchange.strategy()
 	return o
@@ -253,8 +292,12 @@ type Result struct {
 	SimSeconds float64
 	GTEPS      float64
 	// Levels holds hop distances per vertex (-1 unreachable); nil when
-	// CollectLevels is off.
+	// levels were not collected.
 	Levels []int32
+	// Parents holds the Graph500 BFS-tree parent per vertex (-1
+	// unreachable); nil unless the query collected parents (Config or
+	// WithParents).
+	Parents []int64
 	// EdgesScanned counts actual traversal work (forward scans plus
 	// backward parent checks).
 	EdgesScanned int64
@@ -264,23 +307,36 @@ type Result struct {
 	// WireRawBytes is its fixed-width (4 bytes/id) equivalent. The two are
 	// equal when Compression is off.
 	WireBytes, WireRawBytes int64
+	// CodecSeconds is the simulated compute time the codec's pack/unpack
+	// kernels cost this query (included in RemoteNormal); zero with
+	// compression off.
+	CodecSeconds float64
+	// Messages counts inter-rank point-to-point messages across all ranks
+	// and iterations; ForwardedBytes is the fixed-width equivalent of ids
+	// the butterfly relayed through intermediate ranks (zero for
+	// all-pairs); MaxMessageBytes is the largest message the timing model
+	// saw.
+	Messages, ForwardedBytes, MaxMessageBytes int64
 	// Exchange is the exchange topology actually used ("allpairs" or
 	// "butterfly"); ExchangeFallback records why a requested butterfly was
 	// replaced (empty otherwise).
 	Exchange, ExchangeFallback string
 }
 
-// Solver runs BFS over a partitioned graph on the simulated cluster.
-type Solver struct {
-	g      *Graph
-	cfg    Config
-	engine *core.Engine
-	sub    *partition.Subgraphs
+// Service is a persistent, concurrency-safe BFS query service: the graph is
+// partitioned once at construction, and any number of queries — sequential
+// or concurrent — then run against the shared immutable plan, each on its
+// own pooled session. A Service is safe for use from multiple goroutines.
+type Service struct {
+	g    *Graph
+	cfg  Config
+	plan *core.Plan
+	sub  *partition.Subgraphs
 }
 
-// NewSolver partitions the graph (degree separation + Algorithm 1) for the
-// configured cluster and prepares the engine.
-func NewSolver(g *Graph, cfg Config) (*Solver, error) {
+// NewService partitions the graph (degree separation + Algorithm 1) for the
+// configured cluster and prepares the query plan.
+func NewService(g *Graph, cfg Config) (*Service, error) {
 	shape := cfg.Cluster.shape()
 	if err := shape.Validate(); err != nil {
 		return nil, err
@@ -300,40 +356,181 @@ func NewSolver(g *Graph, cfg Config) (*Solver, error) {
 	if err != nil {
 		return nil, err
 	}
-	engine, err := core.NewEngine(sub, shape, cfg.engineOptions())
+	plan, err := core.NewPlan(sub, shape, cfg.engineOptions())
 	if err != nil {
 		return nil, err
 	}
-	return &Solver{g: g, cfg: cfg, engine: engine, sub: sub}, nil
+	return &Service{g: g, cfg: cfg, plan: plan, sub: sub}, nil
 }
 
-// Threshold returns the degree threshold in effect (useful when auto-tuned).
-func (s *Solver) Threshold() int64 { return s.sub.Sep.Threshold }
+// QueryOption overrides one knob of the service's Config for a single query,
+// without re-partitioning the graph.
+type QueryOption func(*queryConfig)
 
-// Delegates returns the number of delegate vertices.
-func (s *Solver) Delegates() int64 { return s.sub.D() }
+type queryConfig struct {
+	ov  core.Overrides
+	err error
+}
 
-// Run executes one BFS from source.
-func (s *Solver) Run(source int64) (*Result, error) {
-	r, err := s.engine.Run(source)
+// WithCompression selects the frontier-exchange codec for this query.
+func WithCompression(c Compression) QueryOption {
+	return func(q *queryConfig) {
+		if c < CompressionOff || c > CompressionBitmap {
+			q.err = fmt.Errorf("gcbfs: invalid compression mode %d", c)
+			return
+		}
+		m := c.mode()
+		q.ov.Compression = &m
+	}
+}
+
+// WithExchange selects the exchange topology for this query. A butterfly
+// request on a non-power-of-two rank count falls back to all-pairs with the
+// reason in Result.ExchangeFallback, as at construction time.
+func WithExchange(x Exchange) QueryOption {
+	return func(q *queryConfig) {
+		if x < ExchangeAllPairs || x > ExchangeButterfly {
+			q.err = fmt.Errorf("gcbfs: invalid exchange strategy %d", x)
+			return
+		}
+		s := x.strategy()
+		q.ov.Exchange = &s
+	}
+}
+
+// WithLevels toggles hop-distance collection for this query.
+func WithLevels(on bool) QueryOption {
+	return func(q *queryConfig) { q.ov.CollectLevels = &on }
+}
+
+// WithParents toggles Graph500 BFS-tree collection for this query.
+func WithParents(on bool) QueryOption {
+	return func(q *queryConfig) { q.ov.CollectParents = &on }
+}
+
+// WithWorkAmplification overrides the timing-model amplification for this
+// query; values ≤ 0 disable amplification.
+func WithWorkAmplification(f float64) QueryOption {
+	return func(q *queryConfig) { q.ov.WorkAmplification = &f }
+}
+
+func buildQuery(opts []QueryOption) (queryConfig, error) {
+	var q queryConfig
+	for _, o := range opts {
+		o(&q)
+		if q.err != nil {
+			return q, q.err
+		}
+	}
+	return q, nil
+}
+
+// Run executes one BFS from source. The context is honored at iteration
+// boundaries: cancellation or deadline expiry aborts the query within one
+// BFS iteration and returns ctx.Err().
+func (s *Service) Run(ctx context.Context, source int64, opts ...QueryOption) (*Result, error) {
+	q, err := buildQuery(opts)
+	if err != nil {
+		return nil, err
+	}
+	r, err := s.plan.Run(ctx, source, q.ov)
 	if err != nil {
 		return nil, err
 	}
 	return convert(r), nil
 }
 
-// RunMany executes one BFS per source.
-func (s *Solver) RunMany(sources []int64) ([]*Result, error) {
-	out := make([]*Result, 0, len(sources))
-	for _, src := range sources {
-		r, err := s.Run(src)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+// BatchOptions tunes a RunBatch call.
+type BatchOptions struct {
+	// Parallelism is the number of queries in flight at once; 0 or 1 runs
+	// the batch serially. Results are deterministic and source-ordered
+	// regardless of the value — parallelism changes wall-clock time only.
+	Parallelism int
 }
+
+// BatchStats aggregates a batch the way the paper reports data points
+// (§VI-A: geometric mean over runs with more than one iteration), plus the
+// service-level throughput view.
+type BatchStats struct {
+	// Runs is the number of queries executed; Filtered counts those
+	// dropped from GeoMeanGTEPS by the Graph500 >1-iteration rule.
+	Runs, Filtered int
+	// GeoMeanGTEPS is the paper's reporting convention; TotalGTEPS is the
+	// aggregate service throughput — total TEPS edges over total simulated
+	// seconds, i.e. the rate of the whole batch run back to back.
+	GeoMeanGTEPS, TotalGTEPS float64
+	// TotalSimSeconds sums every query's simulated time; MeanIterations
+	// averages iteration counts over all runs.
+	TotalSimSeconds float64
+	MeanIterations  float64
+	// Wire totals across the batch: bytes actually sent vs the fixed-width
+	// equivalent, and the codec compute charged.
+	WireBytes, WireRawBytes int64
+	CodecSeconds            float64
+	// Exchange totals across the batch.
+	Messages, ForwardedBytes, MaxMessageBytes int64
+}
+
+// BatchResult is the outcome of RunBatch: per-query results in source order
+// plus aggregated stats.
+type BatchResult struct {
+	Results []*Result
+	Stats   BatchStats
+}
+
+// RunBatch executes one BFS per source with BatchOptions.Parallelism queries
+// in flight at a time, all sharing the service's partitioned graph through
+// pooled sessions. Results are source-ordered and bit-identical to a serial
+// loop of Run calls with the same options. The first query error (including
+// context cancellation) cancels the rest and is returned.
+func (s *Service) RunBatch(ctx context.Context, sources []int64, bo BatchOptions, opts ...QueryOption) (*BatchResult, error) {
+	q, err := buildQuery(opts)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := s.plan.RunBatch(ctx, sources, bo.Parallelism, q.ov)
+	if err != nil {
+		return nil, err
+	}
+	br := &BatchResult{Results: make([]*Result, len(rs))}
+	var rates []float64
+	var tepsEdges int64
+	for i, r := range rs {
+		br.Results[i] = convert(r)
+		st := &br.Stats
+		st.Runs++
+		if r.MultipleIterations() {
+			rates = append(rates, r.GTEPS())
+		} else {
+			st.Filtered++
+		}
+		tepsEdges += r.TEPSEdges
+		st.TotalSimSeconds += r.SimSeconds
+		st.MeanIterations += float64(r.Iterations)
+		st.WireBytes += r.Wire.CompressedBytes
+		st.WireRawBytes += r.Wire.RawBytes
+		st.CodecSeconds += r.Wire.CodecSeconds
+		st.Messages += r.Exchange.Messages
+		st.ForwardedBytes += r.Exchange.ForwardedBytes
+		if r.Exchange.MaxMessageBytes > st.MaxMessageBytes {
+			st.MaxMessageBytes = r.Exchange.MaxMessageBytes
+		}
+	}
+	br.Stats.GeoMeanGTEPS = metrics.GeoMean(rates)
+	if br.Stats.TotalSimSeconds > 0 {
+		br.Stats.TotalGTEPS = float64(tepsEdges) / br.Stats.TotalSimSeconds / 1e9
+	}
+	if br.Stats.Runs > 0 {
+		br.Stats.MeanIterations /= float64(br.Stats.Runs)
+	}
+	return br, nil
+}
+
+// Threshold returns the degree threshold in effect (useful when auto-tuned).
+func (s *Service) Threshold() int64 { return s.sub.Sep.Threshold }
+
+// Delegates returns the number of delegate vertices.
+func (s *Service) Delegates() int64 { return s.sub.D() }
 
 func convert(r *metrics.RunResult) *Result {
 	return &Result{
@@ -342,6 +539,7 @@ func convert(r *metrics.RunResult) *Result {
 		SimSeconds:       r.SimSeconds,
 		GTEPS:            r.GTEPS(),
 		Levels:           r.Levels,
+		Parents:          r.Parents,
 		EdgesScanned:     r.EdgesScanned,
 		Computation:      r.Parts.Computation,
 		LocalComm:        r.Parts.LocalComm,
@@ -349,6 +547,10 @@ func convert(r *metrics.RunResult) *Result {
 		RemoteDelegate:   r.Parts.RemoteDelegate,
 		WireBytes:        r.Wire.CompressedBytes,
 		WireRawBytes:     r.Wire.RawBytes,
+		CodecSeconds:     r.Wire.CodecSeconds,
+		Messages:         r.Exchange.Messages,
+		ForwardedBytes:   r.Exchange.ForwardedBytes,
+		MaxMessageBytes:  r.Exchange.MaxMessageBytes,
 		Exchange:         r.Exchange.Strategy,
 		ExchangeFallback: r.Exchange.Fallback,
 	}
@@ -356,9 +558,9 @@ func convert(r *metrics.RunResult) *Result {
 
 // Validate checks a result's hop distances against the Graph500-style rules
 // and against a serial reference BFS. The result must carry levels.
-func (s *Solver) Validate(r *Result) error {
+func (s *Service) Validate(r *Result) error {
 	if r.Levels == nil {
-		return fmt.Errorf("gcbfs: result has no levels (CollectLevels off)")
+		return fmt.Errorf("gcbfs: result has no levels (levels not collected)")
 	}
 	if err := g500.Validate(s.g.el, r.Source, r.Levels); err != nil {
 		return err
@@ -379,8 +581,8 @@ type MemoryReport struct {
 	NNEdges        int64
 }
 
-// Memory returns the solver's storage accounting.
-func (s *Solver) Memory() MemoryReport {
+// Memory returns the service's storage accounting.
+func (s *Service) Memory() MemoryReport {
 	return MemoryReport{
 		TotalBytes:     s.sub.Memory().Total(),
 		PredictedBytes: s.sub.PredictedTotal(),
@@ -392,35 +594,64 @@ func (s *Solver) Memory() MemoryReport {
 	}
 }
 
-// Sources picks count distinct vertices with at least one edge,
-// deterministically from seed — the paper's random-source methodology with
-// reproducibility.
-func Sources(g *Graph, count int, seed int64) []int64 {
-	deg := g.el.OutDegrees()
-	rng := newSplitMix(uint64(seed))
-	var out []int64
-	seen := map[int64]bool{}
-	n := g.el.N
-	for int64(len(out)) < int64(count) {
-		v := int64(rng.next() % uint64(n))
-		if deg[v] > 0 && !seen[v] {
-			seen[v] = true
-			out = append(out, v)
-		}
-	}
-	return out
+// Solver is the original one-shot facade, kept as a thin compatibility shim
+// over Service: every call delegates with a background context and no
+// per-query options.
+//
+// Deprecated: new code should use NewService, whose Run takes a context and
+// QueryOptions and whose RunBatch executes sources concurrently.
+type Solver struct {
+	svc *Service
 }
 
-type splitMix struct{ state uint64 }
+// NewSolver partitions the graph for the configured cluster and prepares the
+// underlying query service. See the Solver deprecation note.
+func NewSolver(g *Graph, cfg Config) (*Solver, error) {
+	svc, err := NewService(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Solver{svc: svc}, nil
+}
 
-func newSplitMix(seed uint64) *splitMix { return &splitMix{state: seed} }
+// Service returns the underlying query service (the migration path off
+// Solver).
+func (s *Solver) Service() *Service { return s.svc }
 
-func (s *splitMix) next() uint64 {
-	s.state += 0x9e3779b97f4a7c15
-	z := s.state
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
+// Threshold returns the degree threshold in effect (useful when auto-tuned).
+func (s *Solver) Threshold() int64 { return s.svc.Threshold() }
+
+// Delegates returns the number of delegate vertices.
+func (s *Solver) Delegates() int64 { return s.svc.Delegates() }
+
+// Run executes one BFS from source.
+func (s *Solver) Run(source int64) (*Result, error) {
+	return s.svc.Run(context.Background(), source)
+}
+
+// RunMany executes one BFS per source, serially and in order.
+func (s *Solver) RunMany(sources []int64) ([]*Result, error) {
+	br, err := s.svc.RunBatch(context.Background(), sources, BatchOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return br.Results, nil
+}
+
+// Validate checks a result's hop distances against the Graph500-style rules
+// and against a serial reference BFS. The result must carry levels.
+func (s *Solver) Validate(r *Result) error { return s.svc.Validate(r) }
+
+// Memory returns the solver's storage accounting.
+func (s *Solver) Memory() MemoryReport { return s.svc.Memory() }
+
+// Sources picks up to count distinct vertices with at least one edge,
+// deterministically from seed — the paper's random-source methodology with
+// reproducibility. When the graph has no more than count positive-degree
+// vertices, all of them are returned (in ascending order) instead of
+// looping forever.
+func Sources(g *Graph, count int, seed int64) []int64 {
+	return graph.PickSources(g.el.OutDegrees(), count, uint64(seed))
 }
 
 // GeoMeanGTEPS aggregates run rates the way the paper reports data points:

@@ -9,10 +9,29 @@
 // Performance is simulated: kernels and transfers charge calibrated model
 // time (internal/simgpu, internal/simnet) from exactly counted work and
 // bytes, so the figures' scaling shapes are reproducible on any host.
+//
+// # Plan and Session
+//
+// The execution machinery is split query-service style. A Plan is the
+// immutable half: the partitioned graph, cluster shape and normalized base
+// Options, built once per partition and safe to share between any number of
+// concurrent queries. A Session is the mutable half: frontiers, visited
+// bitmasks, wire buffers and exchange scratch for one in-flight BFS query.
+// Sessions are recycled through a sync.Pool inside the Plan, so concurrent
+// queries share one partitioned graph with zero cross-query aliasing — each
+// query runs on its own Session, fully reset between uses.
+//
+// Plan.Run executes one query with per-query Overrides (compression,
+// exchange topology, collection flags, work amplification) layered over the
+// base Options without re-partitioning; Plan.RunBatch executes many sources
+// with bounded parallelism and deterministic, source-ordered results. The
+// old single-query Engine remains as a thin compatibility wrapper.
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"gcbfs/internal/bitmask"
 	"gcbfs/internal/frontier"
@@ -108,8 +127,10 @@ type Options struct {
 	// fixed-width packing, wire.ModeAdaptive picks the smallest of raw /
 	// varint-delta / bitmap per message (reusing the previous iteration's
 	// winner per destination while block sizes are stable — see
-	// wire.Selector), and the forced modes pin one scheme for ablations. The codec changes bytes on the wire (and hence
-	// the simulated remote-normal time) but never the traversal results.
+	// wire.Selector), and the forced modes pin one scheme for ablations.
+	// The codec changes bytes on the wire (and hence the simulated
+	// remote-normal time) but never the traversal results. Its pack/unpack
+	// compute is charged through simgpu.Spec.CodecRate.
 	Compression wire.Mode
 	// Exchange selects the inter-rank normal-vertex exchange topology:
 	// ExchangeAllPairs sends one message per destination rank per iteration
@@ -159,88 +180,24 @@ func PlainBFSOptions() Options {
 	return o
 }
 
-// Engine executes BFS/DOBFS runs over a distributed graph.
-type Engine struct {
+// Plan is the immutable, shareable half of a BFS deployment: the partitioned
+// graph, the cluster shape and the normalized base Options. A Plan is built
+// once per partition and is safe for concurrent use — every mutable byte of
+// a query lives in a Session drawn from the Plan's internal pool.
+type Plan struct {
 	sg    *partition.Subgraphs
 	shape ClusterShape
-	opts  Options
+	base  Options
 	cfg   partition.Config
 	p     int
 	d     int64
-	amp   float64 // work/volume amplification for the timing model
-	gpus  []*gpuState
 
-	// delegateParents holds the resolved BFS-tree parents of delegates
-	// (written by rank 0 during the post-BFS resolution; every rank
-	// computes the identical reduction result).
-	delegateParents []int64
-	// parentExchangePairs counts the post-BFS resolution traffic (pairs),
-	// reported but excluded from simulated BFS time. The byte counters
-	// account that exchange's fixed-width equivalent and what the codec
-	// actually put on the wire. All three are updated atomically by the
-	// rank goroutines.
-	parentExchangePairs int64
-	parentPairRawBytes  int64
-	parentPairWireBytes int64
+	pool sync.Pool // of *Session
 }
 
-// charge runs the kernel cost through the device model with work
-// amplification applied (timing only; functional counters stay raw).
-func (e *Engine) charge(gs *gpuState, c simgpu.KernelCost) float64 {
-	c.Edges = int64(float64(c.Edges) * e.amp)
-	c.Vertices = int64(float64(c.Vertices) * e.amp)
-	return gs.dev.Charge(c)
-}
-
-// ampBytes scales a communication volume for the timing model.
-func (e *Engine) ampBytes(b int64) int64 {
-	return int64(float64(b) * e.amp)
-}
-
-// gpuState is the per-GPU mutable run state. Each GPU's state is touched
-// only by its owning rank goroutine; consistency across GPUs is established
-// exclusively through the MPI collectives, as on the real machine.
-type gpuState struct {
-	pg  *partition.GPUGraph
-	dev *simgpu.Device
-
-	levels        []int32 // local slot → hop distance, -1 unvisited
-	delegateLevel []int32 // delegate id → hop distance, -1 unvisited
-
-	visited  *bitmask.Mask // delegates visited as of iteration start
-	dFront   *bitmask.Mask // delegate frontier (newly visited last iteration)
-	newMask  *bitmask.Mask // local delegate discoveries this iteration
-	scratch  *bitmask.Mask
-	inFront  []uint32 // local normal frontier
-	outFront []uint32
-	bins     *frontier.Bins
-
-	// BFS-tree state (nil unless CollectParents): parents of local
-	// normal vertices, and a flag for vertices discovered via a remote
-	// nn edge whose parent arrives in the post-BFS resolution round.
-	parents           []int64
-	remoteNeedsParent []bool
-
-	isNDSource         []bool // local slot has nd edges (member of NDSources)
-	unvisitedNDSources int64
-
-	dirDD, dirDN, dirND metrics.Direction
-
-	// Per-iteration work accounting, reset each super-step.
-	it iterWork
-}
-
-// iterWork accumulates one iteration's counted work on one GPU.
-type iterWork struct {
-	delegateStream float64 // seconds: previsit + dd + nd kernels
-	normalStream   float64 // seconds: previsit + dn + nn kernels + binning
-	edgesScanned   int64
-	dupsRemoved    int64
-}
-
-// NewEngine validates that the partitioned graph matches the cluster shape
-// and prepares per-GPU state.
-func NewEngine(sg *partition.Subgraphs, shape ClusterShape, opts Options) (*Engine, error) {
+// NewPlan validates that the partitioned graph matches the cluster shape,
+// normalizes the base options, and prepares the session pool.
+func NewPlan(sg *partition.Subgraphs, shape ClusterShape, opts Options) (*Plan, error) {
 	if err := shape.Validate(); err != nil {
 		return nil, err
 	}
@@ -266,63 +223,228 @@ func NewEngine(sg *partition.Subgraphs, shape ClusterShape, opts Options) (*Engi
 	if opts.Exchange < ExchangeAllPairs || opts.Exchange > ExchangeButterfly {
 		return nil, fmt.Errorf("core: invalid exchange strategy %d", opts.Exchange)
 	}
-	e := &Engine{
+	p := &Plan{
 		sg:    sg,
 		shape: shape,
-		opts:  opts,
+		base:  opts,
 		cfg:   sg.Cfg,
 		p:     sg.Cfg.P(),
 		d:     sg.D(),
-		amp:   opts.WorkAmplification,
 	}
-	e.gpus = make([]*gpuState, e.p)
-	for i, pg := range sg.GPUs {
-		gs := &gpuState{
-			pg:            pg,
-			dev:           simgpu.NewDevice(opts.GPU, i),
-			levels:        make([]int32, pg.NumLocal),
-			delegateLevel: make([]int32, e.d),
-			visited:       bitmask.New(e.d),
-			dFront:        bitmask.New(e.d),
-			newMask:       bitmask.New(e.d),
-			scratch:       bitmask.New(e.d),
-			bins:          frontier.NewBins(e.p),
-			isNDSource:    make([]bool, pg.NumLocal),
-		}
-		for _, s := range pg.NDSources {
-			gs.isNDSource[s] = true
-		}
-		if opts.CollectParents {
-			gs.parents = make([]int64, pg.NumLocal)
-			gs.remoteNeedsParent = make([]bool, pg.NumLocal)
-		}
-		e.gpus[i] = gs
-	}
-	return e, nil
+	p.pool.New = func() any { return p.newSession() }
+	return p, nil
 }
 
-// Shape returns the engine's cluster shape.
-func (e *Engine) Shape() ClusterShape { return e.shape }
+// Shape returns the plan's cluster shape.
+func (p *Plan) Shape() ClusterShape { return p.shape }
 
-// Graph returns the distributed graph the engine runs on.
-func (e *Engine) Graph() *partition.Subgraphs { return e.sg }
+// Graph returns the distributed graph the plan runs on.
+func (p *Plan) Graph() *partition.Subgraphs { return p.sg }
 
-// Options returns the engine's option set.
-func (e *Engine) Options() Options { return e.opts }
+// Options returns the plan's normalized base option set.
+func (p *Plan) Options() Options { return p.base }
 
 // MemoryOK reports whether every simulated GPU's subgraph storage fits the
 // device memory model (§III-C's processing-scale bound).
-func (e *Engine) MemoryOK() bool {
-	for _, pg := range e.sg.GPUs {
-		if !e.opts.GPU.FitsMemory(pg.MemoryBytes()) {
+func (p *Plan) MemoryOK() bool {
+	for _, pg := range p.sg.GPUs {
+		if !p.base.GPU.FitsMemory(pg.MemoryBytes()) {
 			return false
 		}
 	}
 	return true
 }
 
+// Overrides are per-query deltas layered over a Plan's base Options. Only
+// knobs that leave the partitioned graph and per-session buffer shapes
+// untouched are overridable — changing the cluster shape, threshold or
+// kernel policies needs a new Plan. A nil field keeps the base value.
+type Overrides struct {
+	Compression       *wire.Mode
+	Exchange          *Exchange
+	CollectLevels     *bool
+	CollectParents    *bool
+	WorkAmplification *float64
+}
+
+// effectiveOptions resolves base options plus overrides, validating the
+// overridden values the same way NewPlan validates the base.
+func (p *Plan) effectiveOptions(ov Overrides) (Options, error) {
+	o := p.base
+	if ov.Compression != nil {
+		if *ov.Compression < wire.ModeOff || *ov.Compression > wire.ModeBitmap {
+			return o, fmt.Errorf("core: invalid compression override %d", *ov.Compression)
+		}
+		o.Compression = *ov.Compression
+	}
+	if ov.Exchange != nil {
+		if *ov.Exchange < ExchangeAllPairs || *ov.Exchange > ExchangeButterfly {
+			return o, fmt.Errorf("core: invalid exchange override %d", *ov.Exchange)
+		}
+		o.Exchange = *ov.Exchange
+	}
+	if ov.CollectLevels != nil {
+		o.CollectLevels = *ov.CollectLevels
+	}
+	if ov.CollectParents != nil {
+		o.CollectParents = *ov.CollectParents
+	}
+	if ov.WorkAmplification != nil {
+		o.WorkAmplification = *ov.WorkAmplification
+		if o.WorkAmplification <= 0 {
+			o.WorkAmplification = 1
+		}
+	}
+	return o, nil
+}
+
+// acquire takes a pooled Session and configures it for one query.
+func (p *Plan) acquire(opts Options) *Session {
+	s := p.pool.Get().(*Session)
+	s.configure(opts)
+	return s
+}
+
+// release returns a Session to the pool once its query (and any result
+// gathering) is complete.
+func (p *Plan) release(s *Session) { p.pool.Put(s) }
+
+// Session holds every mutable byte of one in-flight BFS query: per-GPU
+// frontiers, visited bitmasks, send bins, parent-resolution scratch and the
+// effective (base + overrides) options. Sessions are created and recycled by
+// their Plan's pool; they are never shared between concurrent queries, so a
+// Session needs no locking of its own — its per-GPU state is touched only by
+// the owning rank goroutine, exactly as on the real machine.
+type Session struct {
+	sg    *partition.Subgraphs
+	shape ClusterShape
+	opts  Options
+	cfg   partition.Config
+	p     int
+	d     int64
+	amp   float64 // work/volume amplification for the timing model
+	gpus  []*gpuState
+
+	// delegateParents holds the resolved BFS-tree parents of delegates
+	// (written by rank 0 during the post-BFS resolution; every rank
+	// computes the identical reduction result).
+	delegateParents []int64
+	// parentExchangePairs counts the post-BFS resolution traffic (pairs),
+	// reported but excluded from simulated BFS time. The byte counters
+	// account that exchange's fixed-width equivalent and what the codec
+	// actually put on the wire. All three are updated atomically by the
+	// rank goroutines.
+	parentExchangePairs int64
+	parentPairRawBytes  int64
+	parentPairWireBytes int64
+}
+
+// newSession allocates the per-GPU state for one concurrent query.
+func (p *Plan) newSession() *Session {
+	s := &Session{
+		sg:    p.sg,
+		shape: p.shape,
+		opts:  p.base,
+		cfg:   p.cfg,
+		p:     p.p,
+		d:     p.d,
+		amp:   p.base.WorkAmplification,
+	}
+	s.gpus = make([]*gpuState, s.p)
+	for i, pg := range p.sg.GPUs {
+		gs := &gpuState{
+			pg:            pg,
+			dev:           simgpu.NewDevice(p.base.GPU, i),
+			levels:        make([]int32, pg.NumLocal),
+			delegateLevel: make([]int32, s.d),
+			visited:       bitmask.New(s.d),
+			dFront:        bitmask.New(s.d),
+			newMask:       bitmask.New(s.d),
+			scratch:       bitmask.New(s.d),
+			bins:          frontier.NewBins(s.p),
+			isNDSource:    make([]bool, pg.NumLocal),
+		}
+		for _, src := range pg.NDSources {
+			gs.isNDSource[src] = true
+		}
+		s.gpus[i] = gs
+	}
+	return s
+}
+
+// configure applies one query's effective options to a pooled session. The
+// BFS-tree buffers are allocated lazily the first time a query collects
+// parents and kept for later reuses of the session.
+func (s *Session) configure(opts Options) {
+	s.opts = opts
+	s.amp = opts.WorkAmplification
+	for _, gs := range s.gpus {
+		gs.trackParents = opts.CollectParents
+		if opts.CollectParents && gs.parents == nil {
+			gs.parents = make([]int64, gs.pg.NumLocal)
+			gs.remoteNeedsParent = make([]bool, gs.pg.NumLocal)
+		}
+	}
+}
+
+// charge runs the kernel cost through the device model with work
+// amplification applied (timing only; functional counters stay raw).
+func (e *Session) charge(gs *gpuState, c simgpu.KernelCost) float64 {
+	c.Edges = int64(float64(c.Edges) * e.amp)
+	c.Vertices = int64(float64(c.Vertices) * e.amp)
+	return gs.dev.Charge(c)
+}
+
+// ampBytes scales a communication volume for the timing model.
+func (e *Session) ampBytes(b int64) int64 {
+	return int64(float64(b) * e.amp)
+}
+
+// gpuState is the per-GPU mutable run state. Each GPU's state is touched
+// only by its owning rank goroutine; consistency across GPUs is established
+// exclusively through the MPI collectives, as on the real machine.
+type gpuState struct {
+	pg  *partition.GPUGraph
+	dev *simgpu.Device
+
+	levels        []int32 // local slot → hop distance, -1 unvisited
+	delegateLevel []int32 // delegate id → hop distance, -1 unvisited
+
+	visited  *bitmask.Mask // delegates visited as of iteration start
+	dFront   *bitmask.Mask // delegate frontier (newly visited last iteration)
+	newMask  *bitmask.Mask // local delegate discoveries this iteration
+	scratch  *bitmask.Mask
+	inFront  []uint32 // local normal frontier
+	outFront []uint32
+	bins     *frontier.Bins
+
+	// BFS-tree state (allocated on first parent-collecting query, active
+	// only while trackParents is set): parents of local normal vertices,
+	// and a flag for vertices discovered via a remote nn edge whose parent
+	// arrives in the post-BFS resolution round.
+	trackParents      bool
+	parents           []int64
+	remoteNeedsParent []bool
+
+	isNDSource         []bool // local slot has nd edges (member of NDSources)
+	unvisitedNDSources int64
+
+	dirDD, dirDN, dirND metrics.Direction
+
+	// Per-iteration work accounting, reset each super-step.
+	it iterWork
+}
+
+// iterWork accumulates one iteration's counted work on one GPU.
+type iterWork struct {
+	delegateStream float64 // seconds: previsit + dd + nd kernels
+	normalStream   float64 // seconds: previsit + dn + nn kernels + binning
+	edgesScanned   int64
+	dupsRemoved    int64
+}
+
 // reset prepares all per-GPU state for a fresh run.
-func (e *Engine) reset() {
+func (e *Session) reset() {
 	for _, gs := range e.gpus {
 		for i := range gs.levels {
 			gs.levels[i] = -1
@@ -340,9 +462,14 @@ func (e *Engine) reset() {
 		gs.dirDD, gs.dirDN, gs.dirND = metrics.Forward, metrics.Forward, metrics.Forward
 		gs.dev.ResetCounters()
 		gs.it = iterWork{}
-		for i := range gs.parents {
-			gs.parents[i] = -1
-			gs.remoteNeedsParent[i] = false
+		// The BFS-tree buffers stay allocated across pooled reuses but are
+		// only read by parent-tracking queries, so skip the O(NumLocal)
+		// clears when this query does not track them.
+		if gs.trackParents {
+			for i := range gs.parents {
+				gs.parents[i] = -1
+				gs.remoteNeedsParent[i] = false
+			}
 		}
 	}
 	e.delegateParents = nil
@@ -350,3 +477,50 @@ func (e *Engine) reset() {
 	e.parentPairRawBytes = 0
 	e.parentPairWireBytes = 0
 }
+
+// Engine is the original single-query facade over one partitioned graph,
+// kept for compatibility. It is a thin wrapper that routes every call
+// through a Plan with empty overrides and a background context.
+//
+// Deprecated: new code should build a Plan with NewPlan and use Plan.Run /
+// Plan.RunBatch, which add context cancellation, per-query overrides and
+// concurrent execution over pooled sessions.
+type Engine struct {
+	plan *Plan
+}
+
+// NewEngine validates that the partitioned graph matches the cluster shape
+// and prepares per-GPU state. See the Engine deprecation note.
+func NewEngine(sg *partition.Subgraphs, shape ClusterShape, opts Options) (*Engine, error) {
+	plan, err := NewPlan(sg, shape, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{plan: plan}, nil
+}
+
+// Plan returns the underlying query plan (the migration path off Engine).
+func (e *Engine) Plan() *Plan { return e.plan }
+
+// Run executes one BFS from source with the engine's base options.
+func (e *Engine) Run(source int64) (*metrics.RunResult, error) {
+	return e.plan.Run(context.Background(), source, Overrides{})
+}
+
+// RunMany executes one run per source, serially.
+func (e *Engine) RunMany(sources []int64) ([]*metrics.RunResult, error) {
+	return e.plan.RunBatch(context.Background(), sources, 1, Overrides{})
+}
+
+// Shape returns the engine's cluster shape.
+func (e *Engine) Shape() ClusterShape { return e.plan.Shape() }
+
+// Graph returns the distributed graph the engine runs on.
+func (e *Engine) Graph() *partition.Subgraphs { return e.plan.Graph() }
+
+// Options returns the engine's option set.
+func (e *Engine) Options() Options { return e.plan.Options() }
+
+// MemoryOK reports whether every simulated GPU's subgraph storage fits the
+// device memory model (§III-C's processing-scale bound).
+func (e *Engine) MemoryOK() bool { return e.plan.MemoryOK() }

@@ -70,7 +70,7 @@ func ParseExchange(s string) (Exchange, error) {
 // butterfly's bit-correction routing needs a full hypercube, so non-power-
 // of-two rank counts fall back to all-pairs with the reason recorded in the
 // run's exchange stats.
-func (e *Engine) exchangePlan() (Exchange, string) {
+func (e *Session) exchangePlan() (Exchange, string) {
 	prank := e.shape.Ranks()
 	if e.opts.Exchange == ExchangeButterfly && prank&(prank-1) != 0 {
 		return ExchangeAllPairs,
@@ -87,7 +87,14 @@ type exchangeCounts struct {
 	forwarded int64 // fixed-width equivalent of ids relayed for other ranks
 	messages  int64 // point-to-point messages sent by this rank
 	memoHits  int64
-	scheme    [wire.NumSchemes]int64
+	// codecRaw is the fixed-width equivalent of every id this rank pushed
+	// through the wire codec's encode AND decode kernels (zero with the
+	// codec off — the paper's fixed-width packing is a plain copy already
+	// charged as staging). The butterfly re-encodes per hop, so relayed ids
+	// count once per hop on each relaying rank — exactly the log(p)× codec
+	// work the timing model must see.
+	codecRaw int64
+	scheme   [wire.NumSchemes]int64
 	// hopBytes feeds the timing model: per-hop sent volume (one entry for
 	// all-pairs, log2(p) for the butterfly). Length is identical on every
 	// rank so the vectors max-reduce element-wise.
@@ -113,7 +120,7 @@ type exchanger interface {
 }
 
 // newExchanger builds the strategy instance for one rank.
-func (e *Engine) newExchanger(strategy Exchange, rank int) exchanger {
+func (e *Session) newExchanger(strategy Exchange, rank int) exchanger {
 	switch strategy {
 	case ExchangeButterfly:
 		prank := e.shape.Ranks()
@@ -143,7 +150,7 @@ func hopTag(iter int32, hop int) int {
 // are merge-sorted instead of concatenated, which keeps the pre-sorted codec
 // hint alive through aggregation. The returned slices are freshly allocated;
 // callers may retain and grow them.
-func (e *Engine) mergeForRank(myGPUs []*gpuState, dst int) ([][]uint32, []bool) {
+func (e *Session) mergeForRank(myGPUs []*gpuState, dst int) ([][]uint32, []bool) {
 	pgpu := e.shape.GPUsPerRank
 	merged := make([][]uint32, pgpu)
 	sorted := make([]bool, pgpu)
@@ -176,7 +183,7 @@ func (e *Engine) mergeForRank(myGPUs []*gpuState, dst int) ([][]uint32, []bool) 
 // ---- all-pairs ----
 
 type allPairsExchange struct {
-	e    *Engine
+	e    *Session
 	rank int
 	sel  *wire.Selector
 }
@@ -205,6 +212,9 @@ func (x *allPairsExchange) exchange(comm *mpi.Comm, myGPUs []*gpuState, iter int
 		payload, st := x.sel.EncodeSlots(dst, slots, sorted, mode)
 		c.sent += st.EncodedBytes
 		c.sentRaw += st.RawBytes
+		if mode != wire.ModeOff {
+			c.codecRaw += st.RawBytes
+		}
 		for i, n := range st.Selected {
 			c.scheme[i] += n
 		}
@@ -231,6 +241,9 @@ func (x *allPairsExchange) exchange(comm *mpi.Comm, myGPUs []*gpuState, iter int
 			panic(fmt.Sprintf("core: corrupt exchange payload: %v", err))
 		}
 		for s, ids := range slots {
+			if mode != wire.ModeOff {
+				c.codecRaw += 4 * int64(len(ids))
+			}
 			c.arrivals[s] = append(c.arrivals[s], ids...)
 		}
 	}
@@ -247,7 +260,7 @@ func (x *allPairsExchange) remoteTime(hopBytes []int64) (float64, int64) {
 // ---- butterfly ----
 
 type butterflyExchange struct {
-	e     *Engine
+	e     *Session
 	rank  int
 	nhops int
 	sel   *wire.Selector
@@ -306,6 +319,9 @@ func (x *butterflyExchange) exchange(comm *mpi.Comm, myGPUs []*gpuState, iter in
 		payload, st := x.sel.EncodeSections(secs, pgpu, mode)
 		c.sent += st.EncodedBytes
 		c.sentRaw += st.RawBytes
+		if mode != wire.ModeOff {
+			c.codecRaw += st.RawBytes
+		}
 		for i, n := range st.Selected {
 			c.scheme[i] += n
 		}
@@ -325,6 +341,9 @@ func (x *butterflyExchange) exchange(comm *mpi.Comm, myGPUs []*gpuState, iter in
 			}
 		} else {
 			c.recv += int64(len(buf))
+			for _, sec := range secsIn {
+				c.codecRaw += 4 * countIDs(sec.Slots)
+			}
 		}
 		for _, sec := range secsIn {
 			if sec.Rank == rank {

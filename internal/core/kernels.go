@@ -29,7 +29,7 @@ type previsitOut struct {
 // previsit runs both previsit kernels (§IV: level marking, duplicate and
 // zero-degree filtering, queue formation, workload calculation) and charges
 // their cost to the respective streams.
-func (e *Engine) previsit(gs *gpuState) previsitOut {
+func (e *Session) previsit(gs *gpuState) previsitOut {
 	var out previsitOut
 	// Delegate previsit: scan the (globally consistent) delegate frontier
 	// and keep delegates with local dd or dn edges.
@@ -108,7 +108,7 @@ func decide(cur metrics.Direction, f SwitchFactors, fv int64, bv float64) metric
 // decideDirections updates the per-subgraph directions for this iteration.
 // qD/sD are the global newly-visited and unvisited delegate counts (the
 // delegate masks are globally consistent, so no communication is needed).
-func (e *Engine) decideDirections(gs *gpuState, pv previsitOut, qD, sD int64) {
+func (e *Session) decideDirections(gs *gpuState, pv previsitOut, qD, sD int64) {
 	if !e.opts.DirectionOptimized {
 		gs.dirDD, gs.dirDN, gs.dirND = metrics.Forward, metrics.Forward, metrics.Forward
 		return
@@ -140,7 +140,7 @@ func (gs *gpuState) discover(local uint32, depth int32, parent int64) {
 	if gs.isNDSource[local] {
 		gs.unvisitedNDSources--
 	}
-	if gs.parents != nil {
+	if gs.trackParents {
 		if parent >= 0 {
 			gs.parents[local] = parent
 		} else {
@@ -150,7 +150,7 @@ func (gs *gpuState) discover(local uint32, depth int32, parent int64) {
 }
 
 // kernelDD processes delegate→delegate edges into the new-delegate mask.
-func (e *Engine) kernelDD(gs *gpuState, pv previsitOut) {
+func (e *Session) kernelDD(gs *gpuState, pv previsitOut) {
 	var edges int64
 	var vertices int64
 	strategy := simgpu.MergePath
@@ -193,7 +193,7 @@ func (e *Engine) kernelDD(gs *gpuState, pv previsitOut) {
 }
 
 // kernelND processes normal→delegate edges into the new-delegate mask.
-func (e *Engine) kernelND(gs *gpuState, pv previsitOut, iter int32) {
+func (e *Session) kernelND(gs *gpuState, pv previsitOut, iter int32) {
 	var edges, vertices int64
 	var skew float64
 	if gs.dirND == metrics.Forward {
@@ -234,7 +234,7 @@ func (e *Engine) kernelND(gs *gpuState, pv previsitOut, iter int32) {
 }
 
 // kernelDN processes delegate→normal edges into the output normal frontier.
-func (e *Engine) kernelDN(gs *gpuState, pv previsitOut, iter int32) {
+func (e *Session) kernelDN(gs *gpuState, pv previsitOut, iter int32) {
 	var edges, vertices int64
 	var skew float64
 	if gs.dirDN == metrics.Forward {
@@ -276,7 +276,7 @@ func (e *Engine) kernelDN(gs *gpuState, pv previsitOut, iter int32) {
 // kernelNN processes normal→normal edges: local destinations are applied
 // immediately; remote ones are binned by destination GPU with the 64→32-bit
 // id conversion done sender-side (§V-B). nn never runs backward (§IV-B).
-func (e *Engine) kernelNN(gs *gpuState, pv previsitOut, iter int32) {
+func (e *Session) kernelNN(gs *gpuState, pv previsitOut, iter int32) {
 	var edges, binned int64
 	p64 := int64(e.p)
 	self := gs.pg.GPU
@@ -320,7 +320,7 @@ func rowSkew(maxRow, total, rows int64) float64 {
 
 // runKernels executes one iteration's local computation on one GPU and
 // returns the previsit info (the run loop needs the workloads for stats).
-func (e *Engine) runKernels(gs *gpuState, iter int32, qD, sD int64) previsitOut {
+func (e *Session) runKernels(gs *gpuState, iter int32, qD, sD int64) previsitOut {
 	pv := e.previsit(gs)
 	e.decideDirections(gs, pv, qD, sD)
 	// Delegate stream: dd then nd (both write the delegate mask).

@@ -41,12 +41,12 @@ const parentLevelBits = 20
 
 // resolveParents runs the two-phase resolution on this rank. All ranks
 // participate (collectives inside); rank 0 publishes the delegate result.
-func (e *Engine) resolveParents(rank int, comm *mpi.Comm, myGPUs []*gpuState, source int64) {
+func (e *Session) resolveParents(rank int, comm *mpi.Comm, myGPUs []*gpuState, source int64) {
 	e.resolveDelegateParents(rank, comm, myGPUs, source)
 	e.resolveRemoteParents(rank, comm, myGPUs)
 }
 
-func (e *Engine) resolveDelegateParents(rank int, comm *mpi.Comm, myGPUs []*gpuState, source int64) {
+func (e *Session) resolveDelegateParents(rank int, comm *mpi.Comm, myGPUs []*gpuState, source int64) {
 	if e.d == 0 {
 		if rank == 0 {
 			e.delegateParents = nil
@@ -100,7 +100,7 @@ func (e *Engine) resolveDelegateParents(rank int, comm *mpi.Comm, myGPUs []*gpuS
 	}
 }
 
-func (e *Engine) resolveRemoteParents(rank int, comm *mpi.Comm, myGPUs []*gpuState) {
+func (e *Session) resolveRemoteParents(rank int, comm *mpi.Comm, myGPUs []*gpuState) {
 	pgpu := e.shape.GPUsPerRank
 	prank := e.shape.Ranks()
 	p64 := int64(e.p)
@@ -226,7 +226,7 @@ func pairSlotsForRank(bins *frontier.PairBins, dst, gpusPerRank int) [][]frontie
 
 // gatherParents assembles the global BFS tree from owner GPUs and the
 // resolved delegate directory.
-func (e *Engine) gatherParents() []int64 {
+func (e *Session) gatherParents() []int64 {
 	parents := make([]int64, e.sg.N)
 	for i := range parents {
 		parents[i] = -1

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"gcbfs/internal/bitmask"
 	"gcbfs/internal/metrics"
@@ -28,16 +31,108 @@ type recorder struct {
 	parts         metrics.Breakdown
 	wire          metrics.WireStats
 	exchange      metrics.ExchangeStats
+	// cancelled is set by rank 0 when the query aborted on its context; all
+	// ranks observe the same reduced cancellation flag, so they break the
+	// BSP loop on the same iteration and no collective is left half-entered.
+	cancelled bool
 }
 
-// Run executes one BFS from the given global source vertex and returns the
-// result with simulated timing. The run is functionally exact and
-// deterministic: identical inputs produce identical distances, counters and
-// simulated times.
-func (e *Engine) Run(source int64) (*metrics.RunResult, error) {
-	if source < 0 || source >= e.sg.N {
-		return nil, fmt.Errorf("core: source %d out of range [0,%d)", source, e.sg.N)
+// Run executes one BFS from the given global source vertex on a pooled
+// Session configured with the base options plus ov, and returns the result
+// with simulated timing. The run is functionally exact and deterministic:
+// identical inputs produce identical distances, counters and simulated
+// times, regardless of how many queries run concurrently.
+//
+// ctx is honored at iteration boundaries: every rank folds its context
+// observation into the per-iteration termination reduction, so a cancelled
+// or expired context aborts the query within one BSP iteration and Run
+// returns ctx.Err().
+func (p *Plan) Run(ctx context.Context, source int64, ov Overrides) (*metrics.RunResult, error) {
+	opts, err := p.effectiveOptions(ov)
+	if err != nil {
+		return nil, err
 	}
+	if source < 0 || source >= p.sg.N {
+		return nil, fmt.Errorf("core: source %d out of range [0,%d)", source, p.sg.N)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s := p.acquire(opts)
+	defer p.release(s)
+	return s.run(ctx, source)
+}
+
+// RunBatch executes one BFS per source with at most parallelism queries in
+// flight, each on its own pooled Session. Results are source-ordered and
+// bit-identical to a serial loop of Run calls — concurrency changes only
+// wall-clock time, never results. parallelism ≤ 1 runs serially. The first
+// query error (including context cancellation) cancels the remaining
+// queries and is returned.
+func (p *Plan) RunBatch(ctx context.Context, sources []int64, parallelism int, ov Overrides) ([]*metrics.RunResult, error) {
+	if _, err := p.effectiveOptions(ov); err != nil {
+		return nil, err
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	if parallelism > len(sources) {
+		parallelism = len(sources)
+	}
+	results := make([]*metrics.RunResult, len(sources))
+	if len(sources) == 0 {
+		return results, ctx.Err()
+	}
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(sources) {
+					return
+				}
+				r, err := p.Run(bctx, sources[i], ov)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					cancel()
+					return
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		// When the failure is itself a cancellation, prefer the caller's
+		// context error so a dead parent context surfaces as ctx.Err(),
+		// not as the internal batch cancellation. A genuine query error
+		// (bad source, invalid override) always wins — it caused the
+		// cancellation, not the other way around.
+		if errors.Is(firstErr, context.Canceled) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// run executes one BFS on this (already configured and exclusive) session.
+func (e *Session) run(ctx context.Context, source int64) (*metrics.RunResult, error) {
 	e.reset()
 
 	// Seed the search at depth 0.
@@ -57,7 +152,7 @@ func (e *Engine) Run(source int64) (*metrics.RunResult, error) {
 		if gs.isNDSource[local] {
 			gs.unvisitedNDSources--
 		}
-		if gs.parents != nil {
+		if gs.trackParents {
 			gs.parents[local] = source // Graph500: parent[source] = source
 		}
 	}
@@ -73,10 +168,17 @@ func (e *Engine) Run(source int64) (*metrics.RunResult, error) {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			e.runRank(rank, world.Rank(rank), rec, strategy, srcIsDelegate, source)
+			e.runRank(ctx, rank, world.Rank(rank), rec, strategy, srcIsDelegate, source)
 		}(r)
 	}
 	wg.Wait()
+
+	if rec.cancelled {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, context.Canceled
+	}
 
 	res := &metrics.RunResult{
 		Source:        source,
@@ -104,22 +206,9 @@ func (e *Engine) Run(source int64) (*metrics.RunResult, error) {
 	return res, nil
 }
 
-// RunMany executes one run per source and returns all results.
-func (e *Engine) RunMany(sources []int64) ([]*metrics.RunResult, error) {
-	out := make([]*metrics.RunResult, 0, len(sources))
-	for _, s := range sources {
-		r, err := e.Run(s)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
-}
-
 // runRank is the per-rank BSP loop ("the CPU thread that controls GPU0"
 // performs the global phases, §V-A).
-func (e *Engine) runRank(rank int, comm *mpi.Comm, rec *recorder, strategy Exchange, srcIsDelegate bool, source int64) {
+func (e *Session) runRank(ctx context.Context, rank int, comm *mpi.Comm, rec *recorder, strategy Exchange, srcIsDelegate bool, source int64) {
 	pgpu := e.shape.GPUsPerRank
 	prank := e.shape.Ranks()
 	myGPUs := e.gpus[rank*pgpu : (rank+1)*pgpu]
@@ -129,6 +218,7 @@ func (e *Engine) runRank(rank int, comm *mpi.Comm, rec *recorder, strategy Excha
 	if rank == 0 {
 		rec.exchange.HopsPerIteration = ex.rounds()
 	}
+	cancelled := false
 
 	// Input frontier sizes of the upcoming iteration (globally known).
 	inputNormals, inputDelegates := int64(1), int64(0)
@@ -251,21 +341,29 @@ func (e *Engine) runRank(rank int, comm *mpi.Comm, rec *recorder, strategy Excha
 		if maskExchanged {
 			remoteDelegate = e.opts.Net.Allreduce(aMask, prank, e.opts.BlockingReduce)
 		}
+		// Codec pack/unpack compute: raw bytes pushed through the wire
+		// codec's encode and decode kernels this iteration, charged at
+		// GPU.CodecRate (ROADMAP: the butterfly re-encodes per hop, so its
+		// codec work is log(p)× the all-pairs path's). The time rides the
+		// reduced vector and lands in RemoteNormal — the codec serializes
+		// with the exchange it feeds.
+		codecSecs := e.opts.GPU.CodecTime(e.ampBytes(counts.codecRaw))
 		// The per-hop volumes ride along the reduced vector (amplified) so
 		// every rank derives the identical remote-normal time from the
 		// global per-hop maxima — the hops are synchronized pairwise
 		// exchanges, so the slowest rank paces each one.
-		vec := make([]float64, 0, 3+len(counts.hopBytes))
-		vec = append(vec, comp, localComm, remoteDelegate)
+		vec := make([]float64, 0, 4+len(counts.hopBytes))
+		vec = append(vec, comp, localComm, remoteDelegate, codecSecs)
 		for _, hb := range counts.hopBytes {
 			vec = append(vec, float64(e.ampBytes(hb)))
 		}
 		maxFloatsAllreduce(comm, vec)
 		redHops := make([]int64, len(counts.hopBytes))
 		for i := range redHops {
-			redHops[i] = int64(vec[3+i])
+			redHops[i] = int64(vec[4+i])
 		}
 		remoteNormal, maxMsg := ex.remoteTime(redHops)
+		remoteNormal += vec[3]
 		parts := metrics.Breakdown{
 			Computation:    vec[0],
 			LocalComm:      vec[1],
@@ -274,7 +372,9 @@ func (e *Engine) runRank(rank int, comm *mpi.Comm, rec *recorder, strategy Excha
 		}
 		elapsed := e.iterElapsed(parts)
 
-		// ---- Global sums: work stats and termination flag.
+		// ---- Global sums: work stats, termination flag and the context
+		// observation (any rank seeing a dead context aborts all ranks on
+		// the same iteration).
 		var nextNormals, edges int64
 		for _, gs := range myGPUs {
 			nextNormals += int64(len(gs.outFront))
@@ -284,9 +384,13 @@ func (e *Engine) runRank(rank int, comm *mpi.Comm, rec *recorder, strategy Excha
 		if nextNormals > 0 || newDelegates > 0 {
 			flag = 1
 		}
+		ctxDead := int64(0)
+		if ctx.Err() != nil {
+			ctxDead = 1
+		}
 		sums := []int64{edges, sentBytes, nextNormals, dupsRemoved, flag,
 			rawSentBytes, counts.scheme[wire.SchemeRaw], counts.scheme[wire.SchemeDelta], counts.scheme[wire.SchemeBitmap],
-			counts.messages, counts.forwarded, counts.memoHits}
+			counts.messages, counts.forwarded, counts.memoHits, counts.codecRaw, ctxDead}
 		comm.AllreduceSum(sums)
 
 		if rank == 0 {
@@ -316,6 +420,8 @@ func (e *Engine) runRank(rank int, comm *mpi.Comm, rec *recorder, strategy Excha
 			rec.exchange.Messages += sums[9]
 			rec.exchange.ForwardedBytes += sums[10]
 			rec.wire.MemoHits += sums[11]
+			rec.wire.CodecBytes += sums[12]
+			rec.wire.CodecSeconds += vec[3]
 			if maxMsg > rec.exchange.MaxMessageBytes {
 				rec.exchange.MaxMessageBytes = maxMsg
 			}
@@ -329,12 +435,19 @@ func (e *Engine) runRank(rank int, comm *mpi.Comm, rec *recorder, strategy Excha
 		for _, gs := range myGPUs {
 			gs.inFront, gs.outFront = gs.outFront, gs.inFront[:0]
 		}
+		if sums[13] > 0 {
+			cancelled = true
+			if rank == 0 {
+				rec.cancelled = true
+			}
+			break
+		}
 		if sums[4] == 0 {
 			break
 		}
 	}
 
-	if e.opts.CollectParents {
+	if e.opts.CollectParents && !cancelled {
 		e.resolveParents(rank, comm, myGPUs, source)
 	}
 }
@@ -360,7 +473,7 @@ func boolToBytes(ok bool, b int64) int64 {
 
 // gatherLevels assembles the global hop-distance array from the owning GPUs
 // (normal vertices) and the replicated delegate directory.
-func (e *Engine) gatherLevels() []int32 {
+func (e *Session) gatherLevels() []int32 {
 	levels := make([]int32, e.sg.N)
 	for i := range levels {
 		levels[i] = -1

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"gcbfs/internal/metrics"
+	"gcbfs/internal/partition"
+	"gcbfs/internal/rmat"
+	"gcbfs/internal/wire"
+)
+
+// buildPlan partitions el for the shape/threshold and returns the plan.
+func buildPlanT(t *testing.T, scale int, shape ClusterShape, opts Options, tightTH bool) *Plan {
+	t.Helper()
+	el := rmat.Generate(rmat.DefaultParams(scale))
+	cap := 4 * el.N / int64(shape.P())
+	if tightTH {
+		cap = el.N / 8 // communication-heavy regime: real nn traffic
+	}
+	th := partition.SuggestThreshold(el.OutDegrees(), cap)
+	sep := partition.Separate(el, th)
+	sg, err := partition.Distribute(el, sep, shape.PartitionConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlan(sg, shape, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func sameRun(t *testing.T, label string, a, b *metrics.RunResult) {
+	t.Helper()
+	if a.Iterations != b.Iterations {
+		t.Fatalf("%s: iterations %d vs %d", label, a.Iterations, b.Iterations)
+	}
+	if a.SimSeconds != b.SimSeconds {
+		t.Fatalf("%s: sim seconds %v vs %v", label, a.SimSeconds, b.SimSeconds)
+	}
+	if a.EdgesScanned != b.EdgesScanned {
+		t.Fatalf("%s: edges scanned %d vs %d", label, a.EdgesScanned, b.EdgesScanned)
+	}
+	if (a.Levels == nil) != (b.Levels == nil) {
+		t.Fatalf("%s: levels collected on one side only", label)
+	}
+	for v := range a.Levels {
+		if a.Levels[v] != b.Levels[v] {
+			t.Fatalf("%s: vertex %d level %d vs %d", label, v, a.Levels[v], b.Levels[v])
+		}
+	}
+	if (a.Parents == nil) != (b.Parents == nil) {
+		t.Fatalf("%s: parents collected on one side only", label)
+	}
+	for v := range a.Parents {
+		if a.Parents[v] != b.Parents[v] {
+			t.Fatalf("%s: vertex %d parent %d vs %d", label, v, a.Parents[v], b.Parents[v])
+		}
+	}
+}
+
+// TestPooledSessionsDeterministic reruns the same source through the pool
+// (the second run reuses the first run's recycled session) and through the
+// concurrent batch path; every result must be bit-identical.
+func TestPooledSessionsDeterministic(t *testing.T) {
+	opts := DefaultOptions()
+	opts.CollectParents = true
+	p := buildPlanT(t, 12, ClusterShape{Nodes: 2, RanksPerNode: 2, GPUsPerRank: 1}, opts, false)
+	ctx := context.Background()
+
+	first, err := p.Run(ctx, 3, Overrides{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := p.Run(ctx, 3, Overrides{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRun(t, "recycled session", first, second)
+
+	sources := []int64{3, 7, 9, 15, 21, 33}
+	serial := make([]*metrics.RunResult, len(sources))
+	for i, src := range sources {
+		if serial[i], err = p.Run(ctx, src, Overrides{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch, err := p.RunBatch(ctx, sources, 4, Overrides{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sources {
+		if batch[i].Source != sources[i] {
+			t.Fatalf("batch result %d has source %d, want %d", i, batch[i].Source, sources[i])
+		}
+		sameRun(t, "batch vs serial", serial[i], batch[i])
+	}
+}
+
+// TestOverridesValidated covers the per-query override validation and that
+// overrides actually take effect without touching the plan's base options.
+func TestOverridesValidated(t *testing.T) {
+	p := buildPlanT(t, 11, ClusterShape{Nodes: 2, RanksPerNode: 1, GPUsPerRank: 1}, DefaultOptions(), false)
+	ctx := context.Background()
+
+	bad := wire.Mode(99)
+	if _, err := p.Run(ctx, 1, Overrides{Compression: &bad}); err == nil {
+		t.Fatal("plan accepted an invalid compression override")
+	}
+	badX := Exchange(7)
+	if _, err := p.Run(ctx, 1, Overrides{Exchange: &badX}); err == nil {
+		t.Fatal("plan accepted an invalid exchange override")
+	}
+
+	adaptive := wire.ModeAdaptive
+	noLevels := false
+	res, err := p.Run(ctx, 1, Overrides{Compression: &adaptive, CollectLevels: &noLevels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Wire.Enabled {
+		t.Fatal("compression override did not reach the run")
+	}
+	if res.Levels != nil {
+		t.Fatal("CollectLevels override did not reach the run")
+	}
+	if p.Options().Compression != wire.ModeOff || !p.Options().CollectLevels {
+		t.Fatal("override leaked into the plan's base options")
+	}
+	// The next query must see the base options again (pooled session
+	// reconfigured, not stuck with the previous query's overrides).
+	res2, err := p.Run(ctx, 1, Overrides{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Wire.Enabled || res2.Levels == nil {
+		t.Fatal("recycled session kept the previous query's overrides")
+	}
+}
+
+// TestRunContextPreCancelled: a dead context aborts before any work.
+func TestRunContextPreCancelled(t *testing.T) {
+	p := buildPlanT(t, 11, ClusterShape{Nodes: 1, RanksPerNode: 2, GPUsPerRank: 1}, DefaultOptions(), false)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Run(ctx, 1, Overrides{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, err := p.RunBatch(ctx, []int64{1, 2}, 2, Overrides{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("batch err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunBatchRealErrorWins: a genuine query error (out-of-range source)
+// must surface from RunBatch, not be masked by the internal cancellation it
+// triggers for the remaining workers.
+func TestRunBatchRealErrorWins(t *testing.T) {
+	p := buildPlanT(t, 11, ClusterShape{Nodes: 1, RanksPerNode: 2, GPUsPerRank: 1}, DefaultOptions(), false)
+	_, err := p.RunBatch(context.Background(), []int64{1, 1 << 40, 2, 3}, 2, Overrides{})
+	if err == nil {
+		t.Fatal("batch with an out-of-range source succeeded")
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatalf("real query error masked by cancellation: %v", err)
+	}
+}
+
+// errAfterCtx reports Canceled once Err has been polled more than `after`
+// times — a deterministic stand-in for a context cancelled mid-run. Err is
+// the only method the BSP loop consults at iteration boundaries.
+type errAfterCtx struct {
+	context.Context
+	calls atomic.Int64
+	after int64
+}
+
+func (c *errAfterCtx) Err() error {
+	if c.calls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestRunCancelsAtIterationBoundary drives a run with a context that dies
+// after the first iteration's polls; the query must abort (within one
+// iteration — the loop would otherwise run many more) and return ctx.Err().
+func TestRunCancelsAtIterationBoundary(t *testing.T) {
+	shape := ClusterShape{Nodes: 1, RanksPerNode: 2, GPUsPerRank: 1}
+	p := buildPlanT(t, 12, shape, DefaultOptions(), false)
+	ctx := context.Background()
+
+	full, err := p.Run(ctx, 1, Overrides{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Iterations < 3 {
+		t.Fatalf("reference run too short (%d iterations) to observe mid-run cancellation", full.Iterations)
+	}
+
+	// Plan.Run polls once up front, then each of the 2 ranks polls once per
+	// iteration: after=3 survives iteration 1 and dies during iteration 2.
+	cc := &errAfterCtx{Context: ctx, after: 3}
+	res, err := p.Run(cc, 1, Overrides{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled run returned a result")
+	}
+	// The next query on the recycled session must be unaffected.
+	again, err := p.Run(ctx, 1, Overrides{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRun(t, "after cancellation", full, again)
+}
+
+// TestCodecCostCharged: the codec's pack/unpack compute appears in simulated
+// time when compression is on (top ROADMAP item), is zero when off, and the
+// butterfly's per-hop re-encode strictly exceeds the all-pairs codec work.
+func TestCodecCostCharged(t *testing.T) {
+	shape := ClusterShape{Nodes: 4, RanksPerNode: 1, GPUsPerRank: 2}
+	run := func(mode wire.Mode, strat Exchange) *metrics.RunResult {
+		opts := DefaultOptions()
+		opts.Compression = mode
+		opts.Exchange = strat
+		p := buildPlanT(t, 12, shape, opts, true)
+		res, err := p.Run(context.Background(), 2, Overrides{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	off := run(wire.ModeOff, ExchangeAllPairs)
+	if off.Wire.CodecBytes != 0 || off.Wire.CodecSeconds != 0 {
+		t.Fatalf("codec-off run charged codec work: %d bytes, %v s",
+			off.Wire.CodecBytes, off.Wire.CodecSeconds)
+	}
+
+	ap := run(wire.ModeAdaptive, ExchangeAllPairs)
+	if ap.Wire.CodecBytes == 0 || ap.Wire.CodecSeconds <= 0 {
+		t.Fatalf("adaptive run charged no codec work: %d bytes, %v s",
+			ap.Wire.CodecBytes, ap.Wire.CodecSeconds)
+	}
+	if ap.Parts.RemoteNormal < ap.Wire.CodecSeconds {
+		t.Fatalf("remote-normal %v s does not include codec %v s",
+			ap.Parts.RemoteNormal, ap.Wire.CodecSeconds)
+	}
+	// Encode + decode both count: total codec volume is at least twice the
+	// fixed-width payload equivalent.
+	if ap.Wire.CodecBytes < 2*ap.Wire.RawBytes {
+		t.Fatalf("codec bytes %d below 2× raw bytes %d (encode+decode)",
+			ap.Wire.CodecBytes, ap.Wire.RawBytes)
+	}
+
+	bf := run(wire.ModeAdaptive, ExchangeButterfly)
+	if bf.Exchange.ForwardedBytes == 0 {
+		t.Fatal("butterfly forwarded nothing — codec comparison is vacuous")
+	}
+	if bf.Wire.CodecBytes <= ap.Wire.CodecBytes {
+		t.Fatalf("butterfly codec bytes %d not above all-pairs %d — per-hop re-encode not counted",
+			bf.Wire.CodecBytes, ap.Wire.CodecBytes)
+	}
+	// Charging codec time never changes the traversal itself.
+	if ap.Iterations != bf.Iterations || ap.EdgesScanned != bf.EdgesScanned {
+		t.Fatalf("strategies diverged functionally: %d/%d iterations, %d/%d edges",
+			ap.Iterations, bf.Iterations, ap.EdgesScanned, bf.EdgesScanned)
+	}
+	for v := range ap.Levels {
+		if ap.Levels[v] != bf.Levels[v] {
+			t.Fatalf("vertex %d: level %d (allpairs) vs %d (butterfly)", v, ap.Levels[v], bf.Levels[v])
+		}
+	}
+}
+
+// TestEngineShimDelegates keeps the deprecated Engine surface honest.
+func TestEngineShimDelegates(t *testing.T) {
+	el := rmat.Generate(rmat.DefaultParams(11))
+	shape := ClusterShape{Nodes: 1, RanksPerNode: 2, GPUsPerRank: 1}
+	th := partition.SuggestThreshold(el.OutDegrees(), 4*el.N/int64(shape.P()))
+	sep := partition.Separate(el, th)
+	sg, err := partition.Distribute(el, sep, shape.PartitionConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(sg, shape, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Plan() == nil || e.Shape() != shape || e.Graph() != sg {
+		t.Fatal("engine shim does not expose its plan state")
+	}
+	viaEngine, err := e.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaPlan, err := e.Plan().Run(context.Background(), 1, Overrides{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRun(t, "engine vs plan", viaEngine, viaPlan)
+}

@@ -28,7 +28,7 @@ func streamCombine(a, b float64) float64 {
 // non-blocking reduction (IR) hides much more of the delegate phase, which
 // is its entire point (§VI-B) — it pays for that with the Iallreduce
 // bandwidth penalty charged in simnet.
-func (e *Engine) iterElapsed(parts metrics.Breakdown) float64 {
+func (e *Session) iterElapsed(parts metrics.Breakdown) float64 {
 	f := e.opts.OverlapFactor
 	hidN := f * math.Min(parts.Computation, parts.RemoteNormal)
 	remaining := parts.Computation - hidN
@@ -44,7 +44,7 @@ func (e *Engine) iterElapsed(parts metrics.Breakdown) float64 {
 // flag, workload sums) as small tree-latency messages. This fixed cost is
 // what dominates long-tail graphs (§VI-D: per-iteration time "not much more
 // than the per-iteration overhead").
-func (e *Engine) syncOverhead() float64 {
+func (e *Session) syncOverhead() float64 {
 	ranks := e.shape.Ranks()
 	if ranks <= 1 {
 		return 0
@@ -58,7 +58,7 @@ func (e *Engine) syncOverhead() float64 {
 // the configured packing size. Local-All2All's benefit appears here — it
 // cuts pairs from p_gpu²·(p_rank-1) to p_gpu·(p_rank-1) per rank, making
 // messages bigger and the NIC more efficient (§V-B).
-func (e *Engine) effMessageBytes(totalBytes int64) int64 {
+func (e *Session) effMessageBytes(totalBytes int64) int64 {
 	if totalBytes <= 0 {
 		return 0
 	}

@@ -41,7 +41,7 @@ func Abl2LoadBalance(p Params) (*Table, error) {
 			opts.ForceTWBForDD = forced
 			opts.WorkAmplification = amp
 			opts.CollectLevels = false
-			e, _, err := buildEngine(el, shape, th, opts)
+			e, _, err := buildPlan(el, shape, th, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -88,11 +88,11 @@ func App1BeyondBFS(p Params) (*Table, error) {
 	bopts := core.DefaultOptions()
 	bopts.WorkAmplification = amp
 	bopts.CollectLevels = false
-	be, err := core.NewEngine(sg, shape, bopts)
+	be, err := core.NewPlan(sg, shape, bopts)
 	if err != nil {
 		return nil, err
 	}
-	bres, err := be.Run(src)
+	bres, err := runOne(be, src)
 	if err != nil {
 		return nil, err
 	}

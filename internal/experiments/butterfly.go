@@ -29,12 +29,13 @@ func Cmp2Exchange(p Params) (*Table, error) {
 		Title: fmt.Sprintf("exchange-topology ablation, scale %d (amplified to 18), 1×2 GPUs per rank", scale),
 		Paper: "beyond the paper — ButterFly BFS (Green 2021) log(p)-hop exchange vs §V-B all-pairs",
 		Headers: []string{"graph", "ranks", "mode", "exchange", "msg/rank/iter",
-			"wire kB", "fwd kB", "max msg MB", "remote-normal ms", "elapsed ms"},
+			"wire kB", "fwd kB", "max msg MB", "remote-normal ms", "codec µs", "elapsed ms"},
 		Notes: []string{
 			"levels asserted bit-identical between strategies on every run",
 			"msg/rank/iter: all-pairs sends p−1, the butterfly log2(p) aggregated hop messages",
 			"fwd kB is the fixed-width equivalent of ids relayed through intermediate ranks — the butterfly's price for fewer, larger messages",
 			"max msg MB is the largest message the timing model saw (amplification applied), i.e. where the exchange lands on the §VI-A1 efficiency curve",
+			"codec µs is the pack/unpack compute charged at simgpu CodecRate, included in remote-normal ms — the butterfly re-encodes per hop, so its codec work exceeds all-pairs'",
 		},
 	}
 
@@ -69,11 +70,11 @@ func Cmp2Exchange(p Params) (*Table, error) {
 					opts.Exchange = strat
 					opts.WorkAmplification = amp
 					opts.CollectLevels = true
-					e, _, err := buildEngine(g.el, shape, th, opts)
+					e, _, err := buildPlan(g.el, shape, th, opts)
 					if err != nil {
 						return nil, err
 					}
-					results, err := e.RunMany(sources)
+					results, err := runAll(e, sources)
 					if err != nil {
 						return nil, err
 					}
@@ -111,7 +112,7 @@ func Cmp2Exchange(p Params) (*Table, error) {
 						f1(float64(w.CompressedBytes) / 1024),
 						f1(float64(xs.ForwardedBytes) / 1024),
 						f2(float64(xs.MaxMessageBytes) / (1 << 20)),
-						ms(remoteNormal / n), ms(elapsed / n),
+						ms(remoteNormal / n), us(w.CodecSeconds / n), ms(elapsed / n),
 					})
 				}
 			}

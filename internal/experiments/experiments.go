@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -198,8 +199,27 @@ func rmatGraph(scale int) *graph.EdgeList {
 	return el
 }
 
-// pickSources selects k distinct positive-degree vertices.
+// pickSources selects up to k distinct positive-degree vertices, sorted
+// ascending. When the graph has no more candidates than requested it returns
+// them all directly — the rejection loop below must otherwise hit every
+// eligible vertex by chance (and spins forever when k exceeds them, the bug
+// graph.PickSources guards the public API against).
 func pickSources(deg []int64, k int, seed int64) []int64 {
+	eligible := 0
+	for _, d := range deg {
+		if d > 0 {
+			eligible++
+		}
+	}
+	if k >= eligible {
+		out := make([]int64, 0, eligible)
+		for v, d := range deg {
+			if d > 0 {
+				out = append(out, int64(v))
+			}
+		}
+		return out
+	}
 	rng := rand.New(rand.NewSource(seed))
 	var out []int64
 	seen := map[int64]bool{}
@@ -215,18 +235,34 @@ func pickSources(deg []int64, k int, seed int64) []int64 {
 	return out
 }
 
-// buildEngine partitions and instantiates in one step.
-func buildEngine(el *graph.EdgeList, shape core.ClusterShape, th int64, opts core.Options) (*core.Engine, *partition.Subgraphs, error) {
+// buildPlan partitions and instantiates a query plan in one step.
+func buildPlan(el *graph.EdgeList, shape core.ClusterShape, th int64, opts core.Options) (*core.Plan, *partition.Subgraphs, error) {
 	sep := partition.Separate(el, th)
 	sg, err := partition.Distribute(el, sep, shape.PartitionConfig())
 	if err != nil {
 		return nil, nil, err
 	}
-	e, err := core.NewEngine(sg, shape, opts)
+	pl, err := core.NewPlan(sg, shape, opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	return e, sg, nil
+	return pl, sg, nil
+}
+
+// expParallelism is the in-flight query count every experiment batch uses —
+// results are bit-identical to a serial loop by the Plan/Session contract,
+// so this only shortens wall-clock time.
+const expParallelism = 4
+
+// runOne executes a single source on the plan with no per-query overrides.
+func runOne(pl *core.Plan, src int64) (*metrics.RunResult, error) {
+	return pl.Run(context.Background(), src, core.Overrides{})
+}
+
+// runAll executes every source through the plan's concurrent batch path
+// (source-ordered, deterministic results).
+func runAll(pl *core.Plan, sources []int64) ([]*metrics.RunResult, error) {
+	return pl.RunBatch(context.Background(), sources, expParallelism, core.Overrides{})
 }
 
 // suggestTH applies the paper's tuning guidance: keep d at or under 4n/p
@@ -247,9 +283,9 @@ func ampFor(paperPerGPU, localPerGPU int) float64 {
 	return float64(int64(1) << uint(diff))
 }
 
-// measure runs the engine over the sources and aggregates.
-func measure(e *core.Engine, sources []int64) (metrics.Aggregate, error) {
-	results, err := e.RunMany(sources)
+// measure runs the plan over the sources (batched) and aggregates.
+func measure(pl *core.Plan, sources []int64) (metrics.Aggregate, error) {
+	results, err := runAll(pl, sources)
 	if err != nil {
 		return metrics.Aggregate{}, err
 	}
@@ -264,6 +300,7 @@ func f1(x float64) string  { return fmt.Sprintf("%.1f", x) }
 func f2(x float64) string  { return fmt.Sprintf("%.2f", x) }
 func pct(x float64) string { return fmt.Sprintf("%.2f%%", 100*x) }
 func ms(x float64) string  { return fmt.Sprintf("%.2f", x*1e3) }
+func us(x float64) string  { return fmt.Sprintf("%.2f", x*1e6) }
 func i64(x int64) string   { return fmt.Sprintf("%d", x) }
 
 // gpuCountShapes returns the two hardware layouts the paper compares

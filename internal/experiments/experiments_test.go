@@ -425,7 +425,16 @@ func TestCmp1Shape(t *testing.T) {
 				t.Errorf("%s: adaptive wire %.1f kB exceeds forced %s %.1f kB", g, adaptiveWire, forced, fw)
 			}
 		}
-		if oe, ae := cellFloat(t, off[7]), cellFloat(t, adaptive[7]); ae >= oe {
+		// Codec compute is charged to the model now: zero with the codec
+		// off, nonzero for adaptive — and compression still wins end to
+		// end despite paying for its own pack/unpack kernels.
+		if oc := cellFloat(t, off[7]); oc != 0 {
+			t.Errorf("%s: off row charges %.3f codec ms, want 0", g, oc)
+		}
+		if ac := cellFloat(t, adaptive[7]); ac <= 0 {
+			t.Errorf("%s: adaptive row charges no codec time", g)
+		}
+		if oe, ae := cellFloat(t, off[8]), cellFloat(t, adaptive[8]); ae >= oe {
 			t.Errorf("%s: adaptive elapsed %.2f ms not below off %.2f ms", g, ae, oe)
 		}
 	}
@@ -471,6 +480,17 @@ func TestCmp2ButterflyWinsAtScale(t *testing.T) {
 			if apM, bfM := cellFloat(t, ap[7]), cellFloat(t, bf[7]); bfM <= apM {
 				t.Errorf("%s/%s: butterfly max message %.2f MB not above all-pairs %.2f MB",
 					g, mode, bfM, apM)
+			}
+			apC, bfC := cellFloat(t, ap[9]), cellFloat(t, bf[9])
+			if mode == "off" {
+				if apC != 0 || bfC != 0 {
+					t.Errorf("%s/off: codec µs %.3f/%.3f, want 0 with the codec off", g, apC, bfC)
+				}
+			} else if bfC <= apC {
+				// The per-hop re-encode makes the butterfly's codec work
+				// strictly exceed all-pairs' whenever it relays anything.
+				t.Errorf("%s/%s: butterfly codec %.3f µs not above all-pairs %.3f µs",
+					g, mode, bfC, apC)
 			}
 		}
 	}

@@ -70,7 +70,7 @@ func WDC1LongTail(p Params) (*Table, error) {
 		opts := core.DefaultOptions()
 		opts.DirectionOptimized = do
 		opts.CollectLevels = false
-		e, _, err := buildEngine(el, shape, th, opts)
+		e, _, err := buildPlan(el, shape, th, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -113,11 +113,11 @@ func Abl1CommModel(p Params) (*Table, error) {
 		th := suggestTH(el, gpus)
 		opts := core.DefaultOptions()
 		opts.CollectLevels = false
-		e, _, err := buildEngine(el, shape, th, opts)
+		e, _, err := buildPlan(el, shape, th, opts)
 		if err != nil {
 			return nil, err
 		}
-		res, err := e.Run(src)
+		res, err := runOne(e, src)
 		if err != nil {
 			return nil, err
 		}

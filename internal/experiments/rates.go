@@ -15,7 +15,7 @@ func rateAtThreshold(el *graph.EdgeList, shape core.ClusterShape, th int64, amp 
 		opts.DirectionOptimized = do
 		opts.WorkAmplification = amp
 		opts.CollectLevels = false
-		e, _, err2 := buildEngine(el, shape, th, opts)
+		e, _, err2 := buildPlan(el, shape, th, opts)
 		if err2 != nil {
 			return 0, 0, err2
 		}
@@ -125,7 +125,7 @@ func DO1FactorSweep(p Params) (*Table, error) {
 		opts.FactorsND = core.SwitchFactors{Fwd2Bwd: c.nd}
 		opts.WorkAmplification = amp
 		opts.CollectLevels = false
-		e, _, err := buildEngine(el, shape, th, opts)
+		e, _, err := buildPlan(el, shape, th, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -55,7 +55,7 @@ func Fig8Options(p Params) (*Table, error) {
 			opts.WorkAmplification = amp
 			opts.CollectLevels = false
 			v.mod(&opts)
-			e, err := core.NewEngine(sg, shape, opts)
+			e, err := core.NewPlan(sg, shape, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -85,7 +85,7 @@ func weakPoint(scale int, shape core.ClusterShape, amp float64, srcCount int, se
 		opts.DirectionOptimized = do
 		opts.WorkAmplification = amp
 		opts.CollectLevels = false
-		e, _, err2 := buildEngine(el, shape, th, opts)
+		e, _, err2 := buildPlan(el, shape, th, opts)
 		if err2 != nil {
 			return bfs, dobfs, err2
 		}
@@ -209,7 +209,7 @@ func Fig11StrongScaling(p Params) (*Table, error) {
 				opts.DirectionOptimized = do
 				opts.WorkAmplification = amp
 				opts.CollectLevels = false
-				e, _, err := buildEngine(el, shape, th, opts)
+				e, _, err := buildPlan(el, shape, th, opts)
 				if err != nil {
 					return nil, err
 				}

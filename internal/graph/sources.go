@@ -1,0 +1,63 @@
+package graph
+
+// BFS-source selection shared by the public Sources helper, bfsrun and the
+// experiment harness: the paper's random-source methodology (§VI-A runs 64
+// random sources per data point) with deterministic seeding, plus the guard
+// the original per-caller loops lacked — a graph with fewer positive-degree
+// vertices than requested must not spin forever re-rolling the RNG.
+
+// PickSources selects count distinct vertices with out-degree > 0,
+// deterministically from seed (splitmix64 rejection sampling, identical to
+// the historical gcbfs.Sources / bfsrun behaviour when spare candidates
+// exist). When the graph has no more than count positive-degree vertices it
+// returns all of them in ascending order — a short (or exact) list, never an
+// infinite loop and never the degenerate coupon-collector tail the rejection
+// loop would hit with nothing to spare. count ≤ 0 or an empty degree slice
+// returns nil.
+func PickSources(deg []int64, count int, seed uint64) []int64 {
+	if count <= 0 || len(deg) == 0 {
+		return nil
+	}
+	eligible := 0
+	for _, d := range deg {
+		if d > 0 {
+			eligible++
+		}
+	}
+	if eligible == 0 {
+		return nil
+	}
+	if eligible <= count {
+		out := make([]int64, 0, eligible)
+		for v, d := range deg {
+			if d > 0 {
+				out = append(out, int64(v))
+			}
+		}
+		return out
+	}
+	rng := splitMix64{state: seed}
+	n := uint64(len(deg))
+	out := make([]int64, 0, count)
+	seen := make(map[int64]bool, count)
+	for len(out) < count {
+		v := int64(rng.next() % n)
+		if deg[v] > 0 && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// splitMix64 is the standard SplitMix64 generator — tiny, deterministic and
+// identical across every caller that used to inline it.
+type splitMix64 struct{ state uint64 }
+
+func (s *splitMix64) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,61 @@
+package graph
+
+import "testing"
+
+func TestPickSourcesDeterministic(t *testing.T) {
+	deg := make([]int64, 100)
+	for i := range deg {
+		deg[i] = int64(i % 3) // two thirds positive degree
+	}
+	a := PickSources(deg, 10, 7)
+	b := PickSources(deg, 10, 7)
+	if len(a) != 10 {
+		t.Fatalf("got %d sources, want 10", len(a))
+	}
+	seen := map[int64]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic for a fixed seed")
+		}
+		if deg[a[i]] == 0 {
+			t.Fatalf("picked zero-degree vertex %d", a[i])
+		}
+		if seen[a[i]] {
+			t.Fatalf("duplicate source %d", a[i])
+		}
+		seen[a[i]] = true
+	}
+	if c := PickSources(deg, 10, 8); len(c) == 10 && c[0] == a[0] && c[1] == a[1] && c[2] == a[2] {
+		t.Fatal("different seeds produced the same prefix")
+	}
+}
+
+func TestPickSourcesShortList(t *testing.T) {
+	deg := []int64{0, 5, 0, 2, 0, 1}
+	got := PickSources(deg, 10, 1) // more requested than exist
+	want := []int64{1, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v (ascending short list)", got, want)
+		}
+	}
+	// Exactly as many as requested: the random path, still complete.
+	if got := PickSources(deg, 3, 1); len(got) != 3 {
+		t.Fatalf("exact-count pick returned %v", got)
+	}
+}
+
+func TestPickSourcesDegenerate(t *testing.T) {
+	if got := PickSources(nil, 4, 1); got != nil {
+		t.Fatalf("nil degrees returned %v", got)
+	}
+	if got := PickSources([]int64{0, 0, 0}, 4, 1); got != nil {
+		t.Fatalf("all-isolated graph returned %v", got)
+	}
+	if got := PickSources([]int64{1, 2}, 0, 1); got != nil {
+		t.Fatalf("count=0 returned %v", got)
+	}
+}

@@ -75,6 +75,16 @@ type WireStats struct {
 	// MemoHits counts adaptive blocks encoded straight from the selector's
 	// per-destination scheme memory, skipping the full three-way probe.
 	MemoHits int64
+	// CodecBytes is the fixed-width equivalent of every id pushed through
+	// the codec's encode and decode kernels across all ranks — for the
+	// butterfly this multiplies with the per-hop re-encode, so it exceeds
+	// RawBytes there. Zero when compression is off.
+	CodecBytes int64
+	// CodecSeconds is the simulated compute time charged for that codec
+	// work (simgpu.Spec.CodecRate), already included in the run's
+	// RemoteNormal breakdown component — the codec serializes with the
+	// exchange it feeds. Zero when compression is off or CodecRate unset.
+	CodecSeconds float64
 	// PairRawBytes/PairWireBytes account the post-BFS parent-resolution
 	// pairs exchange: the fixed-width 12-bytes-per-pair equivalent and the
 	// bytes actually sent (equal when compression is off). Like ParentPairs,
@@ -91,6 +101,8 @@ func (w *WireStats) Accumulate(other WireStats) {
 	w.SchemeDelta += other.SchemeDelta
 	w.SchemeBitmap += other.SchemeBitmap
 	w.MemoHits += other.MemoHits
+	w.CodecBytes += other.CodecBytes
+	w.CodecSeconds += other.CodecSeconds
 	w.PairRawBytes += other.PairRawBytes
 	w.PairWireBytes += other.PairWireBytes
 }

@@ -56,6 +56,16 @@ type Spec struct {
 	// where skew = maxRowLen/avgRowLen - 1, clamped. Merge-path ignores
 	// skew — that asymmetry is exactly why dd uses merge-path.
 	ImbalancePenalty float64
+
+	// CodecRate is the sustained throughput, in raw input bytes per
+	// second, of the wire codec's pack/unpack kernels (varint delta,
+	// bitmap scatter/gather). These kernels are memory-bound streaming
+	// passes — a read-modify-write over the id arrays — so they run at a
+	// fraction of HBM bandwidth, far above the edge-traversal rates but
+	// well below free. 0 models the codec as free (the pre-costing
+	// behaviour, and the right value for custom specs that predate the
+	// codec model).
+	CodecRate float64
 }
 
 // TeslaP100 returns the model calibrated to the paper's hardware: 16 GB
@@ -71,6 +81,10 @@ func TeslaP100() Spec {
 		VertexRate:       10.0e9,
 		KernelOverhead:   4e-6,
 		ImbalancePenalty: 0.15,
+		// ~20% of the P100's 732 GB/s HBM2: one streaming read of the 4-byte
+		// ids plus the packed write/read, matching the >100 GB/s GPU
+		// varint/bitpack kernels reported in the literature.
+		CodecRate: 150e9,
 	}
 }
 
@@ -105,6 +119,16 @@ func (s Spec) Time(c KernelCost) float64 {
 		panic(fmt.Sprintf("simgpu: unknown strategy %d", c.Strategy))
 	}
 	return t
+}
+
+// CodecTime converts raw bytes pushed through the wire codec's encode or
+// decode kernels into seconds; zero when CodecRate is unset (codec modeled
+// as free).
+func (s Spec) CodecTime(bytes int64) float64 {
+	if bytes <= 0 || s.CodecRate <= 0 {
+		return 0
+	}
+	return float64(bytes) / s.CodecRate
 }
 
 // FitsMemory reports whether bytes of graph storage fit in device memory,

@@ -1,0 +1,287 @@
+package gcbfs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sameResult asserts two runs of the same query are bit-identical: levels,
+// parents and every scalar the service reports.
+func sameResult(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if a.Source != b.Source {
+		t.Fatalf("%s: source %d vs %d", label, a.Source, b.Source)
+	}
+	if a.Iterations != b.Iterations {
+		t.Fatalf("%s: iterations %d vs %d", label, a.Iterations, b.Iterations)
+	}
+	if a.SimSeconds != b.SimSeconds {
+		t.Fatalf("%s: sim seconds %v vs %v", label, a.SimSeconds, b.SimSeconds)
+	}
+	if a.EdgesScanned != b.EdgesScanned {
+		t.Fatalf("%s: edges scanned %d vs %d", label, a.EdgesScanned, b.EdgesScanned)
+	}
+	if a.WireBytes != b.WireBytes || a.WireRawBytes != b.WireRawBytes {
+		t.Fatalf("%s: wire accounting differs", label)
+	}
+	if (a.Levels == nil) != (b.Levels == nil) {
+		t.Fatalf("%s: levels on one side only", label)
+	}
+	for v := range a.Levels {
+		if a.Levels[v] != b.Levels[v] {
+			t.Fatalf("%s: vertex %d level %d vs %d", label, v, a.Levels[v], b.Levels[v])
+		}
+	}
+	if (a.Parents == nil) != (b.Parents == nil) {
+		t.Fatalf("%s: parents on one side only", label)
+	}
+	for v := range a.Parents {
+		if a.Parents[v] != b.Parents[v] {
+			t.Fatalf("%s: vertex %d parent %d vs %d", label, v, a.Parents[v], b.Parents[v])
+		}
+	}
+}
+
+// TestServiceConcurrentMixedQueries is the concurrency acceptance check:
+// 8+ simultaneous Service.Run calls with mixed per-query compression and
+// exchange overrides, every result bit-identical to a serial reference run.
+// Exercised under -race by the CI race job.
+func TestServiceConcurrentMixedQueries(t *testing.T) {
+	g := RMAT(11)
+	// 4 ranks (power of two) so butterfly overrides run the real hypercube.
+	svc, err := NewService(g, DefaultConfig(Cluster{Nodes: 2, RanksPerNode: 2, GPUsPerRank: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := Sources(g, 8, 42)
+	type query struct {
+		src  int64
+		opts []QueryOption
+	}
+	compressions := []Compression{CompressionOff, CompressionAdaptive, CompressionDelta}
+	exchanges := []Exchange{ExchangeAllPairs, ExchangeButterfly}
+	queries := make([]query, 0, len(sources))
+	for i, src := range sources {
+		queries = append(queries, query{src: src, opts: []QueryOption{
+			WithCompression(compressions[i%len(compressions)]),
+			WithExchange(exchanges[i%len(exchanges)]),
+			WithParents(true),
+		}})
+	}
+	ctx := context.Background()
+
+	serial := make([]*Result, len(queries))
+	for i, q := range queries {
+		if serial[i], err = svc.Run(ctx, q.src, q.opts...); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	concurrent := make([]*Result, len(queries))
+	errs := make([]error, len(queries))
+	var wg sync.WaitGroup
+	for i, q := range queries {
+		wg.Add(1)
+		go func(i int, q query) {
+			defer wg.Done()
+			concurrent[i], errs[i] = svc.Run(ctx, q.src, q.opts...)
+		}(i, q)
+	}
+	wg.Wait()
+	for i := range queries {
+		if errs[i] != nil {
+			t.Fatalf("concurrent query %d: %v", i, errs[i])
+		}
+		sameResult(t, fmt.Sprintf("query %d", i), serial[i], concurrent[i])
+	}
+}
+
+// TestRunBatchMatchesSerial is the batch acceptance check: RunBatch with
+// Parallelism 8 produces levels AND parents bit-identical to a serial Run
+// loop for every source, across compression × exchange modes.
+func TestRunBatchMatchesSerial(t *testing.T) {
+	g := RMAT(11)
+	cfg := DefaultConfig(Cluster{Nodes: 2, RanksPerNode: 2, GPUsPerRank: 1})
+	// A high degree threshold keeps most vertices normal, so the inter-rank
+	// normal exchange — the traffic the codec knobs act on — carries real
+	// volume and the codec-cost assertions below are not vacuous.
+	cfg.Threshold = 64
+	svc, err := NewService(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := Sources(g, 10, 7)
+	ctx := context.Background()
+	for _, comp := range []Compression{CompressionOff, CompressionAdaptive} {
+		for _, ex := range []Exchange{ExchangeAllPairs, ExchangeButterfly} {
+			label := fmt.Sprintf("comp=%d/ex=%d", comp, ex)
+			opts := []QueryOption{WithCompression(comp), WithExchange(ex), WithParents(true)}
+			serial := make([]*Result, len(sources))
+			for i, src := range sources {
+				if serial[i], err = svc.Run(ctx, src, opts...); err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+			}
+			batch, err := svc.RunBatch(ctx, sources, BatchOptions{Parallelism: 8}, opts...)
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			if len(batch.Results) != len(sources) {
+				t.Fatalf("%s: %d results, want %d", label, len(batch.Results), len(sources))
+			}
+			for i := range sources {
+				sameResult(t, label, serial[i], batch.Results[i])
+			}
+			// Stats coherence against the per-query results.
+			st := batch.Stats
+			if st.Runs != len(sources) {
+				t.Fatalf("%s: stats count %d runs, want %d", label, st.Runs, len(sources))
+			}
+			if geo := GeoMeanGTEPS(batch.Results); math.Abs(geo-st.GeoMeanGTEPS) > 1e-12*math.Abs(geo) {
+				t.Fatalf("%s: stats geo-mean %v vs recomputed %v", label, st.GeoMeanGTEPS, geo)
+			}
+			var totalSim float64
+			for _, r := range batch.Results {
+				totalSim += r.SimSeconds
+			}
+			if math.Abs(totalSim-st.TotalSimSeconds) > 1e-15+1e-12*totalSim {
+				t.Fatalf("%s: stats total sim %v vs recomputed %v", label, st.TotalSimSeconds, totalSim)
+			}
+			if st.TotalGTEPS <= 0 {
+				t.Fatalf("%s: no aggregate throughput", label)
+			}
+			if st.WireRawBytes == 0 {
+				t.Fatalf("%s: no normal-exchange traffic — codec assertions vacuous", label)
+			}
+			if comp == CompressionOff && st.CodecSeconds != 0 {
+				t.Fatalf("%s: codec seconds %v with codec off", label, st.CodecSeconds)
+			}
+			if comp == CompressionAdaptive && st.CodecSeconds <= 0 {
+				t.Fatalf("%s: no codec seconds with codec on", label)
+			}
+		}
+	}
+}
+
+// TestServiceRunContext: a cancelled context surfaces as ctx.Err() from both
+// Run and RunBatch.
+func TestServiceRunContext(t *testing.T) {
+	g := RMAT(10)
+	svc, err := NewService(g, DefaultConfig(Cluster{Nodes: 1, RanksPerNode: 2, GPUsPerRank: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := svc.Run(ctx, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run err = %v, want context.Canceled", err)
+	}
+	if _, err := svc.RunBatch(ctx, Sources(g, 3, 1), BatchOptions{Parallelism: 2}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunBatch err = %v, want context.Canceled", err)
+	}
+	// Deadline flavor.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Hour))
+	defer dcancel()
+	if _, err := svc.Run(dctx, 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestQueryOptionValidation rejects out-of-range per-query overrides.
+func TestQueryOptionValidation(t *testing.T) {
+	g := RMAT(10)
+	svc, err := NewService(g, DefaultConfig(Cluster{Nodes: 1, RanksPerNode: 2, GPUsPerRank: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := svc.Run(ctx, 1, WithCompression(Compression(99))); err == nil {
+		t.Fatal("service accepted an invalid compression override")
+	}
+	if _, err := svc.Run(ctx, 1, WithExchange(Exchange(-1))); err == nil {
+		t.Fatal("service accepted an invalid exchange override")
+	}
+	// A butterfly override on a non-power-of-two rank count falls back,
+	// recording the reason — same contract as construction time.
+	svc3, err := NewService(g, DefaultConfig(Cluster{Nodes: 3, RanksPerNode: 1, GPUsPerRank: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := svc3.Run(ctx, 1, WithExchange(ExchangeButterfly))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exchange != "allpairs" || res.ExchangeFallback == "" {
+		t.Fatalf("butterfly on 3 ranks: exchange %q, fallback %q — want recorded allpairs fallback",
+			res.Exchange, res.ExchangeFallback)
+	}
+}
+
+// TestSourcesShortGraph: fewer positive-degree vertices than requested must
+// return the short list (ascending), not loop forever (the old bug).
+func TestSourcesShortGraph(t *testing.T) {
+	g := NewGraph(10)
+	g.AddUndirectedEdge(1, 5)
+	g.AddUndirectedEdge(5, 7)
+	got := Sources(g, 8, 1)
+	want := []int64{1, 5, 7}
+	if len(got) != len(want) {
+		t.Fatalf("Sources returned %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sources returned %v, want %v", got, want)
+		}
+	}
+	// Zero-edge graph: nothing eligible, nil result.
+	if got := Sources(NewGraph(4), 2, 1); got != nil {
+		t.Fatalf("Sources on an edgeless graph returned %v", got)
+	}
+	// Enough candidates: exact count, all positive degree, deterministic.
+	big := RMAT(10)
+	a, b := Sources(big, 6, 3), Sources(big, 6, 3)
+	if len(a) != 6 {
+		t.Fatalf("Sources returned %d vertices, want 6", len(a))
+	}
+	deg := big.OutDegrees()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Sources nondeterministic for a fixed seed")
+		}
+		if deg[a[i]] == 0 {
+			t.Fatalf("Sources picked zero-degree vertex %d", a[i])
+		}
+	}
+}
+
+// TestSolverFacade: the deprecated Solver delegates to the Service and the
+// two produce identical results.
+func TestSolverFacade(t *testing.T) {
+	g := RMAT(10)
+	cfg := DefaultConfig(Cluster{Nodes: 1, RanksPerNode: 2, GPUsPerRank: 1})
+	solver, err := NewSolver(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solver.Service() == nil {
+		t.Fatal("solver does not expose its service")
+	}
+	src := Sources(g, 1, 4)[0]
+	viaSolver, err := solver.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaService, err := solver.Service().Run(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "solver vs service", viaSolver, viaService)
+	if err := solver.Validate(viaSolver); err != nil {
+		t.Fatal(err)
+	}
+}
