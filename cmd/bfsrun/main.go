@@ -9,12 +9,13 @@
 //	bfsrun -rmat 16 -nodes 8 -ranks 2 -gpus 2 -exchange butterfly -compress adaptive
 //	bfsrun -rmat 15 -nodes 4 -ranks 2 -gpus 2 -sources 16 -parallel 8
 //
-// -exchange selects the inter-rank normal-vertex exchange topology:
-// "allpairs" (default, one message per destination rank per iteration) or
-// "butterfly" (log2(ranks) hypercube hops with aggregated messages; needs a
-// power-of-two rank count and otherwise falls back to allpairs with the
-// reason printed). Results are identical across strategies; message counts
-// and simulated times differ.
+// -exchange selects the inter-rank normal-vertex exchange policy:
+// "allpairs" (default, one message per destination rank per iteration),
+// "butterfly" (hypercube hops with aggregated messages; any rank count —
+// non-powers-of-two add a pre/post cleanup hop pair), or "hybrid" (picks
+// allpairs or butterfly per iteration from the known frontier volume
+// through a cost model over the simulated link parameters). Results are
+// identical across policies; message counts and simulated times differ.
 //
 // -parallel runs up to K BFS queries concurrently through the core query
 // plan's batch path — the service workload of the paper's §VI-A methodology
@@ -54,7 +55,7 @@ func main() {
 		uniq      = flag.Bool("uniquify", false, "enable send-bin uniquification (U)")
 		ir        = flag.Bool("iallreduce", false, "use non-blocking delegate reduction (IR instead of BR)")
 		compress  = flag.String("compress", "off", "frontier-exchange codec: off, adaptive, raw, delta or bitmap")
-		exchange  = flag.String("exchange", "allpairs", "normal-vertex exchange topology: allpairs or butterfly")
+		exchange  = flag.String("exchange", "allpairs", "normal-vertex exchange policy: allpairs, butterfly or hybrid")
 		amp       = flag.Float64("amp", 1, "work amplification for the timing model (2^(paperScale-localScale))")
 		validate  = flag.Bool("validate", false, "validate distances against serial BFS + Graph500 rules")
 	)
@@ -168,17 +169,20 @@ func main() {
 			fmt.Printf("parent pairs: %.1f kB raw -> %.1f kB sent\n",
 				float64(w.PairRawBytes)/1024, float64(w.PairWireBytes)/1024)
 		}
+		if w.MaskRawBytes > 0 {
+			fmt.Printf("delegate masks: %.1f kB raw -> %.1f kB sent\n",
+				float64(w.MaskRawBytes)/1024, float64(w.MaskWireBytes)/1024)
+		}
 	}
 	var xs metrics.ExchangeStats
 	for _, r := range results {
 		xs.Accumulate(r.Exchange)
 	}
-	fmt.Printf("exchange (%s): hops/iter=%d msgs=%d forwarded=%.1f kB max-msg=%.2f MB\n",
-		xs.Strategy, xs.HopsPerIteration, xs.Messages,
-		float64(xs.ForwardedBytes)/1024, float64(xs.MaxMessageBytes)/(1<<20))
-	if xs.Fallback != "" {
-		fmt.Printf("exchange fallback: %s\n", xs.Fallback)
-	}
+	fmt.Printf("exchange (%s): iters allpairs=%d butterfly=%d hops/iter≤%d msgs=%d forwarded=%.1f kB max-msg=%.2f MB\n",
+		xs.Strategy, xs.AllPairsIterations, xs.ButterflyIterations, xs.HopsPerIteration,
+		xs.Messages, float64(xs.ForwardedBytes)/1024, float64(xs.MaxMessageBytes)/(1<<20))
+	fmt.Printf("exchange cost model: predicted remote-normal %.3f ms vs actual %.3f ms\n",
+		xs.PredictedSeconds*1e3, totalRemoteNormal(results)*1e3)
 	if *validate {
 		fmt.Println("validation: all runs match serial BFS and pass Graph500-style checks")
 	}
@@ -203,3 +207,13 @@ func loadGraph(path string, scale int) (*graph.EdgeList, error) {
 }
 
 func mb(b int64) float64 { return float64(b) / (1 << 20) }
+
+// totalRemoteNormal sums the remote-normal component over all runs — the
+// actual counterpart of the policy cost model's predicted seconds.
+func totalRemoteNormal(results []*metrics.RunResult) float64 {
+	var t float64
+	for _, r := range results {
+		t += r.Parts.RemoteNormal
+	}
+	return t
+}

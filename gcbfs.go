@@ -65,19 +65,29 @@
 // simulated remote-normal communication time, and the codec pack/unpack
 // compute now charged through the device model (Result.CodecSeconds).
 //
-// # Butterfly exchange
+// # Exchange policies: butterfly and hybrid
 //
 // The Config.Exchange knob replaces the all-pairs normal-vertex exchange
-// (p−1 messages per rank per iteration) with a log2(p) hypercube butterfly:
-// each hop exchanges one aggregated message with partner rank XOR 2^k,
-// forwarding everything destined for the partner's half. Message count drops
-// from quadratic to p·log2(p) and per-message size grows into the network's
-// high-efficiency regime, at the cost of relayed volume (ButterFly BFS,
-// Green 2021). The codec re-encodes per hop, so adaptive compression sees
-// the aggregated blocks — and pays the log(p)× codec compute the timing
-// model charges. Results are bit-identical across strategies; only message
-// pattern and simulated time change. Non-power-of-two rank counts fall back
-// to all-pairs with the reason in Result.ExchangeFallback.
+// (p−1 messages per rank per iteration) with a hypercube butterfly: each
+// hop exchanges one aggregated message with partner rank XOR 2^k,
+// forwarding everything destined for the partner's half. Message count
+// drops from quadratic to about p·log2(p) and per-message size grows into
+// the network's high-efficiency regime, at the cost of relayed volume
+// (ButterFly BFS, Green 2021). Any rank count works: non-power-of-two
+// counts fold their remainder ranks into the nearest power-of-two
+// hypercube with a Bruck-style pre/post cleanup hop pair. The codec
+// re-encodes per hop, so adaptive compression sees the aggregated blocks —
+// and pays the log(p)× codec compute the timing model charges.
+//
+// ExchangeHybrid picks between the two per BFS iteration, the way
+// direction optimization picks push vs pull: the butterfly wins
+// message-count-bound iterations (tiny frontiers, many ranks) while
+// all-pairs wins bandwidth-bound ones (the butterfly relays ~log2(p)/2×
+// the volume), and a cost model over the simulated link parameters takes
+// the cheaper side each iteration from the globally known frontier volume.
+// Result.AllPairsIterations/ButterflyIterations report the split. Results
+// are bit-identical across all three policies — and across any
+// per-iteration mix — only message pattern and simulated time change.
 package gcbfs
 
 import (
@@ -196,14 +206,14 @@ type Config struct {
 	// normal-vertex payloads (see the package comment). The zero value is
 	// CompressionOff. Overridable per query with WithCompression.
 	Compression Compression
-	// Exchange selects the inter-rank exchange topology for normal
-	// vertices: ExchangeAllPairs (the zero value) sends one message per
-	// destination rank per iteration, ExchangeButterfly runs log2(ranks)
-	// hypercube hops that aggregate payloads into fewer, larger messages.
-	// The butterfly needs a power-of-two rank count and otherwise falls
-	// back to all-pairs (Result.ExchangeFallback records why). Traversal
-	// results are identical either way. Overridable per query with
-	// WithExchange.
+	// Exchange selects the inter-rank exchange policy for normal vertices:
+	// ExchangeAllPairs (the zero value) sends one message per destination
+	// rank per iteration, ExchangeButterfly runs hypercube hops that
+	// aggregate payloads into fewer, larger messages (any rank count —
+	// non-powers-of-two add a cleanup hop pair), and ExchangeHybrid picks
+	// between the two per iteration from the known frontier volume.
+	// Traversal results are identical under every policy. Overridable per
+	// query with WithExchange.
 	Exchange Exchange
 }
 
@@ -233,14 +243,23 @@ const (
 	// ExchangeAllPairs sends one message per destination rank per
 	// iteration — the paper's §V-B pattern.
 	ExchangeAllPairs Exchange = iota
-	// ExchangeButterfly runs log2(ranks) hypercube hops, aggregating
-	// payloads into fewer, larger messages (ButterFly BFS, Green 2021).
+	// ExchangeButterfly runs hypercube hops that aggregate payloads into
+	// fewer, larger messages (ButterFly BFS, Green 2021); non-power-of-two
+	// rank counts fold their remainder into the nearest power-of-two
+	// hypercube with a pre/post cleanup hop pair.
 	ExchangeButterfly
+	// ExchangeHybrid picks all-pairs or butterfly per BFS iteration from
+	// the globally known frontier volume through a cost model over the
+	// simulated link parameters.
+	ExchangeHybrid
 )
 
 func (x Exchange) strategy() core.Exchange {
-	if x == ExchangeButterfly {
+	switch x {
+	case ExchangeButterfly:
 		return core.ExchangeButterfly
+	case ExchangeHybrid:
+		return core.ExchangeHybrid
 	}
 	return core.ExchangeAllPairs
 }
@@ -317,10 +336,21 @@ type Result struct {
 	// all-pairs); MaxMessageBytes is the largest message the timing model
 	// saw.
 	Messages, ForwardedBytes, MaxMessageBytes int64
-	// Exchange is the exchange topology actually used ("allpairs" or
-	// "butterfly"); ExchangeFallback records why a requested butterfly was
-	// replaced (empty otherwise).
-	Exchange, ExchangeFallback string
+	// MaskRawBytes/MaskWireBytes account the delegate-mask reductions when
+	// compression is on: the native bitmap size vs what the allreduce
+	// shipped after the adaptive encoding (sparse late-iteration masks
+	// shrink). Zero with compression off.
+	MaskRawBytes, MaskWireBytes int64
+	// Exchange is the configured exchange policy ("allpairs", "butterfly"
+	// or "hybrid"); AllPairsIterations and ButterflyIterations report how
+	// many BFS iterations ran under each strategy (the hybrid policy may
+	// split them, fixed policies put every iteration on one side).
+	Exchange                                string
+	AllPairsIterations, ButterflyIterations int64
+	// PredictedRemoteSeconds is the exchange policy cost model's summed
+	// per-iteration prediction of remote-normal time — comparable against
+	// RemoteNormal to judge the model.
+	PredictedRemoteSeconds float64
 }
 
 // Service is a persistent, concurrency-safe BFS query service: the graph is
@@ -344,7 +374,7 @@ func NewService(g *Graph, cfg Config) (*Service, error) {
 	if cfg.Compression < CompressionOff || cfg.Compression > CompressionBitmap {
 		return nil, fmt.Errorf("gcbfs: invalid compression mode %d", cfg.Compression)
 	}
-	if cfg.Exchange < ExchangeAllPairs || cfg.Exchange > ExchangeButterfly {
+	if cfg.Exchange < ExchangeAllPairs || cfg.Exchange > ExchangeHybrid {
 		return nil, fmt.Errorf("gcbfs: invalid exchange strategy %d", cfg.Exchange)
 	}
 	th := cfg.Threshold
@@ -384,12 +414,11 @@ func WithCompression(c Compression) QueryOption {
 	}
 }
 
-// WithExchange selects the exchange topology for this query. A butterfly
-// request on a non-power-of-two rank count falls back to all-pairs with the
-// reason in Result.ExchangeFallback, as at construction time.
+// WithExchange selects the exchange policy for this query: fixed all-pairs,
+// fixed butterfly (any rank count), or the per-iteration hybrid.
 func WithExchange(x Exchange) QueryOption {
 	return func(q *queryConfig) {
-		if x < ExchangeAllPairs || x > ExchangeButterfly {
+		if x < ExchangeAllPairs || x > ExchangeHybrid {
 			q.err = fmt.Errorf("gcbfs: invalid exchange strategy %d", x)
 			return
 		}
@@ -467,8 +496,18 @@ type BatchStats struct {
 	// equivalent, and the codec compute charged.
 	WireBytes, WireRawBytes int64
 	CodecSeconds            float64
-	// Exchange totals across the batch.
+	// Exchange totals across the batch, including the per-iteration
+	// strategy split under the hybrid policy.
 	Messages, ForwardedBytes, MaxMessageBytes int64
+	AllPairsIterations, ButterflyIterations   int64
+	// Session-pool observability: PoolHits counts this batch's queries that
+	// reused a recycled session, PoolMisses those that allocated a fresh
+	// one (hits + misses = Runs when the service is otherwise idle).
+	// PeakInFlight is the service's lifetime high-water mark of
+	// simultaneous queries as of batch end — across every batch and Run so
+	// far, not this batch alone — the observed concurrency to size
+	// Parallelism against.
+	PoolHits, PoolMisses, PeakInFlight int64
 }
 
 // BatchResult is the outcome of RunBatch: per-query results in source order
@@ -488,11 +527,16 @@ func (s *Service) RunBatch(ctx context.Context, sources []int64, bo BatchOptions
 	if err != nil {
 		return nil, err
 	}
+	poolBefore := s.plan.PoolStats()
 	rs, err := s.plan.RunBatch(ctx, sources, bo.Parallelism, q.ov)
 	if err != nil {
 		return nil, err
 	}
+	poolAfter := s.plan.PoolStats()
 	br := &BatchResult{Results: make([]*Result, len(rs))}
+	br.Stats.PoolHits = poolAfter.Hits - poolBefore.Hits
+	br.Stats.PoolMisses = poolAfter.Misses - poolBefore.Misses
+	br.Stats.PeakInFlight = poolAfter.PeakInFlight
 	var rates []float64
 	var tepsEdges int64
 	for i, r := range rs {
@@ -512,6 +556,8 @@ func (s *Service) RunBatch(ctx context.Context, sources []int64, bo BatchOptions
 		st.CodecSeconds += r.Wire.CodecSeconds
 		st.Messages += r.Exchange.Messages
 		st.ForwardedBytes += r.Exchange.ForwardedBytes
+		st.AllPairsIterations += r.Exchange.AllPairsIterations
+		st.ButterflyIterations += r.Exchange.ButterflyIterations
 		if r.Exchange.MaxMessageBytes > st.MaxMessageBytes {
 			st.MaxMessageBytes = r.Exchange.MaxMessageBytes
 		}
@@ -534,25 +580,29 @@ func (s *Service) Delegates() int64 { return s.sub.D() }
 
 func convert(r *metrics.RunResult) *Result {
 	return &Result{
-		Source:           r.Source,
-		Iterations:       r.Iterations,
-		SimSeconds:       r.SimSeconds,
-		GTEPS:            r.GTEPS(),
-		Levels:           r.Levels,
-		Parents:          r.Parents,
-		EdgesScanned:     r.EdgesScanned,
-		Computation:      r.Parts.Computation,
-		LocalComm:        r.Parts.LocalComm,
-		RemoteNormal:     r.Parts.RemoteNormal,
-		RemoteDelegate:   r.Parts.RemoteDelegate,
-		WireBytes:        r.Wire.CompressedBytes,
-		WireRawBytes:     r.Wire.RawBytes,
-		CodecSeconds:     r.Wire.CodecSeconds,
-		Messages:         r.Exchange.Messages,
-		ForwardedBytes:   r.Exchange.ForwardedBytes,
-		MaxMessageBytes:  r.Exchange.MaxMessageBytes,
-		Exchange:         r.Exchange.Strategy,
-		ExchangeFallback: r.Exchange.Fallback,
+		Source:                 r.Source,
+		Iterations:             r.Iterations,
+		SimSeconds:             r.SimSeconds,
+		GTEPS:                  r.GTEPS(),
+		Levels:                 r.Levels,
+		Parents:                r.Parents,
+		EdgesScanned:           r.EdgesScanned,
+		Computation:            r.Parts.Computation,
+		LocalComm:              r.Parts.LocalComm,
+		RemoteNormal:           r.Parts.RemoteNormal,
+		RemoteDelegate:         r.Parts.RemoteDelegate,
+		WireBytes:              r.Wire.CompressedBytes,
+		WireRawBytes:           r.Wire.RawBytes,
+		CodecSeconds:           r.Wire.CodecSeconds,
+		Messages:               r.Exchange.Messages,
+		ForwardedBytes:         r.Exchange.ForwardedBytes,
+		MaxMessageBytes:        r.Exchange.MaxMessageBytes,
+		MaskRawBytes:           r.Wire.MaskRawBytes,
+		MaskWireBytes:          r.Wire.MaskWireBytes,
+		Exchange:               r.Exchange.Strategy,
+		AllPairsIterations:     r.Exchange.AllPairsIterations,
+		ButterflyIterations:    r.Exchange.ButterflyIterations,
+		PredictedRemoteSeconds: r.Exchange.PredictedSeconds,
 	}
 }
 

@@ -181,6 +181,60 @@ func TestParentPairsCompression(t *testing.T) {
 		100*(1-float64(adaptive.Wire.PairWireBytes)/float64(adaptive.Wire.PairRawBytes)))
 }
 
+// TestDelegateMaskEncoding: with a codec active, the delegate-mask
+// allreduce ships the adaptively encoded form of the reduced mask. TH=0
+// turns every vertex into a delegate, so the mask reduction is the only
+// inter-rank traffic — a clean isolation of the satellite: results stay
+// identical, the sparse late-iteration masks shrink below their native
+// bitmap size, and the saved bytes show up as remote-delegate time.
+func TestDelegateMaskEncoding(t *testing.T) {
+	el := rmat.Generate(rmat.DefaultParams(12))
+	shape := ClusterShape{Nodes: 2, RanksPerNode: 2, GPUsPerRank: 1}
+
+	run := func(mode wire.Mode) *metrics.RunResult {
+		opts := DefaultOptions()
+		opts.Compression = mode
+		e := buildEngine(t, el, shape, 0, opts) // TH=0: all delegates
+		res, err := e.Run(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	off := run(wire.ModeOff)
+	adaptive := run(wire.ModeAdaptive)
+
+	for v := range off.Levels {
+		if off.Levels[v] != adaptive.Levels[v] {
+			t.Fatalf("vertex %d: level %d with mask encoding, %d without",
+				v, adaptive.Levels[v], off.Levels[v])
+		}
+	}
+	if off.Wire.MaskRawBytes != 0 || off.Wire.MaskWireBytes != 0 {
+		t.Fatalf("off mode counted mask bytes: %d/%d", off.Wire.MaskRawBytes, off.Wire.MaskWireBytes)
+	}
+	w := adaptive.Wire
+	if w.MaskRawBytes == 0 {
+		t.Fatal("no mask reductions counted — test is vacuous")
+	}
+	if w.MaskWireBytes >= w.MaskRawBytes {
+		t.Fatalf("mask encoding did not shrink the reductions: %d wire vs %d raw",
+			w.MaskWireBytes, w.MaskRawBytes)
+	}
+	if adaptive.Parts.RemoteDelegate >= off.Parts.RemoteDelegate {
+		t.Fatalf("remote-delegate time %g not below uncompressed %g despite smaller masks",
+			adaptive.Parts.RemoteDelegate, off.Parts.RemoteDelegate)
+	}
+	// Per-iteration delegate bytes must never exceed the native mask size.
+	for i, it := range adaptive.PerIteration {
+		if raw := off.PerIteration[i].BytesDelegate; it.BytesDelegate > raw {
+			t.Fatalf("iteration %d: encoded mask %d B above native %d B", i, it.BytesDelegate, raw)
+		}
+	}
+	t.Logf("delegate masks: %d B raw -> %d B wire (%.1f%% saved)",
+		w.MaskRawBytes, w.MaskWireBytes, 100*(1-float64(w.MaskWireBytes)/float64(w.MaskRawBytes)))
+}
+
 // TestCompressionRejectsBadMode covers the NewEngine validation.
 func TestCompressionRejectsBadMode(t *testing.T) {
 	el := rmat.Generate(rmat.DefaultParams(10))

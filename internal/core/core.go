@@ -32,6 +32,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"gcbfs/internal/bitmask"
 	"gcbfs/internal/frontier"
@@ -132,14 +133,17 @@ type Options struct {
 	// remote-normal time) but never the traversal results. Its pack/unpack
 	// compute is charged through simgpu.Spec.CodecRate.
 	Compression wire.Mode
-	// Exchange selects the inter-rank normal-vertex exchange topology:
+	// Exchange selects the inter-rank normal-vertex exchange policy:
 	// ExchangeAllPairs sends one message per destination rank per iteration
-	// (p−1 sends, the paper's §V-B pattern); ExchangeButterfly runs log2(p)
+	// (p−1 sends, the paper's §V-B pattern); ExchangeButterfly runs
 	// hypercube hops that aggregate payloads into fewer, larger messages
-	// (ButterFly BFS, Green 2021). The butterfly requires a power-of-two
-	// rank count and otherwise falls back to all-pairs, recording the
-	// reason in the result's Exchange stats. Either way the traversal
-	// results are bit-identical; only message pattern and timing change.
+	// (ButterFly BFS, Green 2021), generalized to arbitrary rank counts by
+	// a Bruck-style pre/post cleanup hop pair; ExchangeHybrid picks between
+	// the two per BSP iteration from the globally known frontier volume
+	// through a cost model over the simnet link parameters — the way
+	// direction optimization picks push vs pull. Whatever the policy, the
+	// traversal results are bit-identical; only message pattern and timing
+	// change.
 	Exchange Exchange
 	// WorkAmplification scales all counted work and communication volume
 	// before the timing model (not the functional run or reported work
@@ -193,6 +197,13 @@ type Plan struct {
 	d     int64
 
 	pool sync.Pool // of *Session
+	// Pool observability (PoolStats): how often a query reused a recycled
+	// Session vs allocated a fresh one, and the high-water mark of
+	// simultaneously in-flight queries — the number that sizes Parallelism.
+	poolAcquires atomic.Int64
+	poolMisses   atomic.Int64
+	inFlight     atomic.Int64
+	peakInFlight atomic.Int64
 }
 
 // NewPlan validates that the partitioned graph matches the cluster shape,
@@ -220,7 +231,7 @@ func NewPlan(sg *partition.Subgraphs, shape ClusterShape, opts Options) (*Plan, 
 	if opts.Compression < wire.ModeOff || opts.Compression > wire.ModeBitmap {
 		return nil, fmt.Errorf("core: invalid compression mode %d", opts.Compression)
 	}
-	if opts.Exchange < ExchangeAllPairs || opts.Exchange > ExchangeButterfly {
+	if opts.Exchange < ExchangeAllPairs || opts.Exchange > ExchangeHybrid {
 		return nil, fmt.Errorf("core: invalid exchange strategy %d", opts.Exchange)
 	}
 	p := &Plan{
@@ -231,8 +242,36 @@ func NewPlan(sg *partition.Subgraphs, shape ClusterShape, opts Options) (*Plan, 
 		p:     sg.Cfg.P(),
 		d:     sg.D(),
 	}
-	p.pool.New = func() any { return p.newSession() }
+	p.pool.New = func() any {
+		p.poolMisses.Add(1)
+		return p.newSession()
+	}
 	return p, nil
+}
+
+// PoolStats is a snapshot of the Plan's session-pool counters. Counters are
+// cumulative over the Plan's lifetime; callers diff snapshots to scope them
+// to one batch.
+type PoolStats struct {
+	// Hits counts queries served by a recycled pooled Session; Misses
+	// counts queries that allocated a fresh one (every query is exactly one
+	// of the two).
+	Hits, Misses int64
+	// PeakInFlight is the high-water mark of simultaneously in-flight
+	// queries — the observed concurrency that Parallelism should be sized
+	// against.
+	PeakInFlight int64
+}
+
+// PoolStats returns the current session-pool counters.
+func (p *Plan) PoolStats() PoolStats {
+	acq := p.poolAcquires.Load()
+	misses := p.poolMisses.Load()
+	return PoolStats{
+		Hits:         acq - misses,
+		Misses:       misses,
+		PeakInFlight: p.peakInFlight.Load(),
+	}
 }
 
 // Shape returns the plan's cluster shape.
@@ -278,7 +317,7 @@ func (p *Plan) effectiveOptions(ov Overrides) (Options, error) {
 		o.Compression = *ov.Compression
 	}
 	if ov.Exchange != nil {
-		if *ov.Exchange < ExchangeAllPairs || *ov.Exchange > ExchangeButterfly {
+		if *ov.Exchange < ExchangeAllPairs || *ov.Exchange > ExchangeHybrid {
 			return o, fmt.Errorf("core: invalid exchange override %d", *ov.Exchange)
 		}
 		o.Exchange = *ov.Exchange
@@ -298,8 +337,18 @@ func (p *Plan) effectiveOptions(ov Overrides) (Options, error) {
 	return o, nil
 }
 
-// acquire takes a pooled Session and configures it for one query.
+// acquire takes a pooled Session and configures it for one query, updating
+// the pool counters (a Get that invokes pool.New is a miss; every other is
+// a hit).
 func (p *Plan) acquire(opts Options) *Session {
+	p.poolAcquires.Add(1)
+	n := p.inFlight.Add(1)
+	for {
+		peak := p.peakInFlight.Load()
+		if n <= peak || p.peakInFlight.CompareAndSwap(peak, n) {
+			break
+		}
+	}
 	s := p.pool.Get().(*Session)
 	s.configure(opts)
 	return s
@@ -307,7 +356,10 @@ func (p *Plan) acquire(opts Options) *Session {
 
 // release returns a Session to the pool once its query (and any result
 // gathering) is complete.
-func (p *Plan) release(s *Session) { p.pool.Put(s) }
+func (p *Plan) release(s *Session) {
+	p.pool.Put(s)
+	p.inFlight.Add(-1)
+}
 
 // Session holds every mutable byte of one in-flight BFS query: per-GPU
 // frontiers, visited bitmasks, send bins, parent-resolution scratch and the

@@ -8,20 +8,31 @@ package core
 // grow, exactly the sub-2 MB plateau regime §VI-A1 identifies as the
 // scalability ceiling.
 //
-// Butterfly is the ButterFly BFS pattern (Green 2021): log2(p) hypercube
-// hops. At hop k a rank exchanges with partner rank XOR 2^k, forwarding
-// everything it holds — its own bins plus payloads received on earlier hops
-// — that is destined for the partner's half of the hypercube. Ids reach
+// Butterfly is the ButterFly BFS pattern (Green 2021) generalized to
+// arbitrary rank counts Bruck-style. Let q be the largest power of two ≤ p
+// and r = p − q the remainder. A power-of-two run (r = 0) is the plain
+// log2(p)-hop hypercube: at hop k a rank exchanges with partner rank XOR
+// 2^k, forwarding everything it holds — its own bins plus payloads received
+// on earlier hops — that is destined for the partner's half. Ids reach
 // their destination by having their rank bits corrected lowest-first, so
-// each hop carries p/2 destinations' aggregated payload in one message:
-// fewer, larger messages, re-encoded through the wire codec per hop so the
-// adaptive selector sees the denser aggregated blocks.
+// each hop carries up to p/2 destinations' aggregated payload in one
+// message: fewer, larger messages, re-encoded through the wire codec per
+// hop so the adaptive selector sees the denser aggregated blocks.
 //
-// Both strategies deliver the identical per-slot id multiset each iteration,
+// When r > 0, two cleanup hops fold the remainder ranks into the hypercube:
+// a pre hop where each remainder rank i (q ≤ i < p) ships everything it
+// holds to its proxy rank i−q, then the log2(q) hypercube among ranks
+// 0..q−1 routing by the folded destination (dst < q ? dst : dst−q), then a
+// post hop where each proxy x < r delivers the payload accumulated for rank
+// x+q. Sections carry the true destination rank throughout, so folding two
+// destinations onto one hypercube coordinate never mixes their payloads.
+//
+// All strategies deliver the identical per-slot id multiset each iteration,
 // and run.go applies remote arrivals in canonical ascending order, so
 // levels, parents and every work counter are bit-identical across
-// strategies by construction — only message pattern, byte volume and the
-// simulated remote-normal time differ.
+// strategies — and across any per-iteration mix of them (the hybrid
+// policy, see policy.go) — by construction. Only message pattern, byte
+// volume and the simulated remote-normal time differ.
 
 import (
 	"fmt"
@@ -39,10 +50,15 @@ const (
 	// ExchangeAllPairs sends one message per destination rank per iteration
 	// (the paper's §V-B pattern).
 	ExchangeAllPairs Exchange = iota
-	// ExchangeButterfly runs log2(p) hypercube hops with per-hop payload
-	// aggregation and re-encoding. Requires a power-of-two rank count;
-	// other counts fall back to all-pairs with a recorded reason.
+	// ExchangeButterfly runs hypercube hops with per-hop payload aggregation
+	// and re-encoding; non-power-of-two rank counts add a pre/post cleanup
+	// hop pair that folds the remainder ranks into the nearest power-of-two
+	// hypercube (Bruck-style), so every rank count gets the log(p) pattern.
 	ExchangeButterfly
+	// ExchangeHybrid picks all-pairs or butterfly per BSP iteration from the
+	// globally known frontier volume through the policy cost model — the way
+	// direction optimization picks push vs pull (see policy.go).
+	ExchangeHybrid
 )
 
 func (x Exchange) String() string {
@@ -51,6 +67,8 @@ func (x Exchange) String() string {
 		return "allpairs"
 	case ExchangeButterfly:
 		return "butterfly"
+	case ExchangeHybrid:
+		return "hybrid"
 	}
 	return fmt.Sprintf("exchange(%d)", int(x))
 }
@@ -62,21 +80,10 @@ func ParseExchange(s string) (Exchange, error) {
 		return ExchangeAllPairs, nil
 	case "butterfly":
 		return ExchangeButterfly, nil
+	case "hybrid":
+		return ExchangeHybrid, nil
 	}
 	return ExchangeAllPairs, fmt.Errorf("core: unknown exchange strategy %q", s)
-}
-
-// exchangePlan resolves the configured strategy against the rank count. The
-// butterfly's bit-correction routing needs a full hypercube, so non-power-
-// of-two rank counts fall back to all-pairs with the reason recorded in the
-// run's exchange stats.
-func (e *Session) exchangePlan() (Exchange, string) {
-	prank := e.shape.Ranks()
-	if e.opts.Exchange == ExchangeButterfly && prank&(prank-1) != 0 {
-		return ExchangeAllPairs,
-			fmt.Sprintf("butterfly needs a power-of-two rank count, got %d", prank)
-	}
-	return e.opts.Exchange, ""
 }
 
 // exchangeCounts is one rank's accounting for one iteration's exchange.
@@ -96,8 +103,9 @@ type exchangeCounts struct {
 	codecRaw int64
 	scheme   [wire.NumSchemes]int64
 	// hopBytes feeds the timing model: per-hop sent volume (one entry for
-	// all-pairs, log2(p) for the butterfly). Length is identical on every
-	// rank so the vectors max-reduce element-wise.
+	// all-pairs; log2(q), plus two cleanup hops when p is not a power of
+	// two, for the butterfly). Length is identical on every rank within an
+	// iteration so the vectors max-reduce element-wise.
 	hopBytes []int64
 	// arrivals collects the remote ids received for each local GPU slot;
 	// run.go applies them in canonical sorted order.
@@ -105,7 +113,11 @@ type exchangeCounts struct {
 }
 
 // exchanger is one rank's exchange strategy instance. Instances hold
-// per-rank scratch (pending payloads, scheme memory) and live for one run.
+// per-rank scratch (pending payloads, scheme memory) and live for one run;
+// under the hybrid policy both strategies' instances coexist, each with its
+// own wire.Selector, so scheme memory is effectively keyed by
+// (strategy, dst, slot) and per-iteration switching never poisons the other
+// strategy's memory.
 type exchanger interface {
 	// exchange encodes and sends this iteration's outgoing bins, receives
 	// the counterpart payloads, and returns the accounting plus arrivals.
@@ -119,27 +131,56 @@ type exchanger interface {
 	remoteTime(hopBytes []int64) (float64, int64)
 }
 
-// newExchanger builds the strategy instance for one rank.
-func (e *Session) newExchanger(strategy Exchange, rank int) exchanger {
+// rankExchangers lazily constructs and caches one rank's strategy instances
+// so the per-iteration policy decision can dispatch without rebuilding
+// scratch or losing scheme memory.
+type rankExchangers struct {
+	e    *Session
+	rank int
+	ap   *allPairsExchange
+	bf   *butterflyExchange
+}
+
+func (rx *rankExchangers) get(strategy Exchange) exchanger {
 	switch strategy {
 	case ExchangeButterfly:
-		prank := e.shape.Ranks()
-		return &butterflyExchange{
-			e:             e,
-			rank:          rank,
-			nhops:         bits.Len(uint(prank)) - 1, // log2 of a power of two
-			sel:           wire.NewSelector(),
-			pending:       make([][][]uint32, prank),
-			pendingSorted: make([][]bool, prank),
+		if rx.bf == nil {
+			prank := rx.e.shape.Ranks()
+			q, rem, nhops := hypercubeGeometry(prank)
+			rx.bf = &butterflyExchange{
+				e:             rx.e,
+				rank:          rx.rank,
+				q:             q,
+				rem:           rem,
+				nhops:         nhops,
+				sel:           wire.NewSelector(),
+				pending:       make([][][]uint32, prank),
+				pendingSorted: make([][]bool, prank),
+			}
 		}
+		return rx.bf
 	default:
-		return &allPairsExchange{e: e, rank: rank, sel: wire.NewSelector()}
+		if rx.ap == nil {
+			rx.ap = &allPairsExchange{e: rx.e, rank: rx.rank, sel: wire.NewSelector()}
+		}
+		return rx.ap
 	}
 }
 
-// hopTag derives a distinct MPI tag per (iteration, hop); the all-pairs
-// strategy uses the bare iteration as its tag, and the parent resolution
-// round sits at 1<<30, far outside both.
+// hypercubeGeometry derives the generalized butterfly's shape for a rank
+// count: the largest power-of-two hypercube q that fits, the remainder
+// ranks folded in by the cleanup hops, and the log2(q) hypercube hop count.
+// The exchange (butterflyExchange) and the policy cost model
+// (exchangePolicy) both build on this single definition, so a predicted
+// hop profile always matches what the exchange executes.
+func hypercubeGeometry(prank int) (q, rem, nhops int) {
+	q = 1 << (bits.Len(uint(prank)) - 1)
+	return q, prank - q, bits.Len(uint(q)) - 1
+}
+
+// hopTag derives a distinct MPI tag per (iteration, hop); strategies never
+// mix within one iteration (the policy decision is global), and the parent
+// resolution round sits at 1<<30, far outside both.
 func hopTag(iter int32, hop int) int {
 	return int(iter)*64 + hop
 }
@@ -220,14 +261,14 @@ func (x *allPairsExchange) exchange(comm *mpi.Comm, myGPUs []*gpuState, iter int
 		}
 		c.memoHits += st.MemoHits
 		c.messages++
-		comm.Isend(dst, int(iter), payload)
+		comm.Isend(dst, hopTag(iter, 0), payload)
 	}
 	// Receives (decoded through the same codec the sender used).
 	for src := 0; src < prank; src++ {
 		if src == rank {
 			continue
 		}
-		buf := comm.Recv(src, int(iter))
+		buf := comm.Recv(src, hopTag(iter, 0))
 		var slots [][]uint32
 		var err error
 		if mode == wire.ModeOff {
@@ -262,7 +303,9 @@ func (x *allPairsExchange) remoteTime(hopBytes []int64) (float64, int64) {
 type butterflyExchange struct {
 	e     *Session
 	rank  int
-	nhops int
+	q     int // largest power of two ≤ rank count
+	rem   int // remainder ranks folded in by the cleanup hops
+	nhops int // log2(q) hypercube hops
 	sel   *wire.Selector
 	// pending holds, per final destination rank, the per-slot ids this rank
 	// currently carries for it (own bins plus relayed payloads); nil when
@@ -271,7 +314,24 @@ type butterflyExchange struct {
 	pendingSorted [][]bool
 }
 
-func (x *butterflyExchange) rounds() int { return x.nhops }
+// rounds counts the sequential communication rounds per iteration: the
+// hypercube hops plus, on non-power-of-two rank counts, the pre and post
+// cleanup hops.
+func (x *butterflyExchange) rounds() int {
+	if x.rem > 0 {
+		return x.nhops + 2
+	}
+	return x.nhops
+}
+
+// fold maps a destination rank onto its hypercube coordinate: remainder
+// ranks ride their proxy's coordinate until the post cleanup hop.
+func (x *butterflyExchange) fold(dst int) int {
+	if dst >= x.q {
+		return dst - x.q
+	}
+	return dst
+}
 
 func (x *butterflyExchange) exchange(comm *mpi.Comm, myGPUs []*gpuState, iter int32) exchangeCounts {
 	e, rank := x.e, x.rank
@@ -280,7 +340,7 @@ func (x *butterflyExchange) exchange(comm *mpi.Comm, myGPUs []*gpuState, iter in
 	mode := e.opts.Compression
 	var c exchangeCounts
 	c.arrivals = make([][]uint32, pgpu)
-	c.hopBytes = make([]int64, x.nhops)
+	c.hopBytes = make([]int64, x.rounds())
 
 	// Stage this iteration's own bins. ownRaw is the fixed-width equivalent
 	// of originated traffic; everything sent beyond it was forwarded.
@@ -299,14 +359,45 @@ func (x *butterflyExchange) exchange(comm *mpi.Comm, myGPUs []*gpuState, iter in
 		ownRaw += 4 * n
 	}
 
+	hop := 0
+	// Pre cleanup hop: each remainder rank ships everything it holds to its
+	// proxy (a one-directional send, unlike the pairwise hypercube hops);
+	// ranks without a remainder partner sit the round out with a zero
+	// hopBytes entry so the vectors still max-reduce element-wise.
+	if x.rem > 0 {
+		if rank >= x.q {
+			var secs []wire.Section
+			for dst := 0; dst < prank; dst++ {
+				if x.pending[dst] == nil {
+					continue
+				}
+				secs = append(secs, wire.Section{
+					Rank:   dst,
+					Slots:  x.pending[dst],
+					Sorted: x.pendingSorted[dst],
+				})
+				x.pending[dst], x.pendingSorted[dst] = nil, nil
+			}
+			c.hopBytes[hop] = x.send(comm, rank-x.q, iter, hop, secs, mode, &c)
+		} else if rank < x.rem {
+			x.receive(comm, rank+x.q, iter, hop, mode, &c)
+		}
+		hop++
+	}
+
+	// Hypercube hops among ranks < q, routing by folded destination.
 	for h := 0; h < x.nhops; h++ {
+		if rank >= x.q {
+			hop++
+			continue // remainder ranks idle inside the hypercube
+		}
 		bit := 1 << h
 		partner := rank ^ bit
 		// Forward everything destined for the partner's half: ids travel by
-		// having their destination-rank bits corrected lowest-first.
+		// having their folded destination-rank bits corrected lowest-first.
 		var secs []wire.Section
 		for dst := 0; dst < prank; dst++ {
-			if (dst^rank)&bit == 0 || x.pending[dst] == nil {
+			if (x.fold(dst)^rank)&bit == 0 || x.pending[dst] == nil {
 				continue
 			}
 			secs = append(secs, wire.Section{
@@ -316,47 +407,32 @@ func (x *butterflyExchange) exchange(comm *mpi.Comm, myGPUs []*gpuState, iter in
 			})
 			x.pending[dst], x.pendingSorted[dst] = nil, nil
 		}
-		payload, st := x.sel.EncodeSections(secs, pgpu, mode)
-		c.sent += st.EncodedBytes
-		c.sentRaw += st.RawBytes
-		if mode != wire.ModeOff {
-			c.codecRaw += st.RawBytes
-		}
-		for i, n := range st.Selected {
-			c.scheme[i] += n
-		}
-		c.memoHits += st.MemoHits
-		c.hopBytes[h] = st.EncodedBytes
-		c.messages++
-		comm.Isend(partner, hopTag(iter, h), payload)
+		c.hopBytes[hop] = x.send(comm, partner, iter, hop, secs, mode, &c)
+		x.receive(comm, partner, iter, hop, mode, &c)
+		hop++
+	}
 
-		buf := comm.Recv(partner, hopTag(iter, h))
-		secsIn, err := wire.DecodeSections(buf, pgpu, prank, mode)
-		if err != nil {
-			panic(fmt.Sprintf("core: corrupt butterfly payload (hop %d): %v", h, err))
-		}
-		if mode == wire.ModeOff {
-			for _, sec := range secsIn {
-				c.recv += 4 * countIDs(sec.Slots)
+	// Post cleanup hop: each proxy delivers what accumulated for its
+	// remainder partner.
+	if x.rem > 0 {
+		if rank < x.rem {
+			partner := rank + x.q
+			var secs []wire.Section
+			if x.pending[partner] != nil {
+				secs = append(secs, wire.Section{
+					Rank:   partner,
+					Slots:  x.pending[partner],
+					Sorted: x.pendingSorted[partner],
+				})
+				x.pending[partner], x.pendingSorted[partner] = nil, nil
 			}
-		} else {
-			c.recv += int64(len(buf))
-			for _, sec := range secsIn {
-				c.codecRaw += 4 * countIDs(sec.Slots)
-			}
-		}
-		for _, sec := range secsIn {
-			if sec.Rank == rank {
-				for s, ids := range sec.Slots {
-					c.arrivals[s] = append(c.arrivals[s], ids...)
-				}
-				continue
-			}
-			x.mergePending(sec)
+			c.hopBytes[hop] = x.send(comm, partner, iter, hop, secs, mode, &c)
+		} else if rank >= x.q {
+			x.receive(comm, rank-x.q, iter, hop, mode, &c)
 		}
 	}
 
-	// Every relayed id must have reached its destination on the last hop.
+	// Every relayed id must have reached its destination by the last hop.
 	for dst, p := range x.pending {
 		if dst != rank && p != nil && countIDs(p) > 0 {
 			panic(fmt.Sprintf("core: butterfly left %d ids undelivered for rank %d", countIDs(p), dst))
@@ -365,6 +441,57 @@ func (x *butterflyExchange) exchange(comm *mpi.Comm, myGPUs []*gpuState, iter in
 	}
 	c.forwarded = c.sentRaw - ownRaw
 	return c
+}
+
+// send encodes sections into one hop message for dst, accounts it, and
+// returns the hop's sent bytes. Empty hops still send (the partner's Recv
+// is unconditional) and still count as messages — they cross the NIC.
+func (x *butterflyExchange) send(comm *mpi.Comm, dst int, iter int32, hop int, secs []wire.Section, mode wire.Mode, c *exchangeCounts) int64 {
+	pgpu := x.e.shape.GPUsPerRank
+	payload, st := x.sel.EncodeSections(secs, pgpu, mode)
+	c.sent += st.EncodedBytes
+	c.sentRaw += st.RawBytes
+	if mode != wire.ModeOff {
+		c.codecRaw += st.RawBytes
+	}
+	for i, n := range st.Selected {
+		c.scheme[i] += n
+	}
+	c.memoHits += st.MemoHits
+	c.messages++
+	comm.Isend(dst, hopTag(iter, hop), payload)
+	return st.EncodedBytes
+}
+
+// receive decodes one hop message from src, delivering sections addressed to
+// this rank as arrivals and folding the rest into pending.
+func (x *butterflyExchange) receive(comm *mpi.Comm, src int, iter int32, hop int, mode wire.Mode, c *exchangeCounts) {
+	pgpu := x.e.shape.GPUsPerRank
+	prank := x.e.shape.Ranks()
+	buf := comm.Recv(src, hopTag(iter, hop))
+	secsIn, err := wire.DecodeSections(buf, pgpu, prank, mode)
+	if err != nil {
+		panic(fmt.Sprintf("core: corrupt butterfly payload (hop %d): %v", hop, err))
+	}
+	if mode == wire.ModeOff {
+		for _, sec := range secsIn {
+			c.recv += 4 * countIDs(sec.Slots)
+		}
+	} else {
+		c.recv += int64(len(buf))
+		for _, sec := range secsIn {
+			c.codecRaw += 4 * countIDs(sec.Slots)
+		}
+	}
+	for _, sec := range secsIn {
+		if sec.Rank == x.rank {
+			for s, ids := range sec.Slots {
+				c.arrivals[s] = append(c.arrivals[s], ids...)
+			}
+			continue
+		}
+		x.mergePending(sec)
+	}
 }
 
 // mergePending folds a relayed section into the pending payload for its

@@ -45,9 +45,10 @@ func requireIdentical(t *testing.T, label string, a, b *metrics.RunResult) {
 	}
 }
 
-// TestExchangeEquivalence is the tentpole's property test: across scales,
-// cluster shapes (power-of-two and odd rank counts) and compression modes,
-// the butterfly produces levels and parents bit-identical to all-pairs.
+// TestExchangeEquivalence: across scales, cluster shapes (power-of-two and
+// non-power-of-two rank counts) and compression modes, the butterfly
+// produces levels and parents bit-identical to all-pairs — there is no
+// fallback anymore, the generalized butterfly runs everywhere.
 func TestExchangeEquivalence(t *testing.T) {
 	scales := []int{10, 13}
 	if !testing.Short() {
@@ -56,7 +57,7 @@ func TestExchangeEquivalence(t *testing.T) {
 	shapes := []ClusterShape{
 		{Nodes: 2, RanksPerNode: 2, GPUsPerRank: 2}, // 4 ranks
 		{Nodes: 4, RanksPerNode: 2, GPUsPerRank: 1}, // 8 ranks
-		{Nodes: 3, RanksPerNode: 1, GPUsPerRank: 2}, // 3 ranks → fallback
+		{Nodes: 3, RanksPerNode: 1, GPUsPerRank: 2}, // 3 ranks → cleanup hops
 	}
 	modes := []wire.Mode{wire.ModeOff, wire.ModeAdaptive, wire.ModeDelta}
 
@@ -83,19 +84,17 @@ func TestExchangeEquivalence(t *testing.T) {
 					ra := runExchange(t, buildEngine(t, el, shape, th, ap), src)
 					rb := runExchange(t, buildEngine(t, el, shape, th, bf), src)
 					requireIdentical(t, label, ra, rb)
-					if ra.Exchange.Strategy != "allpairs" || ra.Exchange.Fallback != "" {
-						t.Fatalf("%s: all-pairs run reported %q/%q", label,
-							ra.Exchange.Strategy, ra.Exchange.Fallback)
+					if ra.Exchange.Strategy != "allpairs" || ra.Exchange.ButterflyIterations != 0 {
+						t.Fatalf("%s: all-pairs run reported %q with %d butterfly iterations", label,
+							ra.Exchange.Strategy, ra.Exchange.ButterflyIterations)
 					}
-					prank := shape.Ranks()
-					if prank&(prank-1) == 0 {
-						if rb.Exchange.Strategy != "butterfly" || rb.Exchange.Fallback != "" {
-							t.Fatalf("%s: butterfly run reported %q/%q", label,
-								rb.Exchange.Strategy, rb.Exchange.Fallback)
-						}
-					} else if rb.Exchange.Strategy != "allpairs" || rb.Exchange.Fallback == "" {
-						t.Fatalf("%s: expected recorded fallback for %d ranks, got %q/%q",
-							label, prank, rb.Exchange.Strategy, rb.Exchange.Fallback)
+					if rb.Exchange.Strategy != "butterfly" || rb.Exchange.AllPairsIterations != 0 {
+						t.Fatalf("%s: butterfly run reported %q with %d all-pairs iterations", label,
+							rb.Exchange.Strategy, rb.Exchange.AllPairsIterations)
+					}
+					if got := int64(rb.Iterations); rb.Exchange.ButterflyIterations != got {
+						t.Fatalf("%s: butterfly iterations %d, want %d", label,
+							rb.Exchange.ButterflyIterations, got)
 					}
 				}
 			}
@@ -103,46 +102,144 @@ func TestExchangeEquivalence(t *testing.T) {
 	}
 }
 
-// TestExchangeFallbackNonPowerOfTwo is the regression test for the fallback
-// path: a butterfly request on 6 ranks must run all-pairs, record why, and
-// still validate against the serial reference.
-func TestExchangeFallbackNonPowerOfTwo(t *testing.T) {
-	el := rmat.Generate(rmat.DefaultParams(11))
-	shape := ClusterShape{Nodes: 3, RanksPerNode: 2, GPUsPerRank: 1} // 6 ranks
+// TestButterflyNonPowerOfTwo is the generalized-butterfly property test: for
+// every remainder shape p ∈ {3, 5, 6, 7, 12} across scales 10–14 and
+// compression modes, the two-phase (cleanup hops + hypercube) exchange is
+// bit-identical to all-pairs on levels AND parents, runs as a butterfly on
+// every iteration, and actually relays bytes.
+func TestButterflyNonPowerOfTwo(t *testing.T) {
+	shapes := []ClusterShape{
+		{Nodes: 3, RanksPerNode: 1, GPUsPerRank: 1}, // 3 ranks, q=2
+		{Nodes: 5, RanksPerNode: 1, GPUsPerRank: 1}, // 5 ranks, q=4
+		{Nodes: 3, RanksPerNode: 2, GPUsPerRank: 2}, // 6 ranks, q=4
+		{Nodes: 7, RanksPerNode: 1, GPUsPerRank: 1}, // 7 ranks, q=4 (max remainder)
+		{Nodes: 6, RanksPerNode: 2, GPUsPerRank: 1}, // 12 ranks, q=8
+	}
+	scales := []int{10, 12, 14}
+	if testing.Short() {
+		scales = []int{10, 12}
+	}
+	modes := []wire.Mode{wire.ModeOff, wire.ModeAdaptive}
+
+	for _, scale := range scales {
+		el := rmat.Generate(rmat.DefaultParams(scale))
+		th := partition.SuggestThreshold(el.OutDegrees(), el.N/8)
+		src := pickSources(el.OutDegrees(), 1, 7)[0]
+		for _, shape := range shapes {
+			for _, mode := range modes {
+				label := fmt.Sprintf("scale=%d shape=%s mode=%v", scale, shape, mode)
+				opts := DefaultOptions()
+				opts.Compression = mode
+				opts.CollectParents = true
+				ap := opts
+				ap.Exchange = ExchangeAllPairs
+				bf := opts
+				bf.Exchange = ExchangeButterfly
+				ra := runExchange(t, buildEngine(t, el, shape, th, ap), src)
+				rb := runExchange(t, buildEngine(t, el, shape, th, bf), src)
+				requireIdentical(t, label, ra, rb)
+				if rb.Exchange.Strategy != "butterfly" || rb.Exchange.AllPairsIterations != 0 {
+					t.Fatalf("%s: expected pure butterfly, got %q with %d all-pairs iterations",
+						label, rb.Exchange.Strategy, rb.Exchange.AllPairsIterations)
+				}
+				if rb.Exchange.ForwardedBytes <= 0 {
+					t.Fatalf("%s: butterfly forwarded no bytes", label)
+				}
+				if ra.Exchange.Messages <= rb.Exchange.Messages {
+					t.Fatalf("%s: butterfly sent %d messages, not fewer than all-pairs' %d",
+						label, rb.Exchange.Messages, ra.Exchange.Messages)
+				}
+			}
+		}
+	}
+}
+
+// TestHybridMixedSchedule: under amplification the hybrid policy must
+// actually mix strategies within single runs (butterfly on latency-bound
+// iterations, all-pairs on volume-bound ones) while staying bit-identical
+// to both fixed policies — the per-iteration-mixed-schedule property.
+func TestHybridMixedSchedule(t *testing.T) {
+	el := rmat.Generate(rmat.DefaultParams(13))
 	th := partition.SuggestThreshold(el.OutDegrees(), el.N/8)
-	opts := DefaultOptions()
-	opts.Exchange = ExchangeButterfly
-	e := buildEngine(t, el, shape, th, opts)
-	res := checkAgainstSerial(t, el, e, 3)
-	if res.Exchange.Strategy != "allpairs" {
-		t.Fatalf("strategy %q, want allpairs fallback", res.Exchange.Strategy)
+	srcs := pickSources(el.OutDegrees(), 2, 99)
+	shapes := []ClusterShape{
+		{Nodes: 8, RanksPerNode: 2, GPUsPerRank: 1}, // 16 ranks
+		{Nodes: 3, RanksPerNode: 2, GPUsPerRank: 1}, // 6 ranks (cleanup hops)
 	}
-	if res.Exchange.Fallback == "" {
-		t.Fatal("fallback reason not recorded")
-	}
-	if res.Exchange.HopsPerIteration != 1 {
-		t.Fatalf("fallback hops/iteration = %d, want 1", res.Exchange.HopsPerIteration)
+	for _, shape := range shapes {
+		var mixed bool
+		for _, src := range srcs {
+			for _, mode := range []wire.Mode{wire.ModeOff, wire.ModeAdaptive} {
+				label := fmt.Sprintf("shape=%s mode=%v src=%d", shape, mode, src)
+				opts := DefaultOptions()
+				opts.Compression = mode
+				opts.CollectParents = true
+				opts.WorkAmplification = 1 << 12
+				hy := opts
+				hy.Exchange = ExchangeHybrid
+				ap := opts
+				ap.Exchange = ExchangeAllPairs
+				bf := opts
+				bf.Exchange = ExchangeButterfly
+				rh := runExchange(t, buildEngine(t, el, shape, th, hy), src)
+				requireIdentical(t, label+" vs allpairs", runExchange(t, buildEngine(t, el, shape, th, ap), src), rh)
+				requireIdentical(t, label+" vs butterfly", runExchange(t, buildEngine(t, el, shape, th, bf), src), rh)
+				if rh.Exchange.Strategy != "hybrid" {
+					t.Fatalf("%s: strategy %q, want hybrid", label, rh.Exchange.Strategy)
+				}
+				x := rh.Exchange
+				if x.AllPairsIterations+x.ButterflyIterations != int64(rh.Iterations) {
+					t.Fatalf("%s: iteration split %d+%d does not cover %d iterations",
+						label, x.AllPairsIterations, x.ButterflyIterations, rh.Iterations)
+				}
+				if x.AllPairsIterations > 0 && x.ButterflyIterations > 0 {
+					mixed = true
+				}
+				// Per-iteration records must agree with the counters.
+				var ap2, bf2 int64
+				for _, it := range rh.PerIteration {
+					switch it.Exchange {
+					case "allpairs":
+						ap2++
+					case "butterfly":
+						bf2++
+					default:
+						t.Fatalf("%s: iteration %d recorded strategy %q", label, it.Iteration, it.Exchange)
+					}
+				}
+				if ap2 != x.AllPairsIterations || bf2 != x.ButterflyIterations {
+					t.Fatalf("%s: per-iteration records %d/%d disagree with counters %d/%d",
+						label, ap2, bf2, x.AllPairsIterations, x.ButterflyIterations)
+				}
+			}
+		}
+		if !mixed {
+			t.Fatalf("shape %s: hybrid never mixed strategies within a run — policy inert", shape)
+		}
 	}
 }
 
 // TestExchangeMessageCounts checks the headline claim: per iteration, each
-// rank sends exactly p−1 messages under all-pairs and log2(p) under the
-// butterfly, and the butterfly pays for it with forwarded bytes.
+// rank sends exactly p−1 messages under all-pairs; the power-of-two
+// butterfly sends log2(p) per rank, and the generalized form adds one pre
+// and one post cleanup message per remainder rank. Both butterflies pay
+// with forwarded bytes.
 func TestExchangeMessageCounts(t *testing.T) {
 	el := rmat.Generate(rmat.DefaultParams(12))
-	shape := ClusterShape{Nodes: 4, RanksPerNode: 2, GPUsPerRank: 1} // 8 ranks
 	th := partition.SuggestThreshold(el.OutDegrees(), el.N/8)
-	prank := int64(shape.Ranks())
 
-	run := func(x Exchange) *metrics.RunResult {
+	run := func(shape ClusterShape, x Exchange) *metrics.RunResult {
 		opts := DefaultOptions()
 		opts.Exchange = x
 		opts.Compression = wire.ModeAdaptive
 		return runExchange(t, buildEngine(t, el, shape, th, opts), 1)
 	}
-	ap := run(ExchangeAllPairs)
-	bf := run(ExchangeButterfly)
 
+	// Power-of-two: 8 ranks.
+	shape := ClusterShape{Nodes: 4, RanksPerNode: 2, GPUsPerRank: 1}
+	prank := int64(shape.Ranks())
+	ap := run(shape, ExchangeAllPairs)
+	bf := run(shape, ExchangeButterfly)
 	iters := int64(ap.Iterations)
 	if got, want := ap.Exchange.Messages, iters*prank*(prank-1); got != want {
 		t.Fatalf("all-pairs messages %d, want %d (p−1 per rank per iteration)", got, want)
@@ -162,6 +259,21 @@ func TestExchangeMessageCounts(t *testing.T) {
 	if bf.Exchange.MaxMessageBytes <= ap.Exchange.MaxMessageBytes {
 		t.Fatalf("butterfly max message %d not above all-pairs %d — aggregation missing",
 			bf.Exchange.MaxMessageBytes, ap.Exchange.MaxMessageBytes)
+	}
+
+	// Non-power-of-two: 6 ranks = q·log2(q) hypercube messages plus one pre
+	// and one post message per remainder rank, per iteration.
+	shape6 := ClusterShape{Nodes: 3, RanksPerNode: 2, GPUsPerRank: 1}
+	bf6 := run(shape6, ExchangeButterfly)
+	q, rem := int64(4), int64(2)
+	perIter := q*2 + 2*rem // log2(4)=2 hops
+	if got, want := bf6.Exchange.Messages, int64(bf6.Iterations)*perIter; got != want {
+		t.Fatalf("6-rank butterfly messages %d, want %d (q·log2(q) + 2·remainder per iteration)",
+			got, want)
+	}
+	if bf6.Exchange.HopsPerIteration != 4 {
+		t.Fatalf("6-rank butterfly hops/iteration = %d, want 4 (pre + 2 hypercube + post)",
+			bf6.Exchange.HopsPerIteration)
 	}
 }
 
@@ -190,6 +302,7 @@ func TestParseExchange(t *testing.T) {
 		{"allpairs", ExchangeAllPairs, true},
 		{"all-pairs", ExchangeAllPairs, true},
 		{"butterfly", ExchangeButterfly, true},
+		{"hybrid", ExchangeHybrid, true},
 		{"hypercube", ExchangeAllPairs, false},
 	} {
 		got, err := ParseExchange(tc.in)
@@ -197,7 +310,8 @@ func TestParseExchange(t *testing.T) {
 			t.Fatalf("ParseExchange(%q) = %v, %v", tc.in, got, err)
 		}
 	}
-	if ExchangeButterfly.String() != "butterfly" || ExchangeAllPairs.String() != "allpairs" {
+	if ExchangeButterfly.String() != "butterfly" || ExchangeAllPairs.String() != "allpairs" ||
+		ExchangeHybrid.String() != "hybrid" {
 		t.Fatal("Exchange.String spelling changed")
 	}
 }

@@ -1,0 +1,144 @@
+package core
+
+// This file is the per-iteration exchange policy layer. The paper picks
+// push vs pull each iteration from the known frontier size (§IV-B); the
+// hybrid exchange policy applies the same idea to the exchange topology:
+// all-pairs wins bandwidth-bound iterations (the butterfly relays roughly
+// log2(p)/2× the volume) while the butterfly wins message-count-bound ones
+// (p−1 latencies vs log2(p) plus cleanup). Every rank evaluates the same
+// cost model over the same globally known inputs — the frontier sizes and
+// byte volumes reduced by the previous iteration's termination allreduce —
+// so the per-iteration decision is identical on all ranks without any
+// extra collective.
+//
+// The cost model is the α/β form unit-tested against simnet's timing:
+//
+//	all-pairs:  ≈ pairs·α + V·β(msg)          (p−1 sends per rank)
+//	butterfly:  ≈ hops·α + relay·V·β(msg')    (log2(q) hops + cleanup)
+//
+// realized by running the predicted per-rank volume V through the exact
+// simnet curves the timing model charges (PointToPoint and Butterfly), so
+// the predicted and actual remote-normal seconds are directly comparable —
+// both are recorded per iteration in metrics.IterationStats.
+
+// exchangePolicy evaluates the per-iteration strategy decision for one run.
+// It is immutable after construction and shared by all rank goroutines.
+type exchangePolicy struct {
+	configured Exchange // the run's configured strategy (hybrid ⇒ decide per iteration)
+	e          *Session
+	prank      int
+	// expansion estimates bytes entering the normal exchange per input
+	// frontier vertex on the first iteration (before measured feedback
+	// exists): 4 bytes per id × average out-degree × the nn edge fraction,
+	// since only nn edges generate inter-rank normal traffic.
+	expansion float64
+	// hypercube geometry (mirrors butterflyExchange).
+	q, rem, nhops int
+}
+
+func (e *Session) newExchangePolicy() *exchangePolicy {
+	prank := e.shape.Ranks()
+	q, rem, nhops := hypercubeGeometry(prank)
+	var expansion float64
+	if e.sg.N > 0 && e.sg.M > 0 {
+		avgDeg := float64(e.sg.M) / float64(e.sg.N)
+		nnFrac := float64(e.sg.CountNN) / float64(e.sg.M)
+		expansion = 4 * avgDeg * nnFrac
+	}
+	return &exchangePolicy{
+		configured: e.opts.Exchange,
+		e:          e,
+		prank:      prank,
+		expansion:  expansion,
+		q:          q,
+		rem:        rem,
+		nhops:      nhops,
+	}
+}
+
+// predictVolume estimates this iteration's per-rank exchange volume in
+// amplified bytes from globally known quantities: the input normal frontier
+// size and, once available, the previous iteration's measured global
+// originated bytes (fixed-width, forwards excluded — strategy-independent,
+// so a butterfly iteration's relayed volume never pollutes the estimate)
+// scaled by the frontier growth ratio. Every rank computes the identical
+// estimate.
+func (p *exchangePolicy) predictVolume(inputNormals, prevNormals, prevOriginated int64) int64 {
+	if inputNormals <= 0 || p.prank <= 1 {
+		return 0
+	}
+	var globalEst float64
+	if prevOriginated > 0 && prevNormals > 0 {
+		globalEst = float64(prevOriginated) * float64(inputNormals) / float64(prevNormals)
+	} else {
+		globalEst = float64(inputNormals) * p.expansion
+	}
+	perRank := globalEst / float64(p.prank)
+	// A live normal frontier never rounds down to a free exchange: floor
+	// the estimate at one id so the cost model sees the latency regime —
+	// all-pairs pays its per-pair message floor on near-empty iterations,
+	// which is exactly where the butterfly's few hops win.
+	if perRank < 4 {
+		perRank = 4
+	}
+	return p.e.ampBytes(int64(perRank))
+}
+
+// allPairsCost predicts the remote-normal seconds of an all-pairs exchange
+// moving vol bytes per rank — exactly allPairsExchange.remoteTime applied
+// to the predicted volume.
+func (p *exchangePolicy) allPairsCost(vol int64) float64 {
+	return p.e.opts.Net.PointToPoint(vol, p.e.effMessageBytes(vol))
+}
+
+// butterflyHops predicts the per-hop volume profile of a butterfly exchange
+// originating vol bytes per rank. With traffic spread uniformly over p−1
+// destinations, each hypercube hop forwards about half the standing volume
+// — vol·p/(2(p−1)) per hop, the relay factor the strategy pays for its
+// fewer messages — while the cleanup hops move a remainder rank's full
+// origination (pre) and a full rank's worth of arrivals (post).
+func (p *exchangePolicy) butterflyHops(vol int64) []int64 {
+	hopVol := int64(float64(vol) * float64(p.prank) / (2 * float64(p.prank-1)))
+	hops := make([]int64, 0, p.nhops+2)
+	if p.rem > 0 {
+		hops = append(hops, vol)
+	}
+	for h := 0; h < p.nhops; h++ {
+		hops = append(hops, hopVol)
+	}
+	if p.rem > 0 {
+		hops = append(hops, vol)
+	}
+	return hops
+}
+
+// butterflyCost predicts the remote-normal seconds of a butterfly exchange
+// originating vol bytes per rank — butterflyExchange.remoteTime applied to
+// the predicted hop profile.
+func (p *exchangePolicy) butterflyCost(vol int64) float64 {
+	return p.e.opts.Net.Butterfly(p.butterflyHops(vol), p.e.opts.MessageBytes)
+}
+
+// choose returns the strategy for the upcoming iteration plus its predicted
+// remote-normal seconds. Fixed configurations keep their strategy (the
+// prediction is still recorded, giving every run a predicted-vs-actual
+// trace); hybrid takes the cheaper side of the cost model, preferring the
+// butterfly on ties — equal-cost iterations are latency-bound, where fewer
+// messages also mean fewer software overheads the model does not charge.
+func (p *exchangePolicy) choose(inputNormals, prevNormals, prevGlobalSent int64) (Exchange, float64) {
+	vol := p.predictVolume(inputNormals, prevNormals, prevGlobalSent)
+	switch p.configured {
+	case ExchangeAllPairs:
+		return ExchangeAllPairs, p.allPairsCost(vol)
+	case ExchangeButterfly:
+		return ExchangeButterfly, p.butterflyCost(vol)
+	}
+	if p.prank <= 1 {
+		return ExchangeAllPairs, 0
+	}
+	ap, bf := p.allPairsCost(vol), p.butterflyCost(vol)
+	if bf <= ap {
+		return ExchangeButterfly, bf
+	}
+	return ExchangeAllPairs, ap
+}

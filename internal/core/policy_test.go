@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"gcbfs/internal/rmat"
+	"gcbfs/internal/simnet"
+)
+
+// buildPolicy constructs a session (without running it) and returns its
+// exchange policy for direct cost-model inspection.
+func buildPolicy(t *testing.T, shape ClusterShape, opts Options) *exchangePolicy {
+	t.Helper()
+	el := rmat.Generate(rmat.DefaultParams(10))
+	e := buildEngine(t, el, shape, 16, opts)
+	s := e.plan.acquire(e.plan.base)
+	defer e.plan.release(s)
+	return s.newExchangePolicy()
+}
+
+// TestPolicyCostMatchesSimnet: the cost model must be the α/β form realized
+// by the exact simnet curves the timing model charges — all-pairs cost is
+// PointToPoint over the effective message size, butterfly cost is the
+// Butterfly hop-sum over the predicted hop profile (cleanup hops included
+// on non-power-of-two rank counts).
+func TestPolicyCostMatchesSimnet(t *testing.T) {
+	spec := simnet.Ray()
+	for _, tc := range []struct {
+		shape ClusterShape
+		hops  int // hypercube hops + cleanup pair
+	}{
+		{ClusterShape{Nodes: 4, RanksPerNode: 2, GPUsPerRank: 1}, 3}, // p=8
+		{ClusterShape{Nodes: 3, RanksPerNode: 2, GPUsPerRank: 1}, 4}, // p=6: pre + 2 + post
+	} {
+		pol := buildPolicy(t, tc.shape, DefaultOptions())
+		for _, vol := range []int64{0, 512, 64 << 10, 8 << 20} {
+			hops := pol.butterflyHops(vol)
+			if len(hops) != tc.hops {
+				t.Fatalf("shape %s: %d predicted hops, want %d", tc.shape, len(hops), tc.hops)
+			}
+			wantBF := spec.Butterfly(hops, pol.e.opts.MessageBytes)
+			if got := pol.butterflyCost(vol); math.Abs(got-wantBF) > 1e-12 {
+				t.Fatalf("shape %s vol %d: butterfly cost %g, want simnet %g", tc.shape, vol, got, wantBF)
+			}
+			wantAP := spec.PointToPoint(vol, pol.e.effMessageBytes(vol))
+			if got := pol.allPairsCost(vol); math.Abs(got-wantAP) > 1e-12 {
+				t.Fatalf("shape %s vol %d: all-pairs cost %g, want simnet %g", tc.shape, vol, got, wantAP)
+			}
+		}
+	}
+}
+
+// TestPolicyCrossover: the decision must flip with volume the way the
+// ablations show — at many ranks the butterfly wins the latency-bound
+// (small-volume) regime, all-pairs wins the bandwidth-bound one, because
+// the butterfly relays ~log2(p)/2× the volume.
+func TestPolicyCrossover(t *testing.T) {
+	shape := ClusterShape{Nodes: 16, RanksPerNode: 2, GPUsPerRank: 1} // 32 ranks
+	opts := DefaultOptions()
+	opts.Exchange = ExchangeHybrid
+	pol := buildPolicy(t, shape, opts)
+
+	small, large := int64(4<<10), int64(64<<20)
+	if ap, bf := pol.allPairsCost(small), pol.butterflyCost(small); bf >= ap {
+		t.Fatalf("small volume: butterfly %g not below all-pairs %g (latency-bound regime)", bf, ap)
+	}
+	if ap, bf := pol.allPairsCost(large), pol.butterflyCost(large); ap >= bf {
+		t.Fatalf("large volume: all-pairs %g not below butterfly %g (bandwidth-bound regime)", ap, bf)
+	}
+	// And choose follows the costs monotonically: there is one crossover.
+	prev := ExchangeButterfly
+	flips := 0
+	for vol := small; vol <= large; vol *= 2 {
+		s := ExchangeButterfly
+		if pol.allPairsCost(vol) < pol.butterflyCost(vol) {
+			s = ExchangeAllPairs
+		}
+		if s != prev {
+			flips++
+			prev = s
+		}
+	}
+	if flips != 1 {
+		t.Fatalf("expected exactly one strategy crossover over the volume sweep, saw %d", flips)
+	}
+}
+
+// TestPolicyFixedConfigurations: fixed strategies never switch, and the
+// prediction is still produced for the configured side.
+func TestPolicyFixedConfigurations(t *testing.T) {
+	shape := ClusterShape{Nodes: 4, RanksPerNode: 2, GPUsPerRank: 1}
+	for _, cfg := range []Exchange{ExchangeAllPairs, ExchangeButterfly} {
+		opts := DefaultOptions()
+		opts.Exchange = cfg
+		pol := buildPolicy(t, shape, opts)
+		for _, vol := range []int64{0, 1 << 10, 32 << 20} {
+			// Feed the estimator measured feedback so predictVolume ≈ vol.
+			got, predicted := pol.choose(1000, 1000, vol*int64(pol.prank))
+			if got != cfg {
+				t.Fatalf("configured %v chose %v", cfg, got)
+			}
+			if predicted < 0 {
+				t.Fatalf("negative predicted time %g", predicted)
+			}
+		}
+	}
+}
+
+// TestPolicyDeterministicInputs: identical globally known inputs must yield
+// the identical decision — the property that lets every rank decide without
+// an extra collective.
+func TestPolicyDeterministicInputs(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Exchange = ExchangeHybrid
+	pol := buildPolicy(t, ClusterShape{Nodes: 3, RanksPerNode: 2, GPUsPerRank: 2}, opts)
+	for _, in := range [][3]int64{{1, 0, 0}, {500, 100, 1 << 20}, {100000, 90000, 32 << 20}} {
+		s1, p1 := pol.choose(in[0], in[1], in[2])
+		s2, p2 := pol.choose(in[0], in[1], in[2])
+		if s1 != s2 || p1 != p2 {
+			t.Fatalf("inputs %v: decision not deterministic (%v/%g vs %v/%g)", in, s1, p1, s2, p2)
+		}
+	}
+}

@@ -160,15 +160,14 @@ func (e *Session) run(ctx context.Context, source int64) (*metrics.RunResult, er
 	prank := e.shape.Ranks()
 	world := mpi.NewWorld(prank)
 	rec := &recorder{}
-	strategy, fallbackReason := e.exchangePlan()
-	rec.exchange.Strategy = strategy.String()
-	rec.exchange.Fallback = fallbackReason
+	pol := e.newExchangePolicy()
+	rec.exchange.Strategy = e.opts.Exchange.String()
 	var wg sync.WaitGroup
 	for r := 0; r < prank; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			e.runRank(ctx, rank, world.Rank(rank), rec, strategy, srcIsDelegate, source)
+			e.runRank(ctx, rank, world.Rank(rank), rec, pol, srcIsDelegate, source)
 		}(r)
 	}
 	wg.Wait()
@@ -208,25 +207,29 @@ func (e *Session) run(ctx context.Context, source int64) (*metrics.RunResult, er
 
 // runRank is the per-rank BSP loop ("the CPU thread that controls GPU0"
 // performs the global phases, §V-A).
-func (e *Session) runRank(ctx context.Context, rank int, comm *mpi.Comm, rec *recorder, strategy Exchange, srcIsDelegate bool, source int64) {
+func (e *Session) runRank(ctx context.Context, rank int, comm *mpi.Comm, rec *recorder, pol *exchangePolicy, srcIsDelegate bool, source int64) {
 	pgpu := e.shape.GPUsPerRank
 	prank := e.shape.Ranks()
 	myGPUs := e.gpus[rank*pgpu : (rank+1)*pgpu]
 	rankMask := bitmask.New(e.d)
 	maskBytes := rankMask.ByteSize()
-	ex := e.newExchanger(strategy, rank)
-	if rank == 0 {
-		rec.exchange.HopsPerIteration = ex.rounds()
-	}
+	rx := &rankExchangers{e: e, rank: rank}
 	cancelled := false
 
-	// Input frontier sizes of the upcoming iteration (globally known).
+	// Input frontier sizes of the upcoming iteration (globally known), plus
+	// the previous iteration's measured volume — the policy's feedback.
 	inputNormals, inputDelegates := int64(1), int64(0)
 	if srcIsDelegate {
 		inputNormals, inputDelegates = 0, 1
 	}
+	prevNormals, prevOriginated := int64(0), int64(0)
 
 	for iter := int32(0); ; iter++ {
+		// ---- Exchange policy: every rank derives the identical strategy
+		// decision for this iteration from globally known inputs, the way
+		// direction optimization derives push vs pull (policy.go).
+		strategy, predicted := pol.choose(inputNormals, prevNormals, prevOriginated)
+		ex := rx.get(strategy)
 		// ---- Local computation (all GPUs of this rank).
 		qD := myGPUs[0].dFront.Count() // globally consistent masks
 		sD := e.d - myGPUs[0].visited.Count()
@@ -263,6 +266,25 @@ func (e *Session) runRank(ctx context.Context, rank int, comm *mpi.Comm, rec *re
 			}
 		}
 
+		// ---- Delegate-aware mask encoding: with a codec active, the
+		// reduced delegate mask rides the same adaptive raw/delta/bitmap
+		// selection as the normal payloads. Dense early-BFS masks stay in
+		// their native bitmap form (the encoder can't beat d/8 bytes), but
+		// the sparse late-iteration masks shrink to delta streams. Every
+		// rank encodes the identical reduced mask, so the effective size —
+		// what the timing model charges the global allreduce — is
+		// deterministic across ranks.
+		effMaskBytes := maskBytes
+		var maskCodecRaw int64
+		if maskExchanged && e.opts.Compression != wire.ModeOff && e.d-1 <= int64(^uint32(0)) {
+			ids := make([]uint32, 0, rankMask.Count())
+			rankMask.ForEach(func(di int64) { ids = append(ids, uint32(di)) })
+			if enc := wire.EncodedMaskBytes(ids, e.opts.Compression); enc < maskBytes {
+				effMaskBytes = enc
+				maskCodecRaw = 4 * int64(len(ids))
+			}
+		}
+
 		// ---- Normal-vertex exchange (§V-B).
 		var dupsRemoved int64
 		if e.opts.Uniquify {
@@ -278,7 +300,7 @@ func (e *Session) runRank(ctx context.Context, rank int, comm *mpi.Comm, rec *re
 				}
 			}
 		}
-		// Inter-rank exchange through the configured strategy (all-pairs
+		// Inter-rank exchange through this iteration's strategy (all-pairs
 		// sends, or the butterfly's log(p) hops — see exchange.go).
 		counts := ex.exchange(comm, myGPUs, iter)
 		// Intra-rank cross-GPU bins apply directly (NVLink, not NIC).
@@ -325,7 +347,10 @@ func (e *Session) runRank(ctx context.Context, rank int, comm *mpi.Comm, rec *re
 		}
 		// Timing uses amplified volumes (scale-model, see Options).
 		aSent, aRecv, aIntra := e.ampBytes(sentBytes), e.ampBytes(counts.recv), e.ampBytes(intraBytes)
+		// Local NVLink moves the mask in its native bitmap form; only the
+		// inter-rank allreduce ships the codec-encoded size.
 		aMask := e.ampBytes(maskBytes)
+		aMaskWire := e.ampBytes(effMaskBytes)
 		var localComm float64
 		if maskExchanged {
 			localComm += e.opts.Net.LocalReduce(aMask, pgpu)
@@ -339,7 +364,7 @@ func (e *Session) runRank(ctx context.Context, rank int, comm *mpi.Comm, rec *re
 		localComm += e.opts.Net.Staging(aSent) + e.opts.Net.Staging(aRecv) + e.opts.Net.Staging(aIntra)
 		var remoteDelegate float64
 		if maskExchanged {
-			remoteDelegate = e.opts.Net.Allreduce(aMask, prank, e.opts.BlockingReduce)
+			remoteDelegate = e.opts.Net.Allreduce(aMaskWire, prank, e.opts.BlockingReduce)
 		}
 		// Codec pack/unpack compute: raw bytes pushed through the wire
 		// codec's encode and decode kernels this iteration, charged at
@@ -347,7 +372,7 @@ func (e *Session) runRank(ctx context.Context, rank int, comm *mpi.Comm, rec *re
 		// codec work is log(p)× the all-pairs path's). The time rides the
 		// reduced vector and lands in RemoteNormal — the codec serializes
 		// with the exchange it feeds.
-		codecSecs := e.opts.GPU.CodecTime(e.ampBytes(counts.codecRaw))
+		codecSecs := e.opts.GPU.CodecTime(e.ampBytes(counts.codecRaw + maskCodecRaw))
 		// The per-hop volumes ride along the reduced vector (amplified) so
 		// every rank derives the identical remote-normal time from the
 		// global per-hop maxima — the hops are synchronized pairwise
@@ -390,7 +415,7 @@ func (e *Session) runRank(ctx context.Context, rank int, comm *mpi.Comm, rec *re
 		}
 		sums := []int64{edges, sentBytes, nextNormals, dupsRemoved, flag,
 			rawSentBytes, counts.scheme[wire.SchemeRaw], counts.scheme[wire.SchemeDelta], counts.scheme[wire.SchemeBitmap],
-			counts.messages, counts.forwarded, counts.memoHits, counts.codecRaw, ctxDead}
+			counts.messages, counts.forwarded, counts.memoHits, counts.codecRaw + maskCodecRaw, ctxDead}
 		comm.AllreduceSum(sums)
 
 		if rank == 0 {
@@ -401,11 +426,13 @@ func (e *Session) runRank(ctx context.Context, rank int, comm *mpi.Comm, rec *re
 				DirDD:             dir0.dirDD,
 				DirDN:             dir0.dirDN,
 				DirND:             dir0.dirND,
+				Exchange:          strategy.String(),
 				EdgesScanned:      sums[0],
 				BytesNormal:       sums[1],
 				BytesNormalRaw:    sums[5],
-				BytesDelegate:     boolToBytes(maskExchanged, maskBytes),
+				BytesDelegate:     boolToBytes(maskExchanged, effMaskBytes),
 				Elapsed:           elapsed,
+				PredictedRemote:   predicted,
 				Parts:             parts,
 			})
 			rec.edgesScanned += sums[0]
@@ -422,6 +449,19 @@ func (e *Session) runRank(ctx context.Context, rank int, comm *mpi.Comm, rec *re
 			rec.wire.MemoHits += sums[11]
 			rec.wire.CodecBytes += sums[12]
 			rec.wire.CodecSeconds += vec[3]
+			if maskExchanged && e.opts.Compression != wire.ModeOff {
+				rec.wire.MaskRawBytes += maskBytes
+				rec.wire.MaskWireBytes += effMaskBytes
+			}
+			rec.exchange.PredictedSeconds += predicted
+			if strategy == ExchangeButterfly {
+				rec.exchange.ButterflyIterations++
+			} else {
+				rec.exchange.AllPairsIterations++
+			}
+			if hr := ex.rounds(); hr > rec.exchange.HopsPerIteration {
+				rec.exchange.HopsPerIteration = hr
+			}
 			if maxMsg > rec.exchange.MaxMessageBytes {
 				rec.exchange.MaxMessageBytes = maxMsg
 			}
@@ -429,6 +469,11 @@ func (e *Session) runRank(ctx context.Context, rank int, comm *mpi.Comm, rec *re
 				rec.delegateComms++
 			}
 		}
+		// The policy's volume feedback is the fixed-width originated bytes
+		// (raw sent minus forwarded) — a strategy-independent measure, so a
+		// butterfly iteration's relayed volume never inflates the next
+		// prediction.
+		prevNormals, prevOriginated = inputNormals, sums[5]-sums[10]
 		inputNormals, inputDelegates = sums[2], newDelegates
 
 		// Rotate frontiers for the next iteration.

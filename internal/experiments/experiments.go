@@ -132,6 +132,7 @@ var registry = []struct {
 	{"abl2", Abl2LoadBalance, "§IV-A load-balance strategy ablation"},
 	{"cmp1", Cmp1Compression, "frontier-exchange compression ablation (internal/wire)"},
 	{"cmp2", Cmp2Exchange, "exchange-topology ablation: all-pairs vs butterfly (internal/core/exchange.go)"},
+	{"cmp3", Cmp3Hybrid, "exchange-policy ablation: fixed strategies vs per-iteration hybrid (internal/core/policy.go)"},
 	{"app1", App1BeyondBFS, "§VI-D beyond-BFS: PageRank and components"},
 	{"mem1", Mem1Capacity, "§VI-C device-memory capacity per representation"},
 }

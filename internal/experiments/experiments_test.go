@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -53,7 +54,7 @@ func cellFloat(t *testing.T, cell string) float64 {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "net1", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "tab1", "tab2", "wdc1", "do1",
-		"abl1", "abl2", "cmp1", "cmp2", "app1", "mem1"}
+		"abl1", "abl2", "cmp1", "cmp2", "cmp3", "app1", "mem1"}
 	ids := IDs()
 	if len(ids) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(ids), len(want))
@@ -437,6 +438,45 @@ func TestCmp1Shape(t *testing.T) {
 		if oe, ae := cellFloat(t, off[8]), cellFloat(t, adaptive[8]); ae >= oe {
 			t.Errorf("%s: adaptive elapsed %.2f ms not below off %.2f ms", g, ae, oe)
 		}
+	}
+}
+
+// TestCmp3HybridAtLeastBestFixed: the experiment itself enforces the
+// acceptance criteria (levels bit-identical across policies, hybrid ≤ 1.05×
+// the best fixed elapsed per cell); the test checks the table's structure
+// and that the hybrid policy really mixes strategies somewhere.
+func TestCmp3HybridAtLeastBestFixed(t *testing.T) {
+	tab := runExp(t, "cmp3")
+	// Quick mode: 1 scale × ranks {4, 5} × 3 policies.
+	if len(tab.Rows) != 6 {
+		t.Fatalf("cmp3 has %d rows, want 6", len(tab.Rows))
+	}
+	mixed := false
+	for _, row := range tab.Rows {
+		policy, split := row[2], row[3]
+		var ap, bf int64
+		if _, err := fmt.Sscanf(split, "%d/%d", &ap, &bf); err != nil {
+			t.Fatalf("row %v: unparsable iteration split %q", row, split)
+		}
+		switch policy {
+		case "allpairs":
+			if bf != 0 {
+				t.Errorf("fixed all-pairs ran %d butterfly iterations", bf)
+			}
+		case "butterfly":
+			if ap != 0 {
+				t.Errorf("fixed butterfly ran %d all-pairs iterations", ap)
+			}
+		case "hybrid":
+			if ap > 0 && bf > 0 {
+				mixed = true
+			}
+		default:
+			t.Fatalf("unknown policy row %q", policy)
+		}
+	}
+	if !mixed {
+		t.Error("hybrid never mixed strategies in any cmp3 cell — policy inert")
 	}
 }
 

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gcbfs/internal/core"
+	"gcbfs/internal/metrics"
+)
+
+// Cmp3Hybrid ablates the per-iteration exchange policy (internal/core/
+// policy.go): fixed all-pairs vs fixed butterfly vs the volume-driven
+// hybrid, across rank counts — power-of-two and odd, now that the
+// generalized butterfly handles any p — and scales. Work amplification
+// lifts the runs into an effective scale ≥ 18 regime where mid-BFS
+// iterations are bandwidth-bound (all-pairs territory) while the long
+// latency-bound head and tail favor the butterfly, so the hybrid's
+// per-iteration switching has both regimes to win in. The runner asserts
+// two properties on every cell: levels bit-identical across all three
+// policies, and hybrid elapsed time no worse than the best fixed policy
+// (within a small tolerance for the cost model's volume estimator).
+func Cmp3Hybrid(p Params) (*Table, error) {
+	scales := []int{12, 14}
+	rankCounts := []int{4, 5, 12}
+	if p.Quick {
+		scales = []int{11}
+		rankCounts = []int{4, 5}
+	}
+	t := &Table{
+		ID:    "cmp3",
+		Title: "exchange-policy ablation: fixed all-pairs vs fixed butterfly vs per-iteration hybrid",
+		Paper: "beyond the paper — §IV-B's per-iteration switching idea applied to the exchange topology",
+		Headers: []string{"scale", "ranks", "policy", "iters ap/bf", "msg/rank/iter",
+			"predicted ms", "remote-normal ms", "elapsed ms"},
+		Notes: []string{
+			"levels asserted bit-identical across all three policies on every cell",
+			"hybrid asserted ≤ 1.05× the best fixed policy's elapsed time on every cell",
+			"iters ap/bf: BFS iterations run under each strategy — fixed policies sit on one side, hybrid splits by the volume-driven cost model",
+			"predicted ms is the policy cost model's remote-normal estimate; compare to the measured remote-normal column (which also includes codec compute)",
+			"odd rank counts (5) exercise the generalized butterfly's pre/post cleanup hops — there is no all-pairs fallback anymore",
+		},
+	}
+
+	policies := []core.Exchange{core.ExchangeAllPairs, core.ExchangeButterfly, core.ExchangeHybrid}
+	for _, scale := range scales {
+		el := rmatGraph(scale)
+		amp := ampFor(18, scale)
+		// Tight delegate cap so the normal exchange — the traffic under
+		// ablation — carries volume (as in cmp2).
+		th := suggestTH(el, 32)
+		sources := pickSources(el.OutDegrees(), p.sources(), p.seed())
+		for _, ranks := range rankCounts {
+			shape := core.ClusterShape{Nodes: ranks, RanksPerNode: 1, GPUsPerRank: 2}
+			var refLevels [][]int32
+			elapsedBy := map[core.Exchange]float64{}
+			for _, policy := range policies {
+				opts := core.DefaultOptions()
+				opts.Exchange = policy
+				opts.WorkAmplification = amp
+				opts.CollectLevels = true
+				e, _, err := buildPlan(el, shape, th, opts)
+				if err != nil {
+					return nil, err
+				}
+				results, err := runAll(e, sources)
+				if err != nil {
+					return nil, err
+				}
+				if policy == core.ExchangeAllPairs {
+					for _, r := range results {
+						refLevels = append(refLevels, r.Levels)
+					}
+				} else {
+					for i, r := range results {
+						for v := range r.Levels {
+							if r.Levels[v] != refLevels[i][v] {
+								return nil, fmt.Errorf(
+									"cmp3: scale=%d ranks=%d policy=%s: vertex %d level %d vs %d (allpairs)",
+									scale, ranks, policy, v, r.Levels[v], refLevels[i][v])
+							}
+						}
+					}
+				}
+				var xs metrics.ExchangeStats
+				var iters int64
+				var remoteNormal, elapsed float64
+				for _, r := range results {
+					xs.Accumulate(r.Exchange)
+					iters += int64(r.Iterations)
+					remoteNormal += r.Parts.RemoteNormal
+					elapsed += r.SimSeconds
+				}
+				n := float64(len(results))
+				elapsedBy[policy] = elapsed
+				t.Rows = append(t.Rows, []string{
+					i64(int64(scale)), i64(int64(ranks)), xs.Strategy,
+					fmt.Sprintf("%d/%d", xs.AllPairsIterations, xs.ButterflyIterations),
+					f1(float64(xs.Messages) / float64(iters*int64(ranks))),
+					ms(xs.PredictedSeconds / n), ms(remoteNormal / n), ms(elapsed / n),
+				})
+			}
+			best := elapsedBy[core.ExchangeAllPairs]
+			if b := elapsedBy[core.ExchangeButterfly]; b < best {
+				best = b
+			}
+			if hy := elapsedBy[core.ExchangeHybrid]; hy > best*1.05 {
+				return nil, fmt.Errorf(
+					"cmp3: scale=%d ranks=%d: hybrid elapsed %.3f ms above best fixed %.3f ms (+%.1f%%)",
+					scale, ranks, hy*1e3, best*1e3, 100*(hy/best-1))
+			}
+		}
+	}
+	return t, nil
+}

@@ -51,14 +51,22 @@ type IterationStats struct {
 	FrontierNormals     int64 // input normal frontier size (global)
 	FrontierDelegates   int64 // input delegate frontier size (global)
 	DirDD, DirDN, DirND Direction
-	EdgesScanned        int64 // actual edges touched by kernels this iteration
-	BytesNormal         int64 // inter-rank normal-exchange payload on the wire
+	// Exchange is the exchange strategy the policy picked for this
+	// iteration ("allpairs" or "butterfly") — fixed configurations repeat
+	// the same value, the hybrid policy may switch per iteration.
+	Exchange     string
+	EdgesScanned int64 // actual edges touched by kernels this iteration
+	BytesNormal  int64 // inter-rank normal-exchange payload on the wire
 	// BytesNormalRaw is the fixed-width (4 bytes/id) equivalent of the
 	// normal exchange — equal to BytesNormal when compression is off.
 	BytesNormalRaw int64
-	BytesDelegate  int64 // delegate-mask reduction payload
+	BytesDelegate  int64 // delegate-mask reduction payload on the wire
 	Elapsed        float64
-	Parts          Breakdown
+	// PredictedRemote is the policy cost model's predicted remote-normal
+	// seconds for the chosen strategy, comparable against
+	// Parts.RemoteNormal (which additionally includes codec compute).
+	PredictedRemote float64
+	Parts           Breakdown
 }
 
 // WireStats summarizes the frontier-exchange codec's effect over a run:
@@ -90,6 +98,13 @@ type WireStats struct {
 	// bytes actually sent (equal when compression is off). Like ParentPairs,
 	// this traffic is reported but excluded from simulated BFS time.
 	PairRawBytes, PairWireBytes int64
+	// MaskRawBytes/MaskWireBytes account the delegate-mask reductions when
+	// a codec is active: the native d/8-byte bitmap size per exchanged
+	// iteration, and the bytes the allreduce actually shipped after running
+	// the reduced mask through the same adaptive raw/delta/bitmap
+	// selection (sparse late-iteration masks shrink; dense masks stay at
+	// their native size). Both zero with compression off.
+	MaskRawBytes, MaskWireBytes int64
 }
 
 // Accumulate folds another run's wire accounting into w (Enabled is OR-ed).
@@ -105,6 +120,8 @@ func (w *WireStats) Accumulate(other WireStats) {
 	w.CodecSeconds += other.CodecSeconds
 	w.PairRawBytes += other.PairRawBytes
 	w.PairWireBytes += other.PairWireBytes
+	w.MaskRawBytes += other.MaskRawBytes
+	w.MaskWireBytes += other.MaskWireBytes
 }
 
 // Savings returns the fraction of raw bytes eliminated by the codec
@@ -116,16 +133,21 @@ func (w WireStats) Savings() float64 {
 	return 1 - float64(w.CompressedBytes)/float64(w.RawBytes)
 }
 
-// ExchangeStats summarizes the inter-rank normal-vertex exchange topology of
-// a run: the strategy actually used, why a requested strategy was replaced,
+// ExchangeStats summarizes the inter-rank normal-vertex exchange of a run:
+// the configured policy, the per-iteration strategy split the policy chose,
 // and the counters that separate the all-pairs and butterfly regimes —
-// message count (p−1 vs log2 p per rank per iteration), bytes relayed
+// message count (p−1 vs ~log2 p per rank per iteration), bytes relayed
 // through intermediate ranks, and the largest message the timing model saw.
 type ExchangeStats struct {
-	Strategy string // "allpairs" or "butterfly"
-	Fallback string // non-empty when the requested strategy was replaced
-	// HopsPerIteration is the number of sequential communication rounds per
-	// iteration: 1 for all-pairs, log2(ranks) for the butterfly.
+	Strategy string // configured policy: "allpairs", "butterfly" or "hybrid"
+	// AllPairsIterations/ButterflyIterations count the iterations executed
+	// with each strategy. Fixed configurations put every iteration on one
+	// side; the hybrid policy splits them by the per-iteration cost model.
+	AllPairsIterations, ButterflyIterations int64
+	// HopsPerIteration is the largest number of sequential communication
+	// rounds any iteration used: 1 for all-pairs, log2(q) for a
+	// power-of-two butterfly, log2(q)+2 with the non-power-of-two cleanup
+	// hops.
 	HopsPerIteration int
 	// Messages counts inter-rank point-to-point messages across all ranks
 	// and iterations (empty payloads included — they still cross the NIC).
@@ -138,26 +160,30 @@ type ExchangeStats struct {
 	// (work amplification applied) — the number that decides where on the
 	// §VI-A1 efficiency curve the exchange lands.
 	MaxMessageBytes int64
+	// PredictedSeconds sums the policy cost model's per-iteration
+	// remote-normal predictions — against the run's actual
+	// Parts.RemoteNormal it measures how well the model tracks the
+	// simulated network.
+	PredictedSeconds float64
 }
 
-// Accumulate folds another run's exchange accounting into e. Strategy and
-// fallback are taken from the other run when unset (all runs of one engine
-// share them).
+// Accumulate folds another run's exchange accounting into e. Strategy is
+// taken from the other run when unset (all runs of one engine share it).
 func (e *ExchangeStats) Accumulate(other ExchangeStats) {
 	if e.Strategy == "" {
 		e.Strategy = other.Strategy
 	}
-	if e.Fallback == "" {
-		e.Fallback = other.Fallback
-	}
-	if e.HopsPerIteration == 0 {
+	if other.HopsPerIteration > e.HopsPerIteration {
 		e.HopsPerIteration = other.HopsPerIteration
 	}
+	e.AllPairsIterations += other.AllPairsIterations
+	e.ButterflyIterations += other.ButterflyIterations
 	e.Messages += other.Messages
 	e.ForwardedBytes += other.ForwardedBytes
 	if other.MaxMessageBytes > e.MaxMessageBytes {
 		e.MaxMessageBytes = other.MaxMessageBytes
 	}
+	e.PredictedSeconds += other.PredictedSeconds
 }
 
 // RunResult is the outcome of one BFS execution.

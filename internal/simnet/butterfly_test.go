@@ -35,6 +35,29 @@ func TestButterflySumsHops(t *testing.T) {
 	}
 }
 
+// TestButterflyCleanupHops: the generalized (non-power-of-two) butterfly
+// prepends and appends a cleanup hop to the hypercube profile. The model is
+// the same per-hop accounting — each cleanup hop is one more sequential
+// round, and an idle round (no remainder traffic anywhere) still costs its
+// synchronizing message latency.
+func TestButterflyCleanupHops(t *testing.T) {
+	s := Ray()
+	const msgCap = 4 << 20
+	// p=6 → q=4: pre + log2(4)=2 hypercube hops + post.
+	hyper := []int64{512 << 10, 512 << 10}
+	withCleanup := append(append([]int64{1 << 20}, hyper...), 1<<20)
+	want := s.Butterfly(hyper, msgCap) + s.ButterflyHop(1<<20, msgCap)*2
+	if got := s.Butterfly(withCleanup, msgCap); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("cleanup-hop profile = %g, want hypercube + 2 cleanup hops = %g", got, want)
+	}
+	// Idle cleanup hops degrade gracefully to pure latency.
+	idle := []int64{0, 512 << 10, 512 << 10, 0}
+	want = s.Butterfly(hyper, msgCap) + 2*s.IB.Latency
+	if got := s.Butterfly(idle, msgCap); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("idle cleanup hops = %g, want %g", got, want)
+	}
+}
+
 // TestButterflyBeatsAllPairsSmallMessages reproduces the regime the topology
 // targets: the same total volume split into p−1 plateau-sized messages costs
 // more than log2(p) aggregated hops, because the aggregated messages climb

@@ -120,7 +120,12 @@ func (s Spec) ButterflyHop(hopBytes, msgCap int64) float64 {
 
 // Butterfly returns the total time of one iteration's butterfly exchange:
 // the sum of its sequential hops (each hop must complete before the next
-// forwards what it received).
+// forwards what it received). The hop vector is the caller's profile — for
+// a power-of-two rank count the log2(p) hypercube hops, and for the
+// generalized Bruck-style form a pre cleanup hop (remainder ranks fold
+// into their proxies), the log2(q) hypercube hops, and a post cleanup hop
+// (proxies deliver to their remainder partners); cleanup hops follow the
+// same per-hop accounting.
 func (s Spec) Butterfly(hopBytes []int64, msgCap int64) float64 {
 	var t float64
 	for _, b := range hopBytes {

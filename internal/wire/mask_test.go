@@ -1,0 +1,44 @@
+package wire
+
+import "testing"
+
+// TestEncodedMaskBytes: sparse masks must shrink well below their native
+// bitmap size, dense masks must land within framing overhead of it, and the
+// block must round-trip to the identical id set.
+func TestEncodedMaskBytes(t *testing.T) {
+	const d = 1 << 16 // delegate space; native mask = d/8 bytes
+	native := int64(d / 8)
+
+	sparse := []uint32{5, 900, 4096, 40000, 65535}
+	if got := EncodedMaskBytes(sparse, ModeAdaptive); got >= native/10 {
+		t.Fatalf("sparse mask encoded to %d B, want well below native %d B", got, native)
+	}
+
+	dense := make([]uint32, 0, d/2)
+	for i := uint32(0); i < d; i += 2 {
+		dense = append(dense, i)
+	}
+	if got := EncodedMaskBytes(dense, ModeAdaptive); got > native+64 {
+		t.Fatalf("dense mask encoded to %d B, want within framing of native %d B", got, native)
+	}
+
+	// Round trip through the underlying block.
+	buf, scheme := AppendSorted(nil, sparse, ModeAdaptive, true)
+	ids, n, gotScheme, err := Decode(buf)
+	if err != nil || n != len(buf) || gotScheme != scheme {
+		t.Fatalf("decode: ids=%v n=%d scheme=%v err=%v", ids, n, gotScheme, err)
+	}
+	if len(ids) != len(sparse) {
+		t.Fatalf("round trip lost ids: %v", ids)
+	}
+	for i := range sparse {
+		if ids[i] != sparse[i] {
+			t.Fatalf("round trip id %d: %d, want %d", i, ids[i], sparse[i])
+		}
+	}
+
+	// ModeOff reports the fixed-width equivalent (callers skip encoding).
+	if got := EncodedMaskBytes(sparse, ModeOff); got != 4*int64(len(sparse)) {
+		t.Fatalf("ModeOff size %d, want %d", got, 4*len(sparse))
+	}
+}

@@ -206,8 +206,8 @@ func TestQueryOptionValidation(t *testing.T) {
 	if _, err := svc.Run(ctx, 1, WithExchange(Exchange(-1))); err == nil {
 		t.Fatal("service accepted an invalid exchange override")
 	}
-	// A butterfly override on a non-power-of-two rank count falls back,
-	// recording the reason — same contract as construction time.
+	// A butterfly override on a non-power-of-two rank count runs the
+	// generalized (cleanup-hop) butterfly — no fallback exists anymore.
 	svc3, err := NewService(g, DefaultConfig(Cluster{Nodes: 3, RanksPerNode: 1, GPUsPerRank: 1}))
 	if err != nil {
 		t.Fatal(err)
@@ -216,9 +216,59 @@ func TestQueryOptionValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Exchange != "allpairs" || res.ExchangeFallback == "" {
-		t.Fatalf("butterfly on 3 ranks: exchange %q, fallback %q — want recorded allpairs fallback",
-			res.Exchange, res.ExchangeFallback)
+	if res.Exchange != "butterfly" || res.AllPairsIterations != 0 {
+		t.Fatalf("butterfly on 3 ranks: exchange %q with %d all-pairs iterations — want pure butterfly",
+			res.Exchange, res.AllPairsIterations)
+	}
+	// The hybrid policy is a valid override too.
+	if res, err = svc3.Run(ctx, 1, WithExchange(ExchangeHybrid)); err != nil {
+		t.Fatal(err)
+	} else if res.Exchange != "hybrid" {
+		t.Fatalf("hybrid override reported exchange %q", res.Exchange)
+	}
+}
+
+// TestBatchPoolObservability: a Parallelism-2, 8-source batch must reuse
+// pooled sessions (hits > 0), allocate at most Parallelism fresh ones, and
+// report a peak-in-flight within [1, Parallelism].
+func TestBatchPoolObservability(t *testing.T) {
+	g := RMAT(11)
+	svc, err := NewService(g, DefaultConfig(Cluster{Nodes: 1, RanksPerNode: 2, GPUsPerRank: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := Sources(g, 8, 3)
+	br, err := svc.RunBatch(context.Background(), sources, BatchOptions{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := br.Stats
+	if st.PoolHits <= 0 {
+		t.Fatalf("pool hits = %d, want > 0 on an 8-source Parallelism-2 batch", st.PoolHits)
+	}
+	if st.PoolHits+st.PoolMisses != int64(len(sources)) {
+		t.Fatalf("hits %d + misses %d != %d queries", st.PoolHits, st.PoolMisses, len(sources))
+	}
+	// sync.Pool keeps per-P free lists, so a worker hopping processors can
+	// miss a session another P just returned — misses may exceed
+	// Parallelism, but never reach the query count once recycling works.
+	if st.PoolMisses < 1 || st.PoolMisses >= int64(len(sources)) {
+		t.Fatalf("pool misses = %d, want within [1, %d)", st.PoolMisses, len(sources))
+	}
+	if st.PeakInFlight < 1 || st.PeakInFlight > 2 {
+		t.Fatalf("peak in-flight = %d, want within [1, Parallelism=2]", st.PeakInFlight)
+	}
+	// A second batch over the warm pool must keep reusing sessions.
+	br2, err := svc.RunBatch(context.Background(), sources, BatchOptions{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br2.Stats.PoolHits <= 0 {
+		t.Fatalf("warm-pool batch hits = %d, want > 0", br2.Stats.PoolHits)
+	}
+	if br2.Stats.PoolHits+br2.Stats.PoolMisses != int64(len(sources)) {
+		t.Fatalf("warm-pool hits %d + misses %d != %d queries",
+			br2.Stats.PoolHits, br2.Stats.PoolMisses, len(sources))
 	}
 }
 
