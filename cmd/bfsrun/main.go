@@ -56,6 +56,7 @@ func main() {
 		ir        = flag.Bool("iallreduce", false, "use non-blocking delegate reduction (IR instead of BR)")
 		compress  = flag.String("compress", "off", "frontier-exchange codec: off, adaptive, raw, delta or bitmap")
 		exchange  = flag.String("exchange", "allpairs", "normal-vertex exchange policy: allpairs, butterfly or hybrid")
+		pipeline  = flag.Bool("pipeline", true, "software-pipeline butterfly hops (overlap transfers with per-hop codec compute)")
 		amp       = flag.Float64("amp", 1, "work amplification for the timing model (2^(paperScale-localScale))")
 		validate  = flag.Bool("validate", false, "validate distances against serial BFS + Graph500 rules")
 	)
@@ -95,6 +96,7 @@ func main() {
 	opts.BlockingReduce = !*ir
 	opts.Compression = mode
 	opts.Exchange = strat
+	opts.PipelineHops = *pipeline
 	opts.WorkAmplification = *amp
 	opts.CollectLevels = *validate
 	plan, err := core.NewPlan(sg, shape, opts)
@@ -181,8 +183,13 @@ func main() {
 	fmt.Printf("exchange (%s): iters allpairs=%d butterfly=%d hops/iter≤%d msgs=%d forwarded=%.1f kB max-msg=%.2f MB\n",
 		xs.Strategy, xs.AllPairsIterations, xs.ButterflyIterations, xs.HopsPerIteration,
 		xs.Messages, float64(xs.ForwardedBytes)/1024, float64(xs.MaxMessageBytes)/(1<<20))
-	fmt.Printf("exchange cost model: predicted remote-normal %.3f ms vs actual %.3f ms\n",
-		xs.PredictedSeconds*1e3, totalRemoteNormal(results)*1e3)
+	if *pipeline && xs.ButterflyIterations > 0 {
+		fmt.Printf("pipeline: %.2f µs codec hidden under hop transfers, %d stalls (codec outlasted the wire)\n",
+			xs.HiddenCodecSeconds*1e6, xs.PipelineStalls)
+	}
+	fmt.Printf("exchange cost model: predicted remote-normal %.3f ms vs actual %.3f ms (calibration ap=%.2f bf=%.2f)\n",
+		xs.PredictedSeconds*1e3, totalRemoteNormal(results)*1e3,
+		xs.CalibrationAllPairs, xs.CalibrationButterfly)
 	if *validate {
 		fmt.Println("validation: all runs match serial BFS and pass Graph500-style checks")
 	}

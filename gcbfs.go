@@ -88,6 +88,26 @@
 // Result.AllPairsIterations/ButterflyIterations report the split. Results
 // are bit-identical across all three policies — and across any
 // per-iteration mix — only message pattern and simulated time change.
+//
+// # Pipelined hops
+//
+// The butterfly's hops are software-pipelined by default (Config.Pipeline,
+// set by DefaultConfig; per-query WithPipeline): hop k's transfer runs
+// concurrently with hop k−1's decode/merge/re-encode compute, so each
+// pipeline step costs max(wire, codec) instead of their sum — the paper's
+// §VI-B compute/communication overlap applied inside the exchange, which
+// reclaims most of the log(p)× codec work the per-hop re-encode costs.
+// Result.HiddenCodecSeconds reports the codec time hidden under transfers
+// and Result.PipelineStalls the steps where compute outlasted the wire;
+// per-iteration Result breakdowns carry the exposed remainder inside
+// RemoteNormal. The hybrid policy prices the overlap into its butterfly
+// cost estimate, so the all-pairs/butterfly crossover moves up when
+// pipelining is on. Two measured feedback signals tighten its decisions
+// per query: a skew ratio (the max-reduced per-rank volume over the mean,
+// pricing partition skew) and a per-strategy calibration EWMA of
+// predicted-vs-actual exchange time (Result.CalibrationAllPairs /
+// CalibrationButterfly). Pipelining never changes levels or parents —
+// overlap hides time, it never reorders the traversal.
 package gcbfs
 
 import (
@@ -215,6 +235,12 @@ type Config struct {
 	// Traversal results are identical under every policy. Overridable per
 	// query with WithExchange.
 	Exchange Exchange
+	// Pipeline software-pipelines the butterfly's hops: each hop's transfer
+	// overlaps the previous hop's decode/merge/re-encode compute, hiding
+	// codec time under communication (see the package comment). Enabled by
+	// DefaultConfig; disable for the sequential-hop baseline. Results are
+	// bit-identical either way. Overridable per query with WithPipeline.
+	Pipeline bool
 }
 
 // Compression selects how inter-rank frontier payloads are encoded.
@@ -285,6 +311,7 @@ func DefaultConfig(c Cluster) Config {
 		DirectionOptimized: true,
 		BlockingReduce:     true,
 		CollectLevels:      true,
+		Pipeline:           true,
 	}
 }
 
@@ -299,6 +326,7 @@ func (cfg Config) engineOptions() core.Options {
 	o.CollectParents = cfg.CollectParents
 	o.Compression = cfg.Compression.mode()
 	o.Exchange = cfg.Exchange.strategy()
+	o.PipelineHops = cfg.Pipeline
 	return o
 }
 
@@ -351,6 +379,19 @@ type Result struct {
 	// per-iteration prediction of remote-normal time — comparable against
 	// RemoteNormal to judge the model.
 	PredictedRemoteSeconds float64
+	// HiddenCodecSeconds is the codec compute the pipelined butterfly hid
+	// under concurrent hop transfers (never more than CodecSeconds — the
+	// pipeline hides time, it cannot create it); PipelineStalls counts
+	// pipeline steps where the codec stage outlasted the transfer it
+	// overlapped. Both zero with pipelining off and for all-pairs
+	// iterations.
+	HiddenCodecSeconds float64
+	PipelineStalls     int64
+	// CalibrationAllPairs/CalibrationButterfly are the query's final
+	// predicted-vs-actual calibration factors per strategy (1 ≈ the cost
+	// model tracked the simulated network exactly; 0 = the strategy never
+	// ran this query).
+	CalibrationAllPairs, CalibrationButterfly float64
 }
 
 // Service is a persistent, concurrency-safe BFS query service: the graph is
@@ -427,6 +468,13 @@ func WithExchange(x Exchange) QueryOption {
 	}
 }
 
+// WithPipeline toggles butterfly hop pipelining for this query: on, hop
+// transfers overlap the previous hop's codec compute; off, every hop and
+// codec stage is charged end-to-end (the sequential baseline).
+func WithPipeline(on bool) QueryOption {
+	return func(q *queryConfig) { q.ov.PipelineHops = &on }
+}
+
 // WithLevels toggles hop-distance collection for this query.
 func WithLevels(on bool) QueryOption {
 	return func(q *queryConfig) { q.ov.CollectLevels = &on }
@@ -497,9 +545,13 @@ type BatchStats struct {
 	WireBytes, WireRawBytes int64
 	CodecSeconds            float64
 	// Exchange totals across the batch, including the per-iteration
-	// strategy split under the hybrid policy.
+	// strategy split under the hybrid policy and the pipelining win
+	// (codec compute hidden under butterfly hop transfers, and steps
+	// where compute outlasted the wire).
 	Messages, ForwardedBytes, MaxMessageBytes int64
 	AllPairsIterations, ButterflyIterations   int64
+	HiddenCodecSeconds                        float64
+	PipelineStalls                            int64
 	// Session-pool observability: PoolHits counts this batch's queries that
 	// reused a recycled session, PoolMisses those that allocated a fresh
 	// one (hits + misses = Runs when the service is otherwise idle).
@@ -558,6 +610,8 @@ func (s *Service) RunBatch(ctx context.Context, sources []int64, bo BatchOptions
 		st.ForwardedBytes += r.Exchange.ForwardedBytes
 		st.AllPairsIterations += r.Exchange.AllPairsIterations
 		st.ButterflyIterations += r.Exchange.ButterflyIterations
+		st.HiddenCodecSeconds += r.Exchange.HiddenCodecSeconds
+		st.PipelineStalls += r.Exchange.PipelineStalls
 		if r.Exchange.MaxMessageBytes > st.MaxMessageBytes {
 			st.MaxMessageBytes = r.Exchange.MaxMessageBytes
 		}
@@ -603,6 +657,10 @@ func convert(r *metrics.RunResult) *Result {
 		AllPairsIterations:     r.Exchange.AllPairsIterations,
 		ButterflyIterations:    r.Exchange.ButterflyIterations,
 		PredictedRemoteSeconds: r.Exchange.PredictedSeconds,
+		HiddenCodecSeconds:     r.Exchange.HiddenCodecSeconds,
+		PipelineStalls:         r.Exchange.PipelineStalls,
+		CalibrationAllPairs:    r.Exchange.CalibrationAllPairs,
+		CalibrationButterfly:   r.Exchange.CalibrationButterfly,
 	}
 }
 

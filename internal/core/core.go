@@ -145,6 +145,16 @@ type Options struct {
 	// traversal results are bit-identical; only message pattern and timing
 	// change.
 	Exchange Exchange
+	// PipelineHops software-pipelines the butterfly exchange: each hop's
+	// transfer overlaps the previous hop's decode/merge/re-encode compute,
+	// so a pipeline step costs max(wire, codec) instead of their sum — the
+	// paper's compute/communication overlap (§VI-B) applied inside the
+	// exchange. Results are bit-identical either way; only the simulated
+	// remote-normal time (and the policy cost model's butterfly estimate)
+	// changes. DefaultOptions enables it; disable for the sequential-hop
+	// ablation baseline. No effect on all-pairs iterations, which have a
+	// single communication round.
+	PipelineHops bool
 	// WorkAmplification scales all counted work and communication volume
 	// before the timing model (not the functional run or reported work
 	// stats). Setting it to 2^(paperScale-localScale) makes a scaled-down
@@ -170,6 +180,7 @@ func DefaultOptions() Options {
 		FactorsND:          SwitchFactors{Fwd2Bwd: 1e-7},
 		MessageBytes:       4 << 20,
 		OverlapFactor:      0.35,
+		PipelineHops:       true,
 		CollectLevels:      true,
 		GPU:                simgpu.TeslaP100(),
 		Net:                simnet.Ray(),
@@ -301,6 +312,7 @@ func (p *Plan) MemoryOK() bool {
 type Overrides struct {
 	Compression       *wire.Mode
 	Exchange          *Exchange
+	PipelineHops      *bool
 	CollectLevels     *bool
 	CollectParents    *bool
 	WorkAmplification *float64
@@ -321,6 +333,9 @@ func (p *Plan) effectiveOptions(ov Overrides) (Options, error) {
 			return o, fmt.Errorf("core: invalid exchange override %d", *ov.Exchange)
 		}
 		o.Exchange = *ov.Exchange
+	}
+	if ov.PipelineHops != nil {
+		o.PipelineHops = *ov.PipelineHops
 	}
 	if ov.CollectLevels != nil {
 		o.CollectLevels = *ov.CollectLevels

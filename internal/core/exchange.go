@@ -107,9 +107,38 @@ type exchangeCounts struct {
 	// two, for the butterfly). Length is identical on every rank within an
 	// iteration so the vectors max-reduce element-wise.
 	hopBytes []int64
+	// hopCodecRaw splits codecRaw into the per-hop compute stages the
+	// pipeline timing model overlaps against the transfers: entry k is the
+	// fixed-width equivalent of hop k's decode plus the re-encode feeding
+	// hop k+1 (all-pairs lumps its single round's encode+decode into one
+	// entry). preCodecRaw is the first hop's encode, which precedes all
+	// communication. preCodecRaw + sum(hopCodecRaw) == codecRaw, and the
+	// vectors max-reduce element-wise alongside hopBytes.
+	hopCodecRaw []int64
+	preCodecRaw int64
 	// arrivals collects the remote ids received for each local GPU slot;
 	// run.go applies them in canonical sorted order.
 	arrivals [][]uint32
+}
+
+// remoteTiming is one iteration's remote-normal accounting derived from the
+// globally max-reduced per-hop vectors. Every field is deterministic: all
+// ranks compute the identical values from the identical reduced inputs.
+type remoteTiming struct {
+	// seconds is the remote-normal time: the wire rounds plus the exchange
+	// codec compute that stayed exposed (all of it for all-pairs and the
+	// sequential butterfly; only the unhidden remainder when hops are
+	// pipelined). The delegate-mask codec is charged separately by run.go.
+	seconds float64
+	// maxMsg is the largest per-message size the timing model saw.
+	maxMsg int64
+	// codecSeconds is the exchange's total codec compute, hidden or not.
+	codecSeconds float64
+	// hiddenCodec is the codec compute the hop pipeline hid under concurrent
+	// transfers; stalls counts pipeline steps where the codec stage outlasted
+	// the transfer it overlapped. Both zero unless hops are pipelined.
+	hiddenCodec float64
+	stalls      int64
 }
 
 // exchanger is one rank's exchange strategy instance. Instances hold
@@ -125,10 +154,11 @@ type exchanger interface {
 	// rounds is the number of sequential communication rounds per
 	// iteration — the length of every exchangeCounts.hopBytes.
 	rounds() int
-	// remoteTime converts globally max-reduced per-hop volumes into the
-	// iteration's remote-normal seconds and the largest message the timing
-	// model saw. Deterministic: every rank computes the identical result.
-	remoteTime(hopBytes []int64) (float64, int64)
+	// remoteTime converts globally max-reduced per-hop wire volumes and
+	// codec stages (hopBytes / hopCodecRaw / preCodecRaw, amplified) into
+	// the iteration's remote-normal timing. Deterministic: every rank
+	// computes the identical result.
+	remoteTime(hopBytes, hopCodecRaw []int64, preCodecRaw int64) remoteTiming
 }
 
 // rankExchangers lazily constructs and caches one rank's strategy instances
@@ -289,13 +319,21 @@ func (x *allPairsExchange) exchange(comm *mpi.Comm, myGPUs []*gpuState, iter int
 		}
 	}
 	c.hopBytes = []int64{c.sent}
+	// One communication round: all codec work (encode and decode) is a
+	// single compute stage with no earlier transfer to hide under.
+	c.hopCodecRaw = []int64{c.codecRaw}
 	return c
 }
 
-func (x *allPairsExchange) remoteTime(hopBytes []int64) (float64, int64) {
+func (x *allPairsExchange) remoteTime(hopBytes, hopCodecRaw []int64, preCodecRaw int64) remoteTiming {
 	b := hopBytes[0]
 	msg := x.e.effMessageBytes(b)
-	return x.e.opts.Net.PointToPoint(b, msg), msg
+	codec := x.e.opts.GPU.CodecTime(hopCodecRaw[0] + preCodecRaw)
+	return remoteTiming{
+		seconds:      x.e.opts.Net.PointToPoint(b, msg) + codec,
+		maxMsg:       msg,
+		codecSeconds: codec,
+	}
 }
 
 // ---- butterfly ----
@@ -312,6 +350,10 @@ type butterflyExchange struct {
 	// nothing is pending.
 	pending       [][][]uint32
 	pendingSorted [][]bool
+	// encRaw/decRaw are per-iteration scratch: fixed-width bytes pushed
+	// through the codec's encode (resp. decode) kernels at each hop, from
+	// which exchange() assembles the pipeline's compute stages.
+	encRaw, decRaw []int64
 }
 
 // rounds counts the sequential communication rounds per iteration: the
@@ -341,6 +383,8 @@ func (x *butterflyExchange) exchange(comm *mpi.Comm, myGPUs []*gpuState, iter in
 	var c exchangeCounts
 	c.arrivals = make([][]uint32, pgpu)
 	c.hopBytes = make([]int64, x.rounds())
+	x.encRaw = make([]int64, x.rounds())
+	x.decRaw = make([]int64, x.rounds())
 
 	// Stage this iteration's own bins. ownRaw is the fixed-width equivalent
 	// of originated traffic; everything sent beyond it was forwarded.
@@ -440,6 +484,22 @@ func (x *butterflyExchange) exchange(comm *mpi.Comm, myGPUs []*gpuState, iter in
 		x.pending[dst], x.pendingSorted[dst] = nil, nil
 	}
 	c.forwarded = c.sentRaw - ownRaw
+
+	// Assemble the pipeline's compute stages from the per-hop codec scratch:
+	// hop k's stage is its decode plus the re-encode feeding hop k+1, and
+	// the first hop's encode precedes all communication. The stages sum to
+	// codecRaw exactly, so sequential charging is unchanged in total.
+	rounds := x.rounds()
+	c.hopCodecRaw = make([]int64, rounds)
+	if rounds > 0 {
+		c.preCodecRaw = x.encRaw[0]
+		for k := 0; k < rounds; k++ {
+			c.hopCodecRaw[k] = x.decRaw[k]
+			if k+1 < rounds {
+				c.hopCodecRaw[k] += x.encRaw[k+1]
+			}
+		}
+	}
 	return c
 }
 
@@ -453,6 +513,7 @@ func (x *butterflyExchange) send(comm *mpi.Comm, dst int, iter int32, hop int, s
 	c.sentRaw += st.RawBytes
 	if mode != wire.ModeOff {
 		c.codecRaw += st.RawBytes
+		x.encRaw[hop] += st.RawBytes
 	}
 	for i, n := range st.Selected {
 		c.scheme[i] += n
@@ -480,7 +541,9 @@ func (x *butterflyExchange) receive(comm *mpi.Comm, src int, iter int32, hop int
 	} else {
 		c.recv += int64(len(buf))
 		for _, sec := range secsIn {
-			c.codecRaw += 4 * countIDs(sec.Slots)
+			raw := 4 * countIDs(sec.Slots)
+			c.codecRaw += raw
+			x.decRaw[hop] += raw
 		}
 	}
 	for _, sec := range secsIn {
@@ -519,7 +582,12 @@ func (x *butterflyExchange) mergePending(sec wire.Section) {
 	}
 }
 
-func (x *butterflyExchange) remoteTime(hopBytes []int64) (float64, int64) {
+// remoteTime charges the butterfly's hops. With Options.PipelineHops set
+// (the default) the per-hop codec stages overlap the transfers through the
+// simnet pipeline model — hop k's send hides hop k−1's decode/merge/
+// re-encode, cleanup hops included; otherwise every hop and every codec
+// stage is charged end-to-end, the pre-pipelining behaviour.
+func (x *butterflyExchange) remoteTime(hopBytes, hopCodecRaw []int64, preCodecRaw int64) remoteTiming {
 	var maxMsg int64
 	msgCap := x.e.opts.MessageBytes
 	for _, b := range hopBytes {
@@ -531,7 +599,30 @@ func (x *butterflyExchange) remoteTime(hopBytes []int64) (float64, int64) {
 			maxMsg = msg
 		}
 	}
-	return x.e.opts.Net.Butterfly(hopBytes, msgCap), maxMsg
+	gpu := x.e.opts.GPU
+	stages := make([]float64, len(hopCodecRaw))
+	var codecTotal float64
+	for i, raw := range hopCodecRaw {
+		stages[i] = gpu.CodecTime(raw)
+		codecTotal += stages[i]
+	}
+	pre := gpu.CodecTime(preCodecRaw)
+	codecTotal += pre
+	if !x.e.opts.PipelineHops {
+		return remoteTiming{
+			seconds:      x.e.opts.Net.Butterfly(hopBytes, msgCap) + codecTotal,
+			maxMsg:       maxMsg,
+			codecSeconds: codecTotal,
+		}
+	}
+	pt := x.e.opts.Net.ButterflyPipelined(hopBytes, stages, pre, msgCap)
+	return remoteTiming{
+		seconds:      pt.Total,
+		maxMsg:       maxMsg,
+		codecSeconds: pt.CodecSeconds,
+		hiddenCodec:  pt.HiddenCodec,
+		stalls:       pt.Stalls,
+	}
 }
 
 // countIDs totals the ids across a slot list.

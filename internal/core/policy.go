@@ -13,16 +13,129 @@ package core
 //
 // The cost model is the α/β form unit-tested against simnet's timing:
 //
-//	all-pairs:  ≈ pairs·α + V·β(msg)          (p−1 sends per rank)
-//	butterfly:  ≈ hops·α + relay·V·β(msg')    (log2(q) hops + cleanup)
+//	all-pairs:  ≈ pairs·α + V·β(msg) + codec(2V)     (p−1 sends per rank)
+//	butterfly:  ≈ hops·α + relay·V·β(msg') + codec   (log2(q) hops + cleanup)
 //
 // realized by running the predicted per-rank volume V through the exact
-// simnet curves the timing model charges (PointToPoint and Butterfly), so
-// the predicted and actual remote-normal seconds are directly comparable —
-// both are recorded per iteration in metrics.IterationStats.
+// simnet curves the timing model charges (PointToPoint, and Butterfly or
+// ButterflyPipelined depending on Options.PipelineHops), with the codec
+// compute each side would pay at simgpu CodecRate. With pipelined hops the
+// butterfly's predicted codec stages overlap its predicted transfers
+// exactly as the timing model overlaps the measured ones, so the hybrid
+// keeps choosing correctly now that the butterfly got cheaper — the
+// crossover volume moves up.
+//
+// Two feedback signals, both derived from globally reduced quantities so
+// every rank sees identical values, tighten the estimate per session:
+//
+//   - skew: the timing model charges the max-reduced rank while the volume
+//     estimate is a mean; the previous iteration's reduced per-hop maxima
+//     over the mean per-rank volume prices partition skew into both costs.
+//   - calibration: a per-strategy EWMA of actual vs predicted remote-normal
+//     seconds scales subsequent predictions, absorbing systematic model
+//     bias near the crossover.
+
+import "gcbfs/internal/wire"
+
+// policyFeedback carries the measured feedback the BSP loop threads into
+// each iteration's decision. Every rank maintains its own copy, updated
+// from globally reduced values only, so the copies are bit-identical and
+// the decision needs no extra collective. The zero feedback is invalid;
+// use newPolicyFeedback.
+type policyFeedback struct {
+	// skew is the previous iteration's reduced-maximum per-rank exchange
+	// volume over the mean per-rank volume, ≥ 1 (1 = perfectly balanced).
+	skew float64
+	// wireRatio is the measured wire-bytes over fixed-width-bytes ratio of
+	// the previous volume-carrying iteration: the volume estimate is
+	// raw-based, but the simnet curves see post-codec bytes. 1 with the
+	// codec off (wire equals raw there); below 1 when compression bites.
+	// Without it, a 2× codec saving inflates both cost predictions — which
+	// flips near-crossover decisions toward all-pairs, whose
+	// latency-saturated cost barely notices the inflation, and away from
+	// the butterfly, whose relayed volume scales with it.
+	wireRatio float64
+	// calib scales each strategy's predicted cost by its session EWMA of
+	// actual/predicted remote-normal time (indexed by Exchange; 1 until
+	// the strategy has run).
+	calib [2]float64
+}
+
+func newPolicyFeedback() policyFeedback {
+	return policyFeedback{skew: 1, wireRatio: 1, calib: [2]float64{1, 1}}
+}
+
+const (
+	// calibEWMA is the feedback smoothing factor: small enough that one
+	// outlier iteration cannot swing the next decision, large enough to
+	// converge within a BFS's handful of volume-carrying iterations.
+	calibEWMA = 0.3
+	// calibMin/calibMax bound the correction so a degenerate iteration
+	// (near-zero predicted time) cannot poison the session.
+	calibMin, calibMax = 0.25, 4.0
+	// skewMax bounds the skew ratio for the same reason.
+	skewMax = 16.0
+	// skewGateRawBytes gates the skew and wire-ratio updates on iterations
+	// whose global fixed-width exchange volume averages at least this many
+	// raw bytes per rank. Below it the wire bytes are dominated by
+	// per-message framing and synchronizing empty hops, so the ratios
+	// measure framing noise, not partition skew or codec effectiveness —
+	// and in that latency regime the volume estimate hardly matters anyway.
+	skewGateRawBytes = 256
+	// wireRatioMin/Max bound the measured compression ratio (framing can
+	// push it slightly above 1; a pathological block should not predict a
+	// near-free wire).
+	wireRatioMin, wireRatioMax = 0.1, 1.5
+)
+
+// observe folds one executed iteration's measurement into the feedback:
+// the strategy that ran, its raw (uncalibrated) predicted remote-normal
+// seconds, the actual exchange remote-normal seconds from the reduced
+// timing, the reduced-max vs mean per-rank volume, and the measured
+// wire/raw byte ratio.
+func (fb *policyFeedback) observe(strategy Exchange, rawPredicted, actual float64, maxVol, meanVol, wireRatio float64) {
+	if meanVol > 0 && maxVol > 0 {
+		s := maxVol / meanVol
+		if s < 1 {
+			s = 1
+		}
+		if s > skewMax {
+			s = skewMax
+		}
+		fb.skew = s
+	}
+	if wireRatio > 0 {
+		if wireRatio > wireRatioMax {
+			wireRatio = wireRatioMax
+		}
+		if wireRatio < wireRatioMin {
+			wireRatio = wireRatioMin
+		}
+		fb.wireRatio = wireRatio
+	}
+	if rawPredicted <= 0 || actual <= 0 {
+		return
+	}
+	ratio := actual / rawPredicted
+	if ratio < calibMin {
+		ratio = calibMin
+	}
+	if ratio > calibMax {
+		ratio = calibMax
+	}
+	c := (1-calibEWMA)*fb.calib[strategy] + calibEWMA*ratio
+	if c < calibMin {
+		c = calibMin
+	}
+	if c > calibMax {
+		c = calibMax
+	}
+	fb.calib[strategy] = c
+}
 
 // exchangePolicy evaluates the per-iteration strategy decision for one run.
-// It is immutable after construction and shared by all rank goroutines.
+// It is immutable after construction and shared by all rank goroutines;
+// mutable feedback lives in each rank's policyFeedback copy.
 type exchangePolicy struct {
 	configured Exchange // the run's configured strategy (hybrid ⇒ decide per iteration)
 	e          *Session
@@ -61,34 +174,72 @@ func (e *Session) newExchangePolicy() *exchangePolicy {
 // size and, once available, the previous iteration's measured global
 // originated bytes (fixed-width, forwards excluded — strategy-independent,
 // so a butterfly iteration's relayed volume never pollutes the estimate)
-// scaled by the frontier growth ratio. Every rank computes the identical
+// scaled by the frontier growth ratio. The mean per-rank estimate is then
+// scaled by the measured skew ratio, since the timing model charges the
+// max-reduced rank, not the mean. Every rank computes the identical
 // estimate.
-func (p *exchangePolicy) predictVolume(inputNormals, prevNormals, prevOriginated int64) int64 {
-	if inputNormals <= 0 || p.prank <= 1 {
+func (p *exchangePolicy) predictVolume(inputNormals, inputDelegates, prevNormals, prevOriginated int64, skew float64) int64 {
+	if p.prank <= 1 || (inputNormals <= 0 && inputDelegates <= 0) {
 		return 0
 	}
 	var globalEst float64
-	if prevOriginated > 0 && prevNormals > 0 {
-		globalEst = float64(prevOriginated) * float64(inputNormals) / float64(prevNormals)
-	} else {
-		globalEst = float64(inputNormals) * p.expansion
+	if inputNormals > 0 {
+		if prevOriginated > 0 && prevNormals > 0 {
+			globalEst = float64(prevOriginated) * float64(inputNormals) / float64(prevNormals)
+		} else {
+			globalEst = float64(inputNormals) * p.expansion
+		}
 	}
 	perRank := globalEst / float64(p.prank)
-	// A live normal frontier never rounds down to a free exchange: floor
-	// the estimate at one id so the cost model sees the latency regime —
+	if skew > 1 {
+		perRank *= skew
+	}
+	// A live frontier never rounds down to a free exchange: floor the
+	// estimate at one id so the cost model sees the latency regime —
 	// all-pairs pays its per-pair message floor on near-empty iterations,
-	// which is exactly where the butterfly's few hops win.
+	// which is exactly where the butterfly's few hops win. Delegate-only
+	// frontiers (a delegate source, or a pull-phase iteration with no
+	// normal discoveries) land here too: only nn edges put payload on the
+	// normal exchange, but the synchronized empty rounds still cross the
+	// NIC and cost their per-message latencies.
 	if perRank < 4 {
 		perRank = 4
 	}
 	return p.e.ampBytes(int64(perRank))
 }
 
+// codecOn reports whether the wire codec (and hence its compute cost) is in
+// play for this run.
+func (p *exchangePolicy) codecOn() bool {
+	return p.e.opts.Compression != wire.ModeOff
+}
+
+// onWire converts a fixed-width volume into its predicted wire-byte
+// equivalent using the measured compression ratio.
+func onWire(vol int64, wireRatio float64) int64 {
+	if wireRatio == 1 || vol <= 0 {
+		return vol
+	}
+	w := int64(float64(vol) * wireRatio)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // allPairsCost predicts the remote-normal seconds of an all-pairs exchange
-// moving vol bytes per rank — exactly allPairsExchange.remoteTime applied
-// to the predicted volume.
-func (p *exchangePolicy) allPairsCost(vol int64) float64 {
-	return p.e.opts.Net.PointToPoint(vol, p.e.effMessageBytes(vol))
+// originating vol fixed-width bytes per rank — exactly
+// allPairsExchange.remoteTime applied to the predicted volume: the
+// point-to-point curve over the predicted wire bytes plus, with a codec
+// active, the single-round encode+decode compute over the raw bytes (never
+// overlapped — one round has no earlier transfer to hide under).
+func (p *exchangePolicy) allPairsCost(vol int64, wireRatio float64) float64 {
+	w := onWire(vol, wireRatio)
+	t := p.e.opts.Net.PointToPoint(w, p.e.effMessageBytes(w))
+	if p.codecOn() {
+		t += p.e.opts.GPU.CodecTime(2 * vol)
+	}
+	return t
 }
 
 // butterflyHops predicts the per-hop volume profile of a butterfly exchange
@@ -112,31 +263,72 @@ func (p *exchangePolicy) butterflyHops(vol int64) []int64 {
 	return hops
 }
 
+// butterflyCodec predicts the per-hop codec compute stages of a butterfly
+// exchange with the given hop profile, mirroring how the exchange assembles
+// its measured stages: hop k's stage is its decode plus the re-encode
+// feeding hop k+1, and the first hop's encode precedes all communication.
+func (p *exchangePolicy) butterflyCodec(hops []int64) (stages []float64, pre float64) {
+	stages = make([]float64, len(hops))
+	if !p.codecOn() || len(hops) == 0 {
+		return stages, 0
+	}
+	gpu := p.e.opts.GPU
+	for k := range hops {
+		raw := hops[k]
+		if k+1 < len(hops) {
+			raw += hops[k+1]
+		}
+		stages[k] = gpu.CodecTime(raw)
+	}
+	return stages, gpu.CodecTime(hops[0])
+}
+
 // butterflyCost predicts the remote-normal seconds of a butterfly exchange
-// originating vol bytes per rank — butterflyExchange.remoteTime applied to
-// the predicted hop profile.
-func (p *exchangePolicy) butterflyCost(vol int64) float64 {
-	return p.e.opts.Net.Butterfly(p.butterflyHops(vol), p.e.opts.MessageBytes)
+// originating vol fixed-width bytes per rank — butterflyExchange.remoteTime
+// applied to the predicted profiles: codec stages over the raw hop volumes,
+// transfers over their wire-byte equivalents, combined by the pipelined
+// schedule when Options.PipelineHops is set or the sequential hop+codec sum
+// otherwise.
+func (p *exchangePolicy) butterflyCost(vol int64, wireRatio float64) float64 {
+	hops := p.butterflyHops(vol)
+	stages, pre := p.butterflyCodec(hops)
+	wireHops := hops
+	if wireRatio != 1 {
+		wireHops = make([]int64, len(hops))
+		for i, h := range hops {
+			wireHops[i] = onWire(h, wireRatio)
+		}
+	}
+	if p.e.opts.PipelineHops {
+		return p.e.opts.Net.ButterflyPipelined(wireHops, stages, pre, p.e.opts.MessageBytes).Total
+	}
+	t := p.e.opts.Net.Butterfly(wireHops, p.e.opts.MessageBytes) + pre
+	for _, c := range stages {
+		t += c
+	}
+	return t
 }
 
 // choose returns the strategy for the upcoming iteration plus its predicted
-// remote-normal seconds. Fixed configurations keep their strategy (the
-// prediction is still recorded, giving every run a predicted-vs-actual
-// trace); hybrid takes the cheaper side of the cost model, preferring the
-// butterfly on ties — equal-cost iterations are latency-bound, where fewer
-// messages also mean fewer software overheads the model does not charge.
-func (p *exchangePolicy) choose(inputNormals, prevNormals, prevGlobalSent int64) (Exchange, float64) {
-	vol := p.predictVolume(inputNormals, prevNormals, prevGlobalSent)
+// remote-normal seconds (calibrated by the session feedback). Fixed
+// configurations keep their strategy (the prediction is still recorded,
+// giving every run a predicted-vs-actual trace); hybrid takes the cheaper
+// calibrated side of the cost model, preferring the butterfly on ties —
+// equal-cost iterations are latency-bound, where fewer messages also mean
+// fewer software overheads the model does not charge.
+func (p *exchangePolicy) choose(inputNormals, inputDelegates, prevNormals, prevOriginated int64, fb policyFeedback) (Exchange, float64) {
+	vol := p.predictVolume(inputNormals, inputDelegates, prevNormals, prevOriginated, fb.skew)
 	switch p.configured {
 	case ExchangeAllPairs:
-		return ExchangeAllPairs, p.allPairsCost(vol)
+		return ExchangeAllPairs, p.allPairsCost(vol, fb.wireRatio) * fb.calib[ExchangeAllPairs]
 	case ExchangeButterfly:
-		return ExchangeButterfly, p.butterflyCost(vol)
+		return ExchangeButterfly, p.butterflyCost(vol, fb.wireRatio) * fb.calib[ExchangeButterfly]
 	}
 	if p.prank <= 1 {
 		return ExchangeAllPairs, 0
 	}
-	ap, bf := p.allPairsCost(vol), p.butterflyCost(vol)
+	ap := p.allPairsCost(vol, fb.wireRatio) * fb.calib[ExchangeAllPairs]
+	bf := p.butterflyCost(vol, fb.wireRatio) * fb.calib[ExchangeButterfly]
 	if bf <= ap {
 		return ExchangeButterfly, bf
 	}

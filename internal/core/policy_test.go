@@ -6,6 +6,7 @@ import (
 
 	"gcbfs/internal/rmat"
 	"gcbfs/internal/simnet"
+	"gcbfs/internal/wire"
 )
 
 // buildPolicy constructs a session (without running it) and returns its
@@ -40,11 +41,11 @@ func TestPolicyCostMatchesSimnet(t *testing.T) {
 				t.Fatalf("shape %s: %d predicted hops, want %d", tc.shape, len(hops), tc.hops)
 			}
 			wantBF := spec.Butterfly(hops, pol.e.opts.MessageBytes)
-			if got := pol.butterflyCost(vol); math.Abs(got-wantBF) > 1e-12 {
+			if got := pol.butterflyCost(vol, 1); math.Abs(got-wantBF) > 1e-12 {
 				t.Fatalf("shape %s vol %d: butterfly cost %g, want simnet %g", tc.shape, vol, got, wantBF)
 			}
 			wantAP := spec.PointToPoint(vol, pol.e.effMessageBytes(vol))
-			if got := pol.allPairsCost(vol); math.Abs(got-wantAP) > 1e-12 {
+			if got := pol.allPairsCost(vol, 1); math.Abs(got-wantAP) > 1e-12 {
 				t.Fatalf("shape %s vol %d: all-pairs cost %g, want simnet %g", tc.shape, vol, got, wantAP)
 			}
 		}
@@ -62,10 +63,10 @@ func TestPolicyCrossover(t *testing.T) {
 	pol := buildPolicy(t, shape, opts)
 
 	small, large := int64(4<<10), int64(64<<20)
-	if ap, bf := pol.allPairsCost(small), pol.butterflyCost(small); bf >= ap {
+	if ap, bf := pol.allPairsCost(small, 1), pol.butterflyCost(small, 1); bf >= ap {
 		t.Fatalf("small volume: butterfly %g not below all-pairs %g (latency-bound regime)", bf, ap)
 	}
-	if ap, bf := pol.allPairsCost(large), pol.butterflyCost(large); ap >= bf {
+	if ap, bf := pol.allPairsCost(large, 1), pol.butterflyCost(large, 1); ap >= bf {
 		t.Fatalf("large volume: all-pairs %g not below butterfly %g (bandwidth-bound regime)", ap, bf)
 	}
 	// And choose follows the costs monotonically: there is one crossover.
@@ -73,7 +74,7 @@ func TestPolicyCrossover(t *testing.T) {
 	flips := 0
 	for vol := small; vol <= large; vol *= 2 {
 		s := ExchangeButterfly
-		if pol.allPairsCost(vol) < pol.butterflyCost(vol) {
+		if pol.allPairsCost(vol, 1) < pol.butterflyCost(vol, 1) {
 			s = ExchangeAllPairs
 		}
 		if s != prev {
@@ -96,7 +97,7 @@ func TestPolicyFixedConfigurations(t *testing.T) {
 		pol := buildPolicy(t, shape, opts)
 		for _, vol := range []int64{0, 1 << 10, 32 << 20} {
 			// Feed the estimator measured feedback so predictVolume ≈ vol.
-			got, predicted := pol.choose(1000, 1000, vol*int64(pol.prank))
+			got, predicted := pol.choose(1000, 0, 1000, vol*int64(pol.prank), newPolicyFeedback())
 			if got != cfg {
 				t.Fatalf("configured %v chose %v", cfg, got)
 			}
@@ -104,6 +105,159 @@ func TestPolicyFixedConfigurations(t *testing.T) {
 				t.Fatalf("negative predicted time %g", predicted)
 			}
 		}
+	}
+}
+
+// TestPolicyOverlapCostMatchesSimnet: with a codec active, the butterfly
+// cost must be exactly the simnet pipeline model applied to the predicted
+// hop and codec-stage profiles (PipelineHops on) or the sequential hop sum
+// plus every codec stage (PipelineHops off); the all-pairs cost adds the
+// single-round encode+decode compute to the point-to-point curve. This
+// mirrors TestPolicyCostMatchesSimnet for the overlap-aware model.
+func TestPolicyOverlapCostMatchesSimnet(t *testing.T) {
+	spec := simnet.Ray()
+	for _, shape := range []ClusterShape{
+		{Nodes: 4, RanksPerNode: 2, GPUsPerRank: 1}, // p=8
+		{Nodes: 3, RanksPerNode: 2, GPUsPerRank: 1}, // p=6: cleanup hops
+	} {
+		for _, pipelined := range []bool{true, false} {
+			opts := DefaultOptions()
+			opts.Compression = wire.ModeAdaptive
+			opts.PipelineHops = pipelined
+			pol := buildPolicy(t, shape, opts)
+			gpu := pol.e.opts.GPU
+			for _, vol := range []int64{512, 64 << 10, 8 << 20} {
+				hops := pol.butterflyHops(vol)
+				stages, pre := pol.butterflyCodec(hops)
+				want := spec.Butterfly(hops, pol.e.opts.MessageBytes) + pre
+				for _, c := range stages {
+					want += c
+				}
+				if pipelined {
+					want = spec.ButterflyPipelined(hops, stages, pre, pol.e.opts.MessageBytes).Total
+				}
+				if got := pol.butterflyCost(vol, 1); math.Abs(got-want) > 1e-12 {
+					t.Fatalf("shape %s vol %d pipelined=%v: butterfly cost %g, want %g",
+						shape, vol, pipelined, got, want)
+				}
+				wantAP := spec.PointToPoint(vol, pol.e.effMessageBytes(vol)) + gpu.CodecTime(2*vol)
+				if got := pol.allPairsCost(vol, 1); math.Abs(got-wantAP) > 1e-12 {
+					t.Fatalf("shape %s vol %d: all-pairs cost %g, want %g", shape, vol, got, wantAP)
+				}
+			}
+		}
+	}
+}
+
+// TestPolicyPipelineMovesCrossover: pipelining makes the butterfly cheaper
+// wherever codec stages exist, never dearer, so the all-pairs/butterfly
+// crossover volume can only move up — the butterfly stays preferred longer.
+func TestPolicyPipelineMovesCrossover(t *testing.T) {
+	shape := ClusterShape{Nodes: 16, RanksPerNode: 2, GPUsPerRank: 1} // 32 ranks
+	mk := func(pipelined bool) *exchangePolicy {
+		opts := DefaultOptions()
+		opts.Compression = wire.ModeAdaptive
+		opts.Exchange = ExchangeHybrid
+		opts.PipelineHops = pipelined
+		return buildPolicy(t, shape, opts)
+	}
+	pipe, seq := mk(true), mk(false)
+	crossover := func(pol *exchangePolicy) int64 {
+		for vol := int64(4 << 10); vol <= 64<<20; vol *= 2 {
+			if pol.allPairsCost(vol, 1) < pol.butterflyCost(vol, 1) {
+				return vol
+			}
+		}
+		return 64 << 20
+	}
+	for vol := int64(4 << 10); vol <= 64<<20; vol *= 2 {
+		p, s := pipe.butterflyCost(vol, 1), seq.butterflyCost(vol, 1)
+		if p > s {
+			t.Fatalf("vol %d: pipelined butterfly cost %g above sequential %g", vol, p, s)
+		}
+		if vol >= 64<<10 && p >= s {
+			t.Fatalf("vol %d: pipelined butterfly cost %g not strictly below sequential %g "+
+				"(codec stages are nonzero here)", vol, p, s)
+		}
+	}
+	if cp, cs := crossover(pipe), crossover(seq); cp < cs {
+		t.Fatalf("pipelining moved the crossover down: %d vs %d", cp, cs)
+	}
+}
+
+// TestPolicySkewScalesPrediction: a measured skew ratio scales the volume
+// estimate (the timing model charges the max-reduced rank, not the mean),
+// so both cost predictions rise with skew.
+func TestPolicySkewScalesPrediction(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Exchange = ExchangeHybrid
+	pol := buildPolicy(t, ClusterShape{Nodes: 4, RanksPerNode: 2, GPUsPerRank: 1}, opts)
+	balanced := pol.predictVolume(1000, 0, 1000, 8<<20, 1)
+	skewed := pol.predictVolume(1000, 0, 1000, 8<<20, 3)
+	if skewed != 3*balanced {
+		t.Fatalf("skew 3 predicted %d, want 3× balanced %d", skewed, balanced)
+	}
+	if pol.allPairsCost(skewed, 1) <= pol.allPairsCost(balanced, 1) ||
+		pol.butterflyCost(skewed, 1) <= pol.butterflyCost(balanced, 1) {
+		t.Fatal("skewed volume did not raise the cost predictions")
+	}
+	// Skew can flip the decision where the mean-volume estimate sits just
+	// below the crossover: find such a point and verify the flip.
+	fb := newPolicyFeedback()
+	for mean := int64(4 << 10); mean <= 64<<20; mean *= 2 {
+		sBal, _ := pol.choose(1000, 0, 1000, mean*int64(pol.prank), fb)
+		high := fb
+		high.skew = 8
+		sSkew, _ := pol.choose(1000, 0, 1000, mean*int64(pol.prank), high)
+		if sBal == ExchangeButterfly && sSkew == ExchangeAllPairs {
+			return // skew priced the max rank into the decision
+		}
+	}
+	t.Fatal("skew never flipped a near-crossover decision toward all-pairs")
+}
+
+// TestPolicyFeedbackCalibration: the per-strategy EWMA must move toward the
+// observed actual/predicted ratio, stay within its clamps, and flip a
+// near-crossover decision against a strategy whose predictions proved
+// optimistic.
+func TestPolicyFeedbackCalibration(t *testing.T) {
+	fb := newPolicyFeedback()
+	fb.observe(ExchangeButterfly, 1e-3, 2e-3, 0, 0, 0) // butterfly ran 2× slower than predicted
+	if fb.calib[ExchangeButterfly] <= 1 || fb.calib[ExchangeAllPairs] != 1 {
+		t.Fatalf("calibration after slow butterfly: %+v", fb.calib)
+	}
+	for i := 0; i < 100; i++ {
+		fb.observe(ExchangeAllPairs, 1e-3, 1e-9, 0, 0, 0) // absurd ratio must stay clamped
+	}
+	if c := fb.calib[ExchangeAllPairs]; c < calibMin-1e-12 || c > 1 {
+		t.Fatalf("all-pairs calibration %g escaped [%g, 1]", c, calibMin)
+	}
+	// Zero-valued observations must not move the EWMA.
+	before := fb.calib
+	fb.observe(ExchangeButterfly, 0, 1e-3, 0, 0, 0)
+	if fb.calib != before {
+		t.Fatal("zero predicted time moved the calibration")
+	}
+
+	opts := DefaultOptions()
+	opts.Exchange = ExchangeHybrid
+	pol := buildPolicy(t, ClusterShape{Nodes: 16, RanksPerNode: 2, GPUsPerRank: 1}, opts)
+	neutral := newPolicyFeedback()
+	slowBF := newPolicyFeedback()
+	slowBF.calib[ExchangeButterfly] = 4
+	flipped := false
+	for mean := int64(4 << 10); mean <= 64<<20; mean *= 2 {
+		s0, _ := pol.choose(1000, 0, 1000, mean*int64(pol.prank), neutral)
+		s1, _ := pol.choose(1000, 0, 1000, mean*int64(pol.prank), slowBF)
+		if s0 == ExchangeButterfly && s1 == ExchangeAllPairs {
+			flipped = true
+		}
+		if s0 == ExchangeAllPairs && s1 == ExchangeButterfly {
+			t.Fatal("penalizing the butterfly made it win a cell it was losing")
+		}
+	}
+	if !flipped {
+		t.Fatal("a 4× butterfly calibration never flipped a near-crossover decision")
 	}
 }
 
@@ -115,8 +269,8 @@ func TestPolicyDeterministicInputs(t *testing.T) {
 	opts.Exchange = ExchangeHybrid
 	pol := buildPolicy(t, ClusterShape{Nodes: 3, RanksPerNode: 2, GPUsPerRank: 2}, opts)
 	for _, in := range [][3]int64{{1, 0, 0}, {500, 100, 1 << 20}, {100000, 90000, 32 << 20}} {
-		s1, p1 := pol.choose(in[0], in[1], in[2])
-		s2, p2 := pol.choose(in[0], in[1], in[2])
+		s1, p1 := pol.choose(in[0], 0, in[1], in[2], newPolicyFeedback())
+		s2, p2 := pol.choose(in[0], 0, in[1], in[2], newPolicyFeedback())
 		if s1 != s2 || p1 != p2 {
 			t.Fatalf("inputs %v: decision not deterministic (%v/%g vs %v/%g)", in, s1, p1, s2, p2)
 		}

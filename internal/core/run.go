@@ -223,12 +223,17 @@ func (e *Session) runRank(ctx context.Context, rank int, comm *mpi.Comm, rec *re
 		inputNormals, inputDelegates = 0, 1
 	}
 	prevNormals, prevOriginated := int64(0), int64(0)
+	// Measured-feedback state (skew ratio + per-strategy calibration):
+	// every rank keeps its own copy, updated from globally reduced values
+	// only, so the copies stay bit-identical and decisions need no extra
+	// collective.
+	fb := newPolicyFeedback()
 
 	for iter := int32(0); ; iter++ {
 		// ---- Exchange policy: every rank derives the identical strategy
 		// decision for this iteration from globally known inputs, the way
 		// direction optimization derives push vs pull (policy.go).
-		strategy, predicted := pol.choose(inputNormals, prevNormals, prevOriginated)
+		strategy, predicted := pol.choose(inputNormals, inputDelegates, prevNormals, prevOriginated, fb)
 		ex := rx.get(strategy)
 		// ---- Local computation (all GPUs of this rank).
 		qD := myGPUs[0].dFront.Count() // globally consistent masks
@@ -366,29 +371,44 @@ func (e *Session) runRank(ctx context.Context, rank int, comm *mpi.Comm, rec *re
 		if maskExchanged {
 			remoteDelegate = e.opts.Net.Allreduce(aMaskWire, prank, e.opts.BlockingReduce)
 		}
-		// Codec pack/unpack compute: raw bytes pushed through the wire
-		// codec's encode and decode kernels this iteration, charged at
-		// GPU.CodecRate (ROADMAP: the butterfly re-encodes per hop, so its
-		// codec work is log(p)× the all-pairs path's). The time rides the
-		// reduced vector and lands in RemoteNormal — the codec serializes
-		// with the exchange it feeds.
-		codecSecs := e.opts.GPU.CodecTime(e.ampBytes(counts.codecRaw + maskCodecRaw))
-		// The per-hop volumes ride along the reduced vector (amplified) so
-		// every rank derives the identical remote-normal time from the
-		// global per-hop maxima — the hops are synchronized pairwise
-		// exchanges, so the slowest rank paces each one.
-		vec := make([]float64, 0, 4+len(counts.hopBytes))
-		vec = append(vec, comp, localComm, remoteDelegate, codecSecs)
+		// Delegate-mask codec compute is charged exposed (the mask allreduce
+		// serializes with its encode); the exchange's own codec work rides
+		// the per-hop vectors below, so the pipelined butterfly can hide it
+		// under hop transfers.
+		maskCodecSecs := e.opts.GPU.CodecTime(e.ampBytes(maskCodecRaw))
+		// The per-hop wire volumes and codec stages ride along the reduced
+		// vector (amplified) so every rank derives the identical
+		// remote-normal time from the global per-hop maxima — the hops are
+		// synchronized pairwise exchanges, so the slowest rank paces each
+		// transfer and each codec stage.
+		nh := len(counts.hopBytes)
+		vec := make([]float64, 0, 6+2*nh)
+		vec = append(vec, comp, localComm, remoteDelegate, maskCodecSecs)
 		for _, hb := range counts.hopBytes {
 			vec = append(vec, float64(e.ampBytes(hb)))
 		}
-		maxFloatsAllreduce(comm, vec)
-		redHops := make([]int64, len(counts.hopBytes))
-		for i := range redHops {
-			redHops[i] = int64(vec[4+i])
+		for _, cr := range counts.hopCodecRaw {
+			vec = append(vec, float64(e.ampBytes(cr)))
 		}
-		remoteNormal, maxMsg := ex.remoteTime(redHops)
-		remoteNormal += vec[3]
+		vec = append(vec, float64(e.ampBytes(counts.preCodecRaw)))
+		// The last entry is this rank's originated fixed-width volume
+		// (forwards excluded) — its maximum over the mean per-rank volume is
+		// the strategy-independent partition-skew signal the policy feeds
+		// back (relays would inflate a wire-byte measure on butterfly
+		// iterations).
+		vec = append(vec, float64(e.ampBytes(counts.sentRaw-counts.forwarded)))
+		maxFloatsAllreduce(comm, vec)
+		redWire := make([]int64, nh)
+		redCodec := make([]int64, nh)
+		for i := 0; i < nh; i++ {
+			redWire[i] = int64(vec[4+i])
+			redCodec[i] = int64(vec[4+nh+i])
+		}
+		redPre := int64(vec[4+2*nh])
+		redMaxOriginated := vec[5+2*nh]
+		rt := ex.remoteTime(redWire, redCodec, redPre)
+		remoteNormal := rt.seconds + vec[3]
+		maxMsg := rt.maxMsg
 		parts := metrics.Breakdown{
 			Computation:    vec[0],
 			LocalComm:      vec[1],
@@ -433,6 +453,8 @@ func (e *Session) runRank(ctx context.Context, rank int, comm *mpi.Comm, rec *re
 				BytesDelegate:     boolToBytes(maskExchanged, effMaskBytes),
 				Elapsed:           elapsed,
 				PredictedRemote:   predicted,
+				CodecHidden:       rt.hiddenCodec,
+				CodecExposed:      rt.codecSeconds - rt.hiddenCodec + vec[3],
 				Parts:             parts,
 			})
 			rec.edgesScanned += sums[0]
@@ -448,7 +470,9 @@ func (e *Session) runRank(ctx context.Context, rank int, comm *mpi.Comm, rec *re
 			rec.exchange.ForwardedBytes += sums[10]
 			rec.wire.MemoHits += sums[11]
 			rec.wire.CodecBytes += sums[12]
-			rec.wire.CodecSeconds += vec[3]
+			rec.wire.CodecSeconds += rt.codecSeconds + vec[3]
+			rec.exchange.HiddenCodecSeconds += rt.hiddenCodec
+			rec.exchange.PipelineStalls += rt.stalls
 			if maskExchanged && e.opts.Compression != wire.ModeOff {
 				rec.wire.MaskRawBytes += maskBytes
 				rec.wire.MaskWireBytes += effMaskBytes
@@ -475,6 +499,19 @@ func (e *Session) runRank(ctx context.Context, rank int, comm *mpi.Comm, rec *re
 		// prediction.
 		prevNormals, prevOriginated = inputNormals, sums[5]-sums[10]
 		inputNormals, inputDelegates = sums[2], newDelegates
+		// Measured feedback for the next decision: the reduced maximum
+		// per-rank originated volume over the mean (skew, gated on
+		// iterations that carried real payload — framing-dominated rounds
+		// would measure noise), and the executed strategy's actual vs
+		// raw-predicted exchange time (calibration). All inputs are
+		// globally reduced, so every rank's feedback copy stays identical.
+		skewMax, skewMean, wireRatio := 0.0, 0.0, 0.0
+		if originated := sums[5] - sums[10]; originated >= int64(prank)*skewGateRawBytes {
+			skewMax = redMaxOriginated
+			skewMean = float64(e.ampBytes(originated)) / float64(prank)
+			wireRatio = float64(sums[1]) / float64(sums[5])
+		}
+		fb.observe(strategy, predicted/fb.calib[strategy], rt.seconds, skewMax, skewMean, wireRatio)
 
 		// Rotate frontiers for the next iteration.
 		for _, gs := range myGPUs {
@@ -489,6 +526,17 @@ func (e *Session) runRank(ctx context.Context, rank int, comm *mpi.Comm, rec *re
 		}
 		if sums[4] == 0 {
 			break
+		}
+	}
+
+	// Final calibration factors: recorded only for strategies that actually
+	// executed (0 means no feedback accumulated — see ExchangeStats).
+	if rank == 0 {
+		if rec.exchange.AllPairsIterations > 0 {
+			rec.exchange.CalibrationAllPairs = fb.calib[ExchangeAllPairs]
+		}
+		if rec.exchange.ButterflyIterations > 0 {
+			rec.exchange.CalibrationButterfly = fb.calib[ExchangeButterfly]
 		}
 	}
 

@@ -133,6 +133,7 @@ var registry = []struct {
 	{"cmp1", Cmp1Compression, "frontier-exchange compression ablation (internal/wire)"},
 	{"cmp2", Cmp2Exchange, "exchange-topology ablation: all-pairs vs butterfly (internal/core/exchange.go)"},
 	{"cmp3", Cmp3Hybrid, "exchange-policy ablation: fixed strategies vs per-iteration hybrid (internal/core/policy.go)"},
+	{"cmp4", Cmp4Pipeline, "pipelined-butterfly ablation: sequential vs pipelined hops vs overlap-aware hybrid (simnet.ButterflyPipelined)"},
 	{"app1", App1BeyondBFS, "§VI-D beyond-BFS: PageRank and components"},
 	{"mem1", Mem1Capacity, "§VI-C device-memory capacity per representation"},
 }

@@ -54,7 +54,7 @@ func cellFloat(t *testing.T, cell string) float64 {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "net1", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "tab1", "tab2", "wdc1", "do1",
-		"abl1", "abl2", "cmp1", "cmp2", "cmp3", "app1", "mem1"}
+		"abl1", "abl2", "cmp1", "cmp2", "cmp3", "cmp4", "app1", "mem1"}
 	ids := IDs()
 	if len(ids) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(ids), len(want))
@@ -477,6 +477,43 @@ func TestCmp3HybridAtLeastBestFixed(t *testing.T) {
 	}
 	if !mixed {
 		t.Error("hybrid never mixed strategies in any cmp3 cell — policy inert")
+	}
+}
+
+// TestCmp4PipelineWins: the experiment itself enforces the acceptance
+// criteria (levels/parents bit-identical across configurations, pipelined
+// strictly faster than sequential, hidden ≤ total codec, hybrid ≤ 1.05×
+// best fixed); the test checks the table's structure and that the pipeline
+// actually hid codec time somewhere.
+func TestCmp4PipelineWins(t *testing.T) {
+	tab := runExp(t, "cmp4")
+	// Quick mode: 1 scale × ranks {4, 6} × 4 configurations.
+	if len(tab.Rows) != 8 {
+		t.Fatalf("cmp4 has %d rows, want 8", len(tab.Rows))
+	}
+	var hidSomething bool
+	for _, row := range tab.Rows {
+		config, codec, hidden := row[2], cellFloat(t, row[4]), cellFloat(t, row[5])
+		if hidden > codec {
+			t.Errorf("%s: hidden %.3f ms above total codec %.3f ms", config, hidden, codec)
+		}
+		switch config {
+		case "allpairs", "bf-seq":
+			if hidden != 0 {
+				t.Errorf("%s hid %.3f ms — only pipelined butterfly hops can hide codec work", config, hidden)
+			}
+		case "bf-pipe":
+			if hidden > 0 {
+				hidSomething = true
+			}
+		case "hybrid":
+			// May hide (butterfly iterations) or not (all-pairs-heavy cells).
+		default:
+			t.Fatalf("unknown config row %q", config)
+		}
+	}
+	if !hidSomething {
+		t.Error("pipelined butterfly never hid codec time in any cmp4 cell — pipeline inert")
 	}
 }
 

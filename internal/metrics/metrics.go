@@ -63,10 +63,18 @@ type IterationStats struct {
 	BytesDelegate  int64 // delegate-mask reduction payload on the wire
 	Elapsed        float64
 	// PredictedRemote is the policy cost model's predicted remote-normal
-	// seconds for the chosen strategy, comparable against
-	// Parts.RemoteNormal (which additionally includes codec compute).
+	// seconds for the chosen strategy (calibrated by the session's
+	// predicted-vs-actual feedback when it has accumulated), comparable
+	// against Parts.RemoteNormal.
 	PredictedRemote float64
-	Parts           Breakdown
+	// CodecHidden/CodecExposed split this iteration's codec compute: the
+	// part the pipelined butterfly hid under concurrent hop transfers, and
+	// the part that stayed on the critical path (and therefore sits inside
+	// Parts.RemoteNormal). Their sum is the iteration's total codec work;
+	// CodecHidden is zero for all-pairs iterations and with PipelineHops
+	// off.
+	CodecHidden, CodecExposed float64
+	Parts                     Breakdown
 }
 
 // WireStats summarizes the frontier-exchange codec's effect over a run:
@@ -89,9 +97,10 @@ type WireStats struct {
 	// RawBytes there. Zero when compression is off.
 	CodecBytes int64
 	// CodecSeconds is the simulated compute time charged for that codec
-	// work (simgpu.Spec.CodecRate), already included in the run's
-	// RemoteNormal breakdown component — the codec serializes with the
-	// exchange it feeds. Zero when compression is off or CodecRate unset.
+	// work (simgpu.Spec.CodecRate). It lands in the run's RemoteNormal
+	// breakdown component except the portion the pipelined butterfly hid
+	// under concurrent hop transfers (ExchangeStats.HiddenCodecSeconds).
+	// Zero when compression is off or CodecRate unset.
 	CodecSeconds float64
 	// PairRawBytes/PairWireBytes account the post-BFS parent-resolution
 	// pairs exchange: the fixed-width 12-bytes-per-pair equivalent and the
@@ -165,6 +174,22 @@ type ExchangeStats struct {
 	// Parts.RemoteNormal it measures how well the model tracks the
 	// simulated network.
 	PredictedSeconds float64
+	// HiddenCodecSeconds is the codec compute the pipelined butterfly hid
+	// under concurrent hop transfers across the run — time that would
+	// appear in RemoteNormal with PipelineHops off. Always at most the
+	// run's total codec seconds: overlap hides time, never creates it.
+	HiddenCodecSeconds float64
+	// PipelineStalls counts pipeline steps where a hop's codec stage
+	// outlasted the transfer it overlapped — the exchange was
+	// compute-bound there, so a faster codec (not a faster network) is
+	// what would help.
+	PipelineStalls int64
+	// CalibrationAllPairs/CalibrationButterfly are the session's final
+	// predicted-vs-actual EWMA factors per strategy (1 ≈ the cost model
+	// tracked the simulated network exactly; 0 means the strategy never
+	// ran, so no feedback accumulated). Subsequent predictions are scaled
+	// by them, tightening hybrid decisions near the crossover.
+	CalibrationAllPairs, CalibrationButterfly float64
 }
 
 // Accumulate folds another run's exchange accounting into e. Strategy is
@@ -184,6 +209,16 @@ func (e *ExchangeStats) Accumulate(other ExchangeStats) {
 		e.MaxMessageBytes = other.MaxMessageBytes
 	}
 	e.PredictedSeconds += other.PredictedSeconds
+	e.HiddenCodecSeconds += other.HiddenCodecSeconds
+	e.PipelineStalls += other.PipelineStalls
+	// Calibration factors are per-run session state, not additive: keep the
+	// most recent run's final factors.
+	if other.CalibrationAllPairs != 0 {
+		e.CalibrationAllPairs = other.CalibrationAllPairs
+	}
+	if other.CalibrationButterfly != 0 {
+		e.CalibrationButterfly = other.CalibrationButterfly
+	}
 }
 
 // RunResult is the outcome of one BFS execution.

@@ -134,6 +134,64 @@ func (s Spec) Butterfly(hopBytes []int64, msgCap int64) float64 {
 	return t
 }
 
+// PipelineTiming breaks one pipelined butterfly exchange into its parts.
+// The invariant Total = WireSeconds + CodecSeconds − HiddenCodec holds by
+// construction: overlap can hide time, never create it.
+type PipelineTiming struct {
+	// Total is the elapsed time of the software-pipelined exchange.
+	Total float64
+	// WireSeconds is the sum of the sequential hop transfer times — what the
+	// exchange would cost with free codec kernels.
+	WireSeconds float64
+	// CodecSeconds is the total per-hop codec compute (the pre-hop encode
+	// plus every hop's decode/merge/re-encode stage), hidden or not.
+	CodecSeconds float64
+	// HiddenCodec is the codec compute that ran under a concurrent hop
+	// transfer and therefore does not appear in Total.
+	HiddenCodec float64
+	// Stalls counts pipeline steps where the codec stage outlasted the
+	// concurrent transfer — the wire sat idle waiting for compute.
+	Stalls int64
+}
+
+// ButterflyPipelined returns the timing of one iteration's butterfly
+// exchange with hop communication overlapped against per-hop codec compute
+// (the paper's §VI-B compute/communication overlap applied inside the
+// exchange): hop k's transfer runs concurrently with hop k−1's
+// decode/merge/re-encode stage, so each pipeline step costs
+// max(wire_k, codec_{k−1}) instead of their sum. hopBytes is the per-hop
+// wire profile (cleanup hops included, exactly as Butterfly takes it);
+// hopCodec[k] is the codec compute triggered by hop k's arrival — its
+// decode plus the re-encode feeding hop k+1 — and preCodec is the encode of
+// the first hop's payload, which precedes all communication and cannot be
+// hidden. The last hop's codec stage has nothing left to hide under, so it
+// is charged in full after the final transfer.
+func (s Spec) ButterflyPipelined(hopBytes []int64, hopCodec []float64, preCodec float64, msgCap int64) PipelineTiming {
+	pt := PipelineTiming{Total: preCodec, CodecSeconds: preCodec}
+	var prev float64 // the previous hop's codec stage, still in flight
+	for k, b := range hopBytes {
+		w := s.ButterflyHop(b, msgCap)
+		pt.WireSeconds += w
+		var c float64
+		if k < len(hopCodec) {
+			c = hopCodec[k]
+			pt.CodecSeconds += c
+		}
+		if k == 0 {
+			pt.Total += w
+		} else {
+			pt.Total += math.Max(w, prev)
+			pt.HiddenCodec += math.Min(w, prev)
+			if prev > w {
+				pt.Stalls++
+			}
+		}
+		prev = c
+	}
+	pt.Total += prev
+	return pt
+}
+
 // Staging returns the NVLink copy time for moving bytes between GPU and CPU
 // memory (charged once per side per remote transfer when GPUDirectRDMA is
 // false).
