@@ -1,0 +1,82 @@
+package gcbfs
+
+// Allocation-regression benchmarks for the query hot path. The bench
+// trajectory (internal/bench, BENCH_*.json) records allocs/query at
+// Parallelism 1 and 8 with a +10% tolerance; these benchmarks are the
+// fine-grained, per-commit guard: they measure the same path under
+// `go test -bench` and fail outright if allocs/query climb back above the
+// pre-arena count.
+//
+// History (RMAT scale 12, 2×2×2, adaptive codec + hybrid exchange, levels
+// and parents off; measured via the ReadMemStats delta below):
+//
+//	pre-arena  (PR 5): ~1502 allocs/query serial, ~1509 at Parallelism 8
+//	post-arena (PR 6): ~572 allocs/query serial, ~575 at Parallelism 8
+//	                   (session-owned decode/merge arena, radix-bucketed
+//	                   canonical apply, per-rank reusable scratch)
+//
+// The ceiling below sits between the two so a regression to the pre-arena
+// allocation behaviour fails the benchmark while leaving headroom for noise
+// (goroutine stacks, map growth and pool warmup vary run to run).
+
+import (
+	"context"
+	"runtime"
+	"testing"
+)
+
+// allocCeilingPerQuery is the failure threshold for both benchmarks: well
+// below the ~1500 allocs/query measured before the Session arena and the
+// radix apply landed (see the history note above), well above the ~575
+// post-change count so scheduler noise cannot flake the build.
+const allocCeilingPerQuery = 1000
+
+func benchQueryAllocs(b *testing.B, parallelism int) {
+	g := RMAT(12)
+	svc, err := NewService(g, DefaultConfig(Cluster{Nodes: 2, RanksPerNode: 2, GPUsPerRank: 2}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sources := Sources(g, 8, 7)
+	opts := []QueryOption{
+		WithCompression(CompressionAdaptive),
+		WithExchange(ExchangeHybrid),
+		WithLevels(false),
+	}
+	ctx := context.Background()
+	warm := func() {
+		if _, err := svc.RunBatch(ctx, sources, BatchOptions{Parallelism: parallelism}, opts...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	warm() // populate the session pool and size the arenas
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		warm()
+	}
+	b.StopTimer()
+
+	// Assert the arena/radix changes hold: allocs per query strictly below
+	// the pre-change count. Measured outside the timed loop so the guard
+	// does not perturb the reported metric.
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	warm()
+	runtime.ReadMemStats(&after)
+	perQuery := float64(after.Mallocs-before.Mallocs) / float64(len(sources))
+	b.ReportMetric(perQuery, "allocs/query")
+	if perQuery >= allocCeilingPerQuery {
+		b.Fatalf("allocs/query = %.0f, want < %d (pre-arena behaviour was ~1500; the Session arena or radix apply has regressed)",
+			perQuery, allocCeilingPerQuery)
+	}
+}
+
+// BenchmarkQueryAllocs measures heap allocations per BFS query on the
+// serial path (one pooled Session reused for every query).
+func BenchmarkQueryAllocs(b *testing.B) { benchQueryAllocs(b, 1) }
+
+// BenchmarkQueryAllocsParallel8 measures the same metric with 8 queries in
+// flight — the pool high-water regime where per-query scratch dominates.
+func BenchmarkQueryAllocsParallel8(b *testing.B) { benchQueryAllocs(b, 8) }

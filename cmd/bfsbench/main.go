@@ -1,12 +1,20 @@
 // bfsbench regenerates the paper's tables and figures on the simulated GPU
-// cluster. Run with -exp all (default) or a specific id; see -list for the
-// available experiments.
+// cluster, and runs the pinned benchmark-trajectory suite whose JSON reports
+// are diffed across PRs. Run with -exp all (default) or a specific id; see
+// -list for the available experiments.
 //
 // Usage:
 //
 //	bfsbench -list
 //	bfsbench -exp fig9
 //	bfsbench -exp all -quick -sources 3
+//	bfsbench -json BENCH_7.json -quick            # write a trajectory report
+//	bfsbench -diff /tmp/b.json -baseline BENCH_6.json
+//
+// Every PR regenerates BENCH_<pr>.json at the repo root via -json -quick and
+// cites the -diff against the previous baseline in CHANGES.md; CI re-runs the
+// quick suite and fails on regression (see internal/bench for the metric
+// tolerances).
 package main
 
 import (
@@ -14,32 +22,89 @@ import (
 	"fmt"
 	"os"
 
+	"gcbfs/internal/bench"
 	"gcbfs/internal/experiments"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (see -list) or 'all'")
-		quick   = flag.Bool("quick", false, "reduced scales (same settings as the bench harness)")
-		sources = flag.Int("sources", 0, "BFS runs per data point (0 = default)")
-		seed    = flag.Int64("seed", 0, "source-selection seed (0 = default)")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
+		exp      = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		quick    = flag.Bool("quick", false, "reduced scales (same settings as the bench harness)")
+		sources  = flag.Int("sources", 0, "BFS runs per data point (0 = default)")
+		seed     = flag.Int64("seed", 0, "source-selection seed (0 = default)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		jsonOut  = flag.String("json", "", "run the pinned trajectory suite and write the JSON report to this path")
+		diffPath = flag.String("diff", "", "diff this report against -baseline; exit non-zero on regression")
+		baseline = flag.String("baseline", "", "baseline report for -diff")
 	)
 	flag.Parse()
 
+	// Validate before anything downstream can panic on a nonsense value: a
+	// negative source count would spin the rejection sampler and a negative
+	// seed silently means "default" nowhere else.
+	usage := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "bfsbench: "+format+"\n", args...)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *sources < 0 {
+		usage("-sources must be >= 0 (0 = default), got %d", *sources)
+	}
+	if *seed < 0 {
+		usage("-seed must be >= 0 (0 = default), got %d", *seed)
+	}
+	if *diffPath != "" && *baseline == "" {
+		usage("-diff requires -baseline")
+	}
+
 	if *list {
 		desc := experiments.Describe()
+		fullDefault := experiments.Params{}.DefaultSources()
+		quickDefault := experiments.Params{Quick: true}.DefaultSources()
 		for _, id := range experiments.IDs() {
 			fmt.Printf("%-6s %s\n", id, desc[id])
 		}
+		fmt.Printf("\n-sources 0 uses the default per run mode: %d (full), %d (-quick)\n",
+			fullDefault, quickDefault)
+		return
+	}
+
+	if *diffPath != "" {
+		base, err := bench.ReadFile(*baseline)
+		if err != nil {
+			fatal("%v", err)
+		}
+		cur, err := bench.ReadFile(*diffPath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		d, err := bench.Diff(base, cur)
+		if err != nil {
+			fatal("%v", err)
+		}
+		d.Render(os.Stdout)
+		if !d.OK() {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *jsonOut != "" {
+		rep, err := bench.Run(bench.Params{Quick: *quick, Seed: *seed})
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := rep.WriteFile(*jsonOut); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("wrote %s (%d cells, quick=%v, seed=%d)\n", *jsonOut, len(rep.Cells), rep.Quick, rep.Seed)
 		return
 	}
 
 	params := experiments.Params{Quick: *quick, Sources: *sources, Seed: *seed}
 	if *exp == "all" {
 		if err := experiments.RunAll(params, os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "bfsbench: %v\n", err)
-			os.Exit(1)
+			fatal("%v", err)
 		}
 		return
 	}
@@ -50,8 +115,12 @@ func main() {
 	}
 	tab, err := run(params)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "bfsbench: %s: %v\n", *exp, err)
-		os.Exit(1)
+		fatal("%s: %v", *exp, err)
 	}
 	tab.Render(os.Stdout)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bfsbench: "+format+"\n", args...)
+	os.Exit(1)
 }

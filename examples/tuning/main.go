@@ -12,8 +12,10 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"path/filepath"
 
 	"gcbfs"
+	"gcbfs/internal/bench"
 )
 
 func main() {
@@ -155,5 +157,61 @@ func main() {
 		fmt.Printf("  %4d  %d×%d×%d  %10.3f\n",
 			gpus, c.Nodes, c.RanksPerNode, c.GPUsPerRank, batch.Stats.GeoMeanGTEPS)
 	}
+	// Reading the benchmark trajectory. Every PR commits a BENCH_<pr>.json
+	// at the repo root (go run ./cmd/bfsbench -json BENCH_<pr>.json -quick);
+	// CI regenerates the quick suite and diffs it against the latest one, so
+	// the numbers below are enforced, not decorative. Per cell key
+	// (experiment[/sScale][/rRanks][/config]/metric):
+	//
+	//	gteps               traversed edges per second across the batch. The
+	//	                    simulation is deterministic, so the −5% tolerance
+	//	                    only absorbs deliberate timing-model changes; a
+	//	                    real slowdown fails CI.
+	//	wire_bytes          total compressed bytes on the simulated wire.
+	//	                    Exact — a pure function of the codec and pinned
+	//	                    inputs, so any drift is a codec bug or a format
+	//	                    change that must regenerate the baseline.
+	//	hidden_codec_ratio  fraction of codec compute the hop pipeline hid
+	//	                    under transfers (−10%: less overlap = regression).
+	//	policy_error        |predicted − actual| / actual of the hybrid cost
+	//	                    model (+25%: small base, widest band).
+	//	allocs_per_query    heap allocations per query at Parallelism 1 and 8
+	//	bytes_per_query     (+10%: ReadMemStats noise; falling is free).
+	fmt.Println("\nbenchmark trajectory (latest committed BENCH_*.json):")
+	if path := latestBenchReport(); path == "" {
+		fmt.Println("  none found — generate one: go run ./cmd/bfsbench -json BENCH_<pr>.json -quick")
+	} else if rep, err := bench.ReadFile(path); err != nil {
+		fmt.Printf("  %s: %v\n", path, err)
+	} else {
+		fmt.Printf("  %s: schema %d, quick=%v, seed %d, %d cells\n",
+			path, rep.Schema, rep.Quick, rep.Seed, len(rep.Cells))
+		for _, c := range rep.Cells {
+			if c.Metric == "gteps" || c.Metric == "allocs_per_query" {
+				fmt.Printf("  %-44s %12.6g %s\n", c.Key(), c.Value, c.Unit)
+			}
+		}
+		fmt.Println("  (diff two reports: go run ./cmd/bfsbench -diff new.json -baseline " + filepath.Base(path) + ")")
+	}
+
 	fmt.Println("\n(the paper's full sweeps: go run ./cmd/bfsbench -exp all)")
+}
+
+// latestBenchReport finds the highest-numbered committed BENCH_<n>.json,
+// looking upward from the working directory so the example works from the
+// repo root and from examples/tuning alike.
+func latestBenchReport() string {
+	best, bestN := "", -1
+	for _, dir := range []string{".", "..", "../.."} {
+		paths, _ := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+		for _, p := range paths {
+			var n int
+			if _, err := fmt.Sscanf(filepath.Base(p), "BENCH_%d.json", &n); err == nil && n > bestN {
+				best, bestN = p, n
+			}
+		}
+		if best != "" {
+			return best
+		}
+	}
+	return best
 }

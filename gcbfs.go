@@ -108,6 +108,21 @@
 // predicted-vs-actual exchange time (Result.CalibrationAllPairs /
 // CalibrationButterfly). Pipelining never changes levels or parents —
 // overlap hides time, it never reorders the traversal.
+//
+// # Benchmark trajectory
+//
+// Performance claims are trended, not narrated: every PR regenerates a
+// pinned benchmark report at the repo root via
+//
+//	go run ./cmd/bfsbench -json BENCH_<pr>.json -quick
+//
+// and CHANGES.md cites the diff against the previous baseline
+// (bfsbench -diff new.json -baseline old.json). The suite (internal/bench)
+// records GTEPS, exact wire bytes, hidden-codec ratio, policy error, and
+// allocs/bytes per query under fixed seeds; CI's bench-trajectory job diffs
+// a fresh run against the latest committed BENCH_*.json with per-metric
+// tolerances (GTEPS −5%, allocs/query +10%, wire bytes exact) and fails the
+// build on regression. See examples/tuning for how to read the cells.
 package gcbfs
 
 import (

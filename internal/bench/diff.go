@@ -1,0 +1,185 @@
+package bench
+
+// Report differ: per-metric tolerances, strict boundaries, readable table.
+// The tolerance table encodes which direction of movement is a regression
+// per metric — GTEPS falling, allocs rising, wire bytes changing at all —
+// and how much movement the trajectory absorbs as noise before failing.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Tolerance bounds one metric's allowed movement between baseline and
+// current. Down fails when current < baseline·(1−Down); Up fails when
+// current > baseline·(1+Up); Exact fails on any difference. Both relative
+// bounds are strict comparisons, so a cell sitting exactly on the boundary
+// passes. Zero-valued fields in a direction mean that direction is free.
+type Tolerance struct {
+	Down, Up float64
+	Exact    bool
+}
+
+// tolerances is the pinned per-metric policy:
+//
+//	gteps               −5%: the simulation is deterministic, so real drops
+//	                    are code changes; the headroom is for deliberate
+//	                    timing-model adjustments that should stay small.
+//	wire_bytes          exact: bytes on the wire are a pure function of the
+//	                    codec and the pinned inputs — any change is either a
+//	                    codec bug or a deliberate format change that must
+//	                    regenerate the baseline.
+//	allocs/bytes/query  +10%: ReadMemStats deltas carry scheduler and map-
+//	                    growth noise; improvements are always welcome.
+//	hidden_codec_ratio  −10%: less overlap means the pipeline degraded.
+//	policy_error        +25% relative: the cost model drifting further from
+//	                    the simulated network is a regression, but the error
+//	                    is a small base so it gets the widest band.
+var tolerances = map[string]Tolerance{
+	"gteps":              {Down: 0.05},
+	"wire_bytes":         {Exact: true},
+	"allocs_per_query":   {Up: 0.10},
+	"bytes_per_query":    {Up: 0.10},
+	"hidden_codec_ratio": {Down: 0.10},
+	"policy_error":       {Up: 0.25},
+}
+
+// DiffRow is one compared cell.
+type DiffRow struct {
+	Key      string
+	Metric   string
+	Old, New float64
+	DeltaPct float64 // (new-old)/old·100; 0 when old is 0
+	OK       bool
+	Reason   string // failure explanation, empty when OK
+}
+
+// DiffResult is a full report comparison.
+type DiffResult struct {
+	Rows []DiffRow
+	// Added/Removed list cell keys present in only one report — expected
+	// when experiments change between PRs, so listed but never fatal.
+	Added, Removed []string
+}
+
+// OK reports whether no compared cell regressed.
+func (d *DiffResult) OK() bool {
+	for _, r := range d.Rows {
+		if !r.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// Regressions counts failing rows.
+func (d *DiffResult) Regressions() int {
+	n := 0
+	for _, r := range d.Rows {
+		if !r.OK {
+			n++
+		}
+	}
+	return n
+}
+
+// Diff compares current against baseline. It refuses mismatched schema
+// versions and mismatched quick flags (a full report's cells would all show
+// as added/removed against a quick baseline, making the comparison
+// meaningless rather than wrong).
+func Diff(baseline, current *Report) (*DiffResult, error) {
+	if baseline.Schema != current.Schema {
+		return nil, fmt.Errorf("bench: schema mismatch: baseline %d vs current %d — regenerate the baseline with this binary",
+			baseline.Schema, current.Schema)
+	}
+	if baseline.Quick != current.Quick {
+		return nil, fmt.Errorf("bench: quick-mode mismatch: baseline quick=%v vs current quick=%v — compare like with like",
+			baseline.Quick, current.Quick)
+	}
+	base := map[string]Cell{}
+	for _, c := range baseline.Cells {
+		base[c.Key()] = c
+	}
+	var d DiffResult
+	seen := map[string]bool{}
+	for _, c := range current.Cells {
+		key := c.Key()
+		seen[key] = true
+		b, ok := base[key]
+		if !ok {
+			d.Added = append(d.Added, key)
+			continue
+		}
+		d.Rows = append(d.Rows, compareCell(key, b, c))
+	}
+	for _, c := range baseline.Cells {
+		if !seen[c.Key()] {
+			d.Removed = append(d.Removed, c.Key())
+		}
+	}
+	sort.Strings(d.Added)
+	sort.Strings(d.Removed)
+	sort.Slice(d.Rows, func(i, j int) bool { return d.Rows[i].Key < d.Rows[j].Key })
+	return &d, nil
+}
+
+// compareCell applies the metric's tolerance. Metrics without a tolerance
+// entry are informational: recorded in the table, never failing.
+func compareCell(key string, baseline, current Cell) DiffRow {
+	row := DiffRow{Key: key, Metric: current.Metric, Old: baseline.Value, New: current.Value, OK: true}
+	if baseline.Value != 0 {
+		row.DeltaPct = (current.Value - baseline.Value) / math.Abs(baseline.Value) * 100
+	}
+	tol, ok := tolerances[current.Metric]
+	if !ok {
+		return row
+	}
+	switch {
+	case tol.Exact:
+		if current.Value != baseline.Value {
+			row.OK = false
+			row.Reason = "exact metric changed"
+		}
+	default:
+		if tol.Down > 0 && current.Value < baseline.Value*(1-tol.Down) {
+			row.OK = false
+			row.Reason = fmt.Sprintf("fell more than %g%%", tol.Down*100)
+		}
+		if tol.Up > 0 && current.Value > baseline.Value*(1+tol.Up) {
+			row.OK = false
+			row.Reason = fmt.Sprintf("rose more than %g%%", tol.Up*100)
+		}
+	}
+	return row
+}
+
+// Render writes the per-cell comparison table plus the added/removed lists.
+func (d *DiffResult) Render(w io.Writer) {
+	width := len("cell")
+	for _, r := range d.Rows {
+		if len(r.Key) > width {
+			width = len(r.Key)
+		}
+	}
+	fmt.Fprintf(w, "%-*s  %14s  %14s  %8s  %s\n", width, "cell", "baseline", "current", "delta", "verdict")
+	for _, r := range d.Rows {
+		verdict := "ok"
+		if !r.OK {
+			verdict = "REGRESSION: " + r.Reason
+		}
+		fmt.Fprintf(w, "%-*s  %14.6g  %14.6g  %+7.2f%%  %s\n", width, r.Key, r.Old, r.New, r.DeltaPct, verdict)
+	}
+	for _, k := range d.Added {
+		fmt.Fprintf(w, "added:   %s (no baseline — recorded, not compared)\n", k)
+	}
+	for _, k := range d.Removed {
+		fmt.Fprintf(w, "removed: %s (in baseline only — dropped from the suite?)\n", k)
+	}
+	if n := d.Regressions(); n > 0 {
+		fmt.Fprintf(w, "%d regression(s)\n", n)
+	} else {
+		fmt.Fprintf(w, "no regressions (%d cells compared)\n", len(d.Rows))
+	}
+}

@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func report(quick bool, cells ...Cell) *Report {
+	return &Report{Schema: SchemaVersion, Quick: quick, Seed: 20180405, Cells: cells}
+}
+
+func gtepsCell(config string, v float64) Cell {
+	return Cell{Experiment: "exchange", Scale: 11, Ranks: 4, Config: config, Metric: "gteps", Value: v, Unit: "GTEPS"}
+}
+
+func mustDiff(t *testing.T, baseline, current *Report) *DiffResult {
+	t.Helper()
+	d, err := Diff(baseline, current)
+	if err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	return d
+}
+
+// The −5% GTEPS bound is strict: landing exactly on the boundary passes,
+// anything past it fails. These two cases pin the comparison operator so a
+// refactor can't silently flip <= for <.
+func TestGTEPSToleranceBoundary(t *testing.T) {
+	base := report(true, gtepsCell("hybrid", 100))
+
+	d := mustDiff(t, base, report(true, gtepsCell("hybrid", 95)))
+	if !d.OK() {
+		t.Errorf("exactly -5%% must pass, got regression: %+v", d.Rows)
+	}
+
+	d = mustDiff(t, base, report(true, gtepsCell("hybrid", 94.99)))
+	if d.OK() {
+		t.Error("-5.01% must fail, diff reported OK")
+	}
+	if n := d.Regressions(); n != 1 {
+		t.Errorf("Regressions() = %d, want 1", n)
+	}
+	if r := d.Rows[0]; r.OK || !strings.Contains(r.Reason, "fell") {
+		t.Errorf("row = %+v, want a 'fell more than' regression", r)
+	}
+
+	// GTEPS has no upper bound: a speedup of any size passes.
+	if d := mustDiff(t, base, report(true, gtepsCell("hybrid", 250))); !d.OK() {
+		t.Errorf("gteps improvement must pass, got: %+v", d.Rows)
+	}
+}
+
+func TestWireBytesExact(t *testing.T) {
+	cell := func(v float64) Cell {
+		return Cell{Experiment: "exchange", Scale: 11, Ranks: 4, Config: "hybrid", Metric: "wire_bytes", Value: v, Unit: "B"}
+	}
+	if d := mustDiff(t, report(true, cell(1411)), report(true, cell(1411))); !d.OK() {
+		t.Errorf("unchanged wire_bytes must pass: %+v", d.Rows)
+	}
+	// One byte in either direction fails — even an apparent improvement,
+	// because the metric is a codec-correctness canary, not a target.
+	for _, v := range []float64{1410, 1412} {
+		d := mustDiff(t, report(true, cell(1411)), report(true, cell(v)))
+		if d.OK() {
+			t.Errorf("wire_bytes %v vs 1411 must fail", v)
+		}
+	}
+}
+
+func TestAllocsUpperBoundary(t *testing.T) {
+	cell := func(v float64) Cell {
+		return Cell{Experiment: "allocs", Config: "parallel-8", Metric: "allocs_per_query", Value: v}
+	}
+	base := report(true, cell(1000))
+	if d := mustDiff(t, base, report(true, cell(1100))); !d.OK() {
+		t.Errorf("exactly +10%% allocs must pass: %+v", d.Rows)
+	}
+	if d := mustDiff(t, base, report(true, cell(1100.01))); d.OK() {
+		t.Error("+10.001% allocs must fail")
+	}
+	// Allocs falling — the whole point of the optimization — always passes.
+	if d := mustDiff(t, base, report(true, cell(100))); !d.OK() {
+		t.Errorf("alloc improvement must pass: %+v", d.Rows)
+	}
+}
+
+func TestSchemaMismatchRejected(t *testing.T) {
+	base := report(true, gtepsCell("hybrid", 100))
+	cur := report(true, gtepsCell("hybrid", 100))
+	cur.Schema = SchemaVersion + 1
+	if _, err := Diff(base, cur); err == nil || !strings.Contains(err.Error(), "schema mismatch") {
+		t.Errorf("Diff across schemas: err = %v, want schema mismatch error", err)
+	}
+}
+
+func TestQuickMismatchRejected(t *testing.T) {
+	base := report(false, gtepsCell("hybrid", 100))
+	cur := report(true, gtepsCell("hybrid", 100))
+	if _, err := Diff(base, cur); err == nil || !strings.Contains(err.Error(), "quick-mode mismatch") {
+		t.Errorf("Diff across run modes: err = %v, want quick-mode mismatch error", err)
+	}
+}
+
+// Cells appearing or disappearing between PRs (an experiment added or
+// retired) are reported but never fatal — only cells present in both reports
+// are compared.
+func TestAddedRemovedCellsNonFatal(t *testing.T) {
+	shared := gtepsCell("hybrid", 100)
+	onlyOld := gtepsCell("allpairs", 50)
+	onlyNew := gtepsCell("butterfly-pipe", 120)
+
+	d := mustDiff(t, report(true, shared, onlyOld), report(true, shared, onlyNew))
+	if !d.OK() {
+		t.Errorf("added/removed cells must not regress the diff: %+v", d.Rows)
+	}
+	if len(d.Rows) != 1 || d.Rows[0].Key != shared.Key() {
+		t.Errorf("Rows = %+v, want only the shared cell compared", d.Rows)
+	}
+	if len(d.Added) != 1 || d.Added[0] != onlyNew.Key() {
+		t.Errorf("Added = %v, want [%s]", d.Added, onlyNew.Key())
+	}
+	if len(d.Removed) != 1 || d.Removed[0] != onlyOld.Key() {
+		t.Errorf("Removed = %v, want [%s]", d.Removed, onlyOld.Key())
+	}
+
+	var sb strings.Builder
+	d.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"added:", "removed:", "no regressions"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Metrics the tolerance table doesn't know about are informational: shown in
+// the table, never failing — so a new metric can land before its policy does.
+func TestUnknownMetricInformational(t *testing.T) {
+	cell := func(v float64) Cell {
+		return Cell{Experiment: "exchange", Scale: 11, Ranks: 4, Config: "hybrid", Metric: "frontier_peak", Value: v}
+	}
+	d := mustDiff(t, report(true, cell(10)), report(true, cell(99)))
+	if !d.OK() || len(d.Rows) != 1 {
+		t.Errorf("unknown metric must compare informationally: %+v", d.Rows)
+	}
+}
+
+func TestReportRoundTripAndSchemaGate(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.json")
+	rep := report(true, gtepsCell("hybrid", 1.5))
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if got.Schema != rep.Schema || got.Quick != rep.Quick || got.Seed != rep.Seed || len(got.Cells) != 1 || got.Cells[0] != rep.Cells[0] {
+		t.Errorf("round trip mismatch: got %+v", got)
+	}
+
+	stale := report(true, gtepsCell("hybrid", 1.5))
+	stale.Schema = SchemaVersion + 7
+	stalePath := filepath.Join(dir, "stale.json")
+	if err := stale.WriteFile(stalePath); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if _, err := ReadFile(stalePath); err == nil || !strings.Contains(err.Error(), "schema version") {
+		t.Errorf("ReadFile of future schema: err = %v, want schema version error", err)
+	}
+}

@@ -1,0 +1,87 @@
+// Package bench runs the pinned benchmark-trajectory suite and diffs its
+// schema-versioned JSON reports across PRs. Every PR regenerates
+// BENCH_<pr>.json at the repo root via `bfsbench -json`; CI runs the quick
+// suite and diffs it against the latest committed report with per-metric
+// tolerances, so a perf regression fails the build instead of hiding in PR
+// prose. The suite measures through the same graph cache, source seeds and
+// plan tuning as the experiments package, which is what makes the recorded
+// wire-byte counts exact across runs and machines.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// SchemaVersion identifies the report layout. Bump it whenever a cell key or
+// metric semantic changes; the differ refuses to compare across versions
+// rather than produce silently meaningless deltas.
+const SchemaVersion = 1
+
+// Report is one suite run's machine-readable output.
+type Report struct {
+	Schema int    `json:"schema"`
+	Quick  bool   `json:"quick"`
+	Seed   int64  `json:"seed"`
+	Cells  []Cell `json:"cells"`
+}
+
+// Cell is one measured value: an experiment's metric at one point of the
+// scale × ranks × config grid. Zero Scale/Ranks and empty Config mean the
+// dimension does not apply to the experiment.
+type Cell struct {
+	Experiment string  `json:"experiment"`
+	Scale      int     `json:"scale,omitempty"`
+	Ranks      int     `json:"ranks,omitempty"`
+	Config     string  `json:"config,omitempty"`
+	Metric     string  `json:"metric"`
+	Value      float64 `json:"value"`
+	Unit       string  `json:"unit,omitempty"`
+}
+
+// Key identifies a cell across reports: every dimension except the value.
+func (c Cell) Key() string {
+	var b strings.Builder
+	b.WriteString(c.Experiment)
+	if c.Scale != 0 {
+		b.WriteString("/s" + strconv.Itoa(c.Scale))
+	}
+	if c.Ranks != 0 {
+		b.WriteString("/r" + strconv.Itoa(c.Ranks))
+	}
+	if c.Config != "" {
+		b.WriteString("/" + c.Config)
+	}
+	b.WriteString("/" + c.Metric)
+	return b.String()
+}
+
+// WriteFile marshals the report as indented JSON (newline-terminated, so
+// committed baselines diff cleanly).
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile parses a report and validates its schema version.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("bench: %s: schema version %d, this binary writes %d — regenerate the report instead of comparing across schemas",
+			path, r.Schema, SchemaVersion)
+	}
+	return &r, nil
+}

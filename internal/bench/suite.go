@@ -1,0 +1,171 @@
+package bench
+
+// The pinned suite. Fixed seeds, fixed scales, fixed shapes: the point is a
+// trajectory, so the grid must not drift between PRs without a deliberate
+// schema decision. Quick mode (CI, BENCH_<pr>.json baselines) runs one small
+// scale; full mode adds the larger cells for local investigation.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+
+	"gcbfs/internal/core"
+	"gcbfs/internal/experiments"
+	"gcbfs/internal/metrics"
+	"gcbfs/internal/wire"
+)
+
+// Params tunes the suite run.
+type Params struct {
+	Quick bool
+	Seed  int64 // source-selection seed; 0 = the experiments' default
+}
+
+func (p Params) seed() int64 {
+	if p.Seed != 0 {
+		return p.Seed
+	}
+	return 20180405 // the paper's arXiv v2 date, as everywhere else
+}
+
+// sourcesPerCell is the BFS runs per exchange-grid cell (small: the suite's
+// job is trending, not statistics — the simulation is deterministic anyway).
+const sourcesPerCell = 3
+
+// allocSources is the batch size of the allocation cells, matching the
+// BenchmarkQueryAllocs harness so the two guards measure the same regime.
+const allocSources = 8
+
+// exchangeConfigs is the pinned strategy grid — the cmp4 ablation's axes.
+var exchangeConfigs = []struct {
+	name     string
+	exchange core.Exchange
+	pipeline bool
+}{
+	{"allpairs", core.ExchangeAllPairs, true},
+	{"butterfly-seq", core.ExchangeButterfly, false},
+	{"butterfly-pipe", core.ExchangeButterfly, true},
+	{"hybrid", core.ExchangeHybrid, true},
+}
+
+// Run executes the pinned suite and returns the report.
+func Run(p Params) (*Report, error) {
+	rep := &Report{Schema: SchemaVersion, Quick: p.Quick, Seed: p.seed()}
+	scales, rankCounts := []int{12, 14}, []int{4, 8}
+	if p.Quick {
+		scales, rankCounts = []int{11}, []int{4, 6}
+	}
+	for _, scale := range scales {
+		el := experiments.BenchGraph(scale)
+		sources := experiments.BenchSources(el, sourcesPerCell, p.seed())
+		for _, ranks := range rankCounts {
+			shape := core.ClusterShape{Nodes: ranks / 2, RanksPerNode: 2, GPUsPerRank: 2}
+			opts := core.DefaultOptions()
+			opts.Compression = wire.ModeAdaptive
+			opts.CollectLevels = false
+			pl, _, err := experiments.BenchPlan(el, shape, opts)
+			if err != nil {
+				return nil, fmt.Errorf("bench: scale %d ranks %d: %w", scale, ranks, err)
+			}
+			for _, cfg := range exchangeConfigs {
+				ex, pipe := cfg.exchange, cfg.pipeline
+				ov := core.Overrides{Exchange: &ex, PipelineHops: &pipe}
+				results, err := pl.RunBatch(context.Background(), sources, 4, ov)
+				if err != nil {
+					return nil, fmt.Errorf("bench: scale %d ranks %d %s: %w", scale, ranks, cfg.name, err)
+				}
+				rep.Cells = append(rep.Cells, exchangeCells(scale, ranks, cfg.name, results)...)
+			}
+		}
+	}
+	if err := allocCells(rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// exchangeCells reduces one config's batch into the per-cell metrics:
+// traversal rate, exact bytes on the wire, the fraction of codec compute the
+// pipeline hid, and the policy cost model's relative prediction error.
+func exchangeCells(scale, ranks int, config string, results []*metrics.RunResult) []Cell {
+	agg := metrics.AggregateRuns(results)
+	var wireBytes int64
+	var codecSecs, hiddenSecs, predicted, remote float64
+	for _, r := range results {
+		wireBytes += r.Wire.CompressedBytes
+		codecSecs += r.Wire.CodecSeconds
+		hiddenSecs += r.Exchange.HiddenCodecSeconds
+		predicted += r.Exchange.PredictedSeconds
+		remote += r.Parts.RemoteNormal
+	}
+	hiddenRatio := 0.0
+	if codecSecs > 0 {
+		hiddenRatio = hiddenSecs / codecSecs
+	}
+	policyErr := 0.0
+	if remote > 0 {
+		policyErr = (predicted - remote) / remote
+		if policyErr < 0 {
+			policyErr = -policyErr
+		}
+	}
+	mk := func(metric string, v float64, unit string) Cell {
+		return Cell{Experiment: "exchange", Scale: scale, Ranks: ranks,
+			Config: config, Metric: metric, Value: v, Unit: unit}
+	}
+	return []Cell{
+		mk("gteps", agg.GTEPS, "GTEPS"),
+		mk("wire_bytes", float64(wireBytes), "B"),
+		mk("hidden_codec_ratio", hiddenRatio, ""),
+		mk("policy_error", policyErr, ""),
+	}
+}
+
+// allocCells measures heap allocations and bytes per query at Parallelism 1
+// and 8 on the same graph/shape/options as BenchmarkQueryAllocs: scale 12,
+// 2×2×2, adaptive codec, hybrid exchange, no level collection. GC is
+// disabled around the measured batch (ReadMemStats deltas, not timing) and a
+// warmup batch sizes the session pool and arenas first, so the steady state
+// is what gets recorded.
+func allocCells(rep *Report) error {
+	el := experiments.BenchGraph(12)
+	sources := experiments.BenchSources(el, allocSources, 7)
+	opts := core.DefaultOptions()
+	opts.Compression = wire.ModeAdaptive
+	opts.Exchange = core.ExchangeHybrid
+	opts.CollectLevels = false
+	pl, _, err := experiments.BenchPlan(el, core.ClusterShape{Nodes: 2, RanksPerNode: 2, GPUsPerRank: 2}, opts)
+	if err != nil {
+		return fmt.Errorf("bench: alloc cells: %w", err)
+	}
+	for _, par := range []int{1, 8} {
+		batch := func() error {
+			_, err := pl.RunBatch(context.Background(), sources, par, core.Overrides{})
+			return err
+		}
+		if err := batch(); err != nil { // warmup: pool, arenas, selector maps
+			return fmt.Errorf("bench: alloc cells: %w", err)
+		}
+		prevGC := debug.SetGCPercent(-1)
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		err := batch()
+		runtime.ReadMemStats(&after)
+		debug.SetGCPercent(prevGC)
+		if err != nil {
+			return fmt.Errorf("bench: alloc cells: %w", err)
+		}
+		n := float64(len(sources))
+		config := fmt.Sprintf("parallel-%d", par)
+		rep.Cells = append(rep.Cells,
+			Cell{Experiment: "allocs", Config: config, Metric: "allocs_per_query",
+				Value: float64(after.Mallocs-before.Mallocs) / n, Unit: "allocs"},
+			Cell{Experiment: "allocs", Config: config, Metric: "bytes_per_query",
+				Value: float64(after.TotalAlloc-before.TotalAlloc) / n, Unit: "B"},
+		)
+	}
+	return nil
+}

@@ -391,6 +391,10 @@ type Session struct {
 	d     int64
 	amp   float64 // work/volume amplification for the timing model
 	gpus  []*gpuState
+	// scratch holds each rank goroutine's reusable per-iteration state
+	// (merge headers, arrival bins, decode arena, radix buffers — see
+	// scratch.go). Indexed by rank; touched only by the owning goroutine.
+	scratch []*rankScratch
 
 	// delegateParents holds the resolved BFS-tree parents of delegates
 	// (written by rank 0 during the post-BFS resolution; every rank
@@ -435,6 +439,11 @@ func (p *Plan) newSession() *Session {
 			gs.isNDSource[src] = true
 		}
 		s.gpus[i] = gs
+	}
+	prank := p.shape.Ranks()
+	s.scratch = make([]*rankScratch, prank)
+	for r := range s.scratch {
+		s.scratch[r] = newRankScratch(prank, p.shape.GPUsPerRank, s.d)
 	}
 	return s
 }
@@ -484,6 +493,11 @@ type gpuState struct {
 	inFront  []uint32 // local normal frontier
 	outFront []uint32
 	bins     *frontier.Bins
+
+	// qDDBuf/qDNBuf back the previsit delegate queues across iterations —
+	// previsit rebuilds them from scratch each super-step, so only the
+	// capacity is reused, never the contents.
+	qDDBuf, qDNBuf []int64
 
 	// BFS-tree state (allocated on first parent-collecting query, active
 	// only while trackParents is set): parents of local normal vertices,

@@ -167,6 +167,7 @@ type exchanger interface {
 type rankExchangers struct {
 	e    *Session
 	rank int
+	sc   *rankScratch
 	ap   *allPairsExchange
 	bf   *butterflyExchange
 }
@@ -180,6 +181,7 @@ func (rx *rankExchangers) get(strategy Exchange) exchanger {
 			rx.bf = &butterflyExchange{
 				e:             rx.e,
 				rank:          rx.rank,
+				sc:            rx.sc,
 				q:             q,
 				rem:           rem,
 				nhops:         nhops,
@@ -191,7 +193,7 @@ func (rx *rankExchangers) get(strategy Exchange) exchanger {
 		return rx.bf
 	default:
 		if rx.ap == nil {
-			rx.ap = &allPairsExchange{e: rx.e, rank: rx.rank, sel: wire.NewSelector()}
+			rx.ap = &allPairsExchange{e: rx.e, rank: rx.rank, sc: rx.sc, sel: wire.NewSelector()}
 		}
 		return rx.ap
 	}
@@ -216,16 +218,22 @@ func hopTag(iter int32, hop int) int {
 }
 
 // mergeForRank gathers all of this rank's bins destined for dst's GPUs into
-// one id list per destination slot, merging every source GPU of this rank.
-// When every contributing bin is sorted (uniquify leaves them so), the lists
-// are merge-sorted instead of concatenated, which keeps the pre-sorted codec
-// hint alive through aggregation. The returned slices are freshly allocated;
-// callers may retain and grow them.
-func (e *Session) mergeForRank(myGPUs []*gpuState, dst int) ([][]uint32, []bool) {
+// one id list per destination slot (written into the caller's merged/sorted
+// headers, len pgpu each), merging every source GPU of this rank. When every
+// contributing bin is sorted (uniquify leaves them so), the lists are
+// merge-sorted instead of concatenated, which keeps the pre-sorted codec
+// hint alive through aggregation.
+//
+// Allocation contract: a single-contributor slot references the bin
+// directly — zero copy. That is safe because the encoders only read the
+// slots, the butterfly's relaying appends write past the bin's length into
+// spare capacity the bin never reads, and bins.Reset() (run.go, after the
+// exchange) leaves contents untouched. Multi-contributor slots draw their
+// merged output from the per-iteration arena. Callers may retain and grow
+// the slot slices for the current iteration only.
+func (e *Session) mergeForRank(myGPUs []*gpuState, dst int, sc *rankScratch, merged [][]uint32, sorted []bool) {
 	pgpu := e.shape.GPUsPerRank
-	merged := make([][]uint32, pgpu)
-	sorted := make([]bool, pgpu)
-	var lists [][]uint32
+	lists := sc.lists
 	for s := 0; s < pgpu; s++ {
 		dstGPU := dst*pgpu + s
 		lists = lists[:0]
@@ -236,19 +244,28 @@ func (e *Session) mergeForRank(myGPUs []*gpuState, dst int) ([][]uint32, []bool)
 				allSorted = allSorted && gs.bins.IsSorted(dstGPU)
 			}
 		}
+		merged[s] = nil
 		switch {
 		case len(lists) == 0:
 			sorted[s] = true
+		case len(lists) == 1:
+			merged[s], sorted[s] = lists[0], allSorted
 		case allSorted:
-			merged[s] = frontier.MergeSorted(lists)
+			merged[s] = frontier.MergeSortedArena(&sc.arena, lists)
 			sorted[s] = true
 		default:
+			var total int
 			for _, l := range lists {
-				merged[s] = append(merged[s], l...)
+				total += len(l)
 			}
+			out := sc.arena.Alloc(total)
+			for _, l := range lists {
+				out = append(out, l...)
+			}
+			merged[s], sorted[s] = out, false
 		}
 	}
-	return merged, sorted
+	sc.lists = lists
 }
 
 // ---- all-pairs ----
@@ -256,31 +273,35 @@ func (e *Session) mergeForRank(myGPUs []*gpuState, dst int) ([][]uint32, []bool)
 type allPairsExchange struct {
 	e    *Session
 	rank int
+	sc   *rankScratch
 	sel  *wire.Selector
 }
 
 func (x *allPairsExchange) rounds() int { return 1 }
 
 func (x *allPairsExchange) exchange(comm *mpi.Comm, myGPUs []*gpuState, iter int32) exchangeCounts {
-	e, rank := x.e, x.rank
+	e, rank, sc := x.e, x.rank, x.sc
 	pgpu := e.shape.GPUsPerRank
 	prank := e.shape.Ranks()
 	mode := e.opts.Compression
+	sc.arena.Reset()
 	var c exchangeCounts
-	c.arrivals = make([][]uint32, pgpu)
+	c.arrivals = sc.resetArrivals()
 
 	// Remote sends: one packed message per destination rank carrying every
 	// source GPU's bins for that rank's slots. EncodeSlots applies the
 	// shared accounting convention: with compression off, id bytes only
 	// (the paper's 4·|Enn|; the per-slot count headers are wire framing);
 	// with a codec active, the encoded message — framing, checksums and
-	// all — is what crosses the NIC and what the timing model sees.
+	// all — is what crosses the NIC and what the timing model sees. The
+	// merge headers are reused per destination: the encode consumes them
+	// before the next merge overwrites.
 	for dst := 0; dst < prank; dst++ {
 		if dst == rank {
 			continue
 		}
-		slots, sorted := e.mergeForRank(myGPUs, dst)
-		payload, st := x.sel.EncodeSlots(dst, slots, sorted, mode)
+		e.mergeForRank(myGPUs, dst, sc, sc.apSlots, sc.apSorted)
+		payload, st := x.sel.EncodeSlots(dst, sc.apSlots, sc.apSorted, mode)
 		c.sent += st.EncodedBytes
 		c.sentRaw += st.RawBytes
 		if mode != wire.ModeOff {
@@ -293,35 +314,33 @@ func (x *allPairsExchange) exchange(comm *mpi.Comm, myGPUs []*gpuState, iter int
 		c.messages++
 		comm.Isend(dst, hopTag(iter, 0), payload)
 	}
-	// Receives (decoded through the same codec the sender used).
+	// Receives, decoded zero-copy straight into the reusable arrival bins
+	// (each block's count header pre-sizes the grow).
 	for src := 0; src < prank; src++ {
 		if src == rank {
 			continue
 		}
 		buf := comm.Recv(src, hopTag(iter, 0))
-		var slots [][]uint32
 		var err error
 		if mode == wire.ModeOff {
 			c.recv += int64(len(buf)) - 4*int64(pgpu)
-			slots, err = frontier.UnpackRank(buf, pgpu)
+			err = frontier.UnpackRankInto(buf, c.arrivals)
 		} else {
 			c.recv += int64(len(buf))
-			slots, err = wire.DecodeRank(buf, pgpu)
+			before := countIDs(c.arrivals)
+			err = wire.DecodeRankInto(buf, c.arrivals)
+			c.codecRaw += 4 * (countIDs(c.arrivals) - before)
 		}
 		if err != nil {
 			panic(fmt.Sprintf("core: corrupt exchange payload: %v", err))
 		}
-		for s, ids := range slots {
-			if mode != wire.ModeOff {
-				c.codecRaw += 4 * int64(len(ids))
-			}
-			c.arrivals[s] = append(c.arrivals[s], ids...)
-		}
 	}
-	c.hopBytes = []int64{c.sent}
+	c.hopBytes = append(sc.hopBytes[:0], c.sent)
+	sc.hopBytes = c.hopBytes
 	// One communication round: all codec work (encode and decode) is a
 	// single compute stage with no earlier transfer to hide under.
-	c.hopCodecRaw = []int64{c.codecRaw}
+	c.hopCodecRaw = append(sc.hopCodecRaw[:0], c.codecRaw)
+	sc.hopCodecRaw = c.hopCodecRaw
 	return c
 }
 
@@ -341,6 +360,7 @@ func (x *allPairsExchange) remoteTime(hopBytes, hopCodecRaw []int64, preCodecRaw
 type butterflyExchange struct {
 	e     *Session
 	rank  int
+	sc    *rankScratch
 	q     int // largest power of two ≤ rank count
 	rem   int // remainder ranks folded in by the cleanup hops
 	nhops int // log2(q) hypercube hops
@@ -376,25 +396,32 @@ func (x *butterflyExchange) fold(dst int) int {
 }
 
 func (x *butterflyExchange) exchange(comm *mpi.Comm, myGPUs []*gpuState, iter int32) exchangeCounts {
-	e, rank := x.e, x.rank
+	e, rank, sc := x.e, x.rank, x.sc
 	pgpu := e.shape.GPUsPerRank
 	prank := e.shape.Ranks()
 	mode := e.opts.Compression
+	sc.arena.Reset()
 	var c exchangeCounts
-	c.arrivals = make([][]uint32, pgpu)
-	c.hopBytes = make([]int64, x.rounds())
-	x.encRaw = make([]int64, x.rounds())
-	x.decRaw = make([]int64, x.rounds())
+	c.arrivals = sc.resetArrivals()
+	c.hopBytes = grownInt64(sc.hopBytes, x.rounds())
+	sc.hopBytes = c.hopBytes
+	x.encRaw = grownInt64(x.encRaw, x.rounds())
+	x.decRaw = grownInt64(x.decRaw, x.rounds())
 
 	// Stage this iteration's own bins. ownRaw is the fixed-width equivalent
-	// of originated traffic; everything sent beyond it was forwarded.
+	// of originated traffic; everything sent beyond it was forwarded. Each
+	// destination keeps its own pgpu-row of the flat staging headers — the
+	// butterfly retains every destination's slots across its hops, so the
+	// rows cannot be shared the way all-pairs reuses one.
 	var ownRaw int64
 	for dst := 0; dst < prank; dst++ {
 		x.pending[dst], x.pendingSorted[dst] = nil, nil
 		if dst == rank {
 			continue
 		}
-		slots, sorted := e.mergeForRank(myGPUs, dst)
+		slots := sc.stageSlots[dst*pgpu : (dst+1)*pgpu]
+		sorted := sc.stageSorted[dst*pgpu : (dst+1)*pgpu]
+		e.mergeForRank(myGPUs, dst, sc, slots, sorted)
 		n := countIDs(slots)
 		if n == 0 {
 			continue
@@ -410,7 +437,7 @@ func (x *butterflyExchange) exchange(comm *mpi.Comm, myGPUs []*gpuState, iter in
 	// hopBytes entry so the vectors still max-reduce element-wise.
 	if x.rem > 0 {
 		if rank >= x.q {
-			var secs []wire.Section
+			secs := sc.secs[:0]
 			for dst := 0; dst < prank; dst++ {
 				if x.pending[dst] == nil {
 					continue
@@ -422,6 +449,7 @@ func (x *butterflyExchange) exchange(comm *mpi.Comm, myGPUs []*gpuState, iter in
 				})
 				x.pending[dst], x.pendingSorted[dst] = nil, nil
 			}
+			sc.secs = secs
 			c.hopBytes[hop] = x.send(comm, rank-x.q, iter, hop, secs, mode, &c)
 		} else if rank < x.rem {
 			x.receive(comm, rank+x.q, iter, hop, mode, &c)
@@ -439,7 +467,7 @@ func (x *butterflyExchange) exchange(comm *mpi.Comm, myGPUs []*gpuState, iter in
 		partner := rank ^ bit
 		// Forward everything destined for the partner's half: ids travel by
 		// having their folded destination-rank bits corrected lowest-first.
-		var secs []wire.Section
+		secs := sc.secs[:0]
 		for dst := 0; dst < prank; dst++ {
 			if (x.fold(dst)^rank)&bit == 0 || x.pending[dst] == nil {
 				continue
@@ -451,6 +479,7 @@ func (x *butterflyExchange) exchange(comm *mpi.Comm, myGPUs []*gpuState, iter in
 			})
 			x.pending[dst], x.pendingSorted[dst] = nil, nil
 		}
+		sc.secs = secs
 		c.hopBytes[hop] = x.send(comm, partner, iter, hop, secs, mode, &c)
 		x.receive(comm, partner, iter, hop, mode, &c)
 		hop++
@@ -461,7 +490,7 @@ func (x *butterflyExchange) exchange(comm *mpi.Comm, myGPUs []*gpuState, iter in
 	if x.rem > 0 {
 		if rank < x.rem {
 			partner := rank + x.q
-			var secs []wire.Section
+			secs := sc.secs[:0]
 			if x.pending[partner] != nil {
 				secs = append(secs, wire.Section{
 					Rank:   partner,
@@ -470,6 +499,7 @@ func (x *butterflyExchange) exchange(comm *mpi.Comm, myGPUs []*gpuState, iter in
 				})
 				x.pending[partner], x.pendingSorted[partner] = nil, nil
 			}
+			sc.secs = secs
 			c.hopBytes[hop] = x.send(comm, partner, iter, hop, secs, mode, &c)
 		} else if rank >= x.q {
 			x.receive(comm, rank-x.q, iter, hop, mode, &c)
@@ -490,7 +520,8 @@ func (x *butterflyExchange) exchange(comm *mpi.Comm, myGPUs []*gpuState, iter in
 	// the first hop's encode precedes all communication. The stages sum to
 	// codecRaw exactly, so sequential charging is unchanged in total.
 	rounds := x.rounds()
-	c.hopCodecRaw = make([]int64, rounds)
+	c.hopCodecRaw = grownInt64(sc.hopCodecRaw, rounds)
+	sc.hopCodecRaw = c.hopCodecRaw
 	if rounds > 0 {
 		c.preCodecRaw = x.encRaw[0]
 		for k := 0; k < rounds; k++ {
@@ -530,7 +561,7 @@ func (x *butterflyExchange) receive(comm *mpi.Comm, src int, iter int32, hop int
 	pgpu := x.e.shape.GPUsPerRank
 	prank := x.e.shape.Ranks()
 	buf := comm.Recv(src, hopTag(iter, hop))
-	secsIn, err := wire.DecodeSections(buf, pgpu, prank, mode)
+	secsIn, err := wire.DecodeSectionsArena(buf, pgpu, prank, mode, &x.sc.arena)
 	if err != nil {
 		panic(fmt.Sprintf("core: corrupt butterfly payload (hop %d): %v", hop, err))
 	}
@@ -574,7 +605,9 @@ func (x *butterflyExchange) mergePending(sec wire.Section) {
 		case len(cur[s]) == 0:
 			cur[s], curSorted[s] = inc, sec.Sorted[s]
 		case curSorted[s] && sec.Sorted[s]:
-			cur[s] = frontier.MergeSorted([][]uint32{cur[s], inc})
+			x.sc.pair[0], x.sc.pair[1] = cur[s], inc
+			cur[s] = frontier.MergeSortedArena(&x.sc.arena, x.sc.pair[:])
+			x.sc.pair[0], x.sc.pair[1] = nil, nil
 		default:
 			cur[s] = append(cur[s], inc...)
 			curSorted[s] = false

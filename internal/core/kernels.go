@@ -32,7 +32,9 @@ type previsitOut struct {
 func (e *Session) previsit(gs *gpuState) previsitOut {
 	var out previsitOut
 	// Delegate previsit: scan the (globally consistent) delegate frontier
-	// and keep delegates with local dd or dn edges.
+	// and keep delegates with local dd or dn edges. The queues are rebuilt
+	// every super-step, so they draw on the GPU state's persistent buffers.
+	out.qDD, out.qDN = gs.qDDBuf[:0], gs.qDNBuf[:0]
 	frontierBits := int64(0)
 	gs.dFront.ForEach(func(di int64) {
 		frontierBits++
@@ -51,6 +53,7 @@ func (e *Session) previsit(gs *gpuState) previsitOut {
 			}
 		}
 	})
+	gs.qDDBuf, gs.qDNBuf = out.qDD, out.qDN // retain grown capacity
 	gs.it.delegateStream += e.charge(gs, simgpu.KernelCost{
 		Vertices: frontierBits + e.d/64, Strategy: simgpu.TWBDynamic,
 	})

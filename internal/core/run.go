@@ -4,11 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"slices"
 	"sync"
 	"sync/atomic"
 
-	"gcbfs/internal/bitmask"
 	"gcbfs/internal/metrics"
 	"gcbfs/internal/mpi"
 	"gcbfs/internal/simgpu"
@@ -211,9 +209,10 @@ func (e *Session) runRank(ctx context.Context, rank int, comm *mpi.Comm, rec *re
 	pgpu := e.shape.GPUsPerRank
 	prank := e.shape.Ranks()
 	myGPUs := e.gpus[rank*pgpu : (rank+1)*pgpu]
-	rankMask := bitmask.New(e.d)
+	sc := e.scratch[rank]
+	rankMask := sc.rankMask // fully overwritten by CopyFrom each iteration
 	maskBytes := rankMask.ByteSize()
-	rx := &rankExchangers{e: e, rank: rank}
+	rx := &rankExchangers{e: e, rank: rank, sc: sc}
 	cancelled := false
 
 	// Input frontier sizes of the upcoming iteration (globally known), plus
@@ -282,8 +281,9 @@ func (e *Session) runRank(ctx context.Context, rank int, comm *mpi.Comm, rec *re
 		effMaskBytes := maskBytes
 		var maskCodecRaw int64
 		if maskExchanged && e.opts.Compression != wire.ModeOff && e.d-1 <= int64(^uint32(0)) {
-			ids := make([]uint32, 0, rankMask.Count())
+			ids := sc.maskIDs[:0]
 			rankMask.ForEach(func(di int64) { ids = append(ids, uint32(di)) })
+			sc.maskIDs = ids
 			if enc := wire.EncodedMaskBytes(ids, e.opts.Compression); enc < maskBytes {
 				effMaskBytes = enc
 				maskCodecRaw = 4 * int64(len(ids))
@@ -325,12 +325,13 @@ func (e *Session) runRank(ctx context.Context, rank int, comm *mpi.Comm, rec *re
 		// exchange strategy yields the identical output-frontier order (and
 		// hence identical parents downstream). On the real GPU the apply is
 		// an order-independent parallel scatter, so no extra time is
-		// charged for the canonicalization.
+		// charged for the canonicalization. The apply runs through the
+		// radix-bucketed path (scratch.go), which produces exactly the
+		// fully-sorted order a whole-set sort would.
 		var applied int64
 		for s, ids := range counts.arrivals {
 			applied += int64(len(ids))
-			slices.Sort(ids)
-			applyIDs(myGPUs[s], ids, iter+1)
+			sc.applySorted(myGPUs[s], ids, iter+1)
 		}
 		sentBytes, rawSentBytes := counts.sent, counts.sentRaw
 		// Scatter cost of applying received ids on the destination GPUs.
@@ -382,7 +383,7 @@ func (e *Session) runRank(ctx context.Context, rank int, comm *mpi.Comm, rec *re
 		// synchronized pairwise exchanges, so the slowest rank paces each
 		// transfer and each codec stage.
 		nh := len(counts.hopBytes)
-		vec := make([]float64, 0, 6+2*nh)
+		vec := sc.vec[:0]
 		vec = append(vec, comp, localComm, remoteDelegate, maskCodecSecs)
 		for _, hb := range counts.hopBytes {
 			vec = append(vec, float64(e.ampBytes(hb)))
@@ -397,9 +398,12 @@ func (e *Session) runRank(ctx context.Context, rank int, comm *mpi.Comm, rec *re
 		// back (relays would inflate a wire-byte measure on butterfly
 		// iterations).
 		vec = append(vec, float64(e.ampBytes(counts.sentRaw-counts.forwarded)))
+		sc.vec = vec
 		maxFloatsAllreduce(comm, vec)
-		redWire := make([]int64, nh)
-		redCodec := make([]int64, nh)
+		redWire := grownInt64(sc.redWire, nh)
+		sc.redWire = redWire
+		redCodec := grownInt64(sc.redCodec, nh)
+		sc.redCodec = redCodec
 		for i := 0; i < nh; i++ {
 			redWire[i] = int64(vec[4+i])
 			redCodec[i] = int64(vec[4+nh+i])
@@ -433,9 +437,10 @@ func (e *Session) runRank(ctx context.Context, rank int, comm *mpi.Comm, rec *re
 		if ctx.Err() != nil {
 			ctxDead = 1
 		}
-		sums := []int64{edges, sentBytes, nextNormals, dupsRemoved, flag,
+		sums := append(sc.sums[:0], edges, sentBytes, nextNormals, dupsRemoved, flag,
 			rawSentBytes, counts.scheme[wire.SchemeRaw], counts.scheme[wire.SchemeDelta], counts.scheme[wire.SchemeBitmap],
-			counts.messages, counts.forwarded, counts.memoHits, counts.codecRaw + maskCodecRaw, ctxDead}
+			counts.messages, counts.forwarded, counts.memoHits, counts.codecRaw+maskCodecRaw, ctxDead)
+		sc.sums = sums
 		comm.AllreduceSum(sums)
 
 		if rank == 0 {

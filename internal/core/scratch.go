@@ -1,0 +1,154 @@
+package core
+
+// Per-rank reusable scratch for the query hot path. A Session is recycled
+// through its Plan's pool, but pooling alone only amortizes the big fixed
+// buffers (levels, bitmasks, bins); every iteration of every query still
+// allocated its exchange scratch fresh — merge headers, arrival bins, codec
+// decode buffers, per-hop vectors. rankScratch owns all of that per rank
+// goroutine: slice headers are reused via [:0], id payloads come from a bump
+// arena reset at each iteration boundary, and the canonical arrival apply
+// runs through a radix-bucketed sort whose scatter buffer is reused too.
+// None of this changes a single computed value — the scratch is overwritten
+// before every read, and the arena hands out zeroed-length slices exactly
+// like make() — so determinism and bit-identical results across exchange
+// strategies (cmp1–cmp4) are preserved by construction.
+
+import (
+	"math/bits"
+	"slices"
+
+	"gcbfs/internal/bitmask"
+	"gcbfs/internal/frontier"
+	"gcbfs/internal/wire"
+)
+
+// rankScratch is one rank goroutine's reusable per-iteration state. It is
+// owned by exactly one rank of one in-flight query (Session pooling already
+// guarantees no cross-query sharing), so no locking is needed.
+type rankScratch struct {
+	// arena backs every id slice whose lifetime is one BSP iteration:
+	// merged send slots, butterfly hop decode output, pending relay
+	// payloads. Reset at the start of each iteration's exchange.
+	arena frontier.Arena
+
+	// arrivals are the reusable per-local-slot remote-arrival bins the
+	// exchange decodes into (zero-copy: the wire header's count pre-sizes
+	// the grow). Backing arrays persist across iterations and queries.
+	arrivals [][]uint32
+
+	// apSlots/apSorted are the all-pairs merge headers, reused for every
+	// destination rank in turn (the encode consumes them immediately).
+	apSlots  [][]uint32
+	apSorted []bool
+
+	// stageSlots/stageSorted are the butterfly staging headers: one pgpu-row
+	// per destination rank, flat, because the butterfly retains all
+	// destinations' merged slots across its hops.
+	stageSlots  [][]uint32
+	stageSorted []bool
+
+	// lists gathers the contributing bins of one merge; pair is the
+	// two-list header for pending-relay merges.
+	lists [][]uint32
+	pair  [2][]uint32
+
+	// secs is the butterfly's per-hop section list.
+	secs []wire.Section
+
+	// hopBytes/hopCodecRaw back the exchangeCounts vectors; redWire/redCodec
+	// are run.go's reduced copies.
+	hopBytes    []int64
+	hopCodecRaw []int64
+	redWire     []int64
+	redCodec    []int64
+
+	// rankMask is the delegate-mask reduction buffer (fully overwritten by
+	// CopyFrom before every read, so persisting it across queries is safe).
+	rankMask *bitmask.Mask
+	maskIDs  []uint32
+
+	// vec and sums are the per-iteration allreduce payloads.
+	vec  []float64
+	sums []int64
+
+	// radix is the scatter buffer of the radix-bucketed canonical apply.
+	radix []uint32
+}
+
+func newRankScratch(prank, pgpu int, d int64) *rankScratch {
+	return &rankScratch{
+		arrivals:    make([][]uint32, pgpu),
+		apSlots:     make([][]uint32, pgpu),
+		apSorted:    make([]bool, pgpu),
+		stageSlots:  make([][]uint32, prank*pgpu),
+		stageSorted: make([]bool, prank*pgpu),
+		rankMask:    bitmask.New(d),
+	}
+}
+
+// resetArrivals empties the arrival bins (capacity retained) and returns
+// them for this iteration's exchangeCounts.
+func (sc *rankScratch) resetArrivals() [][]uint32 {
+	for i := range sc.arrivals {
+		sc.arrivals[i] = sc.arrivals[i][:0]
+	}
+	return sc.arrivals
+}
+
+// grownInt64 returns a zeroed length-n slice, reusing s's capacity.
+func grownInt64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// radixMinLen gates the radix path: tiny arrival sets sort directly (the
+// bucket pass would dominate).
+const radixMinLen = 128
+
+// applySorted applies remote arrivals to gs in canonical ascending order —
+// the order contract every exchange strategy's bit-identity rests on. Large
+// arrival sets go through a one-level MSB radix partition (256 buckets over
+// the local id space) into the reusable scatter buffer, each bucket sorted
+// and applied in sequence; the concatenation of sorted buckets in bucket
+// order IS the fully ascending sequence, so the result is exactly what
+// slices.Sort over the whole set would apply — with no per-iteration
+// allocation and better locality on big frontiers.
+func (sc *rankScratch) applySorted(gs *gpuState, ids []uint32, depth int32) {
+	idBits := bits.Len64(uint64(gs.pg.NumLocal - 1))
+	if len(ids) < radixMinLen || idBits <= 8 {
+		slices.Sort(ids)
+		applyIDs(gs, ids, depth)
+		return
+	}
+	shift := uint(idBits - 8)
+	// bounds[k+1] counts bucket k, then prefix-sums into segment bounds.
+	var bounds [257]int
+	for _, v := range ids {
+		bounds[(v>>shift)+1]++
+	}
+	for i := 1; i < len(bounds); i++ {
+		bounds[i] += bounds[i-1]
+	}
+	if cap(sc.radix) < len(ids) {
+		sc.radix = make([]uint32, len(ids))
+	}
+	buf := sc.radix[:len(ids)]
+	off := bounds // array copy: scatter cursors
+	for _, v := range ids {
+		k := v >> shift
+		buf[off[k]] = v
+		off[k]++
+	}
+	for k := 0; k < 256; k++ {
+		seg := buf[bounds[k]:bounds[k+1]]
+		if len(seg) == 0 {
+			continue
+		}
+		slices.Sort(seg)
+		applyIDs(gs, seg, depth)
+	}
+}

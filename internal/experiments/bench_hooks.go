@@ -1,0 +1,32 @@
+package experiments
+
+// Exported hooks for the pinned benchmark-trajectory suite (internal/bench).
+// The suite must measure exactly the graphs, sources and plans the
+// experiments measure — same RMAT cache, same seed conventions, same
+// threshold tuning — or its recorded wire-byte counts (diffed exactly
+// across PRs) would drift from what the cmp tables report.
+
+import (
+	"gcbfs/internal/core"
+	"gcbfs/internal/graph"
+	"gcbfs/internal/partition"
+)
+
+// BenchGraph returns the shared cached Graph500 RMAT instance for a scale.
+func BenchGraph(scale int) *graph.EdgeList { return rmatGraph(scale) }
+
+// BenchSources selects k deterministic positive-degree sources (sorted
+// ascending) with the experiments' rejection-sampling convention.
+func BenchSources(el *graph.EdgeList, k int, seed int64) []int64 {
+	return pickSources(el.OutDegrees(), k, seed)
+}
+
+// BenchPlan partitions el for the shape at the suggested degree threshold
+// and builds a query plan — the same tuning path every experiment uses.
+func BenchPlan(el *graph.EdgeList, shape core.ClusterShape, opts core.Options) (*core.Plan, *partition.Subgraphs, error) {
+	return buildPlan(el, shape, suggestTH(el, shape.P()), opts)
+}
+
+// DefaultSources reports the per-experiment default source count for a
+// parameter set — what Params.sources() resolves 0 to.
+func (p Params) DefaultSources() int { return p.sources() }

@@ -8,7 +8,7 @@ package frontier
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Bins accumulates outgoing normal-vertex discoveries grouped by destination
@@ -77,7 +77,7 @@ func (b *Bins) Uniquify(gpu int) int64 {
 	if len(bin) < 2 {
 		return 0
 	}
-	sort.Slice(bin, func(i, j int) bool { return bin[i] < bin[j] })
+	slices.Sort(bin)
 	out := bin[:1]
 	for _, v := range bin[1:] {
 		if v != out[len(out)-1] {
@@ -127,27 +127,79 @@ func (b *Bins) PackRank(rank, gpusPerRank int) []byte {
 // UnpackRank parses a PackRank payload back into per-slot id lists.
 func UnpackRank(buf []byte, gpusPerRank int) ([][]uint32, error) {
 	out := make([][]uint32, gpusPerRank)
+	if err := UnpackRankInto(buf, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// UnpackRankInto parses a PackRank payload, appending each slot's ids to the
+// corresponding entry of into (len(into) is the slot count). This is the
+// zero-copy arrival path: the receiver hands its reusable per-slot arrival
+// bins and each slot's count header pre-sizes the grow, so a steady-state
+// exchange decodes without allocating.
+func UnpackRankInto(buf []byte, into [][]uint32) error {
 	off := 0
-	for s := 0; s < gpusPerRank; s++ {
+	for s := range into {
 		if off+4 > len(buf) {
-			return nil, fmt.Errorf("frontier: truncated header for slot %d", s)
+			return fmt.Errorf("frontier: truncated header for slot %d", s)
 		}
 		count := binary.LittleEndian.Uint32(buf[off:])
 		off += 4
 		if off+4*int(count) > len(buf) {
-			return nil, fmt.Errorf("frontier: truncated payload for slot %d (%d ids)", s, count)
+			return fmt.Errorf("frontier: truncated payload for slot %d (%d ids)", s, count)
 		}
-		ids := make([]uint32, count)
-		for i := range ids {
-			ids[i] = binary.LittleEndian.Uint32(buf[off:])
+		ids := slices.Grow(into[s], int(count))
+		for i := 0; i < int(count); i++ {
+			ids = append(ids, binary.LittleEndian.Uint32(buf[off:]))
 			off += 4
 		}
-		out[s] = ids
+		into[s] = ids
 	}
 	if off != len(buf) {
-		return nil, fmt.Errorf("frontier: %d trailing bytes", len(buf)-off)
+		return fmt.Errorf("frontier: %d trailing bytes", len(buf)-off)
 	}
-	return out, nil
+	return nil
+}
+
+// Arena is a bump allocator for per-iteration id buffers: the decode/merge
+// scratch of one exchange lives exactly one BSP iteration, so instead of a
+// fresh make() per decoded block the caller carves slices out of one backing
+// array and Resets it at the iteration boundary. The backing array is sized
+// to the high-water demand of the previous cycle, so after a one-iteration
+// warmup every Alloc is a pointer bump — zero heap allocations on the steady
+// state. Slices handed out remain valid after Reset grows the backing array
+// (they keep pointing into the old one); they are invalidated only by the
+// next allocation cycle reusing the space, which is exactly the
+// one-iteration lifetime contract.
+type Arena struct {
+	buf  []uint32
+	off  int
+	need int
+}
+
+// Alloc returns a length-0, capacity-n slice backed by the arena. When the
+// current backing array is exhausted mid-cycle the slice falls back to a
+// plain allocation and the arena remembers the shortfall, so the next Reset
+// sizes the backing array to the full observed demand.
+func (a *Arena) Alloc(n int) []uint32 {
+	a.need += n
+	if a.off+n > len(a.buf) {
+		return make([]uint32, 0, n)
+	}
+	s := a.buf[a.off : a.off : a.off+n]
+	a.off += n
+	return s
+}
+
+// Reset starts a new allocation cycle, growing the backing array to the
+// previous cycle's total demand. Slices from the previous cycle must no
+// longer be used.
+func (a *Arena) Reset() {
+	if a.need > len(a.buf) {
+		a.buf = make([]uint32, a.need)
+	}
+	a.off, a.need = 0, 0
 }
 
 // MergeSorted merges already-sorted id lists into one freshly allocated
@@ -155,34 +207,50 @@ func UnpackRank(buf []byte, gpusPerRank int) ([][]uint32, error) {
 // sorted when they combine into one destination slot, so the pre-sorted hint
 // survives aggregation instead of dying at the first concatenation.
 func MergeSorted(lists [][]uint32) []uint32 {
+	return MergeSortedArena(nil, lists)
+}
+
+// MergeSortedArena is MergeSorted with the output (and any intermediate
+// accumulators) drawn from the arena; a nil arena falls back to plain
+// allocation. Inputs are never mutated, so the output may be retained for
+// the arena's cycle while the inputs live on.
+func MergeSortedArena(a *Arena, lists [][]uint32) []uint32 {
 	switch len(lists) {
 	case 0:
 		return nil
 	case 1:
-		return append([]uint32(nil), lists[0]...)
+		return append(arenaAlloc(a, len(lists[0])), lists[0]...)
 	}
-	acc := mergeTwo(lists[0], lists[1])
+	acc := mergeTwo(a, lists[0], lists[1])
 	for _, l := range lists[2:] {
-		acc = mergeTwo(acc, l)
+		acc = mergeTwo(a, acc, l)
 	}
 	return acc
 }
 
-// mergeTwo merges two sorted lists into a new slice.
-func mergeTwo(a, b []uint32) []uint32 {
-	out := make([]uint32, 0, len(a)+len(b))
+// arenaAlloc carves n capacity from the arena, or the heap when a is nil.
+func arenaAlloc(a *Arena, n int) []uint32 {
+	if a == nil {
+		return make([]uint32, 0, n)
+	}
+	return a.Alloc(n)
+}
+
+// mergeTwo merges two sorted lists into a new slice from the arena.
+func mergeTwo(a *Arena, x, y []uint32) []uint32 {
+	out := arenaAlloc(a, len(x)+len(y))
 	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		if a[i] <= b[j] {
-			out = append(out, a[i])
+	for i < len(x) && j < len(y) {
+		if x[i] <= y[j] {
+			out = append(out, x[i])
 			i++
 		} else {
-			out = append(out, b[j])
+			out = append(out, y[j])
 			j++
 		}
 	}
-	out = append(out, a[i:]...)
-	return append(out, b[j:]...)
+	out = append(out, x[i:]...)
+	return append(out, y[j:]...)
 }
 
 // SortUnique sorts ids ascending and removes duplicates in place, returning
@@ -191,7 +259,7 @@ func SortUnique(ids []uint32) []uint32 {
 	if len(ids) < 2 {
 		return ids
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	out := ids[:1]
 	for _, v := range ids[1:] {
 		if v != out[len(out)-1] {

@@ -65,6 +65,14 @@ func (sel *Selector) EncodeSections(secs []Section, gpusPerRank int, mode Mode) 
 // which slots are known ascending (delta/bitmap blocks canonicalize; raw
 // blocks preserve sender order), so relays can keep merge-sorting.
 func DecodeSections(buf []byte, gpusPerRank, ranks int, mode Mode) ([]Section, error) {
+	return DecodeSectionsArena(buf, gpusPerRank, ranks, mode, nil)
+}
+
+// DecodeSectionsArena is DecodeSections with every decoded id slice drawn
+// from the arena (per-iteration lifetime); a nil arena falls back to plain
+// allocation. Section headers and Sorted flags still come from the heap —
+// they are small and bounded by the hop fan-in, not the frontier size.
+func DecodeSectionsArena(buf []byte, gpusPerRank, ranks int, mode Mode, arena *frontier.Arena) ([]Section, error) {
 	off := 0
 	count, k := binary.Uvarint(buf)
 	if k <= 0 {
@@ -103,7 +111,7 @@ func DecodeSections(buf []byte, gpusPerRank, ranks int, mode Mode) ([]Section, e
 			}
 			sec.Slots = slots
 		} else {
-			slots, schemes, err := decodeRankSchemes(payload, gpusPerRank)
+			slots, schemes, err := decodeRankSchemes(payload, gpusPerRank, arena)
 			if err != nil {
 				return nil, fmt.Errorf("wire: section %d: %w", i, err)
 			}

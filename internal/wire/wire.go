@@ -40,7 +40,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math/bits"
-	"sort"
+	"slices"
+
+	"gcbfs/internal/frontier"
 )
 
 // Scheme identifies one block encoding.
@@ -163,7 +165,7 @@ func uvarintLen(v uint64) int {
 // and whether the sorted sequence is duplicate-free.
 func sortedCopy(ids []uint32) (sorted []uint32, unique bool) {
 	sorted = append(make([]uint32, 0, len(ids)), ids...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	slices.Sort(sorted)
 	return sorted, isUnique(sorted)
 }
 
@@ -301,6 +303,26 @@ func AppendSorted(dst []byte, ids []uint32, mode Mode, presorted bool) ([]byte, 
 // garbage inside the block, unknown scheme byte or checksum mismatch yields
 // an error — a block never decodes to wrong ids silently.
 func Decode(buf []byte) ([]uint32, int, Scheme, error) {
+	return DecodeAppend(buf, nil)
+}
+
+// DecodeAppend is Decode writing into a caller-provided buffer: the decoded
+// ids are appended to dst (grown once, pre-sized by the block's id-count
+// header) and the extended slice is returned. This is the zero-copy arrival
+// path — a receiver hands its reusable per-slot arrival bin and a
+// steady-state exchange decodes without allocating. On error the contents of
+// dst are unspecified and the returned slice must be discarded.
+func DecodeAppend(buf []byte, dst []uint32) ([]uint32, int, Scheme, error) {
+	return decodeBlock(buf, func(n int) []uint32 { return slices.Grow(dst, n) })
+}
+
+// decodeBlock parses one block, drawing the id buffer from grow(n) — a
+// function returning a slice (existing contents preserved) with capacity for
+// n more ids. Per-scheme count bounds run BEFORE grow is called, so a
+// corrupt count field can never trigger a huge allocation: raw ids take 4
+// bytes each, delta ids at least 1 byte each, bitmap ids at most 64 per
+// 8-byte word.
+func decodeBlock(buf []byte, grow func(n int) []uint32) ([]uint32, int, Scheme, error) {
 	if len(buf) < 1+1+crcLen {
 		return nil, 0, 0, fmt.Errorf("wire: block truncated (%d bytes)", len(buf))
 	}
@@ -314,10 +336,6 @@ func Decode(buf []byte) ([]uint32, int, Scheme, error) {
 		return nil, 0, 0, fmt.Errorf("wire: bad id count varint")
 	}
 	off += k
-	// Per-scheme count bounds run BEFORE any allocation, so a corrupt
-	// count field can never trigger a huge make(): raw ids take 4 bytes
-	// each, delta ids at least 1 byte each, bitmap ids at most 64 per
-	// 8-byte word.
 	body := len(buf) - off - crcLen
 	if body < 0 {
 		return nil, 0, 0, fmt.Errorf("wire: block truncated before checksum")
@@ -330,7 +348,7 @@ func Decode(buf []byte) ([]uint32, int, Scheme, error) {
 		if count > uint64(body)/4 {
 			return nil, 0, 0, fmt.Errorf("wire: raw block truncated (%d ids, %d payload bytes)", count, body)
 		}
-		ids = make([]uint32, 0, n)
+		ids = grow(n)
 		for i := 0; i < n; i++ {
 			ids = append(ids, binary.LittleEndian.Uint32(buf[off:]))
 			off += 4
@@ -339,7 +357,7 @@ func Decode(buf []byte) ([]uint32, int, Scheme, error) {
 		if count > uint64(body) {
 			return nil, 0, 0, fmt.Errorf("wire: delta block truncated (%d ids, %d payload bytes)", count, body)
 		}
-		ids = make([]uint32, 0, n)
+		ids = grow(n)
 		prev := uint64(0)
 		for i := 0; i < n; i++ {
 			v, k := binary.Uvarint(buf[off:])
@@ -374,7 +392,8 @@ func Decode(buf []byte) ([]uint32, int, Scheme, error) {
 		if count > 64*words {
 			return nil, 0, 0, fmt.Errorf("wire: bitmap id count %d exceeds capacity of %d words", count, words)
 		}
-		ids = make([]uint32, 0, n)
+		ids = grow(n)
+		base := len(ids)
 		for w := 0; w < int(words); w++ {
 			word := binary.LittleEndian.Uint64(buf[off:])
 			off += 8
@@ -384,8 +403,8 @@ func Decode(buf []byte) ([]uint32, int, Scheme, error) {
 				word &= word - 1
 			}
 		}
-		if len(ids) != n {
-			return nil, 0, 0, fmt.Errorf("wire: bitmap population %d does not match id count %d", len(ids), n)
+		if len(ids)-base != n {
+			return nil, 0, 0, fmt.Errorf("wire: bitmap population %d does not match id count %d", len(ids)-base, n)
 		}
 	}
 
@@ -411,19 +430,50 @@ func EncodeRank(slots [][]uint32, mode Mode) ([]byte, Stats) {
 // Trailing bytes after the last block are rejected, as are all per-block
 // corruption forms Decode detects.
 func DecodeRank(buf []byte, gpusPerRank int) ([][]uint32, error) {
-	out, _, err := decodeRankSchemes(buf, gpusPerRank)
+	out, _, err := decodeRankSchemes(buf, gpusPerRank, nil)
 	return out, err
+}
+
+// DecodeRankInto parses an EncodeRank message, appending each slot's ids to
+// the corresponding entry of into (len(into) is the slot count) and
+// returning the per-slot id counts. The zero-copy counterpart of DecodeRank:
+// each block's count header pre-sizes the grow, so decoding into reusable
+// arrival bins allocates nothing on the steady state. On error the contents
+// of into are unspecified (the caller abandons the exchange).
+func DecodeRankInto(buf []byte, into [][]uint32) error {
+	off := 0
+	for s := range into {
+		ids, n, _, err := DecodeAppend(buf[off:], into[s])
+		if err != nil {
+			return fmt.Errorf("wire: slot %d: %w", s, err)
+		}
+		into[s] = ids
+		off += n
+	}
+	if off != len(buf) {
+		return fmt.Errorf("wire: %d trailing bytes after %d slots", len(buf)-off, len(into))
+	}
+	return nil
 }
 
 // decodeRankSchemes is DecodeRank plus the per-slot scheme bytes, which tell
 // the butterfly exchange whether a decoded slot is already sorted (delta and
-// bitmap canonicalize to ascending order; raw preserves sender order).
-func decodeRankSchemes(buf []byte, gpusPerRank int) ([][]uint32, []Scheme, error) {
+// bitmap canonicalize to ascending order; raw preserves sender order). A
+// non-nil arena supplies the id buffers (per-iteration lifetime).
+func decodeRankSchemes(buf []byte, gpusPerRank int, arena *frontier.Arena) ([][]uint32, []Scheme, error) {
 	out := make([][]uint32, gpusPerRank)
 	schemes := make([]Scheme, gpusPerRank)
 	off := 0
 	for s := 0; s < gpusPerRank; s++ {
-		ids, n, scheme, err := Decode(buf[off:])
+		var ids []uint32
+		var n int
+		var scheme Scheme
+		var err error
+		if arena != nil {
+			ids, n, scheme, err = decodeBlock(buf[off:], arena.Alloc)
+		} else {
+			ids, n, scheme, err = Decode(buf[off:])
+		}
 		if err != nil {
 			return nil, nil, fmt.Errorf("wire: slot %d: %w", s, err)
 		}
