@@ -8,6 +8,7 @@
 //	bfsrun -rmat 14 -nodes 1 -ranks 1 -gpus 4 -validate
 //	bfsrun -rmat 16 -nodes 8 -ranks 2 -gpus 2 -exchange butterfly -compress adaptive
 //	bfsrun -rmat 15 -nodes 4 -ranks 2 -gpus 2 -sources 16 -parallel 8
+//	bfsrun -rmat 15 -nodes 3 -ranks 2 -gpus 2 -sources 64 -sweep -validate
 //
 // -exchange selects the inter-rank normal-vertex exchange policy:
 // "allpairs" (default, one message per destination rank per iteration),
@@ -21,6 +22,12 @@
 // plan's batch path — the service workload of the paper's §VI-A methodology
 // (64 random sources per data point). Results are deterministic and printed
 // in source order regardless of K.
+//
+// -sweep answers all sources in a single multi-source traversal (MS-BFS):
+// per-vertex visited state widens to a K-bit query mask and one BSP sweep
+// produces every query's levels and parents, bit-identical to independent
+// runs; per-query counters and simulated time are equal shares of the sweep
+// totals.
 package main
 
 import (
@@ -58,6 +65,7 @@ func main() {
 		exchange  = flag.String("exchange", "allpairs", "normal-vertex exchange policy: allpairs, butterfly or hybrid")
 		pipeline  = flag.Bool("pipeline", true, "software-pipeline butterfly hops (overlap transfers with per-hop codec compute)")
 		amp       = flag.Float64("amp", 1, "work amplification for the timing model (2^(paperScale-localScale))")
+		sweep     = flag.Bool("sweep", false, "answer all sources in one shared multi-source sweep (MS-BFS) instead of independent queries")
 		validate  = flag.Bool("validate", false, "validate distances against serial BFS + Graph500 rules")
 	)
 	flag.Parse()
@@ -121,15 +129,26 @@ func main() {
 	}
 
 	// The batch path: up to -parallel queries in flight, each on its own
-	// pooled session over the shared plan; results are source-ordered.
-	results, err := plan.RunBatch(context.Background(), sources, *parallel, core.Overrides{})
+	// pooled session over the shared plan; -sweep instead answers every
+	// source through one multi-source traversal (MS-BFS), levels and
+	// parents bit-identical to independent runs.
+	var results []*metrics.RunResult
+	if *sweep {
+		results, err = plan.RunSweep(context.Background(), sources, core.Overrides{})
+		if err == nil {
+			fmt.Printf("sweep: %d queries answered by one shared traversal (per-query rates are sweep shares)\n",
+				len(sources))
+		}
+	} else {
+		results, err = plan.RunBatch(context.Background(), sources, *parallel, core.Overrides{})
+		if err == nil && *parallel > 1 {
+			fmt.Printf("batch: %d queries, %d in flight (deterministic, source-ordered)\n",
+				len(sources), *parallel)
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bfsrun: %v\n", err)
 		os.Exit(1)
-	}
-	if *parallel > 1 {
-		fmt.Printf("batch: %d queries, %d in flight (deterministic, source-ordered)\n",
-			len(sources), *parallel)
 	}
 
 	var serialCSR *graph.CSR

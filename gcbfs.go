@@ -109,6 +109,38 @@
 // CalibrationButterfly). Pipelining never changes levels or parents —
 // overlap hides time, it never reorders the traversal.
 //
+// # Multi-source sweeps
+//
+// Service.RunSweep answers K BFS queries in ONE shared BSP traversal
+// (MS-BFS): per-vertex visited state widens to a K-bit query mask, frontier
+// records carry (vertex, query-set) payloads through a record codec, and the
+// delegate tier reduces a d×K mask matrix. A vertex expanded for many
+// queries scans its adjacency once, and records bound for the same vertex
+// merge into one wire record with OR-ed masks — so traversal work and wire
+// volume amortize across the batch while every query's levels and parents
+// stay bit-identical to an independent Run. Sources are deduplicated at
+// admission (duplicate requests share one traversal lane and receive their
+// own result copies), batches wider than Config.SweepWidth (default 64,
+// bounded by core's 1024) split into successive sweeps, and the per-query
+// Result reports the sweep totals divided evenly across its queries — the
+// amortized per-query rate the cmp5 ablation compares against independent
+// RunBatch.
+//
+// Config.CoalesceQueries additionally routes plain Run calls (those without
+// per-query options) through a sweep admission queue: concurrent callers are
+// batched into sweeps of at most SweepWidth, with requests arriving during
+// an in-flight sweep coalescing into the next one. Coalesced sweeps run on a
+// background context — a caller's cancellation abandons its wait but never
+// aborts the shared traversal.
+//
+// Config.WarmStart carries hybrid-policy feedback across queries: each
+// completed query's final skew, wire-ratio and per-strategy calibration
+// EWMAs are merged — deterministically, in source order — into a service
+// snapshot that seeds subsequent queries' policy feedback. Warm starting
+// never changes levels or parents, only how quickly the hybrid exchange
+// policy's cost model converges; it is off by default so fixed benchmark
+// cells stay reproducible in isolation.
+//
 // # Benchmark trajectory
 //
 // Performance claims are trended, not narrated: every PR regenerates a
@@ -128,6 +160,8 @@ package gcbfs
 import (
 	"context"
 	"fmt"
+	"slices"
+	"sync"
 
 	"gcbfs/internal/baseline"
 	"gcbfs/internal/core"
@@ -256,6 +290,36 @@ type Config struct {
 	// DefaultConfig; disable for the sequential-hop baseline. Results are
 	// bit-identical either way. Overridable per query with WithPipeline.
 	Pipeline bool
+	// SweepWidth caps how many queries one multi-source sweep carries
+	// (RunSweep batches and CoalesceQueries admission both split wider
+	// batches into successive sweeps). 0 selects DefaultSweepWidth; the hard
+	// ceiling is core's MaxSweepWidth (1024).
+	SweepWidth int
+	// CoalesceQueries routes option-free Run calls through the sweep
+	// admission queue, batching concurrent callers into shared sweeps (see
+	// the package comment's multi-source section). Runs with per-query
+	// options bypass coalescing — option sets cannot share a traversal.
+	CoalesceQueries bool
+	// WarmStart seeds each query's hybrid-policy feedback from the merged
+	// snapshot of previously completed queries (deterministic source-order
+	// merge). Results are unaffected; only policy convergence and therefore
+	// simulated exchange timing change. Off by default.
+	WarmStart bool
+}
+
+// DefaultSweepWidth is the sweep width used when Config.SweepWidth is 0.
+const DefaultSweepWidth = 64
+
+// sweepWidth normalizes the configured sweep width.
+func (cfg Config) sweepWidth() int {
+	w := cfg.SweepWidth
+	if w <= 0 {
+		w = DefaultSweepWidth
+	}
+	if w > core.MaxSweepWidth {
+		w = core.MaxSweepWidth
+	}
+	return w
 }
 
 // Compression selects how inter-rank frontier payloads are encoded.
@@ -418,6 +482,18 @@ type Service struct {
 	cfg  Config
 	plan *core.Plan
 	sub  *partition.Subgraphs
+
+	// Sweep admission queue (CoalesceQueries): pending requests plus the
+	// flag marking a drain loop in flight. Requests that arrive while a
+	// sweep runs coalesce into the next one.
+	admitMu  sync.Mutex
+	pendingQ []*sweepReq
+	draining bool
+
+	// Merged warm-start snapshot (WarmStart) of completed queries' policy
+	// feedback.
+	warmMu sync.Mutex
+	warm   *core.PolicySnapshot
 }
 
 // NewService partitions the graph (degree separation + Algorithm 1) for the
@@ -432,6 +508,9 @@ func NewService(g *Graph, cfg Config) (*Service, error) {
 	}
 	if cfg.Exchange < ExchangeAllPairs || cfg.Exchange > ExchangeHybrid {
 		return nil, fmt.Errorf("gcbfs: invalid exchange strategy %d", cfg.Exchange)
+	}
+	if cfg.SweepWidth < 0 || cfg.SweepWidth > core.MaxSweepWidth {
+		return nil, fmt.Errorf("gcbfs: sweep width %d out of range [0,%d]", cfg.SweepWidth, core.MaxSweepWidth)
 	}
 	th := cfg.Threshold
 	if th <= 0 {
@@ -519,17 +598,165 @@ func buildQuery(opts []QueryOption) (queryConfig, error) {
 
 // Run executes one BFS from source. The context is honored at iteration
 // boundaries: cancellation or deadline expiry aborts the query within one
-// BFS iteration and returns ctx.Err().
+// BFS iteration and returns ctx.Err(). With Config.CoalesceQueries set,
+// option-free calls are admitted to the sweep queue instead: concurrent
+// callers batch into shared multi-source sweeps (bit-identical levels and
+// parents; the per-query counters report the sweep's amortized shares), and
+// cancellation then abandons the caller's wait without aborting the shared
+// traversal.
 func (s *Service) Run(ctx context.Context, source int64, opts ...QueryOption) (*Result, error) {
+	if s.cfg.CoalesceQueries && len(opts) == 0 {
+		return s.runCoalesced(ctx, source)
+	}
 	q, err := buildQuery(opts)
 	if err != nil {
 		return nil, err
 	}
+	s.warmOverride(&q)
 	r, err := s.plan.Run(ctx, source, q.ov)
 	if err != nil {
 		return nil, err
 	}
+	s.recordWarm([]*metrics.RunResult{r})
 	return convert(r), nil
+}
+
+// sweepReq is one coalesced Run call waiting for its sweep.
+type sweepReq struct {
+	source int64
+	done   chan struct{}
+	res    *Result
+	err    error
+}
+
+// runCoalesced enqueues the request and, if no drain loop is running,
+// becomes the leader that serves sweeps until the queue is empty.
+func (s *Service) runCoalesced(ctx context.Context, source int64) (*Result, error) {
+	req := &sweepReq{source: source, done: make(chan struct{})}
+	s.admitMu.Lock()
+	s.pendingQ = append(s.pendingQ, req)
+	lead := !s.draining
+	if lead {
+		s.draining = true
+	}
+	s.admitMu.Unlock()
+	if lead {
+		s.drainSweeps()
+	}
+	select {
+	case <-req.done:
+		return req.res, req.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// drainSweeps serves admission batches until the queue empties: up to
+// SweepWidth requests per sweep, requests arriving mid-sweep coalescing into
+// the next round.
+func (s *Service) drainSweeps() {
+	for {
+		s.admitMu.Lock()
+		if len(s.pendingQ) == 0 {
+			s.draining = false
+			s.admitMu.Unlock()
+			return
+		}
+		n := min(s.cfg.sweepWidth(), len(s.pendingQ))
+		batch := make([]*sweepReq, n)
+		copy(batch, s.pendingQ)
+		s.pendingQ = append(s.pendingQ[:0], s.pendingQ[n:]...)
+		s.admitMu.Unlock()
+		s.serveSweep(batch)
+	}
+}
+
+// serveSweep runs one admission batch as a single sweep (sources
+// deduplicated; duplicates receive their own result copies) and completes
+// every request.
+func (s *Service) serveSweep(batch []*sweepReq) {
+	uniq := make([]int64, 0, len(batch))
+	lane := make(map[int64]int, len(batch))
+	for _, req := range batch {
+		if _, ok := lane[req.source]; !ok {
+			lane[req.source] = len(uniq)
+			uniq = append(uniq, req.source)
+		}
+	}
+	var q queryConfig
+	s.warmOverride(&q)
+	rs, err := s.plan.RunSweep(context.Background(), uniq, q.ov)
+	if err != nil {
+		for _, req := range batch {
+			req.err = err
+			close(req.done)
+		}
+		return
+	}
+	s.recordWarm(rs)
+	used := make([]bool, len(uniq))
+	for _, req := range batch {
+		l := lane[req.source]
+		if used[l] {
+			req.res = cloneResult(convert(rs[l]))
+		} else {
+			req.res = convert(rs[l])
+			used[l] = true
+		}
+		close(req.done)
+	}
+}
+
+// warmOverride seeds an option-free query from the service's merged warm
+// snapshot when WarmStart is on (an explicit per-query snapshot wins).
+func (s *Service) warmOverride(q *queryConfig) {
+	if !s.cfg.WarmStart || q.ov.Warm != nil {
+		return
+	}
+	s.warmMu.Lock()
+	if s.warm != nil {
+		snap := *s.warm
+		q.ov.Warm = &snap
+	}
+	s.warmMu.Unlock()
+}
+
+// recordWarm folds completed queries' policy feedback into the service's
+// warm snapshot, in the given (source) order.
+func (s *Service) recordWarm(rs []*metrics.RunResult) {
+	if !s.cfg.WarmStart {
+		return
+	}
+	snaps := make([]core.PolicySnapshot, 0, len(rs)+1)
+	s.warmMu.Lock()
+	defer s.warmMu.Unlock()
+	if s.warm != nil {
+		snaps = append(snaps, *s.warm)
+	}
+	for _, r := range rs {
+		sn := core.PolicySnapshot{
+			Skew:           r.Exchange.SkewEWMA,
+			WireRatio:      r.Exchange.WireRatioEWMA,
+			CalibAllPairs:  r.Exchange.CalibrationAllPairs,
+			CalibButterfly: r.Exchange.CalibrationButterfly,
+		}
+		if sn != (core.PolicySnapshot{}) {
+			snaps = append(snaps, sn)
+		}
+	}
+	if len(snaps) > 0 {
+		merged := core.MergeSnapshots(snaps)
+		s.warm = &merged
+	}
+}
+
+// cloneResult deep-copies the per-vertex slices so duplicate-source callers
+// never share mutable state.
+func cloneResult(r *Result) *Result {
+	c := *r
+	c.Levels = slices.Clone(r.Levels)
+	c.Parents = slices.Clone(r.Parents)
+	return &c
 }
 
 // BatchOptions tunes a RunBatch call.
@@ -584,60 +811,139 @@ type BatchResult struct {
 	Stats   BatchStats
 }
 
+// dedupSources returns the distinct sources in first-occurrence order plus
+// each original position's index into that list.
+func dedupSources(sources []int64) (uniq []int64, lane []int) {
+	uniq = make([]int64, 0, len(sources))
+	lane = make([]int, len(sources))
+	idx := make(map[int64]int, len(sources))
+	for i, src := range sources {
+		l, ok := idx[src]
+		if !ok {
+			l = len(uniq)
+			idx[src] = l
+			uniq = append(uniq, src)
+		}
+		lane[i] = l
+	}
+	return uniq, lane
+}
+
+// expandResults maps per-unique-source results back onto the original source
+// list: the first request for a source takes the converted result, duplicate
+// requests get deep copies (per-request results without re-traversal), and
+// every position — duplicates included — is folded into the stats.
+func expandResults(br *BatchResult, rs []*metrics.RunResult, lane []int) {
+	var rates []float64
+	var tepsEdges int64
+	used := make([]bool, len(rs))
+	for i, l := range lane {
+		r := rs[l]
+		if used[l] {
+			br.Results[i] = cloneResult(convert(r))
+		} else {
+			br.Results[i] = convert(r)
+			used[l] = true
+		}
+		foldBatchStats(&br.Stats, &rates, &tepsEdges, r)
+	}
+	finishBatchStats(&br.Stats, rates, tepsEdges)
+}
+
+// foldBatchStats accumulates one query's counters into the batch stats.
+func foldBatchStats(st *BatchStats, rates *[]float64, tepsEdges *int64, r *metrics.RunResult) {
+	st.Runs++
+	if r.MultipleIterations() {
+		*rates = append(*rates, r.GTEPS())
+	} else {
+		st.Filtered++
+	}
+	*tepsEdges += r.TEPSEdges
+	st.TotalSimSeconds += r.SimSeconds
+	st.MeanIterations += float64(r.Iterations)
+	st.WireBytes += r.Wire.CompressedBytes
+	st.WireRawBytes += r.Wire.RawBytes
+	st.CodecSeconds += r.Wire.CodecSeconds
+	st.Messages += r.Exchange.Messages
+	st.ForwardedBytes += r.Exchange.ForwardedBytes
+	st.AllPairsIterations += r.Exchange.AllPairsIterations
+	st.ButterflyIterations += r.Exchange.ButterflyIterations
+	st.HiddenCodecSeconds += r.Exchange.HiddenCodecSeconds
+	st.PipelineStalls += r.Exchange.PipelineStalls
+	if r.Exchange.MaxMessageBytes > st.MaxMessageBytes {
+		st.MaxMessageBytes = r.Exchange.MaxMessageBytes
+	}
+}
+
+// finishBatchStats derives the batch aggregates from the folded counters.
+func finishBatchStats(st *BatchStats, rates []float64, tepsEdges int64) {
+	st.GeoMeanGTEPS = metrics.GeoMean(rates)
+	if st.TotalSimSeconds > 0 {
+		st.TotalGTEPS = float64(tepsEdges) / st.TotalSimSeconds / 1e9
+	}
+	if st.Runs > 0 {
+		st.MeanIterations /= float64(st.Runs)
+	}
+}
+
 // RunBatch executes one BFS per source with BatchOptions.Parallelism queries
 // in flight at a time, all sharing the service's partitioned graph through
 // pooled sessions. Results are source-ordered and bit-identical to a serial
-// loop of Run calls with the same options. The first query error (including
-// context cancellation) cancels the rest and is returned.
+// loop of Run calls with the same options; duplicate sources are traversed
+// once and answered with per-request result copies. The first query error
+// (including context cancellation) cancels the rest and is returned.
 func (s *Service) RunBatch(ctx context.Context, sources []int64, bo BatchOptions, opts ...QueryOption) (*BatchResult, error) {
 	q, err := buildQuery(opts)
 	if err != nil {
 		return nil, err
 	}
+	s.warmOverride(&q)
+	uniq, lane := dedupSources(sources)
 	poolBefore := s.plan.PoolStats()
-	rs, err := s.plan.RunBatch(ctx, sources, bo.Parallelism, q.ov)
+	rs, err := s.plan.RunBatch(ctx, uniq, bo.Parallelism, q.ov)
 	if err != nil {
 		return nil, err
 	}
 	poolAfter := s.plan.PoolStats()
-	br := &BatchResult{Results: make([]*Result, len(rs))}
+	s.recordWarm(rs)
+	br := &BatchResult{Results: make([]*Result, len(sources))}
 	br.Stats.PoolHits = poolAfter.Hits - poolBefore.Hits
 	br.Stats.PoolMisses = poolAfter.Misses - poolBefore.Misses
 	br.Stats.PeakInFlight = poolAfter.PeakInFlight
-	var rates []float64
-	var tepsEdges int64
-	for i, r := range rs {
-		br.Results[i] = convert(r)
-		st := &br.Stats
-		st.Runs++
-		if r.MultipleIterations() {
-			rates = append(rates, r.GTEPS())
-		} else {
-			st.Filtered++
+	expandResults(br, rs, lane)
+	return br, nil
+}
+
+// RunSweep answers one BFS per source through shared multi-source sweeps
+// (MS-BFS): sources are deduplicated, split into sweeps of at most
+// Config.SweepWidth, and each sweep's single BSP traversal produces levels
+// and parents bit-identical to independent Run calls while its counters and
+// simulated time are divided evenly across the sweep's queries. Results are
+// source-ordered; duplicate sources share one traversal lane and receive
+// per-request result copies.
+func (s *Service) RunSweep(ctx context.Context, sources []int64, opts ...QueryOption) (*BatchResult, error) {
+	q, err := buildQuery(opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(sources) == 0 {
+		return &BatchResult{}, ctx.Err()
+	}
+	s.warmOverride(&q)
+	uniq, lane := dedupSources(sources)
+	width := s.cfg.sweepWidth()
+	rs := make([]*metrics.RunResult, 0, len(uniq))
+	for start := 0; start < len(uniq); start += width {
+		chunk := uniq[start:min(start+width, len(uniq))]
+		part, err := s.plan.RunSweep(ctx, chunk, q.ov)
+		if err != nil {
+			return nil, err
 		}
-		tepsEdges += r.TEPSEdges
-		st.TotalSimSeconds += r.SimSeconds
-		st.MeanIterations += float64(r.Iterations)
-		st.WireBytes += r.Wire.CompressedBytes
-		st.WireRawBytes += r.Wire.RawBytes
-		st.CodecSeconds += r.Wire.CodecSeconds
-		st.Messages += r.Exchange.Messages
-		st.ForwardedBytes += r.Exchange.ForwardedBytes
-		st.AllPairsIterations += r.Exchange.AllPairsIterations
-		st.ButterflyIterations += r.Exchange.ButterflyIterations
-		st.HiddenCodecSeconds += r.Exchange.HiddenCodecSeconds
-		st.PipelineStalls += r.Exchange.PipelineStalls
-		if r.Exchange.MaxMessageBytes > st.MaxMessageBytes {
-			st.MaxMessageBytes = r.Exchange.MaxMessageBytes
-		}
+		rs = append(rs, part...)
 	}
-	br.Stats.GeoMeanGTEPS = metrics.GeoMean(rates)
-	if br.Stats.TotalSimSeconds > 0 {
-		br.Stats.TotalGTEPS = float64(tepsEdges) / br.Stats.TotalSimSeconds / 1e9
-	}
-	if br.Stats.Runs > 0 {
-		br.Stats.MeanIterations /= float64(br.Stats.Runs)
-	}
+	s.recordWarm(rs)
+	br := &BatchResult{Results: make([]*Result, len(sources))}
+	expandResults(br, rs, lane)
 	return br, nil
 }
 

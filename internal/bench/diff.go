@@ -27,6 +27,8 @@ type Tolerance struct {
 //	gteps               −5%: the simulation is deterministic, so real drops
 //	                    are code changes; the headroom is for deliberate
 //	                    timing-model adjustments that should stay small.
+//	gteps_per_query     −5%: same policy for the multi-source cells' aggregate
+//	                    per-query throughput (batch and sweep paths alike).
 //	wire_bytes          exact: bytes on the wire are a pure function of the
 //	                    codec and the pinned inputs — any change is either a
 //	                    codec bug or a deliberate format change that must
@@ -39,6 +41,7 @@ type Tolerance struct {
 //	                    is a small base so it gets the widest band.
 var tolerances = map[string]Tolerance{
 	"gteps":              {Down: 0.05},
+	"gteps_per_query":    {Down: 0.05},
 	"wire_bytes":         {Exact: true},
 	"allocs_per_query":   {Up: 0.10},
 	"bytes_per_query":    {Up: 0.10},

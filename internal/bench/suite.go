@@ -80,10 +80,67 @@ func Run(p Params) (*Report, error) {
 			}
 		}
 	}
+	if err := multisourceCells(rep); err != nil {
+		return nil, err
+	}
 	if err := allocCells(rep); err != nil {
 		return nil, err
 	}
 	return rep, nil
+}
+
+// multisourceWidths is the pinned sweep-width axis of the multi-source cells.
+var multisourceWidths = []int{8, 64}
+
+// multisourceCells pins the multi-source sweep trajectory: for K ∈ {8, 64}
+// the same K sources go through the independent batch path and one shared
+// sweep, and the cells record each path's aggregate per-query throughput
+// (Σ TEPS edges / Σ per-query seconds), the sweep's exact wire bytes, and the
+// sweep:batch speedup. Scale 12 on 2×2×2 with the adaptive codec matches the
+// alloc cells' regime so the two guards watch the same configuration.
+func multisourceCells(rep *Report) error {
+	el := experiments.BenchGraph(12)
+	opts := core.DefaultOptions()
+	opts.Compression = wire.ModeAdaptive
+	opts.CollectLevels = false
+	pl, _, err := experiments.BenchPlan(el, core.ClusterShape{Nodes: 2, RanksPerNode: 2, GPUsPerRank: 2}, opts)
+	if err != nil {
+		return fmt.Errorf("bench: multisource cells: %w", err)
+	}
+	perQueryGTEPS := func(results []*metrics.RunResult) (gteps float64, wireBytes int64) {
+		var teps int64
+		var sim float64
+		for _, r := range results {
+			teps += r.TEPSEdges
+			sim += r.SimSeconds
+			wireBytes += r.Wire.CompressedBytes
+		}
+		return float64(teps) / sim / 1e9, wireBytes
+	}
+	for _, k := range multisourceWidths {
+		sources := experiments.BenchSources(el, k, rep.Seed)
+		batch, err := pl.RunBatch(context.Background(), sources, 4, core.Overrides{})
+		if err != nil {
+			return fmt.Errorf("bench: multisource K=%d batch: %w", k, err)
+		}
+		sweep, err := pl.RunSweep(context.Background(), sources, core.Overrides{})
+		if err != nil {
+			return fmt.Errorf("bench: multisource K=%d sweep: %w", k, err)
+		}
+		bG, _ := perQueryGTEPS(batch)
+		sG, sW := perQueryGTEPS(sweep)
+		mk := func(config, metric string, v float64, unit string) Cell {
+			return Cell{Experiment: "multisource", Scale: 12, Ranks: 4,
+				Config: fmt.Sprintf("%s-k%d", config, k), Metric: metric, Value: v, Unit: unit}
+		}
+		rep.Cells = append(rep.Cells,
+			mk("batch", "gteps_per_query", bG, "GTEPS"),
+			mk("sweep", "gteps_per_query", sG, "GTEPS"),
+			mk("sweep", "wire_bytes", float64(sW), "B"),
+			mk("sweep", "sweep_speedup", sG/bG, "x"), // informational: no tolerance entry
+		)
+	}
+	return nil
 }
 
 // exchangeCells reduces one config's batch into the per-cell metrics:

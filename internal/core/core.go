@@ -155,6 +155,14 @@ type Options struct {
 	// ablation baseline. No effect on all-pairs iterations, which have a
 	// single communication round.
 	PipelineHops bool
+	// Warm seeds the hybrid exchange policy's measured feedback (skew,
+	// compression ratio, per-strategy calibration EWMAs) from an earlier
+	// query's PolicySnapshot instead of the neutral defaults, so a batch's
+	// later queries start with the crossover already calibrated. Zero fields
+	// keep their defaults; nil disables warm starting. Results are
+	// unaffected — only the per-iteration strategy choice (and hence
+	// simulated timing) can differ.
+	Warm *PolicySnapshot
 	// WorkAmplification scales all counted work and communication volume
 	// before the timing model (not the functional run or reported work
 	// stats). Setting it to 2^(paperScale-localScale) makes a scaled-down
@@ -316,6 +324,8 @@ type Overrides struct {
 	CollectLevels     *bool
 	CollectParents    *bool
 	WorkAmplification *float64
+	// Warm replaces (not merges with) the base Options.Warm snapshot.
+	Warm *PolicySnapshot
 }
 
 // effectiveOptions resolves base options plus overrides, validating the
@@ -349,6 +359,9 @@ func (p *Plan) effectiveOptions(ov Overrides) (Options, error) {
 			o.WorkAmplification = 1
 		}
 	}
+	if ov.Warm != nil {
+		o.Warm = ov.Warm
+	}
 	return o, nil
 }
 
@@ -376,6 +389,23 @@ func (p *Plan) release(s *Session) {
 	p.inFlight.Add(-1)
 }
 
+// planEnv is the immutable execution environment shared by every query
+// session type (single-query Session, multi-source sweepSession): the
+// partitioned graph, cluster shape and derived sizes. Embedding it lets the
+// canonical parent resolution and gather code run identically on both.
+type planEnv struct {
+	sg    *partition.Subgraphs
+	shape ClusterShape
+	cfg   partition.Config
+	p     int
+	d     int64
+}
+
+// env snapshots the plan's immutable execution environment.
+func (p *Plan) env() planEnv {
+	return planEnv{sg: p.sg, shape: p.shape, cfg: p.cfg, p: p.p, d: p.d}
+}
+
 // Session holds every mutable byte of one in-flight BFS query: per-GPU
 // frontiers, visited bitmasks, send bins, parent-resolution scratch and the
 // effective (base + overrides) options. Sessions are created and recycled by
@@ -383,14 +413,10 @@ func (p *Plan) release(s *Session) {
 // Session needs no locking of its own — its per-GPU state is touched only by
 // the owning rank goroutine, exactly as on the real machine.
 type Session struct {
-	sg    *partition.Subgraphs
-	shape ClusterShape
-	opts  Options
-	cfg   partition.Config
-	p     int
-	d     int64
-	amp   float64 // work/volume amplification for the timing model
-	gpus  []*gpuState
+	planEnv
+	opts Options
+	amp  float64 // work/volume amplification for the timing model
+	gpus []*gpuState
 	// scratch holds each rank goroutine's reusable per-iteration state
 	// (merge headers, arrival bins, decode arena, radix buffers — see
 	// scratch.go). Indexed by rank; touched only by the owning goroutine.
@@ -398,8 +424,12 @@ type Session struct {
 
 	// delegateParents holds the resolved BFS-tree parents of delegates
 	// (written by rank 0 during the post-BFS resolution; every rank
-	// computes the identical reduction result).
+	// computes the identical reduction result). qt is the plain-slice view
+	// of this session's traversal outcome that the canonical parent
+	// resolution operates on; both are allocated lazily by the first
+	// parent-collecting query and reused across pooled reuses.
 	delegateParents []int64
+	qt              queryTree
 	// parentExchangePairs counts the post-BFS resolution traffic (pairs),
 	// reported but excluded from simulated BFS time. The byte counters
 	// account that exchange's fixed-width equivalent and what the codec
@@ -413,13 +443,9 @@ type Session struct {
 // newSession allocates the per-GPU state for one concurrent query.
 func (p *Plan) newSession() *Session {
 	s := &Session{
-		sg:    p.sg,
-		shape: p.shape,
-		opts:  p.base,
-		cfg:   p.cfg,
-		p:     p.p,
-		d:     p.d,
-		amp:   p.base.WorkAmplification,
+		planEnv: p.env(),
+		opts:    p.base,
+		amp:     p.base.WorkAmplification,
 	}
 	s.gpus = make([]*gpuState, s.p)
 	for i, pg := range p.sg.GPUs {
@@ -458,7 +484,20 @@ func (s *Session) configure(opts Options) {
 		gs.trackParents = opts.CollectParents
 		if opts.CollectParents && gs.parents == nil {
 			gs.parents = make([]int64, gs.pg.NumLocal)
-			gs.remoteNeedsParent = make([]bool, gs.pg.NumLocal)
+		}
+	}
+	if opts.CollectParents && s.qt.levels == nil {
+		s.delegateParents = make([]int64, s.d)
+		s.qt = queryTree{
+			levels:   make([][]int32, s.p),
+			dLevel:   make([][]int32, s.p),
+			parents:  make([][]int64, s.p),
+			dParents: s.delegateParents,
+		}
+		for i, gs := range s.gpus {
+			s.qt.levels[i] = gs.levels
+			s.qt.dLevel[i] = gs.delegateLevel
+			s.qt.parents[i] = gs.parents
 		}
 	}
 }
@@ -500,12 +539,10 @@ type gpuState struct {
 	qDDBuf, qDNBuf []int64
 
 	// BFS-tree state (allocated on first parent-collecting query, active
-	// only while trackParents is set): parents of local normal vertices,
-	// and a flag for vertices discovered via a remote nn edge whose parent
-	// arrives in the post-BFS resolution round.
-	trackParents      bool
-	parents           []int64
-	remoteNeedsParent []bool
+	// only while trackParents is set): the canonical post-BFS resolution
+	// writes parents of local normal vertices here (parents.go).
+	trackParents bool
+	parents      []int64
 
 	isNDSource         []bool // local slot has nd edges (member of NDSources)
 	unvisitedNDSources int64
@@ -549,11 +586,9 @@ func (e *Session) reset() {
 		if gs.trackParents {
 			for i := range gs.parents {
 				gs.parents[i] = -1
-				gs.remoteNeedsParent[i] = false
 			}
 		}
 	}
-	e.delegateParents = nil
 	e.parentExchangePairs = 0
 	e.parentPairRawBytes = 0
 	e.parentPairWireBytes = 0

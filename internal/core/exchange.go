@@ -163,13 +163,35 @@ type exchanger interface {
 
 // rankExchangers lazily constructs and caches one rank's strategy instances
 // so the per-iteration policy decision can dispatch without rebuilding
-// scratch or losing scheme memory.
+// scratch or losing scheme memory. The instances live in the rank's scratch
+// and persist across pooled queries; bind re-arms them for a fresh query.
 type rankExchangers struct {
 	e    *Session
 	rank int
 	sc   *rankScratch
 	ap   *allPairsExchange
 	bf   *butterflyExchange
+}
+
+// bind points the cached strategy instances at this query's session and
+// resets their per-query state — scheme memory and pending relay headers —
+// so a recycled exchanger encodes exactly like a fresh one (per-query wire
+// bytes stay bit-identical to the unpooled behavior).
+func (rx *rankExchangers) bind(e *Session, rank int, sc *rankScratch) *rankExchangers {
+	rx.e, rx.rank, rx.sc = e, rank, sc
+	if rx.ap != nil {
+		rx.ap.e = e
+		rx.ap.sel.Reset()
+	}
+	if rx.bf != nil {
+		rx.bf.e = e
+		rx.bf.sel.Reset()
+		for i := range rx.bf.pending {
+			rx.bf.pending[i] = rx.bf.pending[i][:0]
+			rx.bf.pendingSorted[i] = rx.bf.pendingSorted[i][:0]
+		}
+	}
+	return rx
 }
 
 func (rx *rankExchangers) get(strategy Exchange) exchanger {

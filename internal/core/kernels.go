@@ -134,21 +134,15 @@ func (e *Session) decideDirections(gs *gpuState, pv previsitOut, qD, sD int64) {
 }
 
 // discover marks a local normal vertex visited at the given depth and
-// appends it to the output frontier. parent is the global id of the
-// discovering vertex, or -1 for remote nn discoveries whose parent arrives
-// in the post-BFS resolution round.
-func (gs *gpuState) discover(local uint32, depth int32, parent int64) {
+// appends it to the output frontier. Parents are not recorded here: the
+// BFS tree is resolved canonically after the traversal (parents.go), so the
+// tree is a pure function of the hop distances and never depends on which
+// kernel or exchange strategy happened to reach a vertex first.
+func (gs *gpuState) discover(local uint32, depth int32) {
 	gs.levels[local] = depth
 	gs.outFront = append(gs.outFront, local)
 	if gs.isNDSource[local] {
 		gs.unvisitedNDSources--
-	}
-	if gs.trackParents {
-		if parent >= 0 {
-			gs.parents[local] = parent
-		} else {
-			gs.remoteNeedsParent[local] = true
-		}
 	}
 }
 
@@ -242,11 +236,10 @@ func (e *Session) kernelDN(gs *gpuState, pv previsitOut, iter int32) {
 	var skew float64
 	if gs.dirDN == metrics.Forward {
 		for _, u := range pv.qDN {
-			parent := e.sg.Sep.DelegateGlobal[u]
 			for _, lv := range gs.pg.DN.Neighbors(u) {
 				edges++
 				if gs.levels[lv] == -1 {
-					gs.discover(lv, iter+1, parent)
+					gs.discover(lv, iter+1)
 				}
 			}
 		}
@@ -264,7 +257,7 @@ func (e *Session) kernelDN(gs *gpuState, pv previsitOut, iter int32) {
 			for _, dv := range gs.pg.ND.Neighbors(int64(v)) {
 				edges++
 				if gs.visited.Get(int64(dv)) {
-					gs.discover(v, iter+1, e.sg.Sep.DelegateGlobal[dv])
+					gs.discover(v, iter+1)
 					break
 				}
 			}
@@ -284,14 +277,13 @@ func (e *Session) kernelNN(gs *gpuState, pv previsitOut, iter int32) {
 	p64 := int64(e.p)
 	self := gs.pg.GPU
 	for _, u := range gs.inFront {
-		uGlobal := e.cfg.GlobalID(u, gs.pg.Rank, gs.pg.Slot)
 		for _, v := range gs.pg.NN.Neighbors(int64(u)) {
 			edges++
 			owner := e.cfg.OwnerGPU(v)
 			local := uint32(v / p64)
 			if owner == self {
 				if gs.levels[local] == -1 {
-					gs.discover(local, iter+1, uGlobal)
+					gs.discover(local, iter+1)
 				}
 			} else {
 				gs.bins.Add(owner, local)

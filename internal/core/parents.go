@@ -10,22 +10,29 @@ import (
 	"gcbfs/internal/wire"
 )
 
-// BFS-tree construction (paper §VI-A3). The paper outputs hop distances and
-// argues a tree costs little extra: "only the destination vertices of nn
-// edges, without possible delegate parents, would need to communicate their
-// parent information at the end of BFS; vertices visited by dd, dn, and nd
-// kernels can get the parent information locally". This file implements that
-// post-BFS resolution:
+// Canonical BFS-tree construction (paper §VI-A3). The paper outputs hop
+// distances and argues a tree costs little extra: "only the destination
+// vertices of nn edges, without possible delegate parents, would need to
+// communicate their parent information at the end of BFS". This file goes one
+// step further than recording discovery-order parents: EVERY parent —
+// delegate or normal, local or remote — is resolved after the traversal as
+// the minimum global id among the vertex's neighbors exactly one level
+// closer. The tree is therefore a pure function of the hop distances: any
+// traversal that produces the same levels (any exchange strategy, any kernel
+// direction schedule, and crucially the multi-source shared sweep) yields a
+// bit-identical tree.
 //
 //  1. Delegate parents: every GPU scans its local dd/dn adjacency of each
-//     visited delegate for a neighbor exactly one level closer; the smallest
+//     visited delegate for neighbors exactly one level closer; the smallest
 //     candidate global id wins via an int64 min-allreduce, so all ranks
 //     agree deterministically.
-//  2. Remote nn parents: each GPU replays its outgoing nn edges once,
-//     sending (destLocal, senderLevel+1, senderGlobal) pairs; receivers
-//     accept the smallest valid candidate for vertices flagged as
-//     remotely discovered. Volume ≤ |Enn| pairs, run once — the paper's
-//     "low cost" claim.
+//  2. Normal parents, local candidates: one forward scan per GPU folds dn
+//     edges (delegate one level up → local child) and same-GPU nn edges
+//     into a running min per local vertex.
+//  3. Normal parents, remote candidates: each GPU replays its outgoing nn
+//     edges once, sending (destLocal, senderLevel+1, senderGlobal) pairs;
+//     receivers fold the smallest valid candidate. Volume ≤ |Enn| pairs,
+//     run once — the paper's "low cost" claim.
 //
 // Resolution traffic is reported (ParentPairs) but excluded from simulated
 // BFS time, matching the paper's reporting of distance-only timings.
@@ -39,29 +46,79 @@ import (
 // iterations).
 const parentLevelBits = 20
 
-// resolveParents runs the two-phase resolution on this rank. All ranks
-// participate (collectives inside); rank 0 publishes the delegate result.
-func (e *Session) resolveParents(rank int, comm *mpi.Comm, myGPUs []*gpuState, source int64) {
-	e.resolveDelegateParents(rank, comm, myGPUs, source)
-	e.resolveRemoteParents(rank, comm, myGPUs)
+// parentTagBase is the message tag of the resolution exchange, outside the
+// iteration tag space. Sweep queries offset it by their query index so K
+// back-to-back resolutions never cross wires.
+const parentTagBase = 1 << 30
+
+// queryTree is one query's traversal outcome expressed as plain slices, all
+// indexed by global GPU index, so the single-query Session and the
+// multi-source sweep resolve and gather parents through the same code. Each
+// rank reads and writes only its own GPUs' rows (plus the replicated
+// delegate levels), exactly like the per-GPU state it views.
+type queryTree struct {
+	levels  [][]int32 // local slot → hop distance, -1 unvisited
+	dLevel  [][]int32 // delegate id → hop distance (this GPU's replica)
+	parents [][]int64 // out: local slot → parent global id, pre-filled -1
+	// dParents is the caller-owned delegate-parent directory (len d); rank 0
+	// fills it during resolution.
+	dParents []int64
 }
 
-func (e *Session) resolveDelegateParents(rank int, comm *mpi.Comm, myGPUs []*gpuState, source int64) {
-	if e.d == 0 {
-		if rank == 0 {
-			e.delegateParents = nil
+// parentCounters routes the resolution's traffic accounting to the owning
+// session's atomics.
+type parentCounters struct {
+	pairs, rawBytes, wireBytes *int64
+}
+
+// parentScratch is the per-rank reusable state of one resolution pass.
+type parentScratch struct {
+	cand []int64
+	bins *frontier.PairBins
+}
+
+// resolveQueryParents runs the canonical resolution for one query on this
+// rank. All ranks participate (collectives inside, Barrier at the end); rank
+// 0 publishes the delegate directory into q.dParents.
+func (pe *planEnv) resolveQueryParents(mode wire.Mode, rank int, comm *mpi.Comm, source int64, q *queryTree, tag int, ps *parentScratch, pc parentCounters) {
+	pe.resolveDelegateParents(rank, comm, source, q, ps)
+	pe.resolveNormalParents(mode, rank, comm, q, tag, ps, pc)
+
+	// Every visited normal vertex below the root must now have a parent:
+	// whatever edge discovered it was covered by the dn scan, the same-GPU
+	// nn fold, or the remote nn replay.
+	pgpu := pe.shape.GPUsPerRank
+	for g := rank * pgpu; g < (rank+1)*pgpu; g++ {
+		levels, parents := q.levels[g], q.parents[g]
+		pg := pe.sg.GPUs[g]
+		for slot := range levels {
+			if levels[slot] >= 1 && parents[slot] == -1 {
+				panic(fmt.Sprintf("core: vertex %d on GPU %d missing parent after resolution",
+					pe.cfg.GlobalID(uint32(slot), pg.Rank, pg.Slot), pg.GPU))
+			}
 		}
+	}
+}
+
+func (pe *planEnv) resolveDelegateParents(rank int, comm *mpi.Comm, source int64, q *queryTree, ps *parentScratch) {
+	if pe.d == 0 {
 		return
 	}
 	const unset = math.MaxInt64
-	cand := make([]int64, e.d)
+	if cap(ps.cand) < int(pe.d) {
+		ps.cand = make([]int64, pe.d)
+	}
+	cand := ps.cand[:pe.d]
 	for i := range cand {
 		cand[i] = unset
 	}
-	sep := e.sg.Sep
-	for _, gs := range myGPUs {
-		for di := int64(0); di < e.d; di++ {
-			lvl := gs.delegateLevel[di]
+	sep := pe.sg.Sep
+	pgpu := pe.shape.GPUsPerRank
+	for g := rank * pgpu; g < (rank+1)*pgpu; g++ {
+		pg := pe.sg.GPUs[g]
+		dLevel, levels := q.dLevel[g], q.levels[g]
+		for di := int64(0); di < pe.d; di++ {
+			lvl := dLevel[di]
 			switch {
 			case lvl < 0:
 				continue
@@ -69,16 +126,16 @@ func (e *Session) resolveDelegateParents(rank int, comm *mpi.Comm, myGPUs []*gpu
 				// Only the source sits at level 0.
 				cand[di] = source
 			default:
-				for _, dv := range gs.pg.DD.Neighbors(di) {
-					if gs.delegateLevel[dv] == lvl-1 {
+				for _, dv := range pg.DD.Neighbors(di) {
+					if dLevel[dv] == lvl-1 {
 						if g := sep.DelegateGlobal[dv]; g < cand[di] {
 							cand[di] = g
 						}
 					}
 				}
-				for _, lv := range gs.pg.DN.Neighbors(di) {
-					if gs.levels[lv] == lvl-1 {
-						if g := e.cfg.GlobalID(lv, gs.pg.Rank, gs.pg.Slot); g < cand[di] {
+				for _, lv := range pg.DN.Neighbors(di) {
+					if levels[lv] == lvl-1 {
+						if g := pe.cfg.GlobalID(lv, pg.Rank, pg.Slot); g < cand[di] {
 							cand[di] = g
 						}
 					}
@@ -88,66 +145,106 @@ func (e *Session) resolveDelegateParents(rank int, comm *mpi.Comm, myGPUs []*gpu
 	}
 	comm.AllreduceMin(cand)
 	if rank == 0 {
+		dl := q.dLevel[0]
 		for di := range cand {
-			if cand[di] == unset {
-				if myGPUs[0].delegateLevel[di] >= 0 {
+			v := cand[di]
+			if v == unset {
+				if dl[di] >= 0 {
 					panic(fmt.Sprintf("core: visited delegate %d has no parent candidate", di))
 				}
-				cand[di] = -1
+				v = -1
 			}
+			q.dParents[di] = v
 		}
-		e.delegateParents = cand
 	}
 }
 
-func (e *Session) resolveRemoteParents(rank int, comm *mpi.Comm, myGPUs []*gpuState) {
-	pgpu := e.shape.GPUsPerRank
-	prank := e.shape.Ranks()
-	p64 := int64(e.p)
-	const tag = 1 << 30 // outside the iteration tag space
+// resolveNormalParents folds the local candidate passes (source seed, dn
+// forward scan, same-GPU nn edges) and runs the remote nn replay exchange.
+func (pe *planEnv) resolveNormalParents(mode wire.Mode, rank int, comm *mpi.Comm, q *queryTree, tag int, ps *parentScratch, pc parentCounters) {
+	pgpu := pe.shape.GPUsPerRank
+	prank := pe.shape.Ranks()
+	p64 := int64(pe.p)
+	myStart := rank * pgpu
+	sep := pe.sg.Sep
 
-	// Replay outgoing nn edges once, claiming child level = my level + 1.
-	bins := frontier.NewPairBins(e.p)
+	if ps.bins == nil {
+		ps.bins = frontier.NewPairBins(pe.p)
+	} else {
+		ps.bins.Reset()
+	}
+	bins := ps.bins
 	var pairs int64
-	for _, gs := range myGPUs {
-		self := gs.pg.GPU
-		for slot := int64(0); slot < gs.pg.NumLocal; slot++ {
-			lvl := gs.levels[slot]
-			if lvl < 0 || gs.pg.NN.Degree(slot) == 0 {
+	for g := myStart; g < myStart+pgpu; g++ {
+		pg := pe.sg.GPUs[g]
+		levels, parents := q.levels[g], q.parents[g]
+		dLevel := q.dLevel[g]
+
+		// dn candidates: a delegate one level up is a candidate parent of
+		// each of its local dn children.
+		for di := int64(0); di < pe.d; di++ {
+			dl := dLevel[di]
+			if dl < 0 {
+				continue
+			}
+			dg := sep.DelegateGlobal[di]
+			for _, lv := range pg.DN.Neighbors(di) {
+				if levels[lv] == dl+1 {
+					if cur := parents[lv]; cur == -1 || dg < cur {
+						parents[lv] = dg
+					}
+				}
+			}
+		}
+
+		// nn candidates: replay outgoing nn edges once, claiming child level
+		// = my level + 1; same-GPU destinations fold directly, everything
+		// else (same-rank peers included) goes through the pair bins.
+		for slot := int64(0); slot < pg.NumLocal; slot++ {
+			lvl := levels[slot]
+			if lvl == 0 {
+				// The root: a normal source is its own parent.
+				parents[slot] = pe.cfg.GlobalID(uint32(slot), pg.Rank, pg.Slot)
+			}
+			if lvl < 0 || pg.NN.Degree(slot) == 0 {
 				continue
 			}
 			if lvl+1 >= 1<<parentLevelBits {
 				panic(fmt.Sprintf("core: BFS level %d exceeds the pairs-codec ceiling", lvl))
 			}
-			uGlobal := e.cfg.GlobalID(uint32(slot), gs.pg.Rank, gs.pg.Slot)
+			uGlobal := pe.cfg.GlobalID(uint32(slot), pg.Rank, pg.Slot)
 			if uGlobal >= 1<<(64-parentLevelBits) {
 				panic(fmt.Sprintf("core: vertex id %d exceeds the pairs-codec ceiling", uGlobal))
 			}
 			val := uint64(uGlobal)<<parentLevelBits | uint64(lvl+1)
-			for _, v := range gs.pg.NN.Neighbors(slot) {
-				owner := e.cfg.OwnerGPU(v)
-				if owner == self {
-					continue // local discoveries already carry parents
+			childLevel := lvl + 1
+			for _, v := range pg.NN.Neighbors(slot) {
+				owner := pe.cfg.OwnerGPU(v)
+				if owner == g {
+					lv := uint32(v / p64)
+					if levels[lv] == childLevel {
+						if cur := parents[lv]; cur == -1 || uGlobal < cur {
+							parents[lv] = uGlobal
+						}
+					}
+					continue
 				}
 				bins.Add(owner, uint32(v/p64), val)
 				pairs++
 			}
 		}
 	}
-	atomic.AddInt64(&e.parentExchangePairs, pairs)
+	atomic.AddInt64(pc.pairs, pairs)
 
-	accept := func(gs *gpuState, prs []frontier.Pair) {
+	accept := func(levels []int32, parents []int64, prs []frontier.Pair) {
 		for _, pr := range prs {
-			if !gs.remoteNeedsParent[pr.ID] {
-				continue
-			}
 			childLevel := int32(pr.Val & (1<<parentLevelBits - 1))
-			if gs.levels[pr.ID] != childLevel {
+			if levels[pr.ID] != childLevel {
 				continue
 			}
 			parent := int64(pr.Val >> parentLevelBits)
-			if cur := gs.parents[pr.ID]; cur == -1 || parent < cur {
-				gs.parents[pr.ID] = parent
+			if cur := parents[pr.ID]; cur == -1 || parent < cur {
+				parents[pr.ID] = parent
 			}
 		}
 	}
@@ -156,12 +253,12 @@ func (e *Session) resolveRemoteParents(rank int, comm *mpi.Comm, myGPUs []*gpuSt
 	// same codec policy as the frontier exchange (raw 12-byte pairs when
 	// compression is off). The volume is reported in WireStats but, like
 	// the rest of the resolution round, excluded from simulated BFS time.
-	mode := e.opts.Compression
 	var rawBytes, wireBytes int64
 	for dst := 0; dst < prank; dst++ {
 		if dst == rank {
 			for s := 0; s < pgpu; s++ {
-				accept(myGPUs[s], bins.PerGPU[rank*pgpu+s])
+				g := myStart + s
+				accept(q.levels[g], q.parents[g], bins.PerGPU[g])
 			}
 			continue
 		}
@@ -180,8 +277,8 @@ func (e *Session) resolveRemoteParents(rank int, comm *mpi.Comm, myGPUs []*gpuSt
 		}
 		comm.Isend(dst, tag, payload)
 	}
-	atomic.AddInt64(&e.parentPairRawBytes, rawBytes)
-	atomic.AddInt64(&e.parentPairWireBytes, wireBytes)
+	atomic.AddInt64(pc.rawBytes, rawBytes)
+	atomic.AddInt64(pc.wireBytes, wireBytes)
 	for src := 0; src < prank; src++ {
 		if src == rank {
 			continue
@@ -198,21 +295,11 @@ func (e *Session) resolveRemoteParents(rank int, comm *mpi.Comm, myGPUs []*gpuSt
 			panic(fmt.Sprintf("core: corrupt parent payload: %v", err))
 		}
 		for s, prs := range slots {
-			accept(myGPUs[s], prs)
+			g := myStart + s
+			accept(q.levels[g], q.parents[g], prs)
 		}
 	}
 	comm.Barrier()
-
-	// Every remotely discovered vertex must now have a parent: its
-	// discoverer replayed the same nn edge that delivered it.
-	for _, gs := range myGPUs {
-		for slot, need := range gs.remoteNeedsParent {
-			if need && gs.parents[slot] == -1 {
-				panic(fmt.Sprintf("core: vertex %d on GPU %d missing parent after resolution",
-					e.cfg.GlobalID(uint32(slot), gs.pg.Rank, gs.pg.Slot), gs.pg.GPU))
-			}
-		}
-	}
 }
 
 // pairSlotsForRank extracts one destination rank's per-slot pair lists.
@@ -224,25 +311,43 @@ func pairSlotsForRank(bins *frontier.PairBins, dst, gpusPerRank int) [][]frontie
 	return slots
 }
 
-// gatherParents assembles the global BFS tree from owner GPUs and the
-// resolved delegate directory.
-func (e *Session) gatherParents() []int64 {
-	parents := make([]int64, e.sg.N)
+// resolveParents runs the canonical resolution for this Session's query.
+func (e *Session) resolveParents(rank int, comm *mpi.Comm, source int64) {
+	pc := parentCounters{
+		pairs:     &e.parentExchangePairs,
+		rawBytes:  &e.parentPairRawBytes,
+		wireBytes: &e.parentPairWireBytes,
+	}
+	e.planEnv.resolveQueryParents(e.opts.Compression, rank, comm, source, &e.qt,
+		parentTagBase, &e.scratch[rank].parents, pc)
+}
+
+// gatherTreeParents assembles the global BFS tree from the owner GPUs' rows
+// and the resolved delegate directory.
+func (pe *planEnv) gatherTreeParents(q *queryTree) []int64 {
+	parents := make([]int64, pe.sg.N)
 	for i := range parents {
 		parents[i] = -1
 	}
-	for _, gs := range e.gpus {
-		for slot := int64(0); slot < gs.pg.NumLocal; slot++ {
-			if gs.levels[slot] >= 0 {
-				v := e.cfg.GlobalID(uint32(slot), gs.pg.Rank, gs.pg.Slot)
-				parents[v] = gs.parents[slot]
+	for g, pg := range pe.sg.GPUs {
+		levels, gp := q.levels[g], q.parents[g]
+		for slot := int64(0); slot < pg.NumLocal; slot++ {
+			if levels[slot] >= 0 {
+				v := pe.cfg.GlobalID(uint32(slot), pg.Rank, pg.Slot)
+				parents[v] = gp[slot]
 			}
 		}
 	}
-	for di, v := range e.sg.Sep.DelegateGlobal {
-		if e.gpus[0].delegateLevel[di] >= 0 && e.delegateParents != nil {
-			parents[v] = e.delegateParents[di]
+	dl := q.dLevel[0]
+	for di, v := range pe.sg.Sep.DelegateGlobal {
+		if dl[di] >= 0 {
+			parents[v] = q.dParents[di]
 		}
 	}
 	return parents
+}
+
+// gatherParents assembles this Session's global BFS tree.
+func (e *Session) gatherParents() []int64 {
+	return e.planEnv.gatherTreeParents(&e.qt)
 }

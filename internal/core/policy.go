@@ -65,6 +65,79 @@ func newPolicyFeedback() policyFeedback {
 	return policyFeedback{skew: 1, wireRatio: 1, calib: [2]float64{1, 1}}
 }
 
+// PolicySnapshot exports one query's final measured-feedback state so later
+// queries on the same graph can warm-start their exchange policy instead of
+// re-learning the crossover from neutral defaults (Options.Warm). Partition
+// skew is a property of the graph, and the codec ratio and model bias are
+// stable across sources, so the first volume-carrying iterations of a
+// warm-started query decide with a calibrated cost model. A zero field means
+// "no information" and leaves the corresponding default untouched on seed.
+type PolicySnapshot struct {
+	// Skew is the final reduced-max over mean per-rank volume EWMA (≥ 1).
+	Skew float64
+	// WireRatio is the final measured wire-over-raw byte ratio.
+	WireRatio float64
+	// CalibAllPairs/CalibButterfly are the final actual-over-predicted
+	// remote-time EWMAs per strategy (0 when the strategy never ran).
+	CalibAllPairs  float64
+	CalibButterfly float64
+}
+
+// snapshot exports the feedback state. Calibrations are reported only for
+// strategies that executed at least one iteration (the callers gate on the
+// per-strategy iteration counts), so a neutral 1.0 that never saw a
+// measurement is still exported — seeding with it is a no-op by value.
+func (fb policyFeedback) snapshot() PolicySnapshot {
+	return PolicySnapshot{
+		Skew:           fb.skew,
+		WireRatio:      fb.wireRatio,
+		CalibAllPairs:  fb.calib[ExchangeAllPairs],
+		CalibButterfly: fb.calib[ExchangeButterfly],
+	}
+}
+
+// seed warm-starts the feedback from a snapshot, applying the same clamps
+// observe enforces so a hand-built snapshot cannot poison the session. Zero
+// fields keep the neutral defaults.
+func (fb *policyFeedback) seed(s PolicySnapshot) {
+	if s.Skew > 0 {
+		fb.skew = min(max(s.Skew, 1), skewMax)
+	}
+	if s.WireRatio > 0 {
+		fb.wireRatio = min(max(s.WireRatio, wireRatioMin), wireRatioMax)
+	}
+	if s.CalibAllPairs > 0 {
+		fb.calib[ExchangeAllPairs] = min(max(s.CalibAllPairs, calibMin), calibMax)
+	}
+	if s.CalibButterfly > 0 {
+		fb.calib[ExchangeButterfly] = min(max(s.CalibButterfly, calibMin), calibMax)
+	}
+}
+
+// MergeSnapshots deterministically folds per-query snapshots into one
+// warm-start state: each field is the running mean of the nonzero
+// contributions, folded in slice order. Callers pass snapshots in source
+// order, so the merged state is a pure function of the query results and
+// never depends on completion timing.
+func MergeSnapshots(snaps []PolicySnapshot) PolicySnapshot {
+	var out PolicySnapshot
+	var nSkew, nWire, nAP, nBF float64
+	fold := func(acc *float64, n *float64, v float64) {
+		if v <= 0 {
+			return
+		}
+		*n++
+		*acc += (v - *acc) / *n
+	}
+	for _, s := range snaps {
+		fold(&out.Skew, &nSkew, s.Skew)
+		fold(&out.WireRatio, &nWire, s.WireRatio)
+		fold(&out.CalibAllPairs, &nAP, s.CalibAllPairs)
+		fold(&out.CalibButterfly, &nBF, s.CalibButterfly)
+	}
+	return out
+}
+
 const (
 	// calibEWMA is the feedback smoothing factor: small enough that one
 	// outlier iteration cannot swing the next decision, large enough to

@@ -150,9 +150,6 @@ func (e *Session) run(ctx context.Context, source int64) (*metrics.RunResult, er
 		if gs.isNDSource[local] {
 			gs.unvisitedNDSources--
 		}
-		if gs.trackParents {
-			gs.parents[local] = source // Graph500: parent[source] = source
-		}
 	}
 
 	prank := e.shape.Ranks()
@@ -212,7 +209,7 @@ func (e *Session) runRank(ctx context.Context, rank int, comm *mpi.Comm, rec *re
 	sc := e.scratch[rank]
 	rankMask := sc.rankMask // fully overwritten by CopyFrom each iteration
 	maskBytes := rankMask.ByteSize()
-	rx := &rankExchangers{e: e, rank: rank, sc: sc}
+	rx := sc.rx.bind(e, rank, sc)
 	cancelled := false
 
 	// Input frontier sizes of the upcoming iteration (globally known), plus
@@ -227,6 +224,11 @@ func (e *Session) runRank(ctx context.Context, rank int, comm *mpi.Comm, rec *re
 	// only, so the copies stay bit-identical and decisions need no extra
 	// collective.
 	fb := newPolicyFeedback()
+	if e.opts.Warm != nil {
+		// Warm start: every rank seeds from the same snapshot, so the copies
+		// stay bit-identical exactly as with the neutral defaults.
+		fb.seed(*e.opts.Warm)
+	}
 
 	for iter := int32(0); ; iter++ {
 		// ---- Exchange policy: every rank derives the identical strategy
@@ -399,7 +401,7 @@ func (e *Session) runRank(ctx context.Context, rank int, comm *mpi.Comm, rec *re
 		// iterations).
 		vec = append(vec, float64(e.ampBytes(counts.sentRaw-counts.forwarded)))
 		sc.vec = vec
-		maxFloatsAllreduce(comm, vec)
+		sc.fbits = maxFloatsAllreduce(comm, vec, sc.fbits)
 		redWire := grownInt64(sc.redWire, nh)
 		sc.redWire = redWire
 		redCodec := grownInt64(sc.redCodec, nh)
@@ -543,21 +545,22 @@ func (e *Session) runRank(ctx context.Context, rank int, comm *mpi.Comm, rec *re
 		if rec.exchange.ButterflyIterations > 0 {
 			rec.exchange.CalibrationButterfly = fb.calib[ExchangeButterfly]
 		}
+		rec.exchange.SkewEWMA = fb.skew
+		rec.exchange.WireRatioEWMA = fb.wireRatio
 	}
 
 	if e.opts.CollectParents && !cancelled {
-		e.resolveParents(rank, comm, myGPUs, source)
+		e.resolveParents(rank, comm, source)
 	}
 }
 
 // applyIDs marks received local ids visited at the given depth (duplicates
-// and already-visited ids are ignored, as on the receiving GPU). Parents of
-// remotely discovered vertices are unknown here; the post-BFS resolution
-// round fills them in.
+// and already-visited ids are ignored, as on the receiving GPU). Parents are
+// resolved canonically after the traversal (parents.go).
 func applyIDs(gs *gpuState, ids []uint32, depth int32) {
 	for _, id := range ids {
 		if gs.levels[id] == -1 {
-			gs.discover(id, depth, -1)
+			gs.discover(id, depth)
 		}
 	}
 }

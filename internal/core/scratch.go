@@ -67,12 +67,23 @@ type rankScratch struct {
 	rankMask *bitmask.Mask
 	maskIDs  []uint32
 
-	// vec and sums are the per-iteration allreduce payloads.
-	vec  []float64
-	sums []int64
+	// vec and sums are the per-iteration allreduce payloads; fbits is the
+	// float-max reduction's bit-pattern view of vec.
+	vec   []float64
+	sums  []int64
+	fbits []int64
 
 	// radix is the scatter buffer of the radix-bucketed canonical apply.
 	radix []uint32
+
+	// parents is the post-BFS canonical parent resolution's reusable state
+	// (candidate directory + replay pair bins, see parents.go).
+	parents parentScratch
+
+	// rx caches the rank's exchange-strategy instances (and their
+	// wire.Selector scheme memories) across pooled queries; rebound and
+	// reset per query by rankExchangers.bind.
+	rx rankExchangers
 }
 
 func newRankScratch(prank, pgpu int, d int64) *rankScratch {

@@ -1,0 +1,554 @@
+package core
+
+// Multi-source shared sweep (MS-BFS): one BSP traversal answers K BFS
+// queries at once. Per-vertex visited state widens from a bit to a K-bit
+// query-set mask (bitmask.Matrix, w = ⌈K/64⌉ words per vertex), frontier
+// records carry (vertex, query-set) payloads through the record codec
+// (wire/records.go), and the delegate tier reduces a d×K mask matrix instead
+// of a d-bit mask. The sweep is forward-only: hop distances are
+// direction-invariant, so its levels — and the canonical parents derived
+// from them (parents.go) — are bit-identical to K independent Plan.Run
+// calls; what the sweep buys is amortization, since a vertex expanded for
+// many queries in one iteration scans its adjacency once, and records
+// destined for the same vertex merge into one wire record with OR-ed masks.
+//
+// The simulated cost model charges the widened work honestly: kernels pay
+// edges×w word operations, the delegate allreduce moves d×w×8 bytes, and
+// the exchange ships the record payloads. Per-query figures are the sweep
+// totals divided by K — GTEPS becomes the amortized per-query rate the cmp5
+// ablation compares against independent RunBatch.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"gcbfs/internal/bitmask"
+	"gcbfs/internal/frontier"
+	"gcbfs/internal/metrics"
+	"gcbfs/internal/mpi"
+	"gcbfs/internal/partition"
+	"gcbfs/internal/simgpu"
+	"gcbfs/internal/wire"
+)
+
+// MaxSweepWidth bounds the number of queries one sweep may carry. Beyond ~1k
+// the mask matrices stop fitting the simulated devices' memory model and the
+// per-word fold loses its amortization edge.
+const MaxSweepWidth = 1024
+
+// RunSweep answers one BFS per source in a single shared BSP traversal. The
+// per-query levels and parents are bit-identical to Run on the same source;
+// the per-query counters and simulated timing are the sweep totals divided
+// evenly by the query count (integer division for byte/edge counters — the
+// deterministic convention). Duplicate sources are allowed and simply occupy
+// two query lanes; Service-level admission dedups them beforehand.
+//
+// ctx is honored at iteration boundaries exactly as in Run: all ranks fold
+// the context observation into the termination reduction and abort on the
+// same iteration, and RunSweep returns ctx.Err().
+func (p *Plan) RunSweep(ctx context.Context, sources []int64, ov Overrides) ([]*metrics.RunResult, error) {
+	opts, err := p.effectiveOptions(ov)
+	if err != nil {
+		return nil, err
+	}
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("core: sweep needs at least one source")
+	}
+	if len(sources) > MaxSweepWidth {
+		return nil, fmt.Errorf("core: sweep width %d exceeds %d", len(sources), MaxSweepWidth)
+	}
+	for _, src := range sources {
+		if src < 0 || src >= p.sg.N {
+			return nil, fmt.Errorf("core: source %d out of range [0,%d)", src, p.sg.N)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e := p.newSweepSession(opts, sources)
+	return e.run(ctx)
+}
+
+// sweepGPU is one GPU's state for a sweep: per-query hop distances plus the
+// mask-matrix analogues of gpuState's frontier and visited structures.
+type sweepGPU struct {
+	pg  *partition.GPUGraph
+	dev *simgpu.Device
+
+	lv   [][]int32 // [k][slot] hop distance, -1 unvisited
+	dLev [][]int32 // [k][delegate] hop distance (this GPU's replica)
+
+	vis, front, nxt    *bitmask.Matrix // NumLocal × K
+	visD, frontD, newD *bitmask.Matrix // d × K
+
+	inIDs, outIDs []uint32 // active normal frontier slots (set rows of front/nxt)
+	bins          *frontier.RecordBins
+
+	it sweepIterWork
+}
+
+// sweepIterWork accumulates one iteration's counted work on one GPU.
+type sweepIterWork struct {
+	delegateStream float64
+	normalStream   float64
+	edges          int64 // structural edges scanned (adjacency reads)
+	logical        int64 // per-query logical edges: Σ popcount(row)·degree
+}
+
+// sweepScratch is one rank goroutine's reusable sweep state.
+type sweepScratch struct {
+	rankD  []uint64 // d×w delegate-mask reduce buffer
+	addRow []uint64 // w-word newly-discovered scratch row
+
+	// Sender-side merge scratch: concatenated records per destination slot,
+	// the sort permutation, and the merged output handed to the codec.
+	mIDs     []uint32
+	mMasks   []uint64
+	perm     []int32
+	outIDs   [][]uint32
+	outMasks [][]uint64
+
+	// Arrival bins (per local slot of this rank).
+	arrIDs   [][]uint32
+	arrMasks [][]uint64
+
+	sel     *wire.RecordSelector
+	parents parentScratch
+	vec     []float64
+	sums    []int64
+	fbits   []int64
+}
+
+// sweepSession is the mutable state of one in-flight sweep. Sweeps are built
+// fresh per RunSweep — the allocation amortizes over K queries, so pooling
+// buys nothing here.
+type sweepSession struct {
+	planEnv
+	opts    Options
+	amp     float64
+	k, w    int
+	sources []int64
+	gpus    []*sweepGPU
+	scratch []*sweepScratch
+
+	// Shared parent-resolution buffers, reused sequentially per query:
+	// parents[g] is GPU g's local parent array, dParents the delegate
+	// directory, qts[k] the per-query tree view resolution operates on.
+	parents  [][]int64
+	dParents []int64
+	qts      []queryTree
+
+	// Per-query parent-resolution traffic counters (indexed by query).
+	pairCount, pairRaw, pairWire []int64
+}
+
+func (p *Plan) newSweepSession(opts Options, sources []int64) *sweepSession {
+	k := len(sources)
+	w := (k + 63) / 64
+	e := &sweepSession{
+		planEnv: p.env(),
+		opts:    opts,
+		amp:     opts.WorkAmplification,
+		k:       k,
+		w:       w,
+		sources: sources,
+	}
+	e.gpus = make([]*sweepGPU, e.p)
+	for i, pg := range p.sg.GPUs {
+		gs := &sweepGPU{
+			pg:     pg,
+			dev:    simgpu.NewDevice(opts.GPU, i),
+			lv:     make([][]int32, k),
+			dLev:   make([][]int32, k),
+			vis:    bitmask.NewMatrix(pg.NumLocal, k),
+			front:  bitmask.NewMatrix(pg.NumLocal, k),
+			nxt:    bitmask.NewMatrix(pg.NumLocal, k),
+			visD:   bitmask.NewMatrix(e.d, k),
+			frontD: bitmask.NewMatrix(e.d, k),
+			newD:   bitmask.NewMatrix(e.d, k),
+			bins:   frontier.NewRecordBins(e.p, w),
+		}
+		for q := 0; q < k; q++ {
+			gs.lv[q] = make([]int32, pg.NumLocal)
+			for s := range gs.lv[q] {
+				gs.lv[q][s] = -1
+			}
+			gs.dLev[q] = make([]int32, e.d)
+			for s := range gs.dLev[q] {
+				gs.dLev[q][s] = -1
+			}
+		}
+		e.gpus[i] = gs
+	}
+	prank := p.shape.Ranks()
+	pgpu := p.shape.GPUsPerRank
+	e.scratch = make([]*sweepScratch, prank)
+	for r := range e.scratch {
+		e.scratch[r] = &sweepScratch{
+			rankD:    make([]uint64, e.d*int64(w)),
+			addRow:   make([]uint64, w),
+			outIDs:   make([][]uint32, pgpu),
+			outMasks: make([][]uint64, pgpu),
+			arrIDs:   make([][]uint32, pgpu),
+			arrMasks: make([][]uint64, pgpu),
+			sel:      wire.NewRecordSelector(),
+		}
+	}
+	if opts.CollectParents {
+		e.parents = make([][]int64, e.p)
+		for i, pg := range p.sg.GPUs {
+			e.parents[i] = make([]int64, pg.NumLocal)
+		}
+		e.dParents = make([]int64, e.d)
+		e.qts = make([]queryTree, k)
+		for q := 0; q < k; q++ {
+			qt := queryTree{
+				levels:   make([][]int32, e.p),
+				dLevel:   make([][]int32, e.p),
+				parents:  e.parents,
+				dParents: e.dParents,
+			}
+			for g, gs := range e.gpus {
+				qt.levels[g] = gs.lv[q]
+				qt.dLevel[g] = gs.dLev[q]
+			}
+			e.qts[q] = qt
+		}
+		e.pairCount = make([]int64, k)
+		e.pairRaw = make([]int64, k)
+		e.pairWire = make([]int64, k)
+	}
+	return e
+}
+
+func (e *sweepSession) charge(gs *sweepGPU, c simgpu.KernelCost) float64 {
+	c.Edges = int64(float64(c.Edges) * e.amp)
+	c.Vertices = int64(float64(c.Vertices) * e.amp)
+	return gs.dev.Charge(c)
+}
+
+func (e *sweepSession) ampBytes(b int64) int64 {
+	return int64(float64(b) * e.amp)
+}
+
+// seed plants each query's source at depth 0 in its lane.
+func (e *sweepSession) seed() {
+	for q, src := range e.sources {
+		if e.sg.Sep.IsDelegate(src) {
+			di := int64(e.sg.Sep.DelegateID[src])
+			for _, gs := range e.gpus {
+				gs.visD.Set(di, q)
+				gs.frontD.Set(di, q)
+				gs.dLev[q][di] = 0
+			}
+			continue
+		}
+		gs := e.gpus[e.cfg.OwnerGPU(src)]
+		local := int64(e.cfg.LocalID(src))
+		if !bitmask.RowAny(gs.front.Row(local)) {
+			gs.inIDs = append(gs.inIDs, uint32(local))
+		}
+		gs.vis.Set(local, q)
+		gs.front.Set(local, q)
+		gs.lv[q][local] = 0
+	}
+}
+
+// discover folds newly reached query bits into a local vertex: bits not yet
+// visited mark the per-query level, join the visited row and the output
+// frontier row. The fold is order-independent across arrival sources — a
+// query bit's level is written exactly once, on the iteration it first
+// appears — which is what makes the sweep deterministic without the
+// single-query engine's canonical arrival ordering.
+func (e *sweepSession) discover(gs *sweepGPU, sc *sweepScratch, local uint32, mask []uint64, depth int32) {
+	visRow := gs.vis.Row(int64(local))
+	add := sc.addRow
+	if !bitmask.RowAndNotInto(add, mask, visRow) {
+		return
+	}
+	bitmask.RowOr(visRow, add)
+	nxtRow := gs.nxt.Row(int64(local))
+	if !bitmask.RowAny(nxtRow) {
+		gs.outIDs = append(gs.outIDs, local)
+	}
+	bitmask.RowOr(nxtRow, add)
+	bitmask.RowForEach(add, func(q int) { gs.lv[q][local] = depth })
+}
+
+// runKernels executes one iteration's forward kernels on one GPU. Edge work
+// is charged at w word-operations per structural edge — the widened mask is
+// what the SIMD lanes actually move.
+func (e *sweepSession) runKernels(gs *sweepGPU, sc *sweepScratch, iter int32) {
+	w64 := int64(e.w)
+	p64 := int64(e.p)
+	self := gs.pg.GPU
+
+	// Delegate previsit + dd/dn kernels: scan the frontier matrix rows (the
+	// d×w/64-word sweep is the previsit analogue of the delegate mask scan).
+	var ddEdges, dnEdges, dVerts int64
+	for di := int64(0); di < e.d; di++ {
+		row := gs.frontD.Row(di)
+		if !bitmask.RowAny(row) {
+			continue
+		}
+		dVerts++
+		pop := int64(bitmask.RowCount(row))
+		if deg := gs.pg.DD.Degree(di); deg > 0 {
+			for _, dv := range gs.pg.DD.Neighbors(di) {
+				bitmask.RowOr(gs.newD.Row(int64(dv)), row)
+			}
+			ddEdges += deg
+			gs.it.logical += deg * pop
+		}
+		if deg := gs.pg.DN.Degree(di); deg > 0 {
+			for _, lv := range gs.pg.DN.Neighbors(di) {
+				e.discover(gs, sc, lv, row, iter+1)
+			}
+			dnEdges += deg
+			gs.it.logical += deg * pop
+		}
+	}
+	gs.it.delegateStream += e.charge(gs, simgpu.KernelCost{
+		Vertices: dVerts + e.d/64*w64, Strategy: simgpu.TWBDynamic,
+	})
+	gs.it.delegateStream += e.charge(gs, simgpu.KernelCost{
+		Edges: ddEdges * w64, Vertices: dVerts, Strategy: simgpu.MergePath,
+	})
+	gs.it.normalStream += e.charge(gs, simgpu.KernelCost{
+		Edges: dnEdges * w64, Vertices: dVerts, Strategy: simgpu.TWBDynamic,
+	})
+
+	// Normal previsit + nd/nn kernels over the active slot list.
+	var ndEdges, nnEdges, binned int64
+	nVerts := int64(len(gs.inIDs))
+	for _, u := range gs.inIDs {
+		row := gs.front.Row(int64(u))
+		pop := int64(bitmask.RowCount(row))
+		if deg := gs.pg.ND.Degree(int64(u)); deg > 0 {
+			for _, dv := range gs.pg.ND.Neighbors(int64(u)) {
+				bitmask.RowOr(gs.newD.Row(int64(dv)), row)
+			}
+			ndEdges += deg
+			gs.it.logical += deg * pop
+		}
+		if deg := gs.pg.NN.Degree(int64(u)); deg > 0 {
+			for _, v := range gs.pg.NN.Neighbors(int64(u)) {
+				owner := e.cfg.OwnerGPU(v)
+				local := uint32(v / p64)
+				if owner == self {
+					e.discover(gs, sc, local, row, iter+1)
+				} else {
+					gs.bins.Add(owner, local, row)
+					binned++
+				}
+			}
+			nnEdges += deg
+			gs.it.logical += deg * pop
+		}
+	}
+	gs.it.normalStream += e.charge(gs, simgpu.KernelCost{
+		Vertices: 2 * nVerts, Strategy: simgpu.TWBDynamic,
+	})
+	gs.it.delegateStream += e.charge(gs, simgpu.KernelCost{
+		Edges: ndEdges * w64, Vertices: nVerts, Strategy: simgpu.TWBDynamic,
+	})
+	gs.it.normalStream += e.charge(gs, simgpu.KernelCost{
+		Edges: nnEdges * w64, Vertices: nVerts, Strategy: simgpu.TWBDynamic,
+	})
+	if binned > 0 {
+		// Binning + id conversion + the w-word mask copy per record.
+		gs.it.normalStream += e.charge(gs, simgpu.KernelCost{
+			Vertices: binned * w64, Strategy: simgpu.TWBDynamic,
+		})
+	}
+	gs.it.edges += ddEdges + dnEdges + ndEdges + nnEdges
+}
+
+// commitDelegates folds the globally reduced new-delegate matrix into one
+// GPU's replicated delegate state and returns the number of newly visited
+// (delegate, query) pairs.
+func (e *sweepSession) commitDelegates(gs *sweepGPU, sc *sweepScratch, iter int32) int64 {
+	w := e.w
+	var committed int64
+	for di := int64(0); di < e.d; di++ {
+		red := sc.rankD[di*int64(w) : (di+1)*int64(w)]
+		visRow := gs.visD.Row(di)
+		frontRow := gs.frontD.Row(di)
+		add := sc.addRow
+		if !bitmask.RowAndNotInto(add, red, visRow) {
+			clear(frontRow)
+			continue
+		}
+		bitmask.RowOr(visRow, add)
+		copy(frontRow, add)
+		committed += int64(bitmask.RowCount(add))
+		lv := gs.dLev
+		bitmask.RowForEach(add, func(q int) { lv[q][di] = iter + 1 })
+	}
+	return committed
+}
+
+// sweepRecorder collects sweep-wide statistics; only rank 0 writes to it.
+type sweepRecorder struct {
+	iterations int
+	edges      int64 // structural
+	logical    int64 // per-query logical edges, summed over queries
+	dupsMerged int64
+	simSeconds float64
+	parts      metrics.Breakdown
+	wire       metrics.WireStats
+	messages   int64
+	maxMsg     int64
+	maskComms  int
+	cancelled  bool
+}
+
+// run executes the sweep's BSP loop across rank goroutines and assembles the
+// per-query results.
+func (e *sweepSession) run(ctx context.Context) ([]*metrics.RunResult, error) {
+	e.seed()
+	prank := e.shape.Ranks()
+	world := mpi.NewWorld(prank)
+	rec := &sweepRecorder{}
+	parentsOut := make([][]int64, e.k)
+	var wg sync.WaitGroup
+	for r := 0; r < prank; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			e.runRank(ctx, rank, world.Rank(rank), rec, parentsOut)
+		}(r)
+	}
+	wg.Wait()
+
+	if rec.cancelled {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, context.Canceled
+	}
+
+	k64 := int64(e.k)
+	kf := float64(e.k)
+	results := make([]*metrics.RunResult, e.k)
+	for q := range results {
+		res := &metrics.RunResult{
+			Source:        e.sources[q],
+			Iterations:    e.queryIterations(q),
+			SimSeconds:    rec.simSeconds / kf,
+			TEPSEdges:     e.sg.M / 2,
+			EdgesScanned:  rec.logical / k64,
+			DupsRemoved:   rec.dupsMerged / k64,
+			DelegateComms: rec.maskComms,
+			Parts: metrics.Breakdown{
+				Computation:    rec.parts.Computation / kf,
+				LocalComm:      rec.parts.LocalComm / kf,
+				RemoteNormal:   rec.parts.RemoteNormal / kf,
+				RemoteDelegate: rec.parts.RemoteDelegate / kf,
+			},
+			Wire: metrics.WireStats{
+				Enabled:         e.opts.Compression != wire.ModeOff,
+				RawBytes:        rec.wire.RawBytes / k64,
+				CompressedBytes: rec.wire.CompressedBytes / k64,
+				SchemeRaw:       rec.wire.SchemeRaw,
+				SchemeDelta:     rec.wire.SchemeDelta,
+				SchemeBitmap:    rec.wire.SchemeBitmap,
+				MemoHits:        rec.wire.MemoHits,
+				CodecBytes:      rec.wire.CodecBytes / k64,
+				CodecSeconds:    rec.wire.CodecSeconds / kf,
+			},
+			Exchange: metrics.ExchangeStats{
+				Strategy:           "sweep",
+				AllPairsIterations: int64(rec.iterations),
+				Messages:           rec.messages / k64,
+				MaxMessageBytes:    rec.maxMsg,
+			},
+		}
+		if e.opts.CollectLevels {
+			res.Levels = e.queryLevels(q)
+		}
+		if e.opts.CollectParents {
+			res.Parents = parentsOut[q]
+			res.ParentPairs = e.pairCount[q]
+			res.Wire.PairRawBytes = e.pairRaw[q]
+			res.Wire.PairWireBytes = e.pairWire[q]
+		}
+		results[q] = res
+	}
+	return results, nil
+}
+
+// queryIterations reconstructs the BSP iteration count query q would have
+// run standalone: its deepest level plus one (the final iteration discovers
+// nothing and terminates), which is exactly Plan.Run's loop count.
+func (e *sweepSession) queryIterations(q int) int {
+	var deepest int32
+	for _, gs := range e.gpus {
+		for _, lvl := range gs.lv[q] {
+			if lvl > deepest {
+				deepest = lvl
+			}
+		}
+	}
+	for _, lvl := range e.gpus[0].dLev[q] {
+		if lvl > deepest {
+			deepest = lvl
+		}
+	}
+	return int(deepest) + 1
+}
+
+// queryLevels assembles query q's global hop-distance array, mirroring
+// Session.gatherLevels.
+func (e *sweepSession) queryLevels(q int) []int32 {
+	levels := make([]int32, e.sg.N)
+	for i := range levels {
+		levels[i] = -1
+	}
+	for _, gs := range e.gpus {
+		lv := gs.lv[q]
+		for slot := int64(0); slot < gs.pg.NumLocal; slot++ {
+			if lvl := lv[slot]; lvl >= 0 {
+				v := e.cfg.GlobalID(uint32(slot), gs.pg.Rank, gs.pg.Slot)
+				levels[v] = lvl
+			}
+		}
+	}
+	for di, v := range e.sg.Sep.DelegateGlobal {
+		if lvl := e.gpus[0].dLev[q][di]; lvl >= 0 {
+			levels[v] = lvl
+		}
+	}
+	return levels
+}
+
+// resolveSweepParents runs the canonical per-query parent resolution
+// sequentially over the shared parent buffers: reset own GPUs' rows, resolve
+// query q (collectives inside), rank 0 gathers the global array, barrier,
+// next query. The per-query resolution is the exact single-query pass with a
+// per-query tag, so the trees are bit-identical to Run's.
+func (e *sweepSession) resolveSweepParents(rank int, comm *mpi.Comm, parentsOut [][]int64) {
+	pgpu := e.shape.GPUsPerRank
+	sc := e.scratch[rank]
+	for q := 0; q < e.k; q++ {
+		for g := rank * pgpu; g < (rank+1)*pgpu; g++ {
+			buf := e.parents[g]
+			for i := range buf {
+				buf[i] = -1
+			}
+		}
+		pc := parentCounters{
+			pairs:     &e.pairCount[q],
+			rawBytes:  &e.pairRaw[q],
+			wireBytes: &e.pairWire[q],
+		}
+		e.planEnv.resolveQueryParents(e.opts.Compression, rank, comm, e.sources[q],
+			&e.qts[q], parentTagBase+q, &sc.parents, pc)
+		if rank == 0 {
+			parentsOut[q] = e.planEnv.gatherTreeParents(&e.qts[q])
+		}
+		// The shared buffers are reset for q+1 only after rank 0's gather.
+		comm.Barrier()
+	}
+}

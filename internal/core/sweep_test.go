@@ -1,0 +1,241 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"gcbfs/internal/gen"
+	"gcbfs/internal/graph"
+	"gcbfs/internal/partition"
+	"gcbfs/internal/rmat"
+	"gcbfs/internal/wire"
+)
+
+// buildTestPlan partitions el and returns a Plan (the sweep entry point).
+func buildTestPlan(t testing.TB, el *graph.EdgeList, shape ClusterShape, th int64, opts Options) *Plan {
+	t.Helper()
+	sep := partition.Separate(el, th)
+	sg, err := partition.Distribute(el, sep, shape.PartitionConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlan(sg, shape, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// requireSweepMatchesRuns asserts the tentpole's contract: RunSweep's
+// per-query levels, parents and iteration counts are bit-identical to K
+// independent Plan.Run calls.
+func requireSweepMatchesRuns(t *testing.T, p *Plan, sources []int64, ov Overrides) {
+	t.Helper()
+	ctx := context.Background()
+	sweep, err := p.RunSweep(ctx, sources, ov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != len(sources) {
+		t.Fatalf("sweep returned %d results for %d sources", len(sweep), len(sources))
+	}
+	for q, src := range sources {
+		single, err := p.Run(ctx, src, ov)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := sweep[q]
+		if got.Source != src {
+			t.Fatalf("query %d: source %d, want %d", q, got.Source, src)
+		}
+		if got.Iterations != single.Iterations {
+			t.Fatalf("query %d (src %d): iterations %d, want %d", q, src, got.Iterations, single.Iterations)
+		}
+		if len(got.Levels) != len(single.Levels) {
+			t.Fatalf("query %d: levels length %d, want %d", q, len(got.Levels), len(single.Levels))
+		}
+		for v := range single.Levels {
+			if got.Levels[v] != single.Levels[v] {
+				t.Fatalf("query %d (src %d): vertex %d level %d, want %d",
+					q, src, v, got.Levels[v], single.Levels[v])
+			}
+		}
+		if (got.Parents == nil) != (single.Parents == nil) {
+			t.Fatalf("query %d: parents presence mismatch", q)
+		}
+		for v := range single.Parents {
+			if got.Parents[v] != single.Parents[v] {
+				t.Fatalf("query %d (src %d): vertex %d parent %d, want %d",
+					q, src, v, got.Parents[v], single.Parents[v])
+			}
+		}
+	}
+}
+
+func TestSweepBitIdenticalToRuns(t *testing.T) {
+	el := rmat.Generate(rmat.DefaultParams(9))
+	deg := el.OutDegrees()
+	sources := pickSources(deg, 6, 17)
+	for _, shape := range []ClusterShape{{1, 1, 1}, {2, 1, 2}, {3, 1, 2}} {
+		for name, mode := range map[string]wire.Mode{"off": wire.ModeOff, "adaptive": wire.ModeAdaptive} {
+			opts := DefaultOptions()
+			opts.CollectParents = true
+			opts.Compression = mode
+			p := buildTestPlan(t, el, shape, 8, opts)
+			t.Run(shape.String()+"/"+name, func(t *testing.T) {
+				requireSweepMatchesRuns(t, p, sources, Overrides{})
+			})
+		}
+	}
+}
+
+func TestSweepDelegateAndNormalSources(t *testing.T) {
+	// Star: hub 0 is a delegate at TH=5, leaves are normal — seed both kinds
+	// in one sweep, plus a duplicate lane.
+	el := gen.Star(40)
+	opts := DefaultOptions()
+	opts.CollectParents = true
+	p := buildTestPlan(t, el, ClusterShape{2, 1, 2}, 5, opts)
+	requireSweepMatchesRuns(t, p, []int64{0, 17, 3, 17}, Overrides{})
+}
+
+func TestSweepMultiWordWidths(t *testing.T) {
+	// K=70 needs two mask words per record; duplicates pad the lane count.
+	el := rmat.Generate(rmat.DefaultParams(8))
+	deg := el.OutDegrees()
+	base := pickSources(deg, 10, 23)
+	sources := make([]int64, 0, 70)
+	for len(sources) < 70 {
+		sources = append(sources, base[len(sources)%len(base)])
+	}
+	opts := DefaultOptions()
+	opts.CollectParents = true
+	opts.Compression = wire.ModeAdaptive
+	p := buildTestPlan(t, el, ClusterShape{2, 1, 2}, 8, opts)
+
+	ctx := context.Background()
+	sweep, err := p.RunSweep(ctx, sources, Overrides{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check the distinct sources against single runs; duplicate lanes
+	// must match their first occurrence exactly.
+	for _, src := range base {
+		single, err := p.Run(ctx, src, Overrides{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q, s := range sources {
+			if s != src {
+				continue
+			}
+			if sweep[q].Iterations != single.Iterations {
+				t.Fatalf("lane %d (src %d): iterations %d, want %d", q, src, sweep[q].Iterations, single.Iterations)
+			}
+			for v := range single.Levels {
+				if sweep[q].Levels[v] != single.Levels[v] {
+					t.Fatalf("lane %d (src %d): level mismatch at %d", q, src, v)
+				}
+				if sweep[q].Parents[v] != single.Parents[v] {
+					t.Fatalf("lane %d (src %d): parent mismatch at %d", q, src, v)
+				}
+			}
+		}
+	}
+}
+
+func TestSweepDeterministic(t *testing.T) {
+	el := rmat.Generate(rmat.DefaultParams(8))
+	sources := pickSources(el.OutDegrees(), 9, 31)
+	opts := DefaultOptions()
+	opts.Compression = wire.ModeAdaptive
+	p := buildTestPlan(t, el, ClusterShape{2, 1, 2}, 8, opts)
+	ctx := context.Background()
+	a, err := p.RunSweep(ctx, sources, Overrides{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.RunSweep(ctx, sources, Overrides{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := range a {
+		if a[q].SimSeconds != b[q].SimSeconds ||
+			a[q].Wire.CompressedBytes != b[q].Wire.CompressedBytes ||
+			a[q].EdgesScanned != b[q].EdgesScanned {
+			t.Fatalf("query %d: nondeterministic sweep: %+v vs %+v", q, a[q], b[q])
+		}
+	}
+	// Wire-accounting coherence under adaptive compression: the shared
+	// traversal moves real record bytes, and the codec is charged at least
+	// the sender-side fixed-width equivalent (receive-side decode adds
+	// more). Note RawBytes can sit *below* CompressedBytes on small or
+	// delegate-heavy graphs — per-block headers dominate near-empty record
+	// blocks — so only the codec ≥ raw ordering is invariant.
+	var raw, sent, codec int64
+	for q := range a {
+		raw += a[q].Wire.RawBytes
+		sent += a[q].Wire.CompressedBytes
+		codec += a[q].Wire.CodecBytes
+	}
+	if raw <= 0 || sent <= 0 || codec < raw {
+		t.Fatalf("sweep wire accounting: raw=%d sent=%d codec=%d (want raw>0, sent>0, codec>=raw)", raw, sent, codec)
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	el := gen.Path(16)
+	p := buildTestPlan(t, el, ClusterShape{1, 1, 1}, 100, DefaultOptions())
+	ctx := context.Background()
+	if _, err := p.RunSweep(ctx, nil, Overrides{}); err == nil {
+		t.Fatal("accepted empty source list")
+	}
+	if _, err := p.RunSweep(ctx, []int64{16}, Overrides{}); err == nil {
+		t.Fatal("accepted out-of-range source")
+	}
+	if _, err := p.RunSweep(ctx, []int64{-1}, Overrides{}); err == nil {
+		t.Fatal("accepted negative source")
+	}
+	big := make([]int64, MaxSweepWidth+1)
+	if _, err := p.RunSweep(ctx, big, Overrides{}); err == nil {
+		t.Fatal("accepted over-wide sweep")
+	}
+}
+
+func TestSweepCancellation(t *testing.T) {
+	el := rmat.Generate(rmat.DefaultParams(8))
+	sources := pickSources(el.OutDegrees(), 4, 5)
+	p := buildTestPlan(t, el, ClusterShape{2, 1, 2}, 8, DefaultOptions())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.RunSweep(ctx, sources, Overrides{}); err == nil {
+		t.Fatal("cancelled sweep returned no error")
+	}
+}
+
+func TestSweepAmortizesWork(t *testing.T) {
+	// The tentpole's point: K queries in one sweep scan far fewer structural
+	// edges and move fewer per-query wire bytes than K independent runs.
+	el := rmat.Generate(rmat.DefaultParams(10))
+	sources := pickSources(el.OutDegrees(), 32, 77)
+	opts := DefaultOptions()
+	p := buildTestPlan(t, el, ClusterShape{2, 1, 2}, 8, opts)
+	ctx := context.Background()
+	sweep, err := p.RunSweep(ctx, sources, Overrides{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sweepTime, singleTime float64
+	for q, src := range sources {
+		single, err := p.Run(ctx, src, Overrides{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sweepTime += sweep[q].SimSeconds
+		singleTime += single.SimSeconds
+	}
+	if sweepTime >= singleTime {
+		t.Fatalf("sweep did not amortize: %g s vs %g s for %d queries",
+			sweepTime, singleTime, len(sources))
+	}
+}

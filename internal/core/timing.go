@@ -29,28 +29,34 @@ func streamCombine(a, b float64) float64 {
 // is its entire point (§VI-B) — it pays for that with the Iallreduce
 // bandwidth penalty charged in simnet.
 func (e *Session) iterElapsed(parts metrics.Breakdown) float64 {
-	f := e.opts.OverlapFactor
+	return iterElapsedFor(&e.opts, e.shape, parts)
+}
+
+// iterElapsedFor is the shared overlap model, parameterized so the
+// single-query Session and the multi-source sweepSession charge identically.
+func iterElapsedFor(opts *Options, shape ClusterShape, parts metrics.Breakdown) float64 {
+	f := opts.OverlapFactor
 	hidN := f * math.Min(parts.Computation, parts.RemoteNormal)
 	remaining := parts.Computation - hidN
 	fD := f
-	if !e.opts.BlockingReduce {
+	if !opts.BlockingReduce {
 		fD = 0.85
 	}
 	hidD := fD * math.Min(remaining, parts.RemoteDelegate)
-	return parts.Sum() - hidN - hidD + e.syncOverhead()
+	return parts.Sum() - hidN - hidD + syncOverheadFor(opts, shape)
 }
 
-// syncOverhead charges the per-iteration control collectives (termination
+// syncOverheadFor charges the per-iteration control collectives (termination
 // flag, workload sums) as small tree-latency messages. This fixed cost is
 // what dominates long-tail graphs (§VI-D: per-iteration time "not much more
 // than the per-iteration overhead").
-func (e *Session) syncOverhead() float64 {
-	ranks := e.shape.Ranks()
+func syncOverheadFor(opts *Options, shape ClusterShape) float64 {
+	ranks := shape.Ranks()
 	if ranks <= 1 {
 		return 0
 	}
 	stages := 2 * math.Ceil(math.Log2(float64(ranks)))
-	return 2 * stages * e.opts.Net.IB.Latency
+	return 2 * stages * opts.Net.IB.Latency
 }
 
 // effMessageBytes estimates the per-message payload of the normal exchange:
@@ -59,13 +65,18 @@ func (e *Session) syncOverhead() float64 {
 // cuts pairs from p_gpu²·(p_rank-1) to p_gpu·(p_rank-1) per rank, making
 // messages bigger and the NIC more efficient (§V-B).
 func (e *Session) effMessageBytes(totalBytes int64) int64 {
+	return effMessageBytesFor(&e.opts, e.shape, totalBytes)
+}
+
+// effMessageBytesFor is the shared per-message payload estimate.
+func effMessageBytesFor(opts *Options, shape ClusterShape, totalBytes int64) int64 {
 	if totalBytes <= 0 {
 		return 0
 	}
-	pgpu := int64(e.shape.GPUsPerRank)
-	prank := int64(e.shape.Ranks())
+	pgpu := int64(shape.GPUsPerRank)
+	prank := int64(shape.Ranks())
 	pairs := pgpu * (prank - 1)
-	if !e.opts.LocalAll2All {
+	if !opts.LocalAll2All {
 		pairs *= pgpu
 	}
 	if pairs <= 0 {
@@ -75,17 +86,19 @@ func (e *Session) effMessageBytes(totalBytes int64) int64 {
 	if msg < 1 {
 		msg = 1
 	}
-	if msg > e.opts.MessageBytes {
-		msg = e.opts.MessageBytes
+	if msg > opts.MessageBytes {
+		msg = opts.MessageBytes
 	}
 	return msg
 }
 
 // maxFloatsAllreduce reduces a non-negative float vector to its element-wise
 // maximum across ranks. Non-negative IEEE-754 doubles order identically to
-// their bit patterns, so the int64 max-allreduce applies directly.
-func maxFloatsAllreduce(comm *mpi.Comm, vals []float64) {
-	bits := make([]int64, len(vals))
+// their bit patterns, so the int64 max-allreduce applies directly. The
+// caller-owned scratch holds the bit-pattern view; the grown slice is
+// returned for reuse.
+func maxFloatsAllreduce(comm *mpi.Comm, vals []float64, scratch []int64) []int64 {
+	bits := grownInt64(scratch, len(vals))
 	for i, v := range vals {
 		bits[i] = int64(math.Float64bits(v))
 	}
@@ -93,4 +106,5 @@ func maxFloatsAllreduce(comm *mpi.Comm, vals []float64) {
 	for i := range vals {
 		vals[i] = math.Float64frombits(uint64(bits[i]))
 	}
+	return bits
 }

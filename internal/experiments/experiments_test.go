@@ -54,7 +54,7 @@ func cellFloat(t *testing.T, cell string) float64 {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "net1", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "tab1", "tab2", "wdc1", "do1",
-		"abl1", "abl2", "cmp1", "cmp2", "cmp3", "cmp4", "app1", "mem1"}
+		"abl1", "abl2", "cmp1", "cmp2", "cmp3", "cmp4", "cmp5", "app1", "mem1"}
 	ids := IDs()
 	if len(ids) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(ids), len(want))
@@ -514,6 +514,35 @@ func TestCmp4PipelineWins(t *testing.T) {
 	}
 	if !hidSomething {
 		t.Error("pipelined butterfly never hid codec time in any cmp4 cell — pipeline inert")
+	}
+}
+
+// TestCmp5SweepAmortizes: the multi-source ablation's hard assertions
+// (bit-identical levels/parents per query, sweep gteps/query above batch at
+// K ≥ 64) run inside the experiment; the test checks the table's structure
+// and that the sweep's advantage grows with K.
+func TestCmp5SweepAmortizes(t *testing.T) {
+	tab := runExp(t, "cmp5")
+	// Quick mode: K ∈ {8, 64} × {batch, sweep}.
+	if len(tab.Rows) != 4 {
+		t.Fatalf("cmp5 has %d rows, want 4", len(tab.Rows))
+	}
+	speedups := map[string]float64{}
+	for _, row := range tab.Rows {
+		k, mode := row[0], row[1]
+		if mode != "batch" && mode != "sweep" {
+			t.Fatalf("unknown mode row %q", mode)
+		}
+		if mode == "sweep" {
+			speedups[k] = cellFloat(t, row[7])
+		}
+	}
+	if speedups["64"] <= 1 {
+		t.Errorf("K=64 sweep speedup %.2f× not above 1", speedups["64"])
+	}
+	if speedups["64"] <= speedups["8"] {
+		t.Errorf("sweep speedup did not grow with K: %.2f× at 8 vs %.2f× at 64",
+			speedups["8"], speedups["64"])
 	}
 }
 

@@ -1,0 +1,119 @@
+package frontier
+
+// Record bins for the multi-source shared sweep: like Bins, but each queued
+// id carries a w-word query-set mask saying which of the K concurrent
+// queries discovered the vertex. Masks are stored flat (w words per id, in
+// queue order) so binning stays a bump append with no per-record allocation.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"slices"
+)
+
+// RecordBins accumulates outgoing (local id, query mask) records grouped by
+// destination GPU. Ids are destination-local 32-bit ids, converted
+// sender-side exactly as in Bins.
+type RecordBins struct {
+	w     int
+	IDs   [][]uint32
+	Masks [][]uint64 // flat: w words per id, parallel to IDs
+}
+
+// NewRecordBins creates empty record bins for p destination GPUs with w mask
+// words per record.
+func NewRecordBins(p, w int) *RecordBins {
+	return &RecordBins{w: w, IDs: make([][]uint32, p), Masks: make([][]uint64, p)}
+}
+
+// W returns the mask width in words.
+func (b *RecordBins) W() int { return b.w }
+
+// Add appends a record to gpu's bin. mask must be w words; it is copied.
+func (b *RecordBins) Add(gpu int, localID uint32, mask []uint64) {
+	b.IDs[gpu] = append(b.IDs[gpu], localID)
+	b.Masks[gpu] = append(b.Masks[gpu], mask[:b.w]...)
+}
+
+// Mask returns the i-th record's mask view in gpu's bin.
+func (b *RecordBins) Mask(gpu, i int) []uint64 {
+	return b.Masks[gpu][i*b.w : (i+1)*b.w]
+}
+
+// Reset empties all bins, retaining capacity.
+func (b *RecordBins) Reset() {
+	for i := range b.IDs {
+		b.IDs[i] = b.IDs[i][:0]
+		b.Masks[i] = b.Masks[i][:0]
+	}
+}
+
+// Count returns the total number of queued records.
+func (b *RecordBins) Count() int64 {
+	var c int64
+	for _, bin := range b.IDs {
+		c += int64(len(bin))
+	}
+	return c
+}
+
+// Bytes returns the fixed-width payload size of all bins at 4+8w bytes per
+// record, excluding per-slot headers — the record extension of the paper's
+// 4·|Enn| convention.
+func (b *RecordBins) Bytes() int64 { return (4 + 8*int64(b.w)) * b.Count() }
+
+// PackRecordsRank serializes per-slot record lists into a single fixed-width
+// message: for each slot, a uint32 count, count uint32 ids, then count·w
+// uint64 mask words in id order. The ModeOff wire format of the sweep
+// exchange.
+func PackRecordsRank(slotIDs [][]uint32, slotMasks [][]uint64, w int) []byte {
+	var size int
+	for s := range slotIDs {
+		size += 4 + (4+8*w)*len(slotIDs[s])
+	}
+	buf := make([]byte, 0, size)
+	for s := range slotIDs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(slotIDs[s])))
+		for _, v := range slotIDs[s] {
+			buf = binary.LittleEndian.AppendUint32(buf, v)
+		}
+		for _, word := range slotMasks[s][:len(slotIDs[s])*w] {
+			buf = binary.LittleEndian.AppendUint64(buf, word)
+		}
+	}
+	return buf
+}
+
+// UnpackRecordsRankInto parses a PackRecordsRank payload, appending each
+// slot's ids and mask words to the corresponding entries of idsInto and
+// masksInto (len(idsInto) is the slot count). The zero-copy arrival path:
+// each slot's count header pre-sizes the grows.
+func UnpackRecordsRankInto(buf []byte, w int, idsInto [][]uint32, masksInto [][]uint64) error {
+	off := 0
+	for s := range idsInto {
+		if off+4 > len(buf) {
+			return fmt.Errorf("frontier: truncated record header for slot %d", s)
+		}
+		count := int(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		if off+(4+8*w)*count > len(buf) {
+			return fmt.Errorf("frontier: truncated record payload for slot %d (%d records)", s, count)
+		}
+		ids := slices.Grow(idsInto[s], count)
+		for i := 0; i < count; i++ {
+			ids = append(ids, binary.LittleEndian.Uint32(buf[off:]))
+			off += 4
+		}
+		idsInto[s] = ids
+		masks := slices.Grow(masksInto[s], count*w)
+		for i := 0; i < count*w; i++ {
+			masks = append(masks, binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		masksInto[s] = masks
+	}
+	if off != len(buf) {
+		return fmt.Errorf("frontier: %d trailing record bytes", len(buf)-off)
+	}
+	return nil
+}

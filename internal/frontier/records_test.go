@@ -1,0 +1,54 @@
+package frontier
+
+import "testing"
+
+func TestRecordBinsPackRoundTrip(t *testing.T) {
+	const w = 2
+	b := NewRecordBins(3, w)
+	b.Add(0, 5, []uint64{1, 0})
+	b.Add(0, 9, []uint64{0, 1 << 63})
+	b.Add(2, 1, []uint64{3, 3})
+	if b.Count() != 3 {
+		t.Fatalf("count = %d", b.Count())
+	}
+	if b.Bytes() != 3*(4+8*w) {
+		t.Fatalf("bytes = %d", b.Bytes())
+	}
+	if m := b.Mask(0, 1); m[1] != 1<<63 {
+		t.Fatalf("mask view = %v", m)
+	}
+
+	buf := PackRecordsRank(b.IDs, b.Masks, w)
+	idsInto := make([][]uint32, 3)
+	masksInto := make([][]uint64, 3)
+	if err := UnpackRecordsRankInto(buf, w, idsInto, masksInto); err != nil {
+		t.Fatal(err)
+	}
+	for s := range idsInto {
+		if len(idsInto[s]) != len(b.IDs[s]) {
+			t.Fatalf("slot %d: %d ids, want %d", s, len(idsInto[s]), len(b.IDs[s]))
+		}
+		for i := range idsInto[s] {
+			if idsInto[s][i] != b.IDs[s][i] {
+				t.Fatalf("slot %d id %d mismatch", s, i)
+			}
+		}
+		for i := range masksInto[s] {
+			if masksInto[s][i] != b.Masks[s][i] {
+				t.Fatalf("slot %d mask word %d mismatch", s, i)
+			}
+		}
+	}
+
+	// Truncations error.
+	for n := 0; n < len(buf); n++ {
+		if err := UnpackRecordsRankInto(buf[:n], w, make([][]uint32, 3), make([][]uint64, 3)); err == nil {
+			t.Fatalf("truncation to %d bytes unpacked without error", n)
+		}
+	}
+
+	b.Reset()
+	if b.Count() != 0 {
+		t.Fatal("reset left records")
+	}
+}

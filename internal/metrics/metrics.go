@@ -190,6 +190,11 @@ type ExchangeStats struct {
 	// ran, so no feedback accumulated). Subsequent predictions are scaled
 	// by them, tightening hybrid decisions near the crossover.
 	CalibrationAllPairs, CalibrationButterfly float64
+	// SkewEWMA/WireRatioEWMA are the session's final partition-skew and
+	// wire-over-raw ratio feedback (policy.go). Together with the
+	// calibration factors they form the core.PolicySnapshot a later query
+	// can warm-start from (0 means the run recorded no feedback).
+	SkewEWMA, WireRatioEWMA float64
 }
 
 // Accumulate folds another run's exchange accounting into e. Strategy is
@@ -218,6 +223,12 @@ func (e *ExchangeStats) Accumulate(other ExchangeStats) {
 	}
 	if other.CalibrationButterfly != 0 {
 		e.CalibrationButterfly = other.CalibrationButterfly
+	}
+	if other.SkewEWMA != 0 {
+		e.SkewEWMA = other.SkewEWMA
+	}
+	if other.WireRatioEWMA != 0 {
+		e.WireRatioEWMA = other.WireRatioEWMA
 	}
 }
 

@@ -130,6 +130,12 @@ type collective struct {
 	arrived int
 	acc     any
 	result  any
+	// Reusable accumulators for the typed fast paths, double-buffered by
+	// generation parity: generation g+2 (the first reuse of g's buffer)
+	// cannot start until every rank finished g, because each rank copies
+	// the result out under the lock before it can arrive for g+1.
+	accI64 [2][]int64
+	accU64 [2][]uint64
 }
 
 func newCollective(size int) *collective {
@@ -166,6 +172,65 @@ func (cl *collective) run(contrib any, init func(any) any, combine func(acc, in 
 	return cl.result
 }
 
+// runI64 is the typed counterpart of run for the per-iteration int64
+// collectives: no interface boxing, and the accumulator is a reusable
+// generation-parity buffer, so the steady state allocates nothing. Each rank
+// copies the result into its own vals under the lock before returning.
+func (cl *collective) runI64(vals []int64, op func(acc, in []int64)) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	gen := cl.gen
+	acc := &cl.accI64[gen%2]
+	if cl.arrived == 0 {
+		*acc = append((*acc)[:0], vals...)
+	} else {
+		if len(*acc) != len(vals) {
+			panic(fmt.Sprintf("mpi: collective length mismatch %d vs %d", len(*acc), len(vals)))
+		}
+		op(*acc, vals)
+	}
+	cl.arrived++
+	if cl.arrived == cl.size {
+		cl.arrived = 0
+		cl.gen++
+		cl.cond.Broadcast()
+		copy(vals, *acc)
+		return
+	}
+	for cl.gen == gen {
+		cl.cond.Wait()
+	}
+	copy(vals, cl.accI64[gen%2])
+}
+
+// runU64 is runI64 for uint64 vectors (the delegate-mask OR reduction).
+func (cl *collective) runU64(vals []uint64, op func(acc, in []uint64)) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	gen := cl.gen
+	acc := &cl.accU64[gen%2]
+	if cl.arrived == 0 {
+		*acc = append((*acc)[:0], vals...)
+	} else {
+		if len(*acc) != len(vals) {
+			panic(fmt.Sprintf("mpi: collective length mismatch %d vs %d", len(*acc), len(vals)))
+		}
+		op(*acc, vals)
+	}
+	cl.arrived++
+	if cl.arrived == cl.size {
+		cl.arrived = 0
+		cl.gen++
+		cl.cond.Broadcast()
+		copy(vals, *acc)
+		return
+	}
+	for cl.gen == gen {
+		cl.cond.Wait()
+	}
+	copy(vals, cl.accU64[gen%2])
+}
+
 // Barrier blocks until every rank has entered it.
 func (c *Comm) Barrier() {
 	c.w.coll.run(nil,
@@ -177,64 +242,31 @@ func (c *Comm) Barrier() {
 // result in-place in every rank's slice. All ranks must pass equal lengths.
 // This is the delegate-mask reduction primitive (§V-A).
 func (c *Comm) AllreduceOr(words []uint64) {
-	res := c.w.coll.run(words,
-		func(in any) any {
-			v := in.([]uint64)
-			acc := make([]uint64, len(v))
-			copy(acc, v)
-			return acc
-		},
-		func(acc, in any) {
-			a, b := acc.([]uint64), in.([]uint64)
-			if len(a) != len(b) {
-				panic(fmt.Sprintf("mpi: AllreduceOr length mismatch %d vs %d", len(a), len(b)))
-			}
-			for i, w := range b {
-				a[i] |= w
-			}
-		}).([]uint64)
-	copy(words, res)
+	c.w.coll.runU64(words, func(a, b []uint64) {
+		for i, w := range b {
+			a[i] |= w
+		}
+	})
 }
 
 // AllreduceSum sums int64 slices element-wise across ranks, in-place.
 func (c *Comm) AllreduceSum(vals []int64) {
-	res := c.w.coll.run(vals,
-		func(in any) any {
-			v := in.([]int64)
-			acc := make([]int64, len(v))
-			copy(acc, v)
-			return acc
-		},
-		func(acc, in any) {
-			a, b := acc.([]int64), in.([]int64)
-			if len(a) != len(b) {
-				panic(fmt.Sprintf("mpi: AllreduceSum length mismatch %d vs %d", len(a), len(b)))
-			}
-			for i, w := range b {
-				a[i] += w
-			}
-		}).([]int64)
-	copy(vals, res)
+	c.w.coll.runI64(vals, func(a, b []int64) {
+		for i, w := range b {
+			a[i] += w
+		}
+	})
 }
 
 // AllreduceMax takes the element-wise max of int64 slices across ranks.
 func (c *Comm) AllreduceMax(vals []int64) {
-	res := c.w.coll.run(vals,
-		func(in any) any {
-			v := in.([]int64)
-			acc := make([]int64, len(v))
-			copy(acc, v)
-			return acc
-		},
-		func(acc, in any) {
-			a, b := acc.([]int64), in.([]int64)
-			for i, w := range b {
-				if w > a[i] {
-					a[i] = w
-				}
+	c.w.coll.runI64(vals, func(a, b []int64) {
+		for i, w := range b {
+			if w > a[i] {
+				a[i] = w
 			}
-		}).([]int64)
-	copy(vals, res)
+		}
+	})
 }
 
 // AllreduceMin takes the element-wise min of int64 slices across ranks —
@@ -242,25 +274,13 @@ func (c *Comm) AllreduceMax(vals []int64) {
 // resolution of the BFS-tree output (smallest candidate parent wins,
 // deterministically).
 func (c *Comm) AllreduceMin(vals []int64) {
-	res := c.w.coll.run(vals,
-		func(in any) any {
-			v := in.([]int64)
-			acc := make([]int64, len(v))
-			copy(acc, v)
-			return acc
-		},
-		func(acc, in any) {
-			a, b := acc.([]int64), in.([]int64)
-			if len(a) != len(b) {
-				panic(fmt.Sprintf("mpi: AllreduceMin length mismatch %d vs %d", len(a), len(b)))
+	c.w.coll.runI64(vals, func(a, b []int64) {
+		for i, w := range b {
+			if w < a[i] {
+				a[i] = w
 			}
-			for i, w := range b {
-				if w < a[i] {
-					a[i] = w
-				}
-			}
-		}).([]int64)
-	copy(vals, res)
+		}
+	})
 }
 
 // AllreduceSumFloat64 sums float64 slices element-wise across ranks — the

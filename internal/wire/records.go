@@ -1,0 +1,308 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math/bits"
+	"slices"
+)
+
+// Record codec for the multi-source shared sweep (MS-BFS): the sweep's
+// frontier records are (vertex id, query-set mask) pairs, where the mask is a
+// w-word bitset saying which of the K concurrent queries reached the vertex.
+// One encoded record block carries the records destined for one GPU slot:
+//
+//	id block        exactly the single-query block format (wire.go): scheme
+//	                byte, uvarint n, payload, CRC32. Ids are sorted ascending
+//	                and duplicate-free (the sweep merges same-id records
+//	                sender-side by OR-ing their masks), so the delta and
+//	                bitmap schemes apply unchanged.
+//	mask section    1 byte mask scheme, then the per-record masks in id
+//	                order, then CRC32 (IEEE, little-endian) of the section.
+//
+// Mask scheme payloads (w = words per record, fixed per sweep):
+//
+//	MaskRaw     n × w × uint64 little-endian. Right for the dense early
+//	            iterations where most queries share the frontier.
+//	MaskSparse  per record: uvarint popcount c, then c uvarint bit positions
+//	            strictly ascending. Right for the late iterations where each
+//	            vertex is reached by a handful of stragglers — and for wide
+//	            sweeps (large w) whose raw rows are mostly zero words.
+//
+// The fixed-width equivalent charged to Stats.RawBytes is n·(4 + 8w) — the
+// id convention of the single-query codec extended by the raw mask row.
+type MaskScheme uint8
+
+const (
+	MaskRaw MaskScheme = iota
+	MaskSparse
+
+	// NumMaskSchemes bounds per-scheme counters.
+	NumMaskSchemes = 2
+)
+
+func (s MaskScheme) String() string {
+	switch s {
+	case MaskRaw:
+		return "mask-raw"
+	case MaskSparse:
+		return "mask-sparse"
+	}
+	return fmt.Sprintf("maskscheme(%d)", uint8(s))
+}
+
+// maskSparsePayloadLen returns the MaskSparse payload size for n records of w
+// words each.
+func maskSparsePayloadLen(masks []uint64, n, w int) int {
+	size := 0
+	for i := 0; i < n; i++ {
+		row := masks[i*w : (i+1)*w]
+		c := 0
+		for _, word := range row {
+			c += bits.OnesCount64(word)
+		}
+		size += uvarintLen(uint64(c))
+		for wi, word := range row {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				size += uvarintLen(uint64(wi*64 + b))
+				word &= word - 1
+			}
+		}
+	}
+	return size
+}
+
+// chooseMaskScheme picks the smaller mask encoding (ModeRaw forces MaskRaw,
+// matching the forced-raw id ablation).
+func chooseMaskScheme(masks []uint64, n, w int, mode Mode) MaskScheme {
+	if mode == ModeRaw {
+		return MaskRaw
+	}
+	if maskSparsePayloadLen(masks, n, w) < 8*n*w {
+		return MaskSparse
+	}
+	return MaskRaw
+}
+
+// appendMaskSection encodes the mask section (scheme byte, payload, CRC) for
+// n records of w words each, in id order.
+func appendMaskSection(dst []byte, masks []uint64, n, w int, ms MaskScheme) []byte {
+	start := len(dst)
+	dst = append(dst, byte(ms))
+	switch ms {
+	case MaskRaw:
+		for i := 0; i < n*w; i++ {
+			dst = binary.LittleEndian.AppendUint64(dst, masks[i])
+		}
+	case MaskSparse:
+		for i := 0; i < n; i++ {
+			row := masks[i*w : (i+1)*w]
+			c := 0
+			for _, word := range row {
+				c += bits.OnesCount64(word)
+			}
+			dst = binary.AppendUvarint(dst, uint64(c))
+			for wi, word := range row {
+				for word != 0 {
+					b := bits.TrailingZeros64(word)
+					dst = binary.AppendUvarint(dst, uint64(wi*64+b))
+					word &= word - 1
+				}
+			}
+		}
+	}
+	sum := crc32.Checksum(dst[start:], crcTable)
+	return binary.LittleEndian.AppendUint32(dst, sum)
+}
+
+// AppendRecords encodes one record block according to mode and appends it to
+// dst, returning the extended buffer and the schemes used for the id block
+// and the mask section. ids must be sorted ascending and duplicate-free (the
+// sweep's sender-side merge guarantees it); masks holds w words per id, in id
+// order. Mode must not be ModeOff.
+func AppendRecords(dst []byte, ids []uint32, masks []uint64, w int, mode Mode) ([]byte, Scheme, MaskScheme) {
+	var idScheme Scheme
+	dst, idScheme = AppendSorted(dst, ids, mode, true)
+	ms := chooseMaskScheme(masks, len(ids), w, mode)
+	return appendMaskSection(dst, masks, len(ids), w, ms), idScheme, ms
+}
+
+// DecodeRecordsAppend parses one record block at the start of buf, appending
+// the ids to idDst and the masks (w words per record, zero-initialized) to
+// maskDst. It returns the extended slices and the bytes consumed. Like the
+// single-query decoder, any truncation, unknown scheme, malformed varint,
+// out-of-range bit position or checksum mismatch yields an error — a block
+// never decodes to wrong records silently. On error the contents of the
+// destination slices are unspecified.
+func DecodeRecordsAppend(buf []byte, w int, idDst []uint32, maskDst []uint64) ([]uint32, []uint64, int, error) {
+	base := len(idDst)
+	ids, off, _, err := DecodeAppend(buf, idDst)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	n := len(ids) - base
+	if off+1+crcLen > len(buf) {
+		return nil, nil, 0, fmt.Errorf("wire: mask section truncated (%d bytes left)", len(buf)-off)
+	}
+	start := off
+	ms := MaskScheme(buf[off])
+	off++
+	if ms >= NumMaskSchemes {
+		return nil, nil, 0, fmt.Errorf("wire: unknown mask scheme byte %d", buf[off-1])
+	}
+	mbase := len(maskDst)
+	maskDst = slices.Grow(maskDst, n*w)
+	maskDst = maskDst[:mbase+n*w]
+	clear(maskDst[mbase:])
+	switch ms {
+	case MaskRaw:
+		if off+8*n*w+crcLen > len(buf) {
+			return nil, nil, 0, fmt.Errorf("wire: raw mask section truncated (%d records × %d words)", n, w)
+		}
+		for i := 0; i < n*w; i++ {
+			maskDst[mbase+i] = binary.LittleEndian.Uint64(buf[off:])
+			off += 8
+		}
+	case MaskSparse:
+		for i := 0; i < n; i++ {
+			c, k := binary.Uvarint(buf[off:])
+			if k <= 0 || off+k+crcLen > len(buf) {
+				return nil, nil, 0, fmt.Errorf("wire: sparse mask truncated at record %d/%d", i, n)
+			}
+			off += k
+			if c > uint64(64*w) {
+				return nil, nil, 0, fmt.Errorf("wire: sparse mask popcount %d exceeds %d bits", c, 64*w)
+			}
+			row := maskDst[mbase+i*w : mbase+(i+1)*w]
+			prev := -1
+			for j := uint64(0); j < c; j++ {
+				pos, k := binary.Uvarint(buf[off:])
+				if k <= 0 || off+k+crcLen > len(buf) {
+					return nil, nil, 0, fmt.Errorf("wire: sparse mask truncated at record %d bit %d", i, j)
+				}
+				off += k
+				if pos >= uint64(64*w) || int(pos) <= prev {
+					return nil, nil, 0, fmt.Errorf("wire: sparse mask bit %d out of order or range", pos)
+				}
+				prev = int(pos)
+				row[pos/64] |= 1 << (pos % 64)
+			}
+		}
+	}
+	if off+crcLen > len(buf) {
+		return nil, nil, 0, fmt.Errorf("wire: mask section truncated before checksum")
+	}
+	want := binary.LittleEndian.Uint32(buf[off:])
+	if got := crc32.Checksum(buf[start:off], crcTable); got != want {
+		return nil, nil, 0, fmt.Errorf("wire: mask checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	return ids, maskDst, off + crcLen, nil
+}
+
+// DecodeRecordsRank parses a record message of one block per destination GPU
+// slot, appending each slot's ids and masks to the corresponding entries of
+// idsInto and masksInto (len(idsInto) is the slot count). The zero-copy
+// arrival path of the sweep exchange: each block's count header pre-sizes the
+// grows. On error the contents of the destinations are unspecified.
+func DecodeRecordsRank(buf []byte, w int, idsInto [][]uint32, masksInto [][]uint64) error {
+	off := 0
+	for s := range idsInto {
+		ids, masks, n, err := DecodeRecordsAppend(buf[off:], w, idsInto[s], masksInto[s])
+		if err != nil {
+			return fmt.Errorf("wire: slot %d: %w", s, err)
+		}
+		idsInto[s], masksInto[s] = ids, masks
+		off += n
+	}
+	if off != len(buf) {
+		return fmt.Errorf("wire: %d trailing bytes after %d record slots", len(buf)-off, len(idsInto))
+	}
+	return nil
+}
+
+// maskMemo remembers one block's winning mask scheme plus the raw mask size
+// it won at, mirroring blockMemo for the id sub-block.
+type maskMemo struct {
+	scheme   MaskScheme
+	rawBytes int64
+}
+
+// RecordSelector adds per-(destination, slot) scheme memory to adaptive
+// record encoding: the id sub-block rides an embedded Selector and the mask
+// section keeps its own memo with the same [half, 2×] size window, so a
+// stable sweep frontier skips both probes. Not safe for concurrent use; the
+// sweep keeps one per rank.
+type RecordSelector struct {
+	ids  *Selector
+	memo map[blockKey]maskMemo
+}
+
+// NewRecordSelector returns an empty record selector.
+func NewRecordSelector() *RecordSelector {
+	return &RecordSelector{ids: NewSelector(), memo: make(map[blockKey]maskMemo)}
+}
+
+// Reset forgets all scheme memory (id and mask), keeping the map storage, so
+// a pooled selector starts every sweep from the blank state a fresh one
+// would — per-sweep wire bytes stay bit-identical regardless of history.
+func (rs *RecordSelector) Reset() {
+	if rs == nil {
+		return
+	}
+	rs.ids.Reset()
+	if rs.memo != nil {
+		clear(rs.memo)
+	}
+}
+
+// chooseMask picks the mask scheme for one block through the memo. The memo
+// window keys on the raw mask size (8nw): while it stays within 2× of the
+// remembered size the remembered scheme is reused without the sparse-size
+// scan; a ratio change re-probes immediately.
+func (rs *RecordSelector) chooseMask(masks []uint64, n, w int, mode Mode, dst, slot int, raw int64) (MaskScheme, bool) {
+	if mode == ModeRaw {
+		return MaskRaw, false
+	}
+	if rs == nil || rs.memo == nil || mode != ModeAdaptive {
+		return chooseMaskScheme(masks, n, w, mode), false
+	}
+	key := blockKey{dst: dst, slot: slot}
+	if m, ok := rs.memo[key]; ok && m.rawBytes > 0 && raw > 0 &&
+		raw >= m.rawBytes/2 && raw <= 2*m.rawBytes {
+		rs.memo[key] = maskMemo{scheme: m.scheme, rawBytes: raw}
+		return m.scheme, true
+	}
+	ms := chooseMaskScheme(masks, n, w, mode)
+	rs.memo[key] = maskMemo{scheme: ms, rawBytes: raw}
+	return ms, false
+}
+
+// EncodeSlots encodes one destination rank's per-slot record lists as a
+// single message payload: one record block per slot, id schemes and mask
+// schemes both consulting their per-(dst, slot) memories. Stats counts the
+// fixed-width equivalent n·(4+8w) as raw bytes, the id scheme per block, and
+// a memo hit only when both sub-blocks encoded straight from memory. Mode
+// must not be ModeOff (fixed-width packing is frontier.PackRecordsRank).
+func (rs *RecordSelector) EncodeSlots(dst int, slotIDs [][]uint32, slotMasks [][]uint64, w int, mode Mode) ([]byte, Stats) {
+	var st Stats
+	var buf []byte
+	for s := range slotIDs {
+		ids := slotIDs[s]
+		n := len(ids)
+		var idScheme Scheme
+		var idHit bool
+		buf, idScheme, idHit = rs.ids.Append(buf, ids, mode, dst, s, true)
+		raw := 8 * int64(n) * int64(w)
+		ms, maskHit := rs.chooseMask(slotMasks[s], n, w, mode, dst, s, raw)
+		buf = appendMaskSection(buf, slotMasks[s], n, w, ms)
+		st.RawBytes += int64(n) * (4 + 8*int64(w))
+		st.Selected[idScheme]++
+		if idHit && maskHit {
+			st.MemoHits++
+		}
+	}
+	st.EncodedBytes = int64(len(buf))
+	return buf, st
+}

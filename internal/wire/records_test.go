@@ -1,0 +1,163 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func recordFixture(n, w int, sparse bool) ([]uint32, []uint64) {
+	ids := make([]uint32, n)
+	masks := make([]uint64, n*w)
+	for i := 0; i < n; i++ {
+		ids[i] = uint32(97*i + 5)
+		if sparse {
+			masks[i*w+(i%w)] = 1 << uint(i%64)
+		} else {
+			for j := 0; j < w; j++ {
+				masks[i*w+j] = ^uint64(0) >> uint(i%7)
+			}
+		}
+	}
+	return ids, masks
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		n, w   int
+		sparse bool
+		mode   Mode
+		want   MaskScheme
+	}{
+		{"sparse-adaptive", 40, 4, true, ModeAdaptive, MaskSparse},
+		{"dense-adaptive", 40, 1, false, ModeAdaptive, MaskRaw},
+		{"forced-raw", 40, 2, true, ModeRaw, MaskRaw},
+		{"empty", 0, 3, true, ModeAdaptive, MaskRaw},
+		{"delta-ids", 100, 8, true, ModeDelta, MaskSparse},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ids, masks := recordFixture(tc.n, tc.w, tc.sparse)
+			buf, _, ms := AppendRecords(nil, ids, masks, tc.w, tc.mode)
+			if ms != tc.want {
+				t.Fatalf("mask scheme = %v, want %v", ms, tc.want)
+			}
+			gotIDs, gotMasks, consumed, err := DecodeRecordsAppend(buf, tc.w, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if consumed != len(buf) {
+				t.Fatalf("consumed %d of %d bytes", consumed, len(buf))
+			}
+			if len(gotIDs) != len(ids) {
+				t.Fatalf("decoded %d ids, want %d", len(gotIDs), len(ids))
+			}
+			for i := range ids {
+				if gotIDs[i] != ids[i] {
+					t.Fatalf("id[%d] = %d, want %d", i, gotIDs[i], ids[i])
+				}
+			}
+			for i := range masks {
+				if gotMasks[i] != masks[i] {
+					t.Fatalf("mask word %d = %x, want %x", i, gotMasks[i], masks[i])
+				}
+			}
+		})
+	}
+}
+
+func TestRecordCorruption(t *testing.T) {
+	ids, masks := recordFixture(30, 2, true)
+	buf, _, _ := AppendRecords(nil, ids, masks, 2, ModeAdaptive)
+	// Flip one byte anywhere: the decode must error, never return wrong data.
+	for i := range buf {
+		bad := bytes.Clone(buf)
+		bad[i] ^= 0x40
+		gotIDs, gotMasks, _, err := DecodeRecordsAppend(bad, 2, nil, nil)
+		if err != nil {
+			continue
+		}
+		if len(gotIDs) != len(ids) {
+			t.Fatalf("byte %d: silent length change", i)
+		}
+		same := true
+		for j := range ids {
+			if gotIDs[j] != ids[j] {
+				same = false
+			}
+		}
+		for j := range masks {
+			if gotMasks[j] != masks[j] {
+				same = false
+			}
+		}
+		if !same {
+			t.Fatalf("byte %d: corruption decoded to different records without error", i)
+		}
+	}
+	// Truncations at every length.
+	for n := 0; n < len(buf); n++ {
+		if _, _, _, err := DecodeRecordsAppend(buf[:n], 2, nil, nil); err == nil {
+			t.Fatalf("truncation to %d bytes decoded without error", n)
+		}
+	}
+}
+
+func TestRecordSelectorRankRoundTrip(t *testing.T) {
+	const w = 3
+	rs := NewRecordSelector()
+	slotIDs := make([][]uint32, 2)
+	slotMasks := make([][]uint64, 2)
+	slotIDs[0], slotMasks[0] = recordFixture(50, w, true)
+	slotIDs[1], slotMasks[1] = recordFixture(7, w, false)
+
+	var lastLen int
+	for iter := 0; iter < 3; iter++ {
+		buf, st := rs.EncodeSlots(1, slotIDs, slotMasks, w, ModeAdaptive)
+		if st.RawBytes != (4+8*w)*(50+7) {
+			t.Fatalf("raw bytes = %d", st.RawBytes)
+		}
+		if st.EncodedBytes != int64(len(buf)) {
+			t.Fatalf("encoded bytes = %d, len = %d", st.EncodedBytes, len(buf))
+		}
+		if iter > 0 {
+			if st.MemoHits != 2 {
+				t.Fatalf("iter %d: memo hits = %d, want 2", iter, st.MemoHits)
+			}
+			if len(buf) != lastLen {
+				t.Fatalf("memoized encode changed size: %d vs %d", len(buf), lastLen)
+			}
+		}
+		lastLen = len(buf)
+		idsInto := make([][]uint32, 2)
+		masksInto := make([][]uint64, 2)
+		if err := DecodeRecordsRank(buf, w, idsInto, masksInto); err != nil {
+			t.Fatal(err)
+		}
+		for s := range slotIDs {
+			if len(idsInto[s]) != len(slotIDs[s]) {
+				t.Fatalf("slot %d: %d ids, want %d", s, len(idsInto[s]), len(slotIDs[s]))
+			}
+			for i := range slotIDs[s] {
+				if idsInto[s][i] != slotIDs[s][i] {
+					t.Fatalf("slot %d id %d mismatch", s, i)
+				}
+			}
+			for i := range slotMasks[s] {
+				if masksInto[s][i] != slotMasks[s][i] {
+					t.Fatalf("slot %d mask word %d mismatch", s, i)
+				}
+			}
+		}
+	}
+
+	// Reset forgets the memory: the next encode probes afresh (no hits) but
+	// produces the identical bytes.
+	rs.Reset()
+	buf, st := rs.EncodeSlots(1, slotIDs, slotMasks, w, ModeAdaptive)
+	if st.MemoHits != 0 {
+		t.Fatalf("post-reset memo hits = %d", st.MemoHits)
+	}
+	if len(buf) != lastLen {
+		t.Fatalf("post-reset encode changed size: %d vs %d", len(buf), lastLen)
+	}
+}

@@ -31,6 +31,16 @@ func NewSelector() *Selector {
 	return &Selector{memo: make(map[blockKey]blockMemo)}
 }
 
+// Reset forgets all scheme memory while keeping the map's storage, so a
+// pooled selector starts every query from the same blank state a fresh one
+// would — per-query wire bytes stay bit-identical regardless of what ran on
+// the scratch before.
+func (sel *Selector) Reset() {
+	if sel != nil && sel.memo != nil {
+		clear(sel.memo)
+	}
+}
+
 // forcedMode returns the mode that pins a remembered scheme.
 func forcedMode(s Scheme) Mode {
 	if s == SchemeDelta {
