@@ -28,6 +28,17 @@
 // produces every query's levels and parents, bit-identical to independent
 // runs; per-query counters and simulated time are equal shares of the sweep
 // totals.
+//
+// -updates N replays a stream of N synthetic edge-delta batches (size
+// -updatefrac of the edge count, kind -updatekind) against the loaded graph:
+// each batch advances the graph one epoch — the next epoch's partition is
+// built incrementally beside the live one, sharing unchanged per-GPU
+// subgraphs — and the previous result is repaired by a corrective traversal
+// instead of recomputed. With -validate every repaired result is checked
+// bit-identically (levels AND parents) against a full recompute on the new
+// epoch plus the serial/Graph500 rules:
+//
+//	bfsrun -rmat 14 -nodes 3 -ranks 2 -gpus 2 -updates 3 -updatefrac 0.01 -updatekind mixed -validate
 package main
 
 import (
@@ -38,6 +49,7 @@ import (
 
 	"gcbfs/internal/baseline"
 	"gcbfs/internal/core"
+	"gcbfs/internal/delta"
 	"gcbfs/internal/g500"
 	"gcbfs/internal/graph"
 	"gcbfs/internal/metrics"
@@ -67,6 +79,9 @@ func main() {
 		amp       = flag.Float64("amp", 1, "work amplification for the timing model (2^(paperScale-localScale))")
 		sweep     = flag.Bool("sweep", false, "answer all sources in one shared multi-source sweep (MS-BFS) instead of independent queries")
 		validate  = flag.Bool("validate", false, "validate distances against serial BFS + Graph500 rules")
+		updates   = flag.Int("updates", 0, "replay this many synthetic edge-delta batches, repairing the BFS across each epoch")
+		updFrac   = flag.Float64("updatefrac", 0.01, "delta size as a fraction of the undirected edge count (with -updates)")
+		updKind   = flag.String("updatekind", "mixed", "delta kind: insert, delete or mixed (with -updates)")
 	)
 	flag.Parse()
 
@@ -126,6 +141,21 @@ func main() {
 	if len(sources) < *nSources {
 		fmt.Printf("note: only %d positive-degree sources available (asked for %d)\n",
 			len(sources), *nSources)
+	}
+
+	// Delta-replay mode: repair the BFS across a stream of epoch updates
+	// instead of answering independent queries.
+	if *updates > 0 {
+		if len(sources) == 0 {
+			fmt.Fprintln(os.Stderr, "bfsrun: no positive-degree source for -updates")
+			os.Exit(1)
+		}
+		if err := runUpdates(el, sg, shape, threshold, opts, sources[0],
+			*updates, *updFrac, *updKind, uint64(*seed), *validate); err != nil {
+			fmt.Fprintf(os.Stderr, "bfsrun: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	// The batch path: up to -parallel queries in flight, each on its own
@@ -212,6 +242,100 @@ func main() {
 	if *validate {
 		fmt.Println("validation: all runs match serial BFS and pass Graph500-style checks")
 	}
+}
+
+// runUpdates replays n synthetic delta batches: each advances the graph one
+// epoch (incremental distribution beside the live partition) and repairs the
+// running BFS result through the corrective traversal. With validate, every
+// repaired result is compared bit-identically against a full recompute on
+// the new epoch and checked against the serial/Graph500 rules.
+func runUpdates(el *graph.EdgeList, sg *partition.Subgraphs, shape core.ClusterShape,
+	threshold int64, opts core.Options, source int64, n int, frac float64,
+	kindName string, seed uint64, validate bool) error {
+	kind, err := delta.ParseKind(kindName)
+	if err != nil {
+		return err
+	}
+	// Repair consumes the prior epoch's levels AND parents regardless of
+	// what the query flags asked for.
+	opts.CollectLevels = true
+	opts.CollectParents = true
+	plan, err := core.NewPlanEpoch(sg, shape, opts, 1)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	prior, err := plan.Run(ctx, source, core.Overrides{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nupdates: replaying %d %s deltas of ~%.2f%% of edges, repairing source %d across epochs\n",
+		n, kind, 100*frac, source)
+	fmt.Printf("epoch 1: full traversal %8.3f ms, %d iterations\n",
+		prior.SimSeconds*1e3, prior.Iterations)
+	for i := 1; i <= n; i++ {
+		b := delta.Synthesize(el, frac, kind, seed+uint64(i))
+		el2, err := delta.Apply(el, b)
+		if err != nil {
+			return err
+		}
+		sep2 := partition.Separate(el2, threshold)
+		sg2, shared, err := partition.DistributeIncremental(el2, sep2, shape.PartitionConfig(), sg)
+		if err != nil {
+			return err
+		}
+		epoch := uint64(i + 1)
+		plan2, err := core.NewPlanEpoch(sg2, shape, opts, epoch)
+		if err != nil {
+			return err
+		}
+		invalid, seeds := delta.Affected(prior.Levels, prior.Parents, b)
+		nInvalid := 0
+		for _, iv := range invalid {
+			if iv {
+				nInvalid++
+			}
+		}
+		rep, err := plan2.RunRepair(ctx, source, prior.Levels, invalid, seeds, core.Overrides{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("epoch %d: Δ%d edges, %d invalidated, %d/%d GPU subgraphs shared | repair %8.3f ms (%d iters)",
+			epoch, b.Size(), nInvalid, shared, shape.P(), rep.SimSeconds*1e3, rep.Iterations)
+		if validate {
+			full, err := plan2.Run(ctx, source, core.Overrides{})
+			if err != nil {
+				return err
+			}
+			for v := range full.Levels {
+				if rep.Levels[v] != full.Levels[v] {
+					return fmt.Errorf("epoch %d: vertex %d repaired level %d, recompute %d",
+						epoch, v, rep.Levels[v], full.Levels[v])
+				}
+			}
+			for v := range full.Parents {
+				if rep.Parents[v] != full.Parents[v] {
+					return fmt.Errorf("epoch %d: vertex %d repaired parent %d, recompute %d",
+						epoch, v, rep.Parents[v], full.Parents[v])
+				}
+			}
+			if err := g500.Validate(el2, source, rep.Levels); err != nil {
+				return fmt.Errorf("epoch %d: %w", epoch, err)
+			}
+			want := baseline.SerialBFS(graph.BuildCSR(el2), source)
+			if err := g500.CompareLevels(rep.Levels, want); err != nil {
+				return fmt.Errorf("epoch %d: %w", epoch, err)
+			}
+			fmt.Printf(" vs recompute %8.3f ms (%.2f×) — bit-identical, serial-validated",
+				full.SimSeconds*1e3, full.SimSeconds/rep.SimSeconds)
+		}
+		fmt.Println()
+		el, sg, prior = el2, sg2, rep
+	}
+	if validate {
+		fmt.Println("validation: every repaired epoch matches a full recompute (levels and parents) and the Graph500 rules")
+	}
+	return nil
 }
 
 func loadGraph(path string, scale int) (*graph.EdgeList, error) {

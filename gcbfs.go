@@ -141,6 +141,25 @@
 // policy's cost model converges; it is off by default so fixed benchmark
 // cells stay reproducible in isolation.
 //
+// # Incremental graphs
+//
+// NewMutableService wraps the service in an epoch chain for mutating
+// graphs: ApplyDelta takes one atomic batch of undirected edge inserts and
+// deletes, builds the next epoch's partition and plan beside the live one —
+// reusing the fixed degree threshold, the modular partition assignment, and
+// every per-GPU subgraph whose routed edge sequence did not change — and
+// publishes it with a single atomic pointer swap. Queries admit themselves
+// with one atomic load: a query in flight across a swap (including a
+// coalesced sweep draining its queue) finishes entirely on its admission
+// epoch, every later call lands on the new one, and Result.Epoch records
+// which. MutableService.Repair then advances a held result across the delta
+// without re-traversing the unchanged bulk: the affected set (orphaned
+// subtrees of deleted tree edges, still-valid endpoints of inserts) seeds a
+// corrective traversal through the same exchange stack, and the repaired
+// levels and parents are bit-identical to a full recompute on the new epoch
+// — typically in a fraction of the simulated time when the delta is small
+// (the cmp6 ablation quantifies the crossover). See examples/streaming.
+//
 // # Benchmark trajectory
 //
 // Performance claims are trended, not narrated: every PR regenerates a
@@ -413,6 +432,11 @@ func (cfg Config) engineOptions() core.Options {
 type Result struct {
 	Source     int64
 	Iterations int
+	// Epoch identifies the graph snapshot the query was admitted to: a
+	// MutableService stamps every result with the epoch whose plan answered
+	// it (queries in flight across an ApplyDelta finish on their admission
+	// epoch). Fixed-graph Services report 0.
+	Epoch uint64
 	// SimSeconds is modeled cluster time; GTEPS uses the Graph500 m/2
 	// convention (§VI-A3).
 	SimSeconds float64
@@ -483,6 +507,12 @@ type Service struct {
 	plan *core.Plan
 	sub  *partition.Subgraphs
 
+	// deltaFP fingerprints the Delta whose ApplyDelta produced this epoch
+	// (0 for epochs built from scratch). Repair checks it so a mismatched
+	// delta is rejected instead of silently seeding the corrective
+	// traversal from the wrong affected set.
+	deltaFP uint64
+
 	// Sweep admission queue (CoalesceQueries): pending requests plus the
 	// flag marking a drain loop in flight. Requests that arrive while a
 	// sweep runs coalesce into the next one.
@@ -496,36 +526,64 @@ type Service struct {
 	warm   *core.PolicySnapshot
 }
 
+// validate checks the construction-time knobs shared by NewService and
+// NewMutableService.
+func (cfg Config) validate() error {
+	if err := cfg.Cluster.shape().Validate(); err != nil {
+		return err
+	}
+	if cfg.Compression < CompressionOff || cfg.Compression > CompressionBitmap {
+		return fmt.Errorf("gcbfs: invalid compression mode %d", cfg.Compression)
+	}
+	if cfg.Exchange < ExchangeAllPairs || cfg.Exchange > ExchangeHybrid {
+		return fmt.Errorf("gcbfs: invalid exchange strategy %d", cfg.Exchange)
+	}
+	if cfg.SweepWidth < 0 || cfg.SweepWidth > core.MaxSweepWidth {
+		return fmt.Errorf("gcbfs: sweep width %d out of range [0,%d]", cfg.SweepWidth, core.MaxSweepWidth)
+	}
+	return nil
+}
+
+// threshold resolves the degree-separation threshold for a graph: the
+// configured value, or the paper's d ≤ 4n/p rule when unset.
+func (cfg Config) threshold(g *Graph) int64 {
+	if cfg.Threshold > 0 {
+		return cfg.Threshold
+	}
+	return partition.SuggestThreshold(g.el.OutDegrees(), 4*g.el.N/int64(cfg.Cluster.shape().P()))
+}
+
 // NewService partitions the graph (degree separation + Algorithm 1) for the
 // configured cluster and prepares the query plan.
 func NewService(g *Graph, cfg Config) (*Service, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	svc, _, err := newEpochService(g, cfg, cfg.threshold(g), 0, nil)
+	return svc, err
+}
+
+// newEpochService builds one epoch's immutable Service: separation at the
+// fixed threshold, distribution (incrementally against prev when given, so
+// untouched per-GPU subgraphs are shared byte-identically), and a plan
+// stamped with the epoch. shared reports how many GPU subgraphs were reused.
+func newEpochService(g *Graph, cfg Config, th int64, epoch uint64, prev *partition.Subgraphs) (svc *Service, shared int, err error) {
 	shape := cfg.Cluster.shape()
-	if err := shape.Validate(); err != nil {
-		return nil, err
-	}
-	if cfg.Compression < CompressionOff || cfg.Compression > CompressionBitmap {
-		return nil, fmt.Errorf("gcbfs: invalid compression mode %d", cfg.Compression)
-	}
-	if cfg.Exchange < ExchangeAllPairs || cfg.Exchange > ExchangeHybrid {
-		return nil, fmt.Errorf("gcbfs: invalid exchange strategy %d", cfg.Exchange)
-	}
-	if cfg.SweepWidth < 0 || cfg.SweepWidth > core.MaxSweepWidth {
-		return nil, fmt.Errorf("gcbfs: sweep width %d out of range [0,%d]", cfg.SweepWidth, core.MaxSweepWidth)
-	}
-	th := cfg.Threshold
-	if th <= 0 {
-		th = partition.SuggestThreshold(g.el.OutDegrees(), 4*g.el.N/int64(shape.P()))
-	}
 	sep := partition.Separate(g.el, th)
-	sub, err := partition.Distribute(g.el, sep, shape.PartitionConfig())
-	if err != nil {
-		return nil, err
+	var sub *partition.Subgraphs
+	if prev == nil {
+		sub, err = partition.Distribute(g.el, sep, shape.PartitionConfig())
+	} else {
+		sub, shared, err = partition.DistributeIncremental(g.el, sep, shape.PartitionConfig(), prev)
 	}
-	plan, err := core.NewPlan(sub, shape, cfg.engineOptions())
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return &Service{g: g, cfg: cfg, plan: plan, sub: sub}, nil
+	plan, err := core.NewPlanEpoch(sub, shape, cfg.engineOptions(), epoch)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &Service{g: g, cfg: cfg, plan: plan, sub: sub}, shared, nil
 }
 
 // QueryOption overrides one knob of the service's Config for a single query,
@@ -957,6 +1015,7 @@ func convert(r *metrics.RunResult) *Result {
 	return &Result{
 		Source:                 r.Source,
 		Iterations:             r.Iterations,
+		Epoch:                  r.Epoch,
 		SimSeconds:             r.SimSeconds,
 		GTEPS:                  r.GTEPS(),
 		Levels:                 r.Levels,

@@ -29,6 +29,8 @@ type Tolerance struct {
 //	                    timing-model adjustments that should stay small.
 //	gteps_per_query     −5%: same policy for the multi-source cells' aggregate
 //	                    per-query throughput (batch and sweep paths alike).
+//	gteps_repaired      −5%: the dynamic cell's repaired-query rate is fully
+//	                    simulated and deterministic, same policy as gteps.
 //	wire_bytes          exact: bytes on the wire are a pure function of the
 //	                    codec and the pinned inputs — any change is either a
 //	                    codec bug or a deliberate format change that must
@@ -42,6 +44,7 @@ type Tolerance struct {
 var tolerances = map[string]Tolerance{
 	"gteps":              {Down: 0.05},
 	"gteps_per_query":    {Down: 0.05},
+	"gteps_repaired":     {Down: 0.05},
 	"wire_bytes":         {Exact: true},
 	"allocs_per_query":   {Up: 0.10},
 	"bytes_per_query":    {Up: 0.10},

@@ -37,6 +37,7 @@ import (
 	"gcbfs/internal/bitmask"
 	"gcbfs/internal/frontier"
 	"gcbfs/internal/metrics"
+	"gcbfs/internal/mpi"
 	"gcbfs/internal/partition"
 	"gcbfs/internal/simgpu"
 	"gcbfs/internal/simnet"
@@ -214,6 +215,11 @@ type Plan struct {
 	cfg   partition.Config
 	p     int
 	d     int64
+	// epoch identifies the graph version this plan was built for. Plans are
+	// immutable, so a mutating service builds the next epoch's Plan beside
+	// the live one and swaps atomically; every query result carries the
+	// epoch of the plan it ran on (NewPlan leaves it 0).
+	epoch uint64
 
 	pool sync.Pool // of *Session
 	// Pool observability (PoolStats): how often a query reused a recycled
@@ -267,6 +273,22 @@ func NewPlan(sg *partition.Subgraphs, shape ClusterShape, opts Options) (*Plan, 
 	}
 	return p, nil
 }
+
+// NewPlanEpoch builds a Plan stamped with a graph-version epoch. Every query
+// result produced by the plan (Run, RunRepair, RunSweep) reports the epoch,
+// which is how an epoch-versioned service proves a query ran entirely on its
+// admission version across an atomic swap.
+func NewPlanEpoch(sg *partition.Subgraphs, shape ClusterShape, opts Options, epoch uint64) (*Plan, error) {
+	p, err := NewPlan(sg, shape, opts)
+	if err != nil {
+		return nil, err
+	}
+	p.epoch = epoch
+	return p, nil
+}
+
+// Epoch returns the graph-version epoch the plan was built for.
+func (p *Plan) Epoch() uint64 { return p.epoch }
 
 // PoolStats is a snapshot of the Plan's session-pool counters. Counters are
 // cumulative over the Plan's lifetime; callers diff snapshots to scope them
@@ -399,11 +421,12 @@ type planEnv struct {
 	cfg   partition.Config
 	p     int
 	d     int64
+	epoch uint64
 }
 
 // env snapshots the plan's immutable execution environment.
 func (p *Plan) env() planEnv {
-	return planEnv{sg: p.sg, shape: p.shape, cfg: p.cfg, p: p.p, d: p.d}
+	return planEnv{sg: p.sg, shape: p.shape, cfg: p.cfg, p: p.p, d: p.d, epoch: p.epoch}
 }
 
 // Session holds every mutable byte of one in-flight BFS query: per-GPU
@@ -438,6 +461,22 @@ type Session struct {
 	parentExchangePairs int64
 	parentPairRawBytes  int64
 	parentPairWireBytes int64
+
+	// world is the session's pooled communicator, reset per query — a
+	// completed query leaves it empty (every message received, every
+	// collective folded), so reuse replaces per-query construction.
+	world *mpi.World
+}
+
+// acquireWorld returns the session's communicator, reset for a new query
+// (allocated on first use, recycled with the pooled session afterwards).
+func (e *Session) acquireWorld() *mpi.World {
+	if e.world == nil {
+		e.world = mpi.NewWorld(e.shape.Ranks())
+	} else {
+		e.world.Reset()
+	}
+	return e.world
 }
 
 // newSession allocates the per-GPU state for one concurrent query.
@@ -546,6 +585,14 @@ type gpuState struct {
 
 	isNDSource         []bool // local slot has nd edges (member of NDSources)
 	unvisitedNDSources int64
+
+	// repSeeds/repCursor are the repair traversal's per-GPU corrective seed
+	// schedule: still-valid local vertices sorted by (level, id), injected
+	// into the frontier when the level-synchronous wave reaches their level
+	// (repair.go). Empty outside RunRepair; capacity persists across pooled
+	// queries.
+	repSeeds  []repairSeed
+	repCursor int
 
 	dirDD, dirDN, dirND metrics.Direction
 

@@ -207,7 +207,7 @@ func (rx *rankExchangers) get(strategy Exchange) exchanger {
 				q:             q,
 				rem:           rem,
 				nhops:         nhops,
-				sel:           wire.NewSelector(),
+				sel:           wire.NewSelectorSized(prank * rx.e.shape.GPUsPerRank),
 				pending:       make([][][]uint32, prank),
 				pendingSorted: make([][]bool, prank),
 			}
@@ -215,7 +215,12 @@ func (rx *rankExchangers) get(strategy Exchange) exchanger {
 		return rx.bf
 	default:
 		if rx.ap == nil {
-			rx.ap = &allPairsExchange{e: rx.e, rank: rx.rank, sc: rx.sc, sel: wire.NewSelector()}
+			rx.ap = &allPairsExchange{
+				e:    rx.e,
+				rank: rx.rank,
+				sc:   rx.sc,
+				sel:  wire.NewSelectorSized(rx.e.shape.Ranks() * rx.e.shape.GPUsPerRank),
+			}
 		}
 		return rx.ap
 	}
@@ -297,6 +302,11 @@ type allPairsExchange struct {
 	rank int
 	sc   *rankScratch
 	sel  *wire.Selector
+	// msgBufs is the per-destination reusable encode buffer: a message is
+	// always received (and its ids copied out) before the iteration's
+	// terminating collective, which every rank passes before this buffer's
+	// next rewrite.
+	msgBufs [][]byte
 }
 
 func (x *allPairsExchange) rounds() int { return 1 }
@@ -318,12 +328,16 @@ func (x *allPairsExchange) exchange(comm *mpi.Comm, myGPUs []*gpuState, iter int
 	// all — is what crosses the NIC and what the timing model sees. The
 	// merge headers are reused per destination: the encode consumes them
 	// before the next merge overwrites.
+	if len(x.msgBufs) < prank {
+		x.msgBufs = append(x.msgBufs, make([][]byte, prank-len(x.msgBufs))...)
+	}
 	for dst := 0; dst < prank; dst++ {
 		if dst == rank {
 			continue
 		}
 		e.mergeForRank(myGPUs, dst, sc, sc.apSlots, sc.apSorted)
-		payload, st := x.sel.EncodeSlots(dst, sc.apSlots, sc.apSorted, mode)
+		payload, st := x.sel.AppendSlots(x.msgBufs[dst][:0], dst, sc.apSlots, sc.apSorted, mode)
+		x.msgBufs[dst] = payload
 		c.sent += st.EncodedBytes
 		c.sentRaw += st.RawBytes
 		if mode != wire.ModeOff {
@@ -396,6 +410,11 @@ type butterflyExchange struct {
 	// through the codec's encode (resp. decode) kernels at each hop, from
 	// which exchange() assembles the pipeline's compute stages.
 	encRaw, decRaw []int64
+	// msgBufs is the per-hop reusable encode buffer: a hop message is
+	// always received (and its ids arena-copied) within the same
+	// iteration, before the terminating collective that every rank passes
+	// before the buffer's next rewrite.
+	msgBufs [][]byte
 }
 
 // rounds counts the sequential communication rounds per iteration: the
@@ -423,12 +442,16 @@ func (x *butterflyExchange) exchange(comm *mpi.Comm, myGPUs []*gpuState, iter in
 	prank := e.shape.Ranks()
 	mode := e.opts.Compression
 	sc.arena.Reset()
+	sc.wireSecs.Reset()
 	var c exchangeCounts
 	c.arrivals = sc.resetArrivals()
 	c.hopBytes = grownInt64(sc.hopBytes, x.rounds())
 	sc.hopBytes = c.hopBytes
 	x.encRaw = grownInt64(x.encRaw, x.rounds())
 	x.decRaw = grownInt64(x.decRaw, x.rounds())
+	if len(x.msgBufs) < x.rounds() {
+		x.msgBufs = append(x.msgBufs, make([][]byte, x.rounds()-len(x.msgBufs))...)
+	}
 
 	// Stage this iteration's own bins. ownRaw is the fixed-width equivalent
 	// of originated traffic; everything sent beyond it was forwarded. Each
@@ -561,7 +584,8 @@ func (x *butterflyExchange) exchange(comm *mpi.Comm, myGPUs []*gpuState, iter in
 // is unconditional) and still count as messages — they cross the NIC.
 func (x *butterflyExchange) send(comm *mpi.Comm, dst int, iter int32, hop int, secs []wire.Section, mode wire.Mode, c *exchangeCounts) int64 {
 	pgpu := x.e.shape.GPUsPerRank
-	payload, st := x.sel.EncodeSections(secs, pgpu, mode)
+	payload, st := x.sel.AppendSections(x.msgBufs[hop][:0], secs, pgpu, mode)
+	x.msgBufs[hop] = payload
 	c.sent += st.EncodedBytes
 	c.sentRaw += st.RawBytes
 	if mode != wire.ModeOff {
@@ -583,7 +607,7 @@ func (x *butterflyExchange) receive(comm *mpi.Comm, src int, iter int32, hop int
 	pgpu := x.e.shape.GPUsPerRank
 	prank := x.e.shape.Ranks()
 	buf := comm.Recv(src, hopTag(iter, hop))
-	secsIn, err := wire.DecodeSectionsArena(buf, pgpu, prank, mode, &x.sc.arena)
+	secsIn, err := wire.DecodeSectionsScratch(buf, pgpu, prank, mode, &x.sc.arena, &x.sc.wireSecs)
 	if err != nil {
 		panic(fmt.Sprintf("core: corrupt butterfly payload (hop %d): %v", hop, err))
 	}
@@ -655,7 +679,8 @@ func (x *butterflyExchange) remoteTime(hopBytes, hopCodecRaw []int64, preCodecRa
 		}
 	}
 	gpu := x.e.opts.GPU
-	stages := make([]float64, len(hopCodecRaw))
+	stages := grownFloat64(x.sc.rtStages, len(hopCodecRaw))
+	x.sc.rtStages = stages
 	var codecTotal float64
 	for i, raw := range hopCodecRaw {
 		stages[i] = gpu.CodecTime(raw)

@@ -315,6 +315,17 @@ func (p *exchangePolicy) allPairsCost(vol int64, wireRatio float64) float64 {
 	return t
 }
 
+// policyScratch backs one rank's per-iteration cost evaluation: the
+// butterfly hop profile, its wire-byte equivalent, and the codec stages.
+// The shapes are fixed by the hypercube geometry (nhops+2 entries at most),
+// so after the first iteration the evaluation allocates nothing. The policy
+// object itself is shared by every rank goroutine and stays immutable; the
+// scratch is the per-rank mutable part, threaded in by the BSP loop.
+type policyScratch struct {
+	hops, wire []int64
+	stages     []float64
+}
+
 // butterflyHops predicts the per-hop volume profile of a butterfly exchange
 // originating vol bytes per rank. With traffic spread uniformly over p−1
 // destinations, each hypercube hop forwards about half the standing volume
@@ -322,8 +333,16 @@ func (p *exchangePolicy) allPairsCost(vol int64, wireRatio float64) float64 {
 // fewer messages — while the cleanup hops move a remainder rank's full
 // origination (pre) and a full rank's worth of arrivals (post).
 func (p *exchangePolicy) butterflyHops(vol int64) []int64 {
+	return p.appendButterflyHops(nil, vol)
+}
+
+// appendButterflyHops is butterflyHops into a caller-owned buffer.
+func (p *exchangePolicy) appendButterflyHops(buf []int64, vol int64) []int64 {
 	hopVol := int64(float64(vol) * float64(p.prank) / (2 * float64(p.prank-1)))
-	hops := make([]int64, 0, p.nhops+2)
+	hops := buf[:0]
+	if cap(hops) < p.nhops+2 {
+		hops = make([]int64, 0, p.nhops+2)
+	}
 	if p.rem > 0 {
 		hops = append(hops, vol)
 	}
@@ -341,7 +360,12 @@ func (p *exchangePolicy) butterflyHops(vol int64) []int64 {
 // its measured stages: hop k's stage is its decode plus the re-encode
 // feeding hop k+1, and the first hop's encode precedes all communication.
 func (p *exchangePolicy) butterflyCodec(hops []int64) (stages []float64, pre float64) {
-	stages = make([]float64, len(hops))
+	return p.appendButterflyCodec(nil, hops)
+}
+
+// appendButterflyCodec is butterflyCodec into a caller-owned buffer.
+func (p *exchangePolicy) appendButterflyCodec(buf []float64, hops []int64) (stages []float64, pre float64) {
+	stages = grownFloat64(buf, len(hops))
 	if !p.codecOn() || len(hops) == 0 {
 		return stages, 0
 	}
@@ -363,11 +387,20 @@ func (p *exchangePolicy) butterflyCodec(hops []int64) (stages []float64, pre flo
 // schedule when Options.PipelineHops is set or the sequential hop+codec sum
 // otherwise.
 func (p *exchangePolicy) butterflyCost(vol int64, wireRatio float64) float64 {
-	hops := p.butterflyHops(vol)
-	stages, pre := p.butterflyCodec(hops)
+	return p.butterflyCostS(vol, wireRatio, &policyScratch{})
+}
+
+// butterflyCostS is butterflyCost evaluated through a per-rank scratch.
+func (p *exchangePolicy) butterflyCostS(vol int64, wireRatio float64, ps *policyScratch) float64 {
+	ps.hops = p.appendButterflyHops(ps.hops, vol)
+	hops := ps.hops
+	var pre float64
+	ps.stages, pre = p.appendButterflyCodec(ps.stages, hops)
+	stages := ps.stages
 	wireHops := hops
 	if wireRatio != 1 {
-		wireHops = make([]int64, len(hops))
+		ps.wire = grownInt64(ps.wire, len(hops))
+		wireHops = ps.wire
 		for i, h := range hops {
 			wireHops[i] = onWire(h, wireRatio)
 		}
@@ -390,18 +423,24 @@ func (p *exchangePolicy) butterflyCost(vol int64, wireRatio float64) float64 {
 // equal-cost iterations are latency-bound, where fewer messages also mean
 // fewer software overheads the model does not charge.
 func (p *exchangePolicy) choose(inputNormals, inputDelegates, prevNormals, prevOriginated int64, fb policyFeedback) (Exchange, float64) {
+	return p.chooseS(inputNormals, inputDelegates, prevNormals, prevOriginated, fb, &policyScratch{})
+}
+
+// chooseS is choose evaluated through a per-rank scratch — the BSP loops
+// call it every iteration, so the cost evaluation must not allocate.
+func (p *exchangePolicy) chooseS(inputNormals, inputDelegates, prevNormals, prevOriginated int64, fb policyFeedback, ps *policyScratch) (Exchange, float64) {
 	vol := p.predictVolume(inputNormals, inputDelegates, prevNormals, prevOriginated, fb.skew)
 	switch p.configured {
 	case ExchangeAllPairs:
 		return ExchangeAllPairs, p.allPairsCost(vol, fb.wireRatio) * fb.calib[ExchangeAllPairs]
 	case ExchangeButterfly:
-		return ExchangeButterfly, p.butterflyCost(vol, fb.wireRatio) * fb.calib[ExchangeButterfly]
+		return ExchangeButterfly, p.butterflyCostS(vol, fb.wireRatio, ps) * fb.calib[ExchangeButterfly]
 	}
 	if p.prank <= 1 {
 		return ExchangeAllPairs, 0
 	}
 	ap := p.allPairsCost(vol, fb.wireRatio) * fb.calib[ExchangeAllPairs]
-	bf := p.butterflyCost(vol, fb.wireRatio) * fb.calib[ExchangeButterfly]
+	bf := p.butterflyCostS(vol, fb.wireRatio, ps) * fb.calib[ExchangeButterfly]
 	if bf <= ap {
 		return ExchangeButterfly, bf
 	}

@@ -153,7 +153,7 @@ func (e *Session) run(ctx context.Context, source int64) (*metrics.RunResult, er
 	}
 
 	prank := e.shape.Ranks()
-	world := mpi.NewWorld(prank)
+	world := e.acquireWorld()
 	rec := &recorder{}
 	pol := e.newExchangePolicy()
 	rec.exchange.Strategy = e.opts.Exchange.String()
@@ -176,6 +176,7 @@ func (e *Session) run(ctx context.Context, source int64) (*metrics.RunResult, er
 
 	res := &metrics.RunResult{
 		Source:        source,
+		Epoch:         e.epoch,
 		Iterations:    len(rec.iterations),
 		SimSeconds:    rec.simSeconds,
 		TEPSEdges:     e.sg.M / 2,
@@ -234,7 +235,7 @@ func (e *Session) runRank(ctx context.Context, rank int, comm *mpi.Comm, rec *re
 		// ---- Exchange policy: every rank derives the identical strategy
 		// decision for this iteration from globally known inputs, the way
 		// direction optimization derives push vs pull (policy.go).
-		strategy, predicted := pol.choose(inputNormals, inputDelegates, prevNormals, prevOriginated, fb)
+		strategy, predicted := pol.chooseS(inputNormals, inputDelegates, prevNormals, prevOriginated, fb, &sc.pol)
 		ex := rx.get(strategy)
 		// ---- Local computation (all GPUs of this rank).
 		qD := myGPUs[0].dFront.Count() // globally consistent masks

@@ -76,6 +76,14 @@ type rankScratch struct {
 	// radix is the scatter buffer of the radix-bucketed canonical apply.
 	radix []uint32
 
+	// seedMask holds the repair traversal's merged delegate seed set (every
+	// rank keeps an identical copy of the AllreduceOr result); dSeeds/dCursor
+	// are its (level, delegate id)-sorted injection schedule. Allocated by
+	// the first RunRepair on this rank and reused across pooled queries.
+	seedMask *bitmask.Mask
+	dSeeds   []repairSeed
+	dCursor  int
+
 	// parents is the post-BFS canonical parent resolution's reusable state
 	// (candidate directory + replay pair bins, see parents.go).
 	parents parentScratch
@@ -84,6 +92,22 @@ type rankScratch struct {
 	// wire.Selector scheme memories) across pooled queries; rebound and
 	// reset per query by rankExchangers.bind.
 	rx rankExchangers
+
+	// pol backs the exchange policy's per-iteration butterfly cost
+	// evaluation (hop profile, wire-byte equivalent, codec stages). The
+	// policy object is shared read-only across rank goroutines; this is
+	// its per-rank mutable half.
+	pol policyScratch
+
+	// rtStages is the butterfly remoteTime's codec-stage buffer (one entry
+	// per hop, consumed by the simnet pipeline schedule within the call).
+	rtStages []float64
+
+	// wireSecs recycles the butterfly's decoded section headers (Section
+	// structs, slot rows, sorted rows). Bump-reset with the arena at each
+	// iteration's exchange — relayed sections live in pending until the
+	// last hop, never longer.
+	wireSecs wire.SectionScratch
 }
 
 func newRankScratch(prank, pgpu int, d int64) *rankScratch {
@@ -116,23 +140,41 @@ func grownInt64(s []int64, n int) []int64 {
 	return s
 }
 
+// grownFloat64 is grownInt64 for float64 slices.
+func grownFloat64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
 // radixMinLen gates the radix path: tiny arrival sets sort directly (the
 // bucket pass would dominate).
 const radixMinLen = 128
 
 // applySorted applies remote arrivals to gs in canonical ascending order —
-// the order contract every exchange strategy's bit-identity rests on. Large
-// arrival sets go through a one-level MSB radix partition (256 buckets over
-// the local id space) into the reusable scatter buffer, each bucket sorted
-// and applied in sequence; the concatenation of sorted buckets in bucket
-// order IS the fully ascending sequence, so the result is exactly what
-// slices.Sort over the whole set would apply — with no per-iteration
-// allocation and better locality on big frontiers.
+// the order contract every exchange strategy's bit-identity rests on.
 func (sc *rankScratch) applySorted(gs *gpuState, ids []uint32, depth int32) {
+	sc.applySortedWith(gs, ids, depth, applyIDs)
+}
+
+// applySortedWith is applySorted parameterized over the per-id apply: the
+// plain BFS uses applyIDs (unvisited-only), the repair traversal uses
+// repairApplyIDs (improvement condition). Large arrival sets go through a
+// one-level MSB radix partition (256 buckets over the local id space) into
+// the reusable scatter buffer, each bucket sorted and applied in sequence;
+// the concatenation of sorted buckets in bucket order IS the fully ascending
+// sequence, so the result is exactly what slices.Sort over the whole set
+// would apply — with no per-iteration allocation and better locality on big
+// frontiers. Callers pass named top-level funcs, so the func value never
+// allocates.
+func (sc *rankScratch) applySortedWith(gs *gpuState, ids []uint32, depth int32, apply func(*gpuState, []uint32, int32)) {
 	idBits := bits.Len64(uint64(gs.pg.NumLocal - 1))
 	if len(ids) < radixMinLen || idBits <= 8 {
 		slices.Sort(ids)
-		applyIDs(gs, ids, depth)
+		apply(gs, ids, depth)
 		return
 	}
 	shift := uint(idBits - 8)
@@ -160,6 +202,6 @@ func (sc *rankScratch) applySorted(gs *gpuState, ids []uint32, depth int32) {
 			continue
 		}
 		slices.Sort(seg)
-		applyIDs(gs, seg, depth)
+		apply(gs, seg, depth)
 	}
 }

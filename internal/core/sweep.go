@@ -192,7 +192,7 @@ func (p *Plan) newSweepSession(opts Options, sources []int64) *sweepSession {
 			outMasks: make([][]uint64, pgpu),
 			arrIDs:   make([][]uint32, pgpu),
 			arrMasks: make([][]uint64, pgpu),
-			sel:      wire.NewRecordSelector(),
+			sel:      wire.NewRecordSelectorSized(prank * pgpu),
 		}
 	}
 	if opts.CollectParents {
@@ -435,6 +435,7 @@ func (e *sweepSession) run(ctx context.Context) ([]*metrics.RunResult, error) {
 	for q := range results {
 		res := &metrics.RunResult{
 			Source:        e.sources[q],
+			Epoch:         e.epoch,
 			Iterations:    e.queryIterations(q),
 			SimSeconds:    rec.simSeconds / kf,
 			TEPSEdges:     e.sg.M / 2,

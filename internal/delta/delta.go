@@ -1,0 +1,210 @@
+// Package delta models batched mutations of an undirected graph — the
+// streaming-update substrate of ROADMAP item 4. A Batch is one atomic set of
+// undirected edge inserts and deletes; Apply produces the next epoch's edge
+// list by stable compaction (surviving directed edges keep their relative
+// order, so per-GPU CSRs of untouched partitions rebuild byte-identically —
+// see partition.DistributeIncremental); Affected derives, from a prior
+// canonical BFS result, exactly which vertices a delta can move — the inputs
+// of core.Plan.RunRepair's corrective traversal.
+//
+// The package sits below core: it knows edge lists and BFS trees, nothing
+// about partitions, sessions or epochs.
+package delta
+
+import (
+	"fmt"
+	"sort"
+
+	"gcbfs/internal/graph"
+)
+
+// Batch is one atomic set of undirected edge mutations. Each entry names an
+// undirected pair {U, V}; Apply materializes both directed orientations, the
+// same convention gcbfs.Graph.AddUndirectedEdge uses. A pair may appear at
+// most once across the whole batch (inserting and deleting the same edge in
+// one batch is rejected as ambiguous).
+type Batch struct {
+	Inserts []graph.Edge
+	Deletes []graph.Edge
+}
+
+// Empty reports whether the batch mutates nothing.
+func (b *Batch) Empty() bool {
+	return b == nil || (len(b.Inserts) == 0 && len(b.Deletes) == 0)
+}
+
+// Size returns the number of undirected mutations in the batch.
+func (b *Batch) Size() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.Inserts) + len(b.Deletes)
+}
+
+// canon returns the canonical (min, max) orientation of an undirected pair.
+func canon(e graph.Edge) graph.Edge {
+	if e.U > e.V {
+		e.U, e.V = e.V, e.U
+	}
+	return e
+}
+
+// Validate checks the batch against a graph of n vertices: endpoints in
+// range, no self loops, and no undirected pair repeated anywhere in the
+// batch.
+func (b *Batch) Validate(n int64) error {
+	if b == nil {
+		return nil
+	}
+	seen := make(map[graph.Edge]struct{}, len(b.Inserts)+len(b.Deletes))
+	check := func(kind string, edges []graph.Edge) error {
+		for _, e := range edges {
+			if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+				return fmt.Errorf("delta: %s {%d,%d} out of range [0,%d)", kind, e.U, e.V, n)
+			}
+			if e.U == e.V {
+				return fmt.Errorf("delta: %s {%d,%d} is a self loop", kind, e.U, e.V)
+			}
+			c := canon(e)
+			if _, dup := seen[c]; dup {
+				return fmt.Errorf("delta: pair {%d,%d} appears twice in the batch", c.U, c.V)
+			}
+			seen[c] = struct{}{}
+		}
+		return nil
+	}
+	if err := check("insert", b.Inserts); err != nil {
+		return err
+	}
+	return check("delete", b.Deletes)
+}
+
+// Apply returns the next epoch's edge list: every directed copy of each
+// deleted undirected pair is removed (parallel copies included), then both
+// orientations of each insert are appended. The compaction is stable —
+// surviving directed edges keep their relative order — which is what lets
+// the incremental distributor rebuild only the GPUs whose routed edge
+// sequence actually changed. The input edge list is never modified. Deleting
+// a pair the graph does not contain is an error.
+func Apply(el *graph.EdgeList, b *Batch) (*graph.EdgeList, error) {
+	if err := b.Validate(el.N); err != nil {
+		return nil, err
+	}
+	if b.Empty() {
+		return &graph.EdgeList{N: el.N, Edges: append([]graph.Edge(nil), el.Edges...)}, nil
+	}
+	del := make(map[graph.Edge]bool, 2*len(b.Deletes))
+	for _, e := range b.Deletes {
+		del[graph.Edge{U: e.U, V: e.V}] = false
+		del[graph.Edge{U: e.V, V: e.U}] = false
+	}
+	out := &graph.EdgeList{
+		N:     el.N,
+		Edges: make([]graph.Edge, 0, len(el.Edges)+2*len(b.Inserts)),
+	}
+	for _, e := range el.Edges {
+		if _, drop := del[e]; drop {
+			del[e] = true
+			continue
+		}
+		out.Edges = append(out.Edges, e)
+	}
+	for _, e := range b.Deletes {
+		if !del[graph.Edge{U: e.U, V: e.V}] && !del[graph.Edge{U: e.V, V: e.U}] {
+			return nil, fmt.Errorf("delta: delete {%d,%d} not present in graph", e.U, e.V)
+		}
+	}
+	for _, e := range b.Inserts {
+		out.Edges = append(out.Edges, graph.Edge{U: e.U, V: e.V}, graph.Edge{U: e.V, V: e.U})
+	}
+	return out, nil
+}
+
+// Affected derives the repair inputs from a prior canonical BFS outcome
+// (levels and the canonical min-parent tree, both over the OLD epoch) and
+// the batch that advances it:
+//
+//   - invalid marks every vertex whose prior level can no longer be trusted.
+//     A deleted edge {u,v} orphans v exactly when u is v's canonical tree
+//     parent (and vice versa); the orphan's entire tree subtree is
+//     invalidated. Every valid vertex keeps its whole parent chain — each
+//     chain edge survived and every ancestor is valid — so a path of its old
+//     length still exists and deletions cannot increase its distance.
+//     Invalidation may overshoot (a subtree vertex can have a surviving
+//     shortest path through a non-tree neighbor); the corrective traversal
+//     re-derives those at their unchanged level.
+//
+//   - insertSeeds are the still-valid endpooints of inserted edges: the only
+//     valid vertices whose adjacency gained an edge, hence the only places a
+//     level decrease can originate. Invalid endpoints need no seed — the
+//     corrective wave re-reaches them through the seeded valid boundary.
+//
+// The valid in-neighbors of invalidated vertices — the rest of the repair
+// seed set — depend on the NEW epoch's adjacency and are discovered by the
+// distributed probe inside core.Plan.RunRepair.
+func Affected(levels []int32, parents []int64, b *Batch) (invalid []bool, insertSeeds []int64) {
+	n := len(levels)
+	invalid = make([]bool, n)
+
+	// Orphan roots: deleted tree edges.
+	var roots []int64
+	orphan := func(child, lost int64) {
+		if child < int64(n) && levels[child] >= 1 && parents[child] == lost && !invalid[child] {
+			invalid[child] = true
+			roots = append(roots, child)
+		}
+	}
+	for _, e := range b.Deletes {
+		orphan(e.V, e.U)
+		orphan(e.U, e.V)
+	}
+
+	if len(roots) > 0 {
+		// Child index over the canonical tree: two-pass counting sort keyed
+		// by parent, covering reachable non-root vertices only.
+		count := make([]int32, n+1)
+		for v := 0; v < n; v++ {
+			if p := parents[v]; p >= 0 && p != int64(v) {
+				count[p+1]++
+			}
+		}
+		for i := 1; i <= n; i++ {
+			count[i] += count[i-1]
+		}
+		children := make([]int64, count[n])
+		cursor := make([]int32, n)
+		copy(cursor, count[:n])
+		for v := 0; v < n; v++ {
+			if p := parents[v]; p >= 0 && p != int64(v) {
+				children[cursor[p]] = int64(v)
+				cursor[p]++
+			}
+		}
+		// Subtree propagation.
+		for len(roots) > 0 {
+			v := roots[len(roots)-1]
+			roots = roots[:len(roots)-1]
+			for _, w := range children[count[v]:count[v+1]] {
+				if !invalid[w] {
+					invalid[w] = true
+					roots = append(roots, w)
+				}
+			}
+		}
+	}
+
+	seedSet := make(map[int64]struct{}, 2*len(b.Inserts))
+	for _, e := range b.Inserts {
+		for _, v := range [2]int64{e.U, e.V} {
+			if levels[v] >= 0 && !invalid[v] {
+				seedSet[v] = struct{}{}
+			}
+		}
+	}
+	insertSeeds = make([]int64, 0, len(seedSet))
+	for v := range seedSet {
+		insertSeeds = append(insertSeeds, v)
+	}
+	sort.Slice(insertSeeds, func(i, j int) bool { return insertSeeds[i] < insertSeeds[j] })
+	return invalid, insertSeeds
+}

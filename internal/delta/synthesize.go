@@ -1,0 +1,105 @@
+package delta
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gcbfs/internal/graph"
+)
+
+// Kind selects the mutation mix a synthesized batch carries.
+type Kind int
+
+const (
+	KindInsert Kind = iota // inserts only
+	KindDelete             // deletes only
+	KindMixed              // half deletes, half inserts
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindInsert:
+		return "insert"
+	case KindDelete:
+		return "delete"
+	case KindMixed:
+		return "mixed"
+	}
+	return "??"
+}
+
+// ParseKind parses the -updatekind spellings.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "insert":
+		return KindInsert, nil
+	case "delete":
+		return KindDelete, nil
+	case "mixed":
+		return KindMixed, nil
+	}
+	return 0, fmt.Errorf("delta: unknown kind %q (want insert, delete or mixed)", s)
+}
+
+// Synthesize builds a deterministic batch mutating ~frac of the graph's
+// undirected edges: deletes sample existing undirected pairs without
+// replacement; inserts draw fresh non-self pairs absent from both the graph
+// and the batch. The same (graph, frac, kind, seed) always yields the same
+// batch — ablations and CI replay steps depend on that.
+func Synthesize(el *graph.EdgeList, frac float64, kind Kind, seed uint64) *Batch {
+	exists := make(map[graph.Edge]struct{}, len(el.Edges))
+	pairs := make([]graph.Edge, 0, len(el.Edges)/2)
+	for _, e := range el.Edges {
+		if e.U == e.V {
+			continue
+		}
+		c := canon(e)
+		if _, ok := exists[c]; !ok {
+			exists[c] = struct{}{}
+			pairs = append(pairs, c)
+		}
+	}
+	total := int(frac * float64(len(pairs)))
+	if total < 1 {
+		total = 1
+	}
+	deletes, inserts := 0, 0
+	switch kind {
+	case KindInsert:
+		inserts = total
+	case KindDelete:
+		deletes = total
+	case KindMixed:
+		deletes = total / 2
+		inserts = total - deletes
+	}
+	if deletes > len(pairs) {
+		deletes = len(pairs)
+	}
+
+	rng := rand.New(rand.NewSource(int64(seed)))
+	b := &Batch{}
+
+	// Partial Fisher–Yates over the canonical pair list: the first `deletes`
+	// entries after shuffling are the sampled deletions.
+	for i := 0; i < deletes; i++ {
+		j := i + rng.Intn(len(pairs)-i)
+		pairs[i], pairs[j] = pairs[j], pairs[i]
+		b.Deletes = append(b.Deletes, pairs[i])
+	}
+
+	for attempts := 0; len(b.Inserts) < inserts && attempts < 100*inserts+1000; attempts++ {
+		u := rng.Int63n(el.N)
+		v := rng.Int63n(el.N)
+		if u == v {
+			continue
+		}
+		c := canon(graph.Edge{U: u, V: v})
+		if _, ok := exists[c]; ok {
+			continue
+		}
+		exists[c] = struct{}{} // also excludes duplicate picks within the batch
+		b.Inserts = append(b.Inserts, c)
+	}
+	return b
+}

@@ -135,6 +135,7 @@ var registry = []struct {
 	{"cmp3", Cmp3Hybrid, "exchange-policy ablation: fixed strategies vs per-iteration hybrid (internal/core/policy.go)"},
 	{"cmp4", Cmp4Pipeline, "pipelined-butterfly ablation: sequential vs pipelined hops vs overlap-aware hybrid (simnet.ButterflyPipelined)"},
 	{"cmp5", Cmp5MultiSource, "multi-source sweep ablation: MS-BFS shared traversal vs independent batch queries (internal/core/sweep.go)"},
+	{"cmp6", Cmp6Dynamic, "dynamic-graph ablation: delta BFS repair vs full recompute across edge-delta sizes (internal/delta, internal/core/repair.go)"},
 	{"app1", App1BeyondBFS, "§VI-D beyond-BFS: PageRank and components"},
 	{"mem1", Mem1Capacity, "§VI-C device-memory capacity per representation"},
 }

@@ -54,7 +54,7 @@ func cellFloat(t *testing.T, cell string) float64 {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "net1", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "tab1", "tab2", "wdc1", "do1",
-		"abl1", "abl2", "cmp1", "cmp2", "cmp3", "cmp4", "cmp5", "app1", "mem1"}
+		"abl1", "abl2", "cmp1", "cmp2", "cmp3", "cmp4", "cmp5", "cmp6", "app1", "mem1"}
 	ids := IDs()
 	if len(ids) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(ids), len(want))
@@ -543,6 +543,37 @@ func TestCmp5SweepAmortizes(t *testing.T) {
 	if speedups["64"] <= speedups["8"] {
 		t.Errorf("sweep speedup did not grow with K: %.2f× at 8 vs %.2f× at 64",
 			speedups["8"], speedups["64"])
+	}
+}
+
+// TestCmp6RepairWinsSmallDeltas: the dynamic ablation's hard assertions
+// (levels/parents bit-identical between repair and recompute in every cell,
+// repair ≥ 1× recompute at the smallest delta) run inside the experiment;
+// the test checks the table's structure and that repair's advantage shrinks
+// as the delta grows.
+func TestCmp6RepairWinsSmallDeltas(t *testing.T) {
+	tab := runExp(t, "cmp6")
+	// Quick mode: fracs {0.001, 0.01} × kinds {insert, delete, mixed}.
+	if len(tab.Rows) != 6 {
+		t.Fatalf("cmp6 has %d rows, want 6", len(tab.Rows))
+	}
+	meanSpeedup := map[string]float64{}
+	for _, row := range tab.Rows {
+		frac, kind := row[0], row[1]
+		if kind != "insert" && kind != "delete" && kind != "mixed" {
+			t.Fatalf("unknown kind row %q", kind)
+		}
+		if cellFloat(t, row[2]) <= 0 {
+			t.Fatalf("frac=%s/%s: empty delta", frac, kind)
+		}
+		meanSpeedup[frac] += cellFloat(t, row[9]) / 3
+	}
+	if meanSpeedup["0.001"] < 1 {
+		t.Errorf("smallest-delta mean speedup %.2f× below 1", meanSpeedup["0.001"])
+	}
+	if meanSpeedup["0.010"] > meanSpeedup["0.001"] {
+		t.Errorf("repair advantage grew with delta size: %.2f× at 0.001 vs %.2f× at 0.01",
+			meanSpeedup["0.001"], meanSpeedup["0.010"])
 	}
 }
 

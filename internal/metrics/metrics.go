@@ -234,7 +234,11 @@ func (e *ExchangeStats) Accumulate(other ExchangeStats) {
 
 // RunResult is the outcome of one BFS execution.
 type RunResult struct {
-	Source        int64
+	Source int64
+	// Epoch identifies the graph version the query ran against (0 for plans
+	// built outside an epoch-versioned service). Queries admitted before an
+	// atomic epoch swap finish — and report — their admission epoch.
+	Epoch         uint64
 	Iterations    int
 	SimSeconds    float64
 	TEPSEdges     int64 // edge count used for the rate (Graph500: m/2)

@@ -16,10 +16,17 @@ import (
 )
 
 // World is a fixed-size communicator. Create one per simulated job and hand
-// each rank goroutine its Comm via Rank.
+// each rank goroutine its Comm via Rank. Worlds are poolable: a World whose
+// queries all ran to completion is empty again (every message received,
+// every collective folded), so Reset plus reuse replaces per-query
+// construction on the engine's hot path.
 type World struct {
-	size  int
-	boxes []*mailbox
+	size int
+	// boxes and comms are flat arrays — one allocation each, with the
+	// per-mailbox condition variables embedded — so constructing a World
+	// costs O(1) allocations instead of O(ranks).
+	boxes []mailbox
+	comms []Comm
 	coll  *collective
 
 	bytesSent atomic.Int64
@@ -31,9 +38,12 @@ func NewWorld(size int) *World {
 	if size <= 0 {
 		panic(fmt.Sprintf("mpi: invalid world size %d", size))
 	}
-	w := &World{size: size, boxes: make([]*mailbox, size)}
+	w := &World{size: size, boxes: make([]mailbox, size), comms: make([]Comm, size)}
 	for i := range w.boxes {
-		w.boxes[i] = newMailbox()
+		w.boxes[i].cond.L = &w.boxes[i].mu
+	}
+	for i := range w.comms {
+		w.comms[i] = Comm{w: w, rank: i}
 	}
 	w.coll = newCollective(size)
 	return w
@@ -53,13 +63,33 @@ func (w *World) Rank(r int) *Comm {
 	if r < 0 || r >= w.size {
 		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", r, w.size))
 	}
-	return &Comm{w: w, rank: r}
+	return &w.comms[r]
 }
 
-// Comm is one rank's endpoint.
+// Reset drops any queued messages and zeroes the traffic counters,
+// returning the World to its freshly constructed state (mailbox and
+// accumulator capacity retained). Callers pooling Worlds across queries
+// call it before reuse; after a query that ran to completion it is a no-op
+// apart from the counters, and after an abandoned (cancelled) query it
+// discards the stragglers.
+func (w *World) Reset() {
+	for i := range w.boxes {
+		mb := &w.boxes[i]
+		mb.mu.Lock()
+		clear(mb.queue)
+		mb.queue = mb.queue[:0]
+		mb.mu.Unlock()
+	}
+	w.bytesSent.Store(0)
+	w.msgsSent.Store(0)
+}
+
+// Comm is one rank's endpoint. The b1 scratch makes the single-flag
+// allreduce boxing-free; a Comm is owned by exactly one rank goroutine.
 type Comm struct {
 	w    *World
 	rank int
+	b1   [1]uint64
 }
 
 // Rank returns this endpoint's rank.
@@ -75,14 +105,8 @@ type message struct {
 
 type mailbox struct {
 	mu    sync.Mutex
-	cond  *sync.Cond
+	cond  sync.Cond // L set to &mu at World construction
 	queue []message
-}
-
-func newMailbox() *mailbox {
-	mb := &mailbox{}
-	mb.cond = sync.NewCond(&mb.mu)
-	return mb
 }
 
 // Isend delivers data to dst's mailbox immediately (buffered semantics — it
@@ -95,7 +119,7 @@ func (c *Comm) Isend(dst, tag int, data []byte) {
 	}
 	c.w.bytesSent.Add(int64(len(data)))
 	c.w.msgsSent.Add(1)
-	mb := c.w.boxes[dst]
+	mb := &c.w.boxes[dst]
 	mb.mu.Lock()
 	mb.queue = append(mb.queue, message{src: c.rank, tag: tag, data: data})
 	mb.mu.Unlock()
@@ -106,7 +130,7 @@ func (c *Comm) Isend(dst, tag int, data []byte) {
 // returns its payload. Messages from the same (src, tag) are delivered in
 // send order.
 func (c *Comm) Recv(src, tag int) []byte {
-	mb := c.w.boxes[c.rank]
+	mb := &c.w.boxes[c.rank]
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for {
@@ -325,16 +349,16 @@ func (c *Comm) AllreduceSumFloat64(vals []float64) {
 }
 
 // AllreduceBoolOr returns the logical OR of every rank's flag — the global
-// "anyone still has work?" termination test.
+// "anyone still has work?" termination test. It rides the typed u64 path
+// through the Comm's one-word scratch, so the per-iteration termination
+// vote never boxes.
 func (c *Comm) AllreduceBoolOr(flag bool) bool {
-	res := c.w.coll.run(flag,
-		func(in any) any { b := in.(bool); return &b },
-		func(acc, in any) {
-			if in.(bool) {
-				*(acc.(*bool)) = true
-			}
-		}).(*bool)
-	return *res
+	c.b1[0] = 0
+	if flag {
+		c.b1[0] = 1
+	}
+	c.w.coll.runU64(c.b1[:], func(a, b []uint64) { a[0] |= b[0] })
+	return c.b1[0] != 0
 }
 
 // Request is a handle for a non-blocking allreduce started with

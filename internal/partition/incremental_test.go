@@ -1,0 +1,180 @@
+package partition
+
+import (
+	"testing"
+
+	"gcbfs/internal/graph"
+	"gcbfs/internal/rmat"
+)
+
+// equalGPUGraph compares every array of two GPUGraphs (byte-identity of the
+// rebuilt representation, not just shape).
+func equalGPUGraph(t *testing.T, gpu int, a, b *GPUGraph) {
+	t.Helper()
+	if a.NumLocal != b.NumLocal {
+		t.Fatalf("gpu %d: NumLocal %d vs %d", gpu, a.NumLocal, b.NumLocal)
+	}
+	cmp32 := func(name string, x, y *SubCSR32) {
+		if len(x.RowOffsets) != len(y.RowOffsets) || len(x.Cols) != len(y.Cols) {
+			t.Fatalf("gpu %d %s: shape mismatch", gpu, name)
+		}
+		for i := range x.RowOffsets {
+			if x.RowOffsets[i] != y.RowOffsets[i] {
+				t.Fatalf("gpu %d %s: row offset %d differs", gpu, name, i)
+			}
+		}
+		for i := range x.Cols {
+			if x.Cols[i] != y.Cols[i] {
+				t.Fatalf("gpu %d %s: col %d differs", gpu, name, i)
+			}
+		}
+	}
+	if len(a.NN.Cols) != len(b.NN.Cols) || len(a.NN.RowOffsets) != len(b.NN.RowOffsets) {
+		t.Fatalf("gpu %d nn: shape mismatch", gpu)
+	}
+	for i := range a.NN.RowOffsets {
+		if a.NN.RowOffsets[i] != b.NN.RowOffsets[i] {
+			t.Fatalf("gpu %d nn: row offset %d differs", gpu, i)
+		}
+	}
+	for i := range a.NN.Cols {
+		if a.NN.Cols[i] != b.NN.Cols[i] {
+			t.Fatalf("gpu %d nn: col %d differs", gpu, i)
+		}
+	}
+	cmp32("nd", a.ND, b.ND)
+	cmp32("dn", a.DN, b.DN)
+	cmp32("dd", a.DD, b.DD)
+	if len(a.NDSources) != len(b.NDSources) {
+		t.Fatalf("gpu %d: nd source count differs", gpu)
+	}
+	for i := range a.NDSources {
+		if a.NDSources[i] != b.NDSources[i] {
+			t.Fatalf("gpu %d: nd source %d differs", gpu, i)
+		}
+	}
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatalf("gpu %d: fingerprint differs", gpu)
+	}
+}
+
+// TestDistributeIncrementalMatchesFull mutates an RMAT graph (delete a few
+// undirected pairs, insert a few fresh ones), then checks that the
+// incremental distributor produces exactly what a from-scratch Distribute
+// over the new edge list produces, while sharing at least one clean GPU.
+func TestDistributeIncrementalMatchesFull(t *testing.T) {
+	el := rmat.Generate(rmat.Params{Scale: 11, EdgeFactor: 8, Seed: 3, Permute: true, Symmetric: true})
+	cfg := Config{Ranks: 3, GPUsPerRank: 2}
+	th := SuggestThreshold(el.OutDegrees(), 4*el.N/int64(cfg.P()))
+	sep := Separate(el, th)
+	prev, err := Distribute(el, sep, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A tiny localized delta: drop the first two non-self undirected pairs
+	// whose endpoints are both normal (so the delegate set is stable), add
+	// two fresh pairs between low-degree vertices.
+	next := &graph.EdgeList{N: el.N, Edges: append([]graph.Edge(nil), el.Edges...)}
+	deg := el.OutDegrees()
+	var lowDeg []int64
+	for v := int64(0); v < el.N && len(lowDeg) < 4; v++ {
+		if deg[v] >= 1 && deg[v] <= 2 && !sep.IsDelegate(v) {
+			lowDeg = append(lowDeg, v)
+		}
+	}
+	if len(lowDeg) < 4 {
+		t.Skip("graph has no low-degree normal vertices to mutate")
+	}
+	next.Edges = append(next.Edges,
+		graph.Edge{U: lowDeg[0], V: lowDeg[1]}, graph.Edge{U: lowDeg[1], V: lowDeg[0]},
+		graph.Edge{U: lowDeg[2], V: lowDeg[3]}, graph.Edge{U: lowDeg[3], V: lowDeg[2]})
+
+	nextSep := Separate(next, th)
+	if !SameDelegates(sep, nextSep) {
+		t.Skip("delta shifted the delegate set; pick different vertices")
+	}
+
+	inc, reported, err := DistributeIncremental(next, nextSep, cfg, prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Distribute(next, nextSep, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if reported == 0 {
+		t.Errorf("incremental rebuild touched all %d GPUs for a 2-pair delta", cfg.P())
+	}
+	shared := 0
+	for i := range inc.GPUs {
+		equalGPUGraph(t, i, inc.GPUs[i], full.GPUs[i])
+		if inc.GPUs[i] == prev.GPUs[i] {
+			shared++
+		}
+	}
+	if shared != reported {
+		t.Errorf("shared %d GPUGraphs, reported %d", shared, reported)
+	}
+	if inc.CountNN != full.CountNN || inc.CountND != full.CountND ||
+		inc.CountDN != full.CountDN || inc.CountDD != full.CountDD {
+		t.Errorf("category counts differ from full distribute")
+	}
+	for i := range full.DelegateOutDeg {
+		if inc.DelegateOutDeg[i] != full.DelegateOutDeg[i] {
+			t.Fatalf("delegate out-degree %d differs", i)
+		}
+	}
+}
+
+// TestDistributeIncrementalDelegateShift forces a delegate-set change and
+// checks the incremental path falls back to a full rebuild with correct
+// output.
+func TestDistributeIncrementalDelegateShift(t *testing.T) {
+	el := rmat.Generate(rmat.Params{Scale: 10, EdgeFactor: 8, Seed: 9, Permute: true, Symmetric: true})
+	cfg := Config{Ranks: 2, GPUsPerRank: 2}
+	th := SuggestThreshold(el.OutDegrees(), 4*el.N/int64(cfg.P()))
+	sep := Separate(el, th)
+	prev, err := Distribute(el, sep, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Attach a star to vertex 0 until it crosses the threshold.
+	next := &graph.EdgeList{N: el.N, Edges: append([]graph.Edge(nil), el.Edges...)}
+	deg := el.OutDegrees()
+	var hub int64 = -1
+	for v := int64(0); v < el.N; v++ {
+		if !sep.IsDelegate(v) && deg[v] > 0 {
+			hub = v
+			break
+		}
+	}
+	if hub < 0 {
+		t.Skip("no normal vertex to promote")
+	}
+	for i := int64(0); deg[hub]+i <= th+1; i++ {
+		other := (hub + 1 + i) % el.N
+		next.Edges = append(next.Edges, graph.Edge{U: hub, V: other}, graph.Edge{U: other, V: hub})
+	}
+	nextSep := Separate(next, th)
+	if SameDelegates(sep, nextSep) {
+		t.Fatal("test setup failed to change the delegate set")
+	}
+
+	inc, shared, err := DistributeIncremental(next, nextSep, cfg, prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared != 0 {
+		t.Errorf("delegate shift shared %d GPUs, want a full rebuild", shared)
+	}
+	full, err := Distribute(next, nextSep, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range inc.GPUs {
+		equalGPUGraph(t, i, inc.GPUs[i], full.GPUs[i])
+	}
+}

@@ -67,6 +67,13 @@ type GPUGraph struct {
 	Rank, Slot int
 	NumLocal   int64 // local vertex slots (≈ n/p)
 
+	// Fingerprint hashes this GPU's routed (category, u, v) edge stream in
+	// edge-list order plus its per-category edge counts. Because the CSR fill
+	// pass consumes edges in exactly that order, an unchanged fingerprint
+	// under an unchanged delegate set means the rebuilt GPUGraph would be
+	// byte-identical — DistributeIncremental shares the old one instead.
+	Fingerprint uint64
+
 	NN *SubCSR64 // local normal → global normal
 	ND *SubCSR32 // local normal → delegate id
 	DN *SubCSR32 // delegate id → local normal
@@ -114,27 +121,130 @@ type Subgraphs struct {
 // D returns the delegate count.
 func (sg *Subgraphs) D() int64 { return sg.Sep.D() }
 
+// fnv-1a style 64-bit word folding for the per-GPU edge-stream fingerprints.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+func fpMix(h, x uint64) uint64 {
+	h ^= x
+	h *= fnvPrime64
+	return h
+}
+
+// SameDelegates reports whether two separations induce the same delegate set
+// (and therefore the same dense delegate-id mapping). Out-degrees may still
+// differ — that only moves dd edges between owners, which the per-GPU
+// fingerprints catch.
+func SameDelegates(a, b *Separation) bool {
+	if a.N != b.N || len(a.DelegateGlobal) != len(b.DelegateGlobal) {
+		return false
+	}
+	for i, v := range a.DelegateGlobal {
+		if b.DelegateGlobal[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
 // Distribute runs Algorithm 1 over the edge list and materializes the four
 // subgraphs on every GPU. The input must be symmetric (every u→v paired with
 // v→u) for the dn/nd/dd subgraph symmetry the engine relies on; Distribute
 // does not verify that (generators guarantee it; tests cover it).
 func Distribute(el *graph.EdgeList, sep *Separation, cfg Config) (*Subgraphs, error) {
+	sg, _, err := distribute(el, sep, cfg, nil)
+	return sg, err
+}
+
+// DistributeIncremental is Distribute for the next epoch of a mutated graph:
+// it routes the new edge list once, fingerprints every GPU's routed edge
+// stream, and rebuilds only the GPUs whose stream changed — every clean GPU
+// shares its immutable *GPUGraph with prev. A changed delegate set (the
+// dense delegate-id mapping shifts on every GPU) falls back to a full
+// rebuild. Returns the number of GPUs shared (reused from prev; the rest
+// were rebuilt).
+func DistributeIncremental(el *graph.EdgeList, sep *Separation, cfg Config, prev *Subgraphs) (*Subgraphs, int, error) {
+	if prev == nil || prev.Cfg != cfg || prev.N != el.N || !SameDelegates(sep, prev.Sep) {
+		return distribute(el, sep, cfg, nil)
+	}
+	return distribute(el, sep, cfg, prev)
+}
+
+// distribute implements Distribute; when prev is non-nil (same cfg, vertex
+// count and delegate set) it reuses prev's GPUGraphs wherever the routed
+// edge stream fingerprint is unchanged. Because both the counting and the
+// fill pass consume edges in edge-list order, an unchanged per-GPU stream
+// rebuilds byte-identically — sharing the pointer is exact, not approximate.
+func distribute(el *graph.EdgeList, sep *Separation, cfg Config, prev *Subgraphs) (*Subgraphs, int, error) {
 	if err := cfg.Validate(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if sep.N != el.N {
-		return nil, fmt.Errorf("partition: separation over %d vertices, graph has %d", sep.N, el.N)
+		return nil, 0, fmt.Errorf("partition: separation over %d vertices, graph has %d", sep.N, el.N)
 	}
 	p := cfg.P()
 	d := sep.D()
 	sg := &Subgraphs{Cfg: cfg, Sep: sep, N: el.N, M: el.M()}
 
-	// Pass 1: count rows per (gpu, category) to size the CSR arrays.
+	// Pass 1: route every edge once (cached for the later passes), fold the
+	// per-GPU stream fingerprints, and tally global category counts.
+	route := make([]uint8, len(el.Edges)) // cache gpu*4+cat per edge? gpu may exceed 63 → store separately
+	gpus := make([]int32, len(el.Edges))
+	fp := make([]uint64, p)
+	var perCat [4][]int64
+	for c := range perCat {
+		perCat[c] = make([]int64, p)
+	}
+	for i := range fp {
+		fp[i] = fnvOffset64
+	}
+	for i, e := range el.Edges {
+		gpu, cat := Route(cfg, sep, e.U, e.V)
+		route[i] = uint8(cat)
+		gpus[i] = int32(gpu)
+		fp[gpu] = fpMix(fpMix(fpMix(fp[gpu], uint64(cat)), uint64(e.U)), uint64(e.V))
+		perCat[cat][gpu]++
+		switch cat {
+		case NN:
+			sg.CountNN++
+		case ND:
+			sg.CountND++
+		case DN:
+			sg.CountDN++
+		case DD:
+			sg.CountDD++
+		}
+	}
+	for i := 0; i < p; i++ {
+		for c := 0; c < 4; c++ {
+			fp[i] = fpMix(fp[i], uint64(perCat[c][i]))
+		}
+	}
+
+	// Decide which GPUs need a rebuild; share the rest.
+	sg.GPUs = make([]*GPUGraph, p)
+	dirty := make([]bool, p)
+	rebuilt := 0
+	for i := 0; i < p; i++ {
+		if prev != nil && prev.GPUs[i].Fingerprint == fp[i] {
+			sg.GPUs[i] = prev.GPUs[i]
+			continue
+		}
+		dirty[i] = true
+		rebuilt++
+	}
+
+	// Pass 2: count rows per (dirty gpu, category) to size the CSR arrays.
 	type counts struct {
 		nn, nd, dn, dd []uint32 // per-row edge counts
 	}
 	per := make([]counts, p)
 	for i := range per {
+		if !dirty[i] {
+			continue
+		}
 		rank, slot := i/cfg.GPUsPerRank, i%cfg.GPUsPerRank
 		nLocal := cfg.LocalCount(el.N, rank, slot)
 		per[i].nn = make([]uint32, nLocal+1)
@@ -142,32 +252,29 @@ func Distribute(el *graph.EdgeList, sep *Separation, cfg Config) (*Subgraphs, er
 		per[i].dn = make([]uint32, d+1)
 		per[i].dd = make([]uint32, d+1)
 	}
-	route := make([]uint8, len(el.Edges)) // cache gpu*4+cat per edge? gpu may exceed 63 → store separately
-	gpus := make([]int32, len(el.Edges))
 	for i, e := range el.Edges {
-		gpu, cat := Route(cfg, sep, e.U, e.V)
-		route[i] = uint8(cat)
-		gpus[i] = int32(gpu)
+		gpu := int(gpus[i])
+		if !dirty[gpu] {
+			continue
+		}
 		pc := &per[gpu]
-		switch cat {
+		switch EdgeCategory(route[i]) {
 		case NN:
 			pc.nn[cfg.LocalID(e.U)+1]++
-			sg.CountNN++
 		case ND:
 			pc.nd[cfg.LocalID(e.U)+1]++
-			sg.CountND++
 		case DN:
 			pc.dn[sep.DelegateID[e.U]+1]++
-			sg.CountDN++
 		case DD:
 			pc.dd[sep.DelegateID[e.U]+1]++
-			sg.CountDD++
 		}
 	}
 
 	// Prefix sums → row offsets; allocate column arrays.
-	sg.GPUs = make([]*GPUGraph, p)
 	for i := 0; i < p; i++ {
+		if !dirty[i] {
+			continue
+		}
 		rank, slot := i/cfg.GPUsPerRank, i%cfg.GPUsPerRank
 		nLocal := cfg.LocalCount(el.N, rank, slot)
 		pc := &per[i]
@@ -181,7 +288,7 @@ func Distribute(el *graph.EdgeList, sep *Separation, cfg Config) (*Subgraphs, er
 		prefix(pc.dn)
 		prefix(pc.dd)
 		g := &GPUGraph{
-			GPU: i, Rank: rank, Slot: slot, NumLocal: nLocal,
+			GPU: i, Rank: rank, Slot: slot, NumLocal: nLocal, Fingerprint: fp[i],
 			NN:           &SubCSR64{NumRows: nLocal, RowOffsets: pc.nn, Cols: make([]int64, pc.nn[nLocal])},
 			ND:           &SubCSR32{NumRows: nLocal, RowOffsets: pc.nd, Cols: make([]uint32, pc.nd[nLocal])},
 			DN:           &SubCSR32{NumRows: d, RowOffsets: pc.dn, Cols: make([]uint32, pc.dn[d])},
@@ -192,9 +299,12 @@ func Distribute(el *graph.EdgeList, sep *Separation, cfg Config) (*Subgraphs, er
 		sg.GPUs[i] = g
 	}
 
-	// Pass 2: fill columns. Cursor arrays track the next free slot per row.
+	// Pass 3: fill columns. Cursor arrays track the next free slot per row.
 	cursors := make([]counts, p)
 	for i := range cursors {
+		if !dirty[i] {
+			continue
+		}
 		g := sg.GPUs[i]
 		cursors[i].nn = make([]uint32, g.NumLocal)
 		cursors[i].nd = make([]uint32, g.NumLocal)
@@ -203,6 +313,9 @@ func Distribute(el *graph.EdgeList, sep *Separation, cfg Config) (*Subgraphs, er
 	}
 	for i, e := range el.Edges {
 		gpu := int(gpus[i])
+		if !dirty[gpu] {
+			continue
+		}
 		g := sg.GPUs[gpu]
 		cur := &cursors[gpu]
 		switch EdgeCategory(route[i]) {
@@ -227,8 +340,12 @@ func Distribute(el *graph.EdgeList, sep *Separation, cfg Config) (*Subgraphs, er
 		}
 	}
 
-	// Side structures: nd source lists.
-	for _, g := range sg.GPUs {
+	// Side structures: nd source lists (rebuilt GPUs only; shared GPUs keep
+	// theirs).
+	for i, g := range sg.GPUs {
+		if !dirty[i] {
+			continue
+		}
 		for row := int64(0); row < g.NumLocal; row++ {
 			if g.ND.Degree(row) > 0 {
 				g.NDSources = append(g.NDSources, uint32(row))
@@ -236,10 +353,11 @@ func Distribute(el *graph.EdgeList, sep *Separation, cfg Config) (*Subgraphs, er
 		}
 	}
 
-	// Replicated delegate directory.
+	// Replicated delegate directory (out-degrees can change without any
+	// subgraph changing hands, so this is always rebuilt).
 	sg.DelegateOutDeg = make([]int64, d)
 	for di, v := range sep.DelegateGlobal {
 		sg.DelegateOutDeg[di] = sep.OutDeg[v]
 	}
-	return sg, nil
+	return sg, p - rebuilt, nil
 }

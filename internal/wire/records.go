@@ -241,7 +241,15 @@ type RecordSelector struct {
 
 // NewRecordSelector returns an empty record selector.
 func NewRecordSelector() *RecordSelector {
-	return &RecordSelector{ids: NewSelector(), memo: make(map[blockKey]maskMemo)}
+	return NewRecordSelectorSized(0)
+}
+
+// NewRecordSelectorSized returns an empty record selector with both scheme
+// memories (id and mask) pre-sized for the expected block count —
+// destinations × slots, known from the cluster shape — so the steady state
+// never pays map growth.
+func NewRecordSelectorSized(blocks int) *RecordSelector {
+	return &RecordSelector{ids: NewSelectorSized(blocks), memo: make(map[blockKey]maskMemo, blocks)}
 }
 
 // Reset forgets all scheme memory (id and mask), keeping the map storage, so

@@ -37,10 +37,30 @@ type Section struct {
 // with ModeOff it is the 4-bytes-per-id equivalent, matching the paper's
 // 4·|Enn| convention for uncompressed traffic.
 func (sel *Selector) EncodeSections(secs []Section, gpusPerRank int, mode Mode) ([]byte, Stats) {
+	return sel.AppendSections(nil, secs, gpusPerRank, mode)
+}
+
+// AppendSections is EncodeSections into a caller-owned buffer: the framed
+// message is appended to buf and Stats count only this call's bytes. The
+// butterfly exchange keeps one buffer per hop slot, reused across
+// iterations — safe because every hop message is received (and its ids
+// arena-copied) before the iteration's terminating collective, which every
+// rank passes before the buffer's next rewrite. Each section's payload is
+// staged in the selector's scratch and copied into the frame immediately,
+// so one scratch serves all sections.
+func (sel *Selector) AppendSections(buf []byte, secs []Section, gpusPerRank int, mode Mode) ([]byte, Stats) {
 	var st Stats
-	buf := binary.AppendUvarint(nil, uint64(len(secs)))
+	start := len(buf)
+	buf = binary.AppendUvarint(buf, uint64(len(secs)))
 	for _, sec := range secs {
-		payload, pst := sel.EncodeSlots(sec.Rank, sec.Slots, sec.Sorted, mode)
+		var payload []byte
+		var pst Stats
+		if sel != nil {
+			payload, pst = sel.AppendSlots(sel.secBuf[:0], sec.Rank, sec.Slots, sec.Sorted, mode)
+			sel.secBuf = payload[:0]
+		} else {
+			payload, pst = sel.EncodeSlots(sec.Rank, sec.Slots, sec.Sorted, mode)
+		}
 		st.RawBytes += pst.RawBytes
 		for i, c := range pst.Selected {
 			st.Selected[i] += c
@@ -53,7 +73,7 @@ func (sel *Selector) EncodeSections(secs []Section, gpusPerRank int, mode Mode) 
 	if mode == ModeOff {
 		st.EncodedBytes = st.RawBytes
 	} else {
-		st.EncodedBytes = int64(len(buf))
+		st.EncodedBytes = int64(len(buf) - start)
 	}
 	return buf, st
 }
@@ -68,11 +88,85 @@ func DecodeSections(buf []byte, gpusPerRank, ranks int, mode Mode) ([]Section, e
 	return DecodeSectionsArena(buf, gpusPerRank, ranks, mode, nil)
 }
 
+// SectionScratch recycles the per-hop decode headers — Section structs,
+// slot rows, sorted rows, scheme row — that DecodeSectionsScratch would
+// otherwise heap-allocate per message. It is a bump allocator: chunks are
+// carved off growing backing arrays and stay valid until Reset, which the
+// caller issues once per exchange iteration (relayed sections live in the
+// butterfly's pending set until the last hop, never longer). The zero value
+// is ready to use; not safe for concurrent use — the engine keeps one per
+// rank.
+type SectionScratch struct {
+	secs    []Section
+	slots   [][]uint32
+	sorted  []bool
+	schemes []Scheme
+}
+
+// Reset reclaims every outstanding chunk (backing storage is kept).
+func (h *SectionScratch) Reset() {
+	h.secs, h.slots, h.sorted = h.secs[:0], h.slots[:0], h.sorted[:0]
+}
+
+// takeSections carves a zero-length Section chunk with capacity n: appends
+// within the chunk never reallocate, and earlier chunks keep their (old)
+// backing when growth replaces the array.
+func (h *SectionScratch) takeSections(n int) []Section {
+	if cap(h.secs)-len(h.secs) < n {
+		h.secs = make([]Section, 0, 2*(len(h.secs)+n))
+	}
+	off := len(h.secs)
+	h.secs = h.secs[:off+n]
+	return h.secs[off : off : off+n]
+}
+
+// takeSlotRow carves a zeroed length-n slot row.
+func (h *SectionScratch) takeSlotRow(n int) [][]uint32 {
+	if cap(h.slots)-len(h.slots) < n {
+		h.slots = make([][]uint32, 0, 2*(len(h.slots)+n))
+	}
+	off := len(h.slots)
+	h.slots = h.slots[:off+n]
+	row := h.slots[off : off+n : off+n]
+	clear(row)
+	return row
+}
+
+// takeSortedRow carves a zeroed length-n bool row.
+func (h *SectionScratch) takeSortedRow(n int) []bool {
+	if cap(h.sorted)-len(h.sorted) < n {
+		h.sorted = make([]bool, 0, 2*(len(h.sorted)+n))
+	}
+	off := len(h.sorted)
+	h.sorted = h.sorted[:off+n]
+	row := h.sorted[off : off+n : off+n]
+	clear(row)
+	return row
+}
+
+// schemeRow returns the reusable length-n scheme buffer — unlike the rows
+// above it is consumed by the caller before the next decode, so a single
+// buffer (not a bump chunk) suffices.
+func (h *SectionScratch) schemeRow(n int) []Scheme {
+	if cap(h.schemes) < n {
+		h.schemes = make([]Scheme, n)
+	}
+	return h.schemes[:n]
+}
+
 // DecodeSectionsArena is DecodeSections with every decoded id slice drawn
 // from the arena (per-iteration lifetime); a nil arena falls back to plain
 // allocation. Section headers and Sorted flags still come from the heap —
 // they are small and bounded by the hop fan-in, not the frontier size.
 func DecodeSectionsArena(buf []byte, gpusPerRank, ranks int, mode Mode, arena *frontier.Arena) ([]Section, error) {
+	return DecodeSectionsScratch(buf, gpusPerRank, ranks, mode, arena, nil)
+}
+
+// DecodeSectionsScratch is DecodeSectionsArena with the section headers
+// drawn from the scratch as well (a nil scratch falls back to plain
+// allocation), leaving the steady-state decode of a hop message fully
+// allocation-free.
+func DecodeSectionsScratch(buf []byte, gpusPerRank, ranks int, mode Mode, arena *frontier.Arena, h *SectionScratch) ([]Section, error) {
 	off := 0
 	count, k := binary.Uvarint(buf)
 	if k <= 0 {
@@ -85,7 +179,12 @@ func DecodeSectionsArena(buf []byte, gpusPerRank, ranks int, mode Mode, arena *f
 	if count > uint64(len(buf))/2 {
 		return nil, fmt.Errorf("wire: section count %d exceeds message size", count)
 	}
-	out := make([]Section, 0, count)
+	var out []Section
+	if h != nil {
+		out = h.takeSections(int(count))
+	} else {
+		out = make([]Section, 0, count)
+	}
 	for i := uint64(0); i < count; i++ {
 		rank, k := binary.Uvarint(buf[off:])
 		if k <= 0 || rank >= uint64(ranks) {
@@ -103,7 +202,12 @@ func DecodeSectionsArena(buf []byte, gpusPerRank, ranks int, mode Mode, arena *f
 		}
 		payload := buf[off : off+int(plen)]
 		off += int(plen)
-		sec := Section{Rank: int(rank), Sorted: make([]bool, gpusPerRank)}
+		sec := Section{Rank: int(rank)}
+		if h != nil {
+			sec.Sorted = h.takeSortedRow(gpusPerRank)
+		} else {
+			sec.Sorted = make([]bool, gpusPerRank)
+		}
 		if mode == ModeOff {
 			slots, err := frontier.UnpackRank(payload, gpusPerRank)
 			if err != nil {
@@ -111,7 +215,7 @@ func DecodeSectionsArena(buf []byte, gpusPerRank, ranks int, mode Mode, arena *f
 			}
 			sec.Slots = slots
 		} else {
-			slots, schemes, err := decodeRankSchemes(payload, gpusPerRank, arena)
+			slots, schemes, err := decodeRankSchemes(payload, gpusPerRank, arena, h)
 			if err != nil {
 				return nil, fmt.Errorf("wire: section %d: %w", i, err)
 			}

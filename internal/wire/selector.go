@@ -24,11 +24,26 @@ type blockMemo struct {
 // It is not safe for concurrent use; the engine keeps one per rank.
 type Selector struct {
 	memo map[blockKey]blockMemo
+	// sortBuf is the reusable sort scratch for unsorted blocks: the sorted
+	// view lives only for the duration of one Append, so one buffer per
+	// selector serves every block in turn.
+	sortBuf []uint32
+	// secBuf is the reusable per-section payload buffer AppendSections
+	// encodes each section into before framing it (the framing copies the
+	// payload out immediately, so one buffer serves every section in turn).
+	secBuf []byte
 }
 
 // NewSelector returns an empty selector.
 func NewSelector() *Selector {
-	return &Selector{memo: make(map[blockKey]blockMemo)}
+	return NewSelectorSized(0)
+}
+
+// NewSelectorSized returns an empty selector whose scheme-memory map is
+// pre-sized for the expected block count — destinations × slots, known from
+// the cluster shape — so the steady state never pays map growth.
+func NewSelectorSized(blocks int) *Selector {
+	return &Selector{memo: make(map[blockKey]blockMemo, blocks)}
 }
 
 // Reset forgets all scheme memory while keeping the map's storage, so a
@@ -60,18 +75,22 @@ func forcedMode(s Scheme) Mode {
 // full probe costs nothing extra for those blocks.
 func (sel *Selector) Append(buf []byte, ids []uint32, mode Mode, dst, slot int, presorted bool) ([]byte, Scheme, bool) {
 	if sel == nil || sel.memo == nil || mode != ModeAdaptive {
-		out, scheme := AppendSorted(buf, ids, mode, presorted)
+		var sortBuf *[]uint32
+		if sel != nil {
+			sortBuf = &sel.sortBuf
+		}
+		out, scheme := appendSorted(buf, ids, mode, presorted, sortBuf)
 		return out, scheme, false
 	}
 	key := blockKey{dst: dst, slot: slot}
 	raw := 4 * int64(len(ids))
 	if m, ok := sel.memo[key]; ok && m.scheme != SchemeBitmap && m.rawBytes > 0 && raw > 0 &&
 		raw >= m.rawBytes/2 && raw <= 2*m.rawBytes {
-		out, scheme := AppendSorted(buf, ids, forcedMode(m.scheme), presorted)
+		out, scheme := appendSorted(buf, ids, forcedMode(m.scheme), presorted, &sel.sortBuf)
 		sel.memo[key] = blockMemo{scheme: scheme, rawBytes: raw}
 		return out, scheme, true
 	}
-	out, scheme := AppendSorted(buf, ids, ModeAdaptive, presorted)
+	out, scheme := appendSorted(buf, ids, ModeAdaptive, presorted, &sel.sortBuf)
 	sel.memo[key] = blockMemo{scheme: scheme, rawBytes: raw}
 	return out, scheme, false
 }
@@ -79,8 +98,19 @@ func (sel *Selector) Append(buf []byte, ids []uint32, mode Mode, dst, slot int, 
 // EncodeRank encodes one block per destination GPU slot through the scheme
 // memory, keyed by the destination rank.
 func (sel *Selector) EncodeRank(dst int, slots [][]uint32, sorted []bool, mode Mode) ([]byte, Stats) {
+	return sel.AppendRank(nil, dst, slots, sorted, mode)
+}
+
+// AppendRank is EncodeRank into a caller-owned buffer: the encoded blocks
+// are appended to buf and Stats count only the bytes this call produced.
+// Callers that reuse buffers across iterations hit zero steady-state
+// allocation; the engine's exchanges own one buffer per in-flight message
+// slot (per hop for the butterfly, per destination for all-pairs), so a
+// buffer is never rewritten before the simulated barrier that guarantees
+// its receipt.
+func (sel *Selector) AppendRank(buf []byte, dst int, slots [][]uint32, sorted []bool, mode Mode) ([]byte, Stats) {
 	var st Stats
-	var buf []byte
+	start := len(buf)
 	for s, ids := range slots {
 		var scheme Scheme
 		var hit bool
@@ -91,7 +121,7 @@ func (sel *Selector) EncodeRank(dst int, slots [][]uint32, sorted []bool, mode M
 			st.MemoHits++
 		}
 	}
-	st.EncodedBytes = int64(len(buf))
+	st.EncodedBytes = int64(len(buf) - start)
 	return buf, st
 }
 
@@ -103,6 +133,12 @@ func (sel *Selector) EncodeRank(dst int, slots [][]uint32, sorted []bool, mode M
 // EncodeRank blocks through the scheme memory, with Stats counting the full
 // encoded payload.
 func (sel *Selector) EncodeSlots(dst int, slots [][]uint32, sorted []bool, mode Mode) ([]byte, Stats) {
+	return sel.AppendSlots(nil, dst, slots, sorted, mode)
+}
+
+// AppendSlots is EncodeSlots into a caller-owned buffer (see AppendRank for
+// the reuse contract).
+func (sel *Selector) AppendSlots(buf []byte, dst int, slots [][]uint32, sorted []bool, mode Mode) ([]byte, Stats) {
 	if mode == ModeOff {
 		payload := (&frontier.Bins{PerGPU: slots}).PackRank(0, len(slots))
 		var st Stats
@@ -110,7 +146,10 @@ func (sel *Selector) EncodeSlots(dst int, slots [][]uint32, sorted []bool, mode 
 			st.RawBytes += 4 * int64(len(ids))
 		}
 		st.EncodedBytes = st.RawBytes
-		return payload, st
+		if buf == nil {
+			return payload, st
+		}
+		return append(buf, payload...), st
 	}
-	return sel.EncodeRank(dst, slots, sorted, mode)
+	return sel.AppendRank(buf, dst, slots, sorted, mode)
 }

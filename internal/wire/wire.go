@@ -162,9 +162,17 @@ func uvarintLen(v uint64) int {
 }
 
 // sortedCopy returns ids sorted ascending (a copy; input is not mutated)
-// and whether the sorted sequence is duplicate-free.
-func sortedCopy(ids []uint32) (sorted []uint32, unique bool) {
-	sorted = append(make([]uint32, 0, len(ids)), ids...)
+// and whether the sorted sequence is duplicate-free. A non-nil buf supplies
+// the copy's storage (grown as needed and written back), so repeat callers
+// — a Selector encoding block after block — sort without allocating; the
+// sorted view must then not outlive the encode that requested it.
+func sortedCopy(ids []uint32, buf *[]uint32) (sorted []uint32, unique bool) {
+	if buf != nil {
+		sorted = append((*buf)[:0], ids...)
+		*buf = sorted
+	} else {
+		sorted = append(make([]uint32, 0, len(ids)), ids...)
+	}
 	slices.Sort(sorted)
 	return sorted, isUnique(sorted)
 }
@@ -183,11 +191,11 @@ func isUnique(sorted []uint32) bool {
 // presorted hint (the caller asserts ids are already ascending — uniquified
 // frontier bins are) the input is used directly, skipping the sort copy that
 // dominates delta encoding; only the linear duplicate scan remains.
-func sortedView(ids []uint32, presorted bool) ([]uint32, bool) {
+func sortedView(ids []uint32, presorted bool, buf *[]uint32) ([]uint32, bool) {
 	if presorted {
 		return ids, isUnique(ids)
 	}
-	return sortedCopy(ids)
+	return sortedCopy(ids, buf)
 }
 
 // deltaPayloadLen returns the payload size of the delta scheme for a sorted
@@ -231,6 +239,13 @@ func Append(dst []byte, ids []uint32, mode Mode) ([]byte, Scheme) {
 // A false hint on unsorted input would corrupt the delta stream — callers
 // plumb the hint from frontier.Bins, which tracks it per bin.
 func AppendSorted(dst []byte, ids []uint32, mode Mode, presorted bool) ([]byte, Scheme) {
+	return appendSorted(dst, ids, mode, presorted, nil)
+}
+
+// appendSorted is AppendSorted with an optional sort scratch (see
+// sortedCopy); the Selector threads its per-rank buffer through here so
+// unsorted blocks stop allocating their canonical view.
+func appendSorted(dst []byte, ids []uint32, mode Mode, presorted bool, sortBuf *[]uint32) ([]byte, Scheme) {
 	scheme := SchemeRaw
 	var sorted []uint32
 	switch mode {
@@ -238,10 +253,10 @@ func AppendSorted(dst []byte, ids []uint32, mode Mode, presorted bool) ([]byte, 
 		// No canonicalization needed.
 	case ModeDelta:
 		scheme = SchemeDelta
-		sorted, _ = sortedView(ids, presorted)
+		sorted, _ = sortedView(ids, presorted, sortBuf)
 	case ModeBitmap:
 		var unique bool
-		sorted, unique = sortedView(ids, presorted)
+		sorted, unique = sortedView(ids, presorted, sortBuf)
 		if unique && bitmapPayloadLen(sorted) <= 4*4*len(ids)+16 {
 			scheme = SchemeBitmap
 		} else {
@@ -249,7 +264,7 @@ func AppendSorted(dst []byte, ids []uint32, mode Mode, presorted bool) ([]byte, 
 		}
 	case ModeAdaptive:
 		var unique bool
-		sorted, unique = sortedView(ids, presorted)
+		sorted, unique = sortedView(ids, presorted, sortBuf)
 		rawSize := 4 * len(ids)
 		bestSize := rawSize
 		if d := deltaPayloadLen(sorted); d < bestSize {
@@ -286,7 +301,8 @@ func AppendSorted(dst []byte, ids []uint32, mode Mode, presorted bool) ([]byte, 
 		}
 		dst = binary.AppendUvarint(dst, uint64(words))
 		wordsStart := len(dst)
-		dst = append(dst, make([]byte, 8*words)...)
+		dst = slices.Grow(dst, 8*words)[:wordsStart+8*words]
+		clear(dst[wordsStart:])
 		for _, v := range sorted {
 			off := wordsStart + int(v/64)*8
 			w := binary.LittleEndian.Uint64(dst[off:])
@@ -430,7 +446,7 @@ func EncodeRank(slots [][]uint32, mode Mode) ([]byte, Stats) {
 // Trailing bytes after the last block are rejected, as are all per-block
 // corruption forms Decode detects.
 func DecodeRank(buf []byte, gpusPerRank int) ([][]uint32, error) {
-	out, _, err := decodeRankSchemes(buf, gpusPerRank, nil)
+	out, _, err := decodeRankSchemes(buf, gpusPerRank, nil, nil)
 	return out, err
 }
 
@@ -459,10 +475,20 @@ func DecodeRankInto(buf []byte, into [][]uint32) error {
 // decodeRankSchemes is DecodeRank plus the per-slot scheme bytes, which tell
 // the butterfly exchange whether a decoded slot is already sorted (delta and
 // bitmap canonicalize to ascending order; raw preserves sender order). A
-// non-nil arena supplies the id buffers (per-iteration lifetime).
-func decodeRankSchemes(buf []byte, gpusPerRank int, arena *frontier.Arena) ([][]uint32, []Scheme, error) {
-	out := make([][]uint32, gpusPerRank)
-	schemes := make([]Scheme, gpusPerRank)
+// non-nil arena supplies the id buffers (per-iteration lifetime); a non-nil
+// scratch supplies the slot row (bump, per-iteration) and the scheme row
+// (reused per call — the caller consumes it before the next decode).
+func decodeRankSchemes(buf []byte, gpusPerRank int, arena *frontier.Arena, h *SectionScratch) ([][]uint32, []Scheme, error) {
+	var out [][]uint32
+	var schemes []Scheme
+	if h != nil {
+		out = h.takeSlotRow(gpusPerRank)
+		schemes = h.schemeRow(gpusPerRank)
+		clear(schemes)
+	} else {
+		out = make([][]uint32, gpusPerRank)
+		schemes = make([]Scheme, gpusPerRank)
+	}
 	off := 0
 	for s := 0; s < gpusPerRank; s++ {
 		var ids []uint32

@@ -1,0 +1,282 @@
+package gcbfs
+
+// Incremental graphs: epoch-versioned plans over a mutating edge list.
+//
+// A MutableService wraps the immutable Service in an epoch chain: every
+// ApplyDelta builds the NEXT epoch's partition and plan beside the live one —
+// reusing the fixed degree threshold, the modular partition assignment, and
+// (through partition.DistributeIncremental) the per-GPU subgraph state of
+// every GPU whose routed edge sequence did not change — then publishes it
+// with one atomic pointer swap. Queries admit themselves with a single
+// atomic load, so a query in flight across a swap finishes entirely on its
+// admission epoch (the old plan, subgraphs and pooled sessions stay valid
+// and untouched), while every call after the swap lands on the new epoch.
+// Result.Epoch carries the admission proof.
+//
+// Repair is the dynamic-BFS half: given a prior result (levels AND parents)
+// from the immediately preceding epoch and the Delta that advanced it, the
+// service derives the affected set (delta.Affected) and runs the corrective
+// traversal (core.Plan.RunRepair) on the new epoch — bit-identical in levels
+// and parents to a full recompute, usually in far fewer simulated seconds
+// when the delta is small.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gcbfs/internal/delta"
+	"gcbfs/internal/graph"
+)
+
+// Edge names one undirected vertex pair {U, V} in a Delta.
+type Edge struct {
+	U, V int64
+}
+
+// Delta is one atomic batch of undirected edge mutations for
+// MutableService.ApplyDelta. Each pair may appear at most once across the
+// whole batch; deletes must name edges the graph contains.
+type Delta struct {
+	Inserts []Edge
+	Deletes []Edge
+}
+
+// Size returns the number of undirected mutations in the delta.
+func (d *Delta) Size() int {
+	if d == nil {
+		return 0
+	}
+	return len(d.Inserts) + len(d.Deletes)
+}
+
+// batch converts the public Delta to the internal representation.
+func (d *Delta) batch() *delta.Batch {
+	if d == nil {
+		return &delta.Batch{}
+	}
+	b := &delta.Batch{
+		Inserts: make([]graph.Edge, len(d.Inserts)),
+		Deletes: make([]graph.Edge, len(d.Deletes)),
+	}
+	for i, e := range d.Inserts {
+		b.Inserts[i] = graph.Edge{U: e.U, V: e.V}
+	}
+	for i, e := range d.Deletes {
+		b.Deletes[i] = graph.Edge{U: e.U, V: e.V}
+	}
+	return b
+}
+
+// fingerprint folds the delta's edge sequences into one word (FNV-1a over
+// kind-tagged endpoints). Order-sensitive on purpose: Repair demands the
+// same Delta value ApplyDelta consumed, not merely an equivalent set.
+func (d *Delta) fingerprint() uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h = (h ^ (x & 0xff)) * prime
+			x >>= 8
+		}
+	}
+	if d == nil {
+		return h
+	}
+	for _, e := range d.Inserts {
+		mix(1)
+		mix(uint64(e.U))
+		mix(uint64(e.V))
+	}
+	for _, e := range d.Deletes {
+		mix(2)
+		mix(uint64(e.U))
+		mix(uint64(e.V))
+	}
+	return h
+}
+
+// SynthesizeDelta generates a deterministic random delta touching about frac
+// of the graph's undirected edges: kind "insert", "delete" or "mixed"
+// (half/half). Inserted pairs avoid existing edges and self loops; deleted
+// pairs are sampled from the graph. The same (graph, frac, kind, seed)
+// always yields the same delta — the replay substrate of bfsrun -updates and
+// the cmp6 ablation.
+func SynthesizeDelta(g *Graph, frac float64, kind string, seed uint64) (*Delta, error) {
+	k, err := delta.ParseKind(kind)
+	if err != nil {
+		return nil, err
+	}
+	b := delta.Synthesize(g.el, frac, k, seed)
+	d := &Delta{
+		Inserts: make([]Edge, len(b.Inserts)),
+		Deletes: make([]Edge, len(b.Deletes)),
+	}
+	for i, e := range b.Inserts {
+		d.Inserts[i] = Edge{U: e.U, V: e.V}
+	}
+	for i, e := range b.Deletes {
+		d.Deletes[i] = Edge{U: e.U, V: e.V}
+	}
+	return d, nil
+}
+
+// MutableService is an epoch-versioned BFS query service over a mutating
+// graph. Reads (Run, RunBatch, RunSweep, Repair, Validate, accessors) are
+// safe from any number of goroutines and admit themselves to the current
+// epoch with one atomic load; ApplyDelta calls are serialized among
+// themselves and swap the epoch atomically without blocking readers.
+type MutableService struct {
+	cfg Config
+	th  int64 // degree threshold, fixed at construction for every epoch
+
+	// applyMu serializes writers (ApplyDelta); readers never take it.
+	applyMu sync.Mutex
+	// cur is the live epoch's immutable Service. Swapped whole; never
+	// mutated in place.
+	cur atomic.Pointer[Service]
+}
+
+// NewMutableService builds epoch 1 of the service: the graph is partitioned
+// exactly as NewService would, and the degree-separation threshold (given or
+// auto-tuned on this initial graph) is fixed for the service's lifetime so
+// successive epochs keep comparable delegate sets.
+func NewMutableService(g *Graph, cfg Config) (*MutableService, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	th := cfg.threshold(g)
+	svc, _, err := newEpochService(g, cfg, th, 1, nil)
+	if err != nil {
+		return nil, err
+	}
+	m := &MutableService{cfg: cfg, th: th}
+	m.cur.Store(svc)
+	return m, nil
+}
+
+// EpochUpdate reports one ApplyDelta: the epoch it published, how much of
+// the previous epoch's partitioned state the build reused, and what the
+// build cost while the old epoch kept serving.
+type EpochUpdate struct {
+	// Epoch is the new live epoch number.
+	Epoch uint64
+	// SharedGPUs counts per-GPU subgraphs reused byte-identically from the
+	// previous epoch (out of Cluster.GPUs()); GPUs whose routed edge
+	// sequence changed were rebuilt.
+	SharedGPUs int
+	// BuildSeconds is the wall-clock time the next-epoch build took —
+	// overlap it mentally with the queries the old epoch answered meanwhile.
+	BuildSeconds float64
+}
+
+// ApplyDelta advances the graph by one atomic batch of edge mutations: the
+// next epoch's edge list, partition and plan are built beside the live ones
+// (sharing unchanged per-GPU subgraphs with the previous epoch), then
+// published with one atomic swap. Queries already admitted — including
+// coalesced sweeps draining their queue — finish on their admission epoch;
+// every later call sees the new one. Concurrent ApplyDelta calls are
+// serialized in arrival order.
+func (m *MutableService) ApplyDelta(d *Delta) (*EpochUpdate, error) {
+	m.applyMu.Lock()
+	defer m.applyMu.Unlock()
+	cur := m.cur.Load()
+	start := time.Now()
+	el2, err := delta.Apply(cur.g.el, d.batch())
+	if err != nil {
+		return nil, err
+	}
+	epoch := cur.plan.Epoch() + 1
+	svc, shared, err := newEpochService(&Graph{el: el2}, m.cfg, m.th, epoch, cur.sub)
+	if err != nil {
+		return nil, err
+	}
+	svc.deltaFP = d.fingerprint()
+	m.cur.Store(svc)
+	return &EpochUpdate{Epoch: epoch, SharedGPUs: shared, BuildSeconds: time.Since(start).Seconds()}, nil
+}
+
+// Epoch returns the current live epoch number.
+func (m *MutableService) Epoch() uint64 { return m.cur.Load().plan.Epoch() }
+
+// Graph returns the current epoch's graph snapshot. It is immutable — feed
+// mutations through ApplyDelta, never Graph.AddUndirectedEdge.
+func (m *MutableService) Graph() *Graph { return m.cur.Load().g }
+
+// Snapshot returns the current epoch's immutable Service. Queries on the
+// snapshot keep answering against that epoch even after later ApplyDelta
+// calls — the pinned-version escape hatch.
+func (m *MutableService) Snapshot() *Service { return m.cur.Load() }
+
+// Run executes one BFS on the current epoch; see Service.Run for context,
+// option and coalescing semantics. The result's Epoch field reports the
+// admission epoch.
+func (m *MutableService) Run(ctx context.Context, source int64, opts ...QueryOption) (*Result, error) {
+	return m.cur.Load().Run(ctx, source, opts...)
+}
+
+// RunBatch executes one BFS per source on the current epoch; see
+// Service.RunBatch.
+func (m *MutableService) RunBatch(ctx context.Context, sources []int64, bo BatchOptions, opts ...QueryOption) (*BatchResult, error) {
+	return m.cur.Load().RunBatch(ctx, sources, bo, opts...)
+}
+
+// RunSweep answers one BFS per source through shared multi-source sweeps on
+// the current epoch; see Service.RunSweep.
+func (m *MutableService) RunSweep(ctx context.Context, sources []int64, opts ...QueryOption) (*BatchResult, error) {
+	return m.cur.Load().RunSweep(ctx, sources, opts...)
+}
+
+// Repair advances a prior epoch's BFS result across the delta that advanced
+// the graph, without re-traversing the unchanged bulk: prior must carry
+// levels AND parents and have been produced on the epoch immediately before
+// the current one, and d must be the exact Delta the intervening ApplyDelta
+// published — both are enforced (the delta by fingerprint), because a
+// mismatched delta would silently seed the wrong corrective set. The
+// corrective traversal seeds from the vertices the delta can
+// move (orphaned subtrees of deleted tree edges, still-valid endpoints of
+// inserts, and the probed valid boundary) and runs through the same tuned
+// exchange stack as a full query; its levels and parents are bit-identical
+// to recomputing from scratch on the new epoch.
+func (m *MutableService) Repair(ctx context.Context, prior *Result, d *Delta, opts ...QueryOption) (*Result, error) {
+	cur := m.cur.Load()
+	if prior == nil || prior.Levels == nil || prior.Parents == nil {
+		return nil, fmt.Errorf("gcbfs: Repair needs a prior result with levels and parents (run with WithParents or Config.CollectParents)")
+	}
+	if want := cur.plan.Epoch(); prior.Epoch+1 != want {
+		return nil, fmt.Errorf("gcbfs: prior result is from epoch %d, repair onto epoch %d needs epoch %d (re-run or repair step by step)",
+			prior.Epoch, want, want-1)
+	}
+	if d.fingerprint() != cur.deltaFP {
+		return nil, fmt.Errorf("gcbfs: delta does not match the one ApplyDelta published for epoch %d (pass the exact Delta value)", cur.plan.Epoch())
+	}
+	q, err := buildQuery(opts)
+	if err != nil {
+		return nil, err
+	}
+	invalid, seeds := delta.Affected(prior.Levels, prior.Parents, d.batch())
+	r, err := cur.plan.RunRepair(ctx, prior.Source, prior.Levels, invalid, seeds, q.ov)
+	if err != nil {
+		return nil, err
+	}
+	return convert(r), nil
+}
+
+// Validate checks a result produced on the CURRENT epoch against the
+// Graph500 rules and a serial reference BFS on the current graph. Results
+// from earlier epochs are rejected — their reference graph is gone.
+func (m *MutableService) Validate(r *Result) error {
+	cur := m.cur.Load()
+	if r.Epoch != cur.plan.Epoch() {
+		return fmt.Errorf("gcbfs: result from epoch %d cannot be validated against live epoch %d", r.Epoch, cur.plan.Epoch())
+	}
+	return cur.Validate(r)
+}
+
+// Threshold returns the fixed degree-separation threshold every epoch uses.
+func (m *MutableService) Threshold() int64 { return m.th }
+
+// Memory returns the current epoch's storage accounting.
+func (m *MutableService) Memory() MemoryReport { return m.cur.Load().Memory() }
