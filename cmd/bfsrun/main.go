@@ -76,6 +76,7 @@ func main() {
 		compress  = flag.String("compress", "off", "frontier-exchange codec: off, adaptive, raw, delta or bitmap")
 		exchange  = flag.String("exchange", "allpairs", "normal-vertex exchange policy: allpairs, butterfly or hybrid")
 		pipeline  = flag.Bool("pipeline", true, "software-pipeline butterfly hops (overlap transfers with per-hop codec compute)")
+		flat      = flag.Bool("flat", false, "flat exchange: per-GPU fragments instead of the hierarchical per-rank aggregation (ablation baseline; no effect at -gpus 1)")
 		amp       = flag.Float64("amp", 1, "work amplification for the timing model (2^(paperScale-localScale))")
 		sweep     = flag.Bool("sweep", false, "answer all sources in one shared multi-source sweep (MS-BFS) instead of independent queries")
 		validate  = flag.Bool("validate", false, "validate distances against serial BFS + Graph500 rules")
@@ -120,6 +121,7 @@ func main() {
 	opts.Compression = mode
 	opts.Exchange = strat
 	opts.PipelineHops = *pipeline
+	opts.FlatExchange = *flat
 	opts.WorkAmplification = *amp
 	opts.CollectLevels = *validate
 	plan, err := core.NewPlan(sg, shape, opts)
@@ -235,6 +237,10 @@ func main() {
 	if *pipeline && xs.ButterflyIterations > 0 {
 		fmt.Printf("pipeline: %.2f µs codec hidden under hop transfers, %d stalls (codec outlasted the wire)\n",
 			xs.HiddenCodecSeconds*1e6, xs.PipelineStalls)
+	}
+	if xs.NVLinkSeconds > 0 {
+		fmt.Printf("nvlink (hierarchical): %.2f µs intra-rank aggregation/staging, %.2f µs hidden under hop transfers\n",
+			xs.NVLinkSeconds*1e6, xs.HiddenNVLinkSeconds*1e6)
 	}
 	fmt.Printf("exchange cost model: predicted remote-normal %.3f ms vs actual %.3f ms (calibration ap=%.2f bf=%.2f)\n",
 		xs.PredictedSeconds*1e3, totalRemoteNormal(results)*1e3,

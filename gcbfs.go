@@ -109,6 +109,32 @@
 // CalibrationButterfly). Pipelining never changes levels or parents —
 // overlap hides time, it never reorders the traversal.
 //
+// # Hierarchical exchange
+//
+// On clusters with more than one GPU per rank, the exchange is two-level by
+// default: the GPUs of a rank first combine their per-destination bins over
+// simulated NVLink into one merged message per destination rank, then the
+// inter-rank topology (all-pairs or butterfly) ships the aggregates —
+// message count per rank per iteration drops by a factor of GPUsPerRank,
+// and per-message size grows into the network's high-efficiency regime.
+// Under the pipelined butterfly the intra-rank NVLink staging becomes a
+// third pipeline resource next to the wire and the codec: each step costs
+// max(wire, codec, nvlink), so most NVLink time hides under hop transfers
+// (Result.NVLinkSeconds / HiddenNVLinkSeconds report the split). The
+// exposed remainder is charged to the LocalComm breakdown component — the
+// pre-hierarchy home of staging time — never RemoteNormal, which stays the
+// wire+codec schedule and therefore comparable across flat and
+// hierarchical runs. The delegate-mask allreduce is chunked across the hop
+// steps whenever folding it under the butterfly's wire is cheaper than the
+// standalone reduction.
+// Config.FlatExchange (per-query WithFlatExchange) restores the flat
+// baseline — every GPU's fragment as its own inter-rank message, exactly
+// GPUsPerRank× the hierarchical message count — for the cmp7 ablation.
+// Levels and parents are bit-identical flat vs hierarchical across every
+// strategy and cluster shape; only message pattern and simulated time
+// change. The hybrid policy prices the NVLink stages into both strategy
+// estimates, so its crossover tracks the hierarchy.
+//
 // # Multi-source sweeps
 //
 // Service.RunSweep answers K BFS queries in ONE shared BSP traversal
@@ -309,6 +335,17 @@ type Config struct {
 	// DefaultConfig; disable for the sequential-hop baseline. Results are
 	// bit-identical either way. Overridable per query with WithPipeline.
 	Pipeline bool
+	// FlatExchange disables the two-level hierarchical exchange on clusters
+	// with more than one GPU per rank: instead of the GPUs of a rank
+	// combining their per-destination bins over NVLink into one merged
+	// message per destination rank (the default, which cuts message count
+	// by a factor of GPUsPerRank and prices the intra-rank staging as a
+	// third pipeline resource), every GPU's fragment travels as its own
+	// inter-rank message — the flat baseline the cmp7 ablation compares
+	// against. Results are bit-identical either way; only message pattern
+	// and simulated time change. No effect when GPUsPerRank is 1.
+	// Overridable per query with WithFlatExchange.
+	FlatExchange bool
 	// SweepWidth caps how many queries one multi-source sweep carries
 	// (RunSweep batches and CoalesceQueries admission both split wider
 	// batches into successive sweeps). 0 selects DefaultSweepWidth; the hard
@@ -425,6 +462,7 @@ func (cfg Config) engineOptions() core.Options {
 	o.Compression = cfg.Compression.mode()
 	o.Exchange = cfg.Exchange.strategy()
 	o.PipelineHops = cfg.Pipeline
+	o.FlatExchange = cfg.FlatExchange
 	return o
 }
 
@@ -490,6 +528,14 @@ type Result struct {
 	// iterations.
 	HiddenCodecSeconds float64
 	PipelineStalls     int64
+	// NVLinkSeconds is the simulated intra-rank NVLink time the hierarchical
+	// exchange spent combining per-GPU bins and staging merged payloads;
+	// HiddenNVLinkSeconds is the share of it the pipelined butterfly hid
+	// under concurrent hop transfers and codec stages (never more than
+	// NVLinkSeconds). The exposed remainder lands in the LocalComm
+	// breakdown component, never RemoteNormal. Both zero on flat exchanges
+	// and single-GPU ranks.
+	NVLinkSeconds, HiddenNVLinkSeconds float64
 	// CalibrationAllPairs/CalibrationButterfly are the query's final
 	// predicted-vs-actual calibration factors per strategy (1 ≈ the cost
 	// model tracked the simulated network exactly; 0 = the strategy never
@@ -625,6 +671,15 @@ func WithExchange(x Exchange) QueryOption {
 // codec stage is charged end-to-end (the sequential baseline).
 func WithPipeline(on bool) QueryOption {
 	return func(q *queryConfig) { q.ov.PipelineHops = &on }
+}
+
+// WithFlatExchange toggles the flat (per-GPU fragment) inter-rank exchange
+// for this query: on, each GPU's per-destination bins travel as separate
+// messages; off (the default), GPUs of a rank merge their bins over NVLink
+// into one message per destination rank. Results are bit-identical either
+// way; no effect when GPUsPerRank is 1.
+func WithFlatExchange(on bool) QueryOption {
+	return func(q *queryConfig) { q.ov.FlatExchange = &on }
 }
 
 // WithLevels toggles hop-distance collection for this query.
@@ -852,6 +907,10 @@ type BatchStats struct {
 	AllPairsIterations, ButterflyIterations   int64
 	HiddenCodecSeconds                        float64
 	PipelineStalls                            int64
+	// NVLink totals across the batch: intra-rank time the hierarchical
+	// exchange spent, and the share the pipelined butterfly hid under hop
+	// transfers. Zero on flat exchanges and single-GPU ranks.
+	NVLinkSeconds, HiddenNVLinkSeconds float64
 	// Session-pool observability: PoolHits counts this batch's queries that
 	// reused a recycled session, PoolMisses those that allocated a fresh
 	// one (hits + misses = Runs when the service is otherwise idle).
@@ -928,6 +987,8 @@ func foldBatchStats(st *BatchStats, rates *[]float64, tepsEdges *int64, r *metri
 	st.ButterflyIterations += r.Exchange.ButterflyIterations
 	st.HiddenCodecSeconds += r.Exchange.HiddenCodecSeconds
 	st.PipelineStalls += r.Exchange.PipelineStalls
+	st.NVLinkSeconds += r.Exchange.NVLinkSeconds
+	st.HiddenNVLinkSeconds += r.Exchange.HiddenNVLinkSeconds
 	if r.Exchange.MaxMessageBytes > st.MaxMessageBytes {
 		st.MaxMessageBytes = r.Exchange.MaxMessageBytes
 	}
@@ -1039,6 +1100,8 @@ func convert(r *metrics.RunResult) *Result {
 		PredictedRemoteSeconds: r.Exchange.PredictedSeconds,
 		HiddenCodecSeconds:     r.Exchange.HiddenCodecSeconds,
 		PipelineStalls:         r.Exchange.PipelineStalls,
+		NVLinkSeconds:          r.Exchange.NVLinkSeconds,
+		HiddenNVLinkSeconds:    r.Exchange.HiddenNVLinkSeconds,
 		CalibrationAllPairs:    r.Exchange.CalibrationAllPairs,
 		CalibrationButterfly:   r.Exchange.CalibrationButterfly,
 	}

@@ -53,7 +53,7 @@ func TestGTEPSToleranceBoundary(t *testing.T) {
 
 func TestWireBytesExact(t *testing.T) {
 	cell := func(v float64) Cell {
-		return Cell{Experiment: "exchange", Scale: 11, Ranks: 4, Config: "hybrid", Metric: "wire_bytes", Value: v, Unit: "B"}
+		return Cell{Experiment: "exchange", Scale: 11, Ranks: 4, Config: "butterfly-pipe", Metric: "wire_bytes", Value: v, Unit: "B"}
 	}
 	if d := mustDiff(t, report(true, cell(1411)), report(true, cell(1411))); !d.OK() {
 		t.Errorf("unchanged wire_bytes must pass: %+v", d.Rows)
@@ -64,6 +64,25 @@ func TestWireBytesExact(t *testing.T) {
 		d := mustDiff(t, report(true, cell(1411)), report(true, cell(v)))
 		if d.OK() {
 			t.Errorf("wire_bytes %v vs 1411 must fail", v)
+		}
+	}
+}
+
+func TestWireBytesHybridBand(t *testing.T) {
+	cell := func(v float64) Cell {
+		return Cell{Experiment: "exchange", Scale: 11, Ranks: 4, Config: "hybrid", Metric: "wire_bytes", Value: v, Unit: "B"}
+	}
+	// Hybrid wire bytes track the strategy decisions, so they get a ±25%
+	// band instead of the exact gate: small decision shifts pass, but a
+	// codec-scale movement still fails.
+	for _, v := range []float64{1411, 1200, 1700} {
+		if d := mustDiff(t, report(true, cell(1411)), report(true, cell(v))); !d.OK() {
+			t.Errorf("hybrid wire_bytes %v vs 1411 must pass: %+v", v, d.Rows)
+		}
+	}
+	for _, v := range []float64{900, 2000} {
+		if d := mustDiff(t, report(true, cell(1411)), report(true, cell(v))); d.OK() {
+			t.Errorf("hybrid wire_bytes %v vs 1411 must fail", v)
 		}
 	}
 }

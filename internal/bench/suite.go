@@ -83,6 +83,9 @@ func Run(p Params) (*Report, error) {
 			}
 		}
 	}
+	if err := hierarchyCells(rep); err != nil {
+		return nil, err
+	}
 	if err := multisourceCells(rep); err != nil {
 		return nil, err
 	}
@@ -175,6 +178,90 @@ func dynamicCells(rep *Report) error {
 		mk("repair_speedup", full.SimSeconds/rp.SimSeconds, "x"), // informational: no tolerance entry
 		mk("epoch_build_ms", buildMS, "ms"),                      // informational: wall clock
 	)
+	return nil
+}
+
+// hierarchyGPUs is the pinned GPUs-per-rank axis of the hierarchy cells.
+var hierarchyGPUs = []int{2, 4}
+
+// hierarchyCells pins the two-level exchange trajectory: at 4 ranks ×
+// GPUs-per-rank {2, 4}, the flat per-GPU-fragment baseline against the
+// hierarchical per-rank aggregation, under all-pairs (where the per-message
+// efficiency win shows up directly in remote-normal) and the pipelined
+// butterfly (where the NVLink staging hides under hop transfers —
+// nvlink_hidden_ratio guards the overlap). The suite asserts the headline
+// property right here: hierarchical all-pairs remote-normal below flat at
+// every GPUs-per-rank ≥ 2, so a regression cannot post a baseline.
+func hierarchyCells(rep *Report) error {
+	el := experiments.BenchGraph(12)
+	sources := experiments.BenchSources(el, sourcesPerCell, rep.Seed)
+	configs := []struct {
+		name     string
+		exchange core.Exchange
+	}{
+		{"allpairs", core.ExchangeAllPairs},
+		{"butterfly-pipe", core.ExchangeButterfly},
+	}
+	for _, pgpu := range hierarchyGPUs {
+		shape := core.ClusterShape{Nodes: 4, RanksPerNode: 1, GPUsPerRank: pgpu}
+		opts := core.DefaultOptions()
+		opts.Compression = wire.ModeAdaptive
+		opts.CollectLevels = false
+		pl, _, err := experiments.BenchPlan(el, shape, opts)
+		if err != nil {
+			return fmt.Errorf("bench: hierarchy cells pgpu=%d: %w", pgpu, err)
+		}
+		for _, cfg := range configs {
+			remoteBy := map[bool]float64{}
+			for _, flat := range []bool{true, false} {
+				ex, fl := cfg.exchange, flat
+				results, err := pl.RunBatch(context.Background(), sources, 4,
+					core.Overrides{Exchange: &ex, FlatExchange: &fl})
+				if err != nil {
+					return fmt.Errorf("bench: hierarchy pgpu=%d %s flat=%v: %w", pgpu, cfg.name, flat, err)
+				}
+				agg := metrics.AggregateRuns(results)
+				var wireBytes, msgs int64
+				var remote, nvlink, hiddenNV float64
+				for _, r := range results {
+					wireBytes += r.Wire.CompressedBytes
+					msgs += r.Exchange.Messages
+					remote += r.Parts.RemoteNormal
+					nvlink += r.Exchange.NVLinkSeconds
+					hiddenNV += r.Exchange.HiddenNVLinkSeconds
+				}
+				remoteBy[flat] = remote
+				mode := "hier"
+				if flat {
+					mode = "flat"
+				}
+				mk := func(metric string, v float64, unit string) Cell {
+					return Cell{Experiment: "hierarchy", Scale: 12, Ranks: 4,
+						Config: fmt.Sprintf("%s-%s-g%d", cfg.name, mode, pgpu),
+						Metric: metric, Value: v, Unit: unit}
+				}
+				cells := []Cell{
+					mk("gteps", agg.GTEPS, "GTEPS"),
+					mk("wire_bytes", float64(wireBytes), "B"),
+					mk("remote_normal_us", remote*1e6, "µs"),  // informational: compared across modes below
+					mk("messages", float64(msgs), "messages"), // informational: identity asserted in cmp7
+				}
+				if !flat && cfg.exchange == core.ExchangeButterfly {
+					ratio := 0.0
+					if nvlink > 0 {
+						ratio = hiddenNV / nvlink
+					}
+					cells = append(cells, mk("nvlink_hidden_ratio", ratio, ""))
+				}
+				rep.Cells = append(rep.Cells, cells...)
+			}
+			if cfg.exchange == core.ExchangeAllPairs && remoteBy[false] >= remoteBy[true] {
+				return fmt.Errorf(
+					"bench: hierarchy pgpu=%d %s: hierarchical remote-normal %.3g s not below flat %.3g s",
+					pgpu, cfg.name, remoteBy[false], remoteBy[true])
+			}
+		}
+	}
 	return nil
 }
 

@@ -156,6 +156,20 @@ type Options struct {
 	// ablation baseline. No effect on all-pairs iterations, which have a
 	// single communication round.
 	PipelineHops bool
+	// FlatExchange disables the two-level hierarchical exchange: with it
+	// set, each GPU's per-destination bins ride the inter-rank wire as their
+	// own fragment messages (GPUsPerRank fragments per destination per
+	// round) and the NVLink staging copies are charged serially in
+	// LocalComm — the paper's flat §V-B shape, kept as the ablation
+	// baseline. The default (false) aggregates the rank's GPUs' bins over
+	// NVLink into one merged message per destination, so messages per rank
+	// per iteration drop by GPUsPerRank× and the aggregation + staging
+	// copies ride the exchange schedule as a third overlappable pipeline
+	// resource (simnet.PipelinedExchange). Levels, parents and every work
+	// counter are bit-identical either way — only message pattern, framing
+	// bytes and simulated timing differ. No effect when GPUsPerRank is 1,
+	// where the two shapes coincide.
+	FlatExchange bool
 	// Warm seeds the hybrid exchange policy's measured feedback (skew,
 	// compression ratio, per-strategy calibration EWMAs) from an earlier
 	// query's PolicySnapshot instead of the neutral defaults, so a batch's
@@ -343,6 +357,7 @@ type Overrides struct {
 	Compression       *wire.Mode
 	Exchange          *Exchange
 	PipelineHops      *bool
+	FlatExchange      *bool
 	CollectLevels     *bool
 	CollectParents    *bool
 	WorkAmplification *float64
@@ -368,6 +383,9 @@ func (p *Plan) effectiveOptions(ov Overrides) (Options, error) {
 	}
 	if ov.PipelineHops != nil {
 		o.PipelineHops = *ov.PipelineHops
+	}
+	if ov.FlatExchange != nil {
+		o.FlatExchange = *ov.FlatExchange
 	}
 	if ov.CollectLevels != nil {
 		o.CollectLevels = *ov.CollectLevels

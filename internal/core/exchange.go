@@ -27,12 +27,29 @@ package core
 // x+q. Sections carry the true destination rank throughout, so folding two
 // destinations onto one hypercube coordinate never mixes their payloads.
 //
-// All strategies deliver the identical per-slot id multiset each iteration,
-// and run.go applies remote arrivals in canonical ascending order, so
-// levels, parents and every work counter are bit-identical across
+// Both strategies are two-level (hierarchical) by default when a rank holds
+// more than one GPU: the rank's GPUs aggregate their per-destination bins
+// over NVLink (mergeForRank — the paper's L staging generalized) into ONE
+// merged message per destination, and the NVLink copies (aggregation, send/
+// recv staging) ride the exchange schedule as a third pipeline resource
+// next to the wire and the codec (simnet.PipelinedExchange). The NVLink
+// tier never enters remote-normal time: remote-normal stays the wire+codec
+// schedule (comparable across flat, hierarchical and the PR trajectory),
+// and the tier's critical-path marginal — whatever the hop pipeline could
+// not hide — is charged to LocalComm, where intra-rank staging has always
+// lived. The opt-in flat mode (Options.FlatExchange) is the ablation
+// baseline: the same merged per-slot payloads leave as GPUsPerRank per-slot
+// fragment messages — message count grows by exactly the aggregation factor
+// — and the NVLink staging is charged serially in LocalComm, the
+// pre-hierarchy model.
+//
+// All strategies and both shapes deliver the identical per-slot id multiset
+// each iteration, and run.go applies remote arrivals in canonical ascending
+// order, so levels, parents and every work counter are bit-identical across
 // strategies — and across any per-iteration mix of them (the hybrid
-// policy, see policy.go) — by construction. Only message pattern, byte
-// volume and the simulated remote-normal time differ.
+// policy, see policy.go) — and across flat vs hierarchical, by
+// construction. Only message pattern, byte volume and the simulated
+// remote-normal time differ.
 
 import (
 	"fmt"
@@ -40,6 +57,7 @@ import (
 
 	"gcbfs/internal/frontier"
 	"gcbfs/internal/mpi"
+	"gcbfs/internal/simnet"
 	"gcbfs/internal/wire"
 )
 
@@ -116,9 +134,34 @@ type exchangeCounts struct {
 	// vectors max-reduce element-wise alongside hopBytes.
 	hopCodecRaw []int64
 	preCodecRaw int64
+	// hopRecvBytes mirrors the recv counter per hop: the bytes this rank
+	// received in round k, the volume the hierarchical exchange stages over
+	// NVLink after each arrival. Same length and reduction convention as
+	// hopBytes.
+	hopRecvBytes []int64
 	// arrivals collects the remote ids received for each local GPU slot;
 	// run.go applies them in canonical sorted order.
 	arrivals [][]uint32
+}
+
+// remoteVolumes carries one iteration's globally max-reduced, amplified
+// inputs to the remote-normal timing model. Every field is identical on all
+// ranks (max-reduced vectors or values derived from globally known state),
+// so every rank computes the identical remoteTiming.
+type remoteVolumes struct {
+	hopBytes    []int64 // per-hop sent wire volume
+	hopCodecRaw []int64 // per-hop codec compute stages (fixed-width bytes)
+	hopRecv     []int64 // per-hop received wire volume (NVLink staging input)
+	preCodecRaw int64   // first hop's encode, preceding all communication
+	// aggBytes is the hierarchical intra-rank aggregation's NVLink volume
+	// (aggregationBytesFor, amplified and max-reduced); zero when flat.
+	aggBytes int64
+	// maskWire/maskSecs describe the delegate-mask allreduce of the same
+	// iteration: its wire bytes (zero when no mask was exchanged) and its
+	// serial seconds (vec[2]). The pipelined hierarchical butterfly may fold
+	// the chunked reduction into its hop schedule for less.
+	maskWire int64
+	maskSecs float64
 }
 
 // remoteTiming is one iteration's remote-normal accounting derived from the
@@ -135,10 +178,26 @@ type remoteTiming struct {
 	// codecSeconds is the exchange's total codec compute, hidden or not.
 	codecSeconds float64
 	// hiddenCodec is the codec compute the hop pipeline hid under concurrent
-	// transfers; stalls counts pipeline steps where the codec stage outlasted
-	// the transfer it overlapped. Both zero unless hops are pipelined.
+	// transfers; stalls counts pipeline steps where a compute or NVLink stage
+	// outlasted the transfer it overlapped. Both zero unless hops are
+	// pipelined.
 	hiddenCodec float64
 	stalls      int64
+	// nvlinkSeconds is the hierarchical exchange's NVLink tier (aggregation
+	// plus staging copies), hidden or not; nvlinkExposed is the tier's
+	// critical-path marginal — how much longer the schedule ran for carrying
+	// it — which run.go charges to LocalComm (the pre-hierarchy home of all
+	// staging time), keeping seconds a pure wire+codec quantity; hiddenNVLink
+	// is the remainder the pipeline absorbed. All three zero when flat — the
+	// staging is then charged serially in LocalComm by run.go directly.
+	nvlinkSeconds float64
+	nvlinkExposed float64
+	hiddenNVLink  float64
+	// maskSecs is the effective delegate-mask allreduce time: the serial
+	// remoteVolumes.maskSecs unless the pipelined hierarchical butterfly
+	// folded the chunked reduction into its hop schedule for less (never
+	// more — the fold only applies when it wins).
+	maskSecs float64
 }
 
 // exchanger is one rank's exchange strategy instance. Instances hold
@@ -154,11 +213,10 @@ type exchanger interface {
 	// rounds is the number of sequential communication rounds per
 	// iteration — the length of every exchangeCounts.hopBytes.
 	rounds() int
-	// remoteTime converts globally max-reduced per-hop wire volumes and
-	// codec stages (hopBytes / hopCodecRaw / preCodecRaw, amplified) into
-	// the iteration's remote-normal timing. Deterministic: every rank
-	// computes the identical result.
-	remoteTime(hopBytes, hopCodecRaw []int64, preCodecRaw int64) remoteTiming
+	// remoteTime converts one iteration's globally max-reduced volumes into
+	// the remote-normal timing. Deterministic: every rank computes the
+	// identical result.
+	remoteTime(in remoteVolumes) remoteTiming
 }
 
 // rankExchangers lazily constructs and caches one rank's strategy instances
@@ -244,6 +302,13 @@ func hopTag(iter int32, hop int) int {
 	return int(iter)*64 + hop
 }
 
+// fragTag derives a distinct MPI tag per (iteration, hop, slot) for the flat
+// exchange's per-slot fragment messages; slot counts are far below 64, so
+// fragment tags never collide with each other or with merged hop tags.
+func fragTag(iter int32, hop, slot int) int {
+	return hopTag(iter, hop)*64 + slot
+}
+
 // mergeForRank gathers all of this rank's bins destined for dst's GPUs into
 // one id list per destination slot (written into the caller's merged/sorted
 // headers, len pgpu each), merging every source GPU of this rank. When every
@@ -305,8 +370,14 @@ type allPairsExchange struct {
 	// msgBufs is the per-destination reusable encode buffer: a message is
 	// always received (and its ids copied out) before the iteration's
 	// terminating collective, which every rank passes before this buffer's
-	// next rewrite.
+	// next rewrite. The flat mode indexes it dst·pgpu+slot, one buffer per
+	// fragment.
 	msgBufs [][]byte
+	// fragSlots/fragSorted are the flat mode's per-fragment slot view: the
+	// merged pgpu-row with every slot but one blanked, so fragment s carries
+	// exactly slot s's payload under the unchanged rank-message framing.
+	fragSlots  [][]uint32
+	fragSorted []bool
 }
 
 func (x *allPairsExchange) rounds() int { return 1 }
@@ -321,42 +392,74 @@ func (x *allPairsExchange) exchange(comm *mpi.Comm, myGPUs []*gpuState, iter int
 	c.arrivals = sc.resetArrivals()
 
 	// Remote sends: one packed message per destination rank carrying every
-	// source GPU's bins for that rank's slots. EncodeSlots applies the
-	// shared accounting convention: with compression off, id bytes only
-	// (the paper's 4·|Enn|; the per-slot count headers are wire framing);
-	// with a codec active, the encoded message — framing, checksums and
-	// all — is what crosses the NIC and what the timing model sees. The
-	// merge headers are reused per destination: the encode consumes them
-	// before the next merge overwrites.
-	if len(x.msgBufs) < prank {
-		x.msgBufs = append(x.msgBufs, make([][]byte, prank-len(x.msgBufs))...)
+	// source GPU's bins for that rank's slots (the hierarchical default and
+	// the only shape at one GPU per rank), or — flat mode — pgpu per-slot
+	// fragment messages per destination carrying the same payloads.
+	// EncodeSlots applies the shared accounting convention: with compression
+	// off, id bytes only (the paper's 4·|Enn|; the per-slot count headers
+	// are wire framing); with a codec active, the encoded message — framing,
+	// checksums and all — is what crosses the NIC and what the timing model
+	// sees. The merge headers are reused per destination: the encode
+	// consumes them before the next merge overwrites.
+	frag := e.opts.FlatExchange && pgpu > 1
+	need := prank
+	if frag {
+		need = prank * pgpu
+		if len(x.fragSlots) < pgpu {
+			x.fragSlots = make([][]uint32, pgpu)
+			x.fragSorted = make([]bool, pgpu)
+		}
+	}
+	if len(x.msgBufs) < need {
+		x.msgBufs = append(x.msgBufs, make([][]byte, need-len(x.msgBufs))...)
 	}
 	for dst := 0; dst < prank; dst++ {
 		if dst == rank {
 			continue
 		}
 		e.mergeForRank(myGPUs, dst, sc, sc.apSlots, sc.apSorted)
-		payload, st := x.sel.AppendSlots(x.msgBufs[dst][:0], dst, sc.apSlots, sc.apSorted, mode)
-		x.msgBufs[dst] = payload
-		c.sent += st.EncodedBytes
-		c.sentRaw += st.RawBytes
-		if mode != wire.ModeOff {
-			c.codecRaw += st.RawBytes
-		}
-		for i, n := range st.Selected {
-			c.scheme[i] += n
-		}
-		c.memoHits += st.MemoHits
-		c.messages++
-		comm.Isend(dst, hopTag(iter, 0), payload)
-	}
-	// Receives, decoded zero-copy straight into the reusable arrival bins
-	// (each block's count header pre-sizes the grow).
-	for src := 0; src < prank; src++ {
-		if src == rank {
+		if !frag {
+			payload, st := x.sel.AppendSlots(x.msgBufs[dst][:0], dst, sc.apSlots, sc.apSorted, mode)
+			x.msgBufs[dst] = payload
+			c.sent += st.EncodedBytes
+			c.sentRaw += st.RawBytes
+			if mode != wire.ModeOff {
+				c.codecRaw += st.RawBytes
+			}
+			for i, n := range st.Selected {
+				c.scheme[i] += n
+			}
+			c.memoHits += st.MemoHits
+			c.messages++
+			comm.Isend(dst, hopTag(iter, 0), payload)
 			continue
 		}
-		buf := comm.Recv(src, hopTag(iter, 0))
+		for s := 0; s < pgpu; s++ {
+			for j := range x.fragSlots {
+				x.fragSlots[j], x.fragSorted[j] = nil, true
+			}
+			x.fragSlots[s], x.fragSorted[s] = sc.apSlots[s], sc.apSorted[s]
+			payload, st := x.sel.AppendSlots(x.msgBufs[dst*pgpu+s][:0], dst, x.fragSlots, x.fragSorted, mode)
+			x.msgBufs[dst*pgpu+s] = payload
+			c.sent += st.EncodedBytes
+			c.sentRaw += st.RawBytes
+			if mode != wire.ModeOff {
+				c.codecRaw += st.RawBytes
+			}
+			for i, n := range st.Selected {
+				c.scheme[i] += n
+			}
+			c.memoHits += st.MemoHits
+			c.messages++
+			comm.Isend(dst, fragTag(iter, 0, s), payload)
+		}
+	}
+	// Receives, decoded zero-copy straight into the reusable arrival bins
+	// (each block's count header pre-sizes the grow). Flat mode receives the
+	// pgpu fragments per source in slot order, so the per-slot arrival order
+	// matches the merged message's exactly.
+	recvOne := func(src, tag int) {
+		buf := comm.Recv(src, tag)
 		var err error
 		if mode == wire.ModeOff {
 			c.recv += int64(len(buf)) - 4*int64(pgpu)
@@ -371,24 +474,52 @@ func (x *allPairsExchange) exchange(comm *mpi.Comm, myGPUs []*gpuState, iter int
 			panic(fmt.Sprintf("core: corrupt exchange payload: %v", err))
 		}
 	}
+	for src := 0; src < prank; src++ {
+		if src == rank {
+			continue
+		}
+		if !frag {
+			recvOne(src, hopTag(iter, 0))
+			continue
+		}
+		for s := 0; s < pgpu; s++ {
+			recvOne(src, fragTag(iter, 0, s))
+		}
+	}
 	c.hopBytes = append(sc.hopBytes[:0], c.sent)
 	sc.hopBytes = c.hopBytes
 	// One communication round: all codec work (encode and decode) is a
 	// single compute stage with no earlier transfer to hide under.
 	c.hopCodecRaw = append(sc.hopCodecRaw[:0], c.codecRaw)
 	sc.hopCodecRaw = c.hopCodecRaw
+	c.hopRecvBytes = append(sc.hopRecvBytes[:0], c.recv)
+	sc.hopRecvBytes = c.hopRecvBytes
 	return c
 }
 
-func (x *allPairsExchange) remoteTime(hopBytes, hopCodecRaw []int64, preCodecRaw int64) remoteTiming {
-	b := hopBytes[0]
+func (x *allPairsExchange) remoteTime(in remoteVolumes) remoteTiming {
+	b := in.hopBytes[0]
 	msg := x.e.effMessageBytes(b)
-	codec := x.e.opts.GPU.CodecTime(hopCodecRaw[0] + preCodecRaw)
-	return remoteTiming{
+	codec := x.e.opts.GPU.CodecTime(in.hopCodecRaw[0] + in.preCodecRaw)
+	rt := remoteTiming{
 		seconds:      x.e.opts.Net.PointToPoint(b, msg) + codec,
 		maxMsg:       msg,
 		codecSeconds: codec,
+		maskSecs:     in.maskSecs,
 	}
+	// Hierarchical: the intra-rank aggregation joins the send/recv staging
+	// copies as the NVLink tier. All-pairs is a single round, so nothing
+	// hides it — the whole tier is exposed, and run.go charges it to
+	// LocalComm (where the flat mode's staging lives), keeping seconds the
+	// wire+codec remote-normal; only the butterfly's hop pipeline can hide.
+	if x.e.hierExchange() {
+		net := x.e.opts.Net
+		nvl := net.LocalExchange(in.aggBytes, x.e.shape.GPUsPerRank) +
+			net.Staging(b) + net.Staging(in.hopRecv[0])
+		rt.nvlinkSeconds = nvl
+		rt.nvlinkExposed = nvl
+	}
+	return rt
 }
 
 // ---- butterfly ----
@@ -413,8 +544,16 @@ type butterflyExchange struct {
 	// msgBufs is the per-hop reusable encode buffer: a hop message is
 	// always received (and its ids arena-copied) within the same
 	// iteration, before the terminating collective that every rank passes
-	// before the buffer's next rewrite.
+	// before the buffer's next rewrite. The flat mode indexes it
+	// hop·pgpu+slot, one buffer per fragment.
 	msgBufs [][]byte
+	// fragSecs/fragRows are the flat mode's per-fragment section views: for
+	// fragment s, every outgoing section is re-expressed with all slots but
+	// s blanked (one pgpu-row per section drawn from fragRows), so a hop
+	// leaves as pgpu per-slot messages carrying the identical id multiset.
+	fragSecs []wire.Section
+	fragRows [][][]uint32
+	fragSort [][]bool
 }
 
 // rounds counts the sequential communication rounds per iteration: the
@@ -447,10 +586,16 @@ func (x *butterflyExchange) exchange(comm *mpi.Comm, myGPUs []*gpuState, iter in
 	c.arrivals = sc.resetArrivals()
 	c.hopBytes = grownInt64(sc.hopBytes, x.rounds())
 	sc.hopBytes = c.hopBytes
+	c.hopRecvBytes = grownInt64(sc.hopRecvBytes, x.rounds())
+	sc.hopRecvBytes = c.hopRecvBytes
 	x.encRaw = grownInt64(x.encRaw, x.rounds())
 	x.decRaw = grownInt64(x.decRaw, x.rounds())
-	if len(x.msgBufs) < x.rounds() {
-		x.msgBufs = append(x.msgBufs, make([][]byte, x.rounds()-len(x.msgBufs))...)
+	bufs := x.rounds()
+	if e.opts.FlatExchange {
+		bufs *= pgpu
+	}
+	if len(x.msgBufs) < bufs {
+		x.msgBufs = append(x.msgBufs, make([][]byte, bufs-len(x.msgBufs))...)
 	}
 
 	// Stage this iteration's own bins. ownRaw is the fixed-width equivalent
@@ -579,44 +724,101 @@ func (x *butterflyExchange) exchange(comm *mpi.Comm, myGPUs []*gpuState, iter in
 	return c
 }
 
-// send encodes sections into one hop message for dst, accounts it, and
-// returns the hop's sent bytes. Empty hops still send (the partner's Recv
-// is unconditional) and still count as messages — they cross the NIC.
+// send encodes sections into one hop message for dst (or, flat mode, pgpu
+// per-slot fragment messages carrying the identical id multiset), accounts
+// it, and returns the hop's sent bytes. Empty hops still send (the
+// partner's Recv is unconditional) and still count as messages — they cross
+// the NIC.
 func (x *butterflyExchange) send(comm *mpi.Comm, dst int, iter int32, hop int, secs []wire.Section, mode wire.Mode, c *exchangeCounts) int64 {
 	pgpu := x.e.shape.GPUsPerRank
-	payload, st := x.sel.AppendSections(x.msgBufs[hop][:0], secs, pgpu, mode)
-	x.msgBufs[hop] = payload
-	c.sent += st.EncodedBytes
-	c.sentRaw += st.RawBytes
-	if mode != wire.ModeOff {
-		c.codecRaw += st.RawBytes
-		x.encRaw[hop] += st.RawBytes
+	if !x.e.opts.FlatExchange || pgpu <= 1 {
+		payload, st := x.sel.AppendSections(x.msgBufs[hop][:0], secs, pgpu, mode)
+		x.msgBufs[hop] = payload
+		c.sent += st.EncodedBytes
+		c.sentRaw += st.RawBytes
+		if mode != wire.ModeOff {
+			c.codecRaw += st.RawBytes
+			x.encRaw[hop] += st.RawBytes
+		}
+		for i, n := range st.Selected {
+			c.scheme[i] += n
+		}
+		c.memoHits += st.MemoHits
+		c.messages++
+		comm.Isend(dst, hopTag(iter, hop), payload)
+		return st.EncodedBytes
 	}
-	for i, n := range st.Selected {
-		c.scheme[i] += n
+	// Flat: re-express the hop as pgpu per-slot fragment messages. The
+	// fragment rows are rebuilt per slot — AppendSections copies the payload
+	// before returning, so one row set serves all fragments.
+	for len(x.fragRows) < len(secs) {
+		x.fragRows = append(x.fragRows, make([][]uint32, pgpu))
+		x.fragSort = append(x.fragSort, make([]bool, pgpu))
 	}
-	c.memoHits += st.MemoHits
-	c.messages++
-	comm.Isend(dst, hopTag(iter, hop), payload)
-	return st.EncodedBytes
+	if cap(x.fragSecs) < len(secs) {
+		x.fragSecs = make([]wire.Section, len(secs))
+	}
+	var sent int64
+	for s := 0; s < pgpu; s++ {
+		fsecs := x.fragSecs[:len(secs)]
+		for i, sec := range secs {
+			row, srow := x.fragRows[i], x.fragSort[i]
+			for j := 0; j < pgpu; j++ {
+				row[j], srow[j] = nil, true
+			}
+			row[s], srow[s] = sec.Slots[s], sec.Sorted[s]
+			fsecs[i] = wire.Section{Rank: sec.Rank, Slots: row, Sorted: srow}
+		}
+		payload, st := x.sel.AppendSections(x.msgBufs[hop*pgpu+s][:0], fsecs, pgpu, mode)
+		x.msgBufs[hop*pgpu+s] = payload
+		c.sent += st.EncodedBytes
+		sent += st.EncodedBytes
+		c.sentRaw += st.RawBytes
+		if mode != wire.ModeOff {
+			c.codecRaw += st.RawBytes
+			x.encRaw[hop] += st.RawBytes
+		}
+		for i, n := range st.Selected {
+			c.scheme[i] += n
+		}
+		c.memoHits += st.MemoHits
+		c.messages++
+		comm.Isend(dst, fragTag(iter, hop, s), payload)
+	}
+	return sent
 }
 
-// receive decodes one hop message from src, delivering sections addressed to
-// this rank as arrivals and folding the rest into pending.
+// receive decodes one hop's arrival from src — one merged message, or pgpu
+// fragments in slot order under the flat mode — delivering sections
+// addressed to this rank as arrivals and folding the rest into pending.
 func (x *butterflyExchange) receive(comm *mpi.Comm, src int, iter int32, hop int, mode wire.Mode, c *exchangeCounts) {
 	pgpu := x.e.shape.GPUsPerRank
+	if x.e.opts.FlatExchange && pgpu > 1 {
+		for s := 0; s < pgpu; s++ {
+			x.receiveOne(comm, src, fragTag(iter, hop, s), hop, mode, c)
+		}
+		return
+	}
+	x.receiveOne(comm, src, hopTag(iter, hop), hop, mode, c)
+}
+
+func (x *butterflyExchange) receiveOne(comm *mpi.Comm, src, tag, hop int, mode wire.Mode, c *exchangeCounts) {
+	pgpu := x.e.shape.GPUsPerRank
 	prank := x.e.shape.Ranks()
-	buf := comm.Recv(src, hopTag(iter, hop))
+	buf := comm.Recv(src, tag)
 	secsIn, err := wire.DecodeSectionsScratch(buf, pgpu, prank, mode, &x.sc.arena, &x.sc.wireSecs)
 	if err != nil {
 		panic(fmt.Sprintf("core: corrupt butterfly payload (hop %d): %v", hop, err))
 	}
 	if mode == wire.ModeOff {
 		for _, sec := range secsIn {
-			c.recv += 4 * countIDs(sec.Slots)
+			raw := 4 * countIDs(sec.Slots)
+			c.recv += raw
+			c.hopRecvBytes[hop] += raw
 		}
 	} else {
 		c.recv += int64(len(buf))
+		c.hopRecvBytes[hop] += int64(len(buf))
 		for _, sec := range secsIn {
 			raw := 4 * countIDs(sec.Slots)
 			c.codecRaw += raw
@@ -665,8 +867,14 @@ func (x *butterflyExchange) mergePending(sec wire.Section) {
 // (the default) the per-hop codec stages overlap the transfers through the
 // simnet pipeline model — hop k's send hides hop k−1's decode/merge/
 // re-encode, cleanup hops included; otherwise every hop and every codec
-// stage is charged end-to-end, the pre-pipelining behaviour.
-func (x *butterflyExchange) remoteTime(hopBytes, hopCodecRaw []int64, preCodecRaw int64) remoteTiming {
+// stage is charged end-to-end, the pre-pipelining behaviour. Under the
+// hierarchical exchange the NVLink tier joins the schedule as a third
+// resource: hop k's transfer also hides hop k−1's staging copies, and the
+// pre stage grows by the intra-rank aggregation; the pipelined form may
+// additionally fold the delegate-mask allreduce into the hop steps as
+// chunked wire extras when that beats the serial reduction.
+func (x *butterflyExchange) remoteTime(in remoteVolumes) remoteTiming {
+	hopBytes := in.hopBytes
 	var maxMsg int64
 	msgCap := x.e.opts.MessageBytes
 	for _, b := range hopBytes {
@@ -679,30 +887,130 @@ func (x *butterflyExchange) remoteTime(hopBytes, hopCodecRaw []int64, preCodecRa
 		}
 	}
 	gpu := x.e.opts.GPU
-	stages := grownFloat64(x.sc.rtStages, len(hopCodecRaw))
+	stages := grownFloat64(x.sc.rtStages, len(in.hopCodecRaw))
 	x.sc.rtStages = stages
 	var codecTotal float64
-	for i, raw := range hopCodecRaw {
+	for i, raw := range in.hopCodecRaw {
 		stages[i] = gpu.CodecTime(raw)
 		codecTotal += stages[i]
 	}
-	pre := gpu.CodecTime(preCodecRaw)
+	pre := gpu.CodecTime(in.preCodecRaw)
 	codecTotal += pre
+	net := x.e.opts.Net
+	// NVLink stages: staging is charged per direction per iteration — one
+	// engine-setup latency for all sends and one for all receives
+	// (simnet.Staging over the direction's total, exactly the flat mode's
+	// LocalComm charge) — and the copy time is spread over the hops in
+	// proportion to their volume, so the pipeline hides each hop's share
+	// under the neighbouring transfers: hop k's stage is its arrival share
+	// plus hop k+1's send share, the pre stage the intra-rank aggregation
+	// plus the first send's share.
+	var nv []float64
+	var preNV, nvTotal float64
+	if x.e.hierExchange() {
+		var sendTot, recvTot int64
+		for k := range hopBytes {
+			sendTot += hopBytes[k]
+			recvTot += in.hopRecv[k]
+		}
+		sendSecs, recvSecs := net.Staging(sendTot), net.Staging(recvTot)
+		nv = grownFloat64(x.sc.nvStages, len(hopBytes))
+		x.sc.nvStages = nv
+		for k := range hopBytes {
+			t := stagingShare(recvSecs, in.hopRecv[k], recvTot)
+			if k+1 < len(hopBytes) {
+				t += stagingShare(sendSecs, hopBytes[k+1], sendTot)
+			}
+			nv[k] = t
+			nvTotal += t
+		}
+		preNV = net.LocalExchange(in.aggBytes, x.e.shape.GPUsPerRank)
+		if len(hopBytes) > 0 {
+			preNV += stagingShare(sendSecs, hopBytes[0], sendTot)
+		}
+		nvTotal += preNV
+	}
 	if !x.e.opts.PipelineHops {
+		// Sequential hops hide nothing: the whole NVLink tier is exposed
+		// (run.go charges it to LocalComm) and remote-normal is the plain
+		// wire+codec sum.
 		return remoteTiming{
-			seconds:      x.e.opts.Net.Butterfly(hopBytes, msgCap) + codecTotal,
-			maxMsg:       maxMsg,
-			codecSeconds: codecTotal,
+			seconds:       net.Butterfly(hopBytes, msgCap) + codecTotal,
+			maxMsg:        maxMsg,
+			codecSeconds:  codecTotal,
+			nvlinkSeconds: nvTotal,
+			nvlinkExposed: nvTotal,
+			maskSecs:      in.maskSecs,
 		}
 	}
-	pt := x.e.opts.Net.ButterflyPipelined(hopBytes, stages, pre, msgCap)
-	return remoteTiming{
-		seconds:      pt.Total,
-		maxMsg:       maxMsg,
-		codecSeconds: pt.CodecSeconds,
-		hiddenCodec:  pt.HiddenCodec,
-		stalls:       pt.Stalls,
+	sched := simnet.ExchangeSchedule{
+		HopBytes:  hopBytes,
+		HopCodec:  stages,
+		HopNVLink: nv,
+		PreCodec:  pre,
+		PreNVLink: preNV,
+		MsgCap:    msgCap,
 	}
+	base := net.PipelinedExchange(sched)
+	// Remote-normal is the two-resource (wire+codec) schedule; the NVLink
+	// tier's exposure is the marginal elapsed cost of carrying it — the
+	// difference between the three- and two-resource schedules — which
+	// run.go charges to LocalComm. The remainder of the tier hid under the
+	// schedule's transfers and compute.
+	flatSched := sched
+	flatSched.HopNVLink, flatSched.PreNVLink = nil, 0
+	wc := net.PipelinedExchange(flatSched)
+	exposedNV := base.Total - wc.Total
+	rt := remoteTiming{
+		seconds:       wc.Total,
+		maxMsg:        maxMsg,
+		codecSeconds:  wc.CodecSeconds,
+		hiddenCodec:   wc.HiddenCodec,
+		nvlinkSeconds: nvTotal,
+		nvlinkExposed: exposedNV,
+		hiddenNVLink:  nvTotal - exposedNV,
+		stalls:        base.Stalls,
+		maskSecs:      in.maskSecs,
+	}
+	// Delegate-mask folding: split the mask allreduce into one chunk per hop
+	// and let the chunks ride the steps' wire resource, filling NIC idle
+	// time on compute- or NVLink-bound steps. The effective mask cost is
+	// then the marginal elapsed delta of the combined schedule — taken only
+	// when it beats the serial reduction, so the fold is never worse; the
+	// comparison is deterministic from reduced inputs on every rank.
+	if x.e.hierExchange() && in.maskWire > 0 && in.maskSecs > 0 && len(hopBytes) >= 2 {
+		rounds := int64(len(hopBytes))
+		chunk := (in.maskWire + rounds - 1) / rounds
+		per := net.Allreduce(chunk, x.e.shape.Ranks(), x.e.opts.BlockingReduce)
+		extra := grownFloat64(x.sc.maskExtra, len(hopBytes))
+		x.sc.maskExtra = extra
+		for k := range extra {
+			extra[k] = per
+		}
+		sched.WireExtra = extra
+		comb := net.PipelinedExchange(sched)
+		if eff := comb.Total - base.Total; eff < in.maskSecs {
+			// Only the mask attribution changes: remote-normal stays the
+			// wire+codec schedule and the NVLink exposure stays the
+			// three-vs-two-resource marginal computed above — the fold's
+			// chunks ride otherwise-idle wire time, and their marginal is
+			// charged to RemoteDelegate via maskSecs.
+			rt.maskSecs = eff
+			rt.stalls = comb.Stalls
+		}
+	}
+	return rt
+}
+
+// stagingShare apportions a direction's iteration-wide staging time to one
+// hop by its share of the direction's volume (zero when the direction moved
+// nothing) — the per-hop copies stream through one staging-engine setup, so
+// the latency is paid once per direction, not once per hop.
+func stagingShare(total float64, part, sum int64) float64 {
+	if sum <= 0 || part <= 0 {
+		return 0
+	}
+	return total * float64(part) / float64(sum)
 }
 
 // countIDs totals the ids across a slot list.

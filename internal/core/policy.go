@@ -35,7 +35,10 @@ package core
 //     seconds scales subsequent predictions, absorbing systematic model
 //     bias near the crossover.
 
-import "gcbfs/internal/wire"
+import (
+	"gcbfs/internal/simnet"
+	"gcbfs/internal/wire"
+)
 
 // policyFeedback carries the measured feedback the BSP loop threads into
 // each iteration's decision. Every rank maintains its own copy, updated
@@ -300,30 +303,50 @@ func onWire(vol int64, wireRatio float64) int64 {
 	return w
 }
 
-// allPairsCost predicts the remote-normal seconds of an all-pairs exchange
-// originating vol fixed-width bytes per rank — exactly
-// allPairsExchange.remoteTime applied to the predicted volume: the
-// point-to-point curve over the predicted wire bytes plus, with a codec
-// active, the single-round encode+decode compute over the raw bytes (never
-// overlapped — one round has no earlier transfer to hide under).
-func (p *exchangePolicy) allPairsCost(vol int64, wireRatio float64) float64 {
+// allPairsCost predicts an all-pairs exchange originating vol fixed-width
+// bytes per rank — exactly allPairsExchange.remoteTime applied to the
+// predicted volume. sec is the remote-normal prediction: the point-to-point
+// curve over the predicted wire bytes plus, with a codec active, the
+// single-round encode+decode compute over the raw bytes (never overlapped —
+// one round has no earlier transfer to hide under). nv is the hierarchical
+// NVLink tier's predicted exposure — the intra-rank aggregation plus the
+// send and receive staging copies (received volume ≈ sent, the exchange
+// being globally symmetric), all serial in a single round — which the
+// timing model charges to LocalComm, not remote-normal.
+func (p *exchangePolicy) allPairsCost(vol int64, wireRatio float64) (sec, nv float64) {
 	w := onWire(vol, wireRatio)
-	t := p.e.opts.Net.PointToPoint(w, p.e.effMessageBytes(w))
+	// Any volume at all still pays one message per destination — the round
+	// is synchronized on the reduced maxima, so even a near-empty predicted
+	// frontier meets every pair's latency floor. Below pairs² bytes the
+	// ceil-split message count collapses under the pair count and the
+	// prediction drops floors the measured side always charges; clamping
+	// there costs only a few bytes of phantom bandwidth.
+	if pairs := effPairsFor(&p.e.opts, p.e.shape); w > 0 && w < pairs*pairs {
+		w = pairs * pairs
+	}
+	net := p.e.opts.Net
+	t := net.PointToPoint(w, p.e.effMessageBytes(w))
 	if p.codecOn() {
 		t += p.e.opts.GPU.CodecTime(2 * vol)
 	}
-	return t
+	if hierExchangeFor(&p.e.opts, p.e.shape) {
+		agg := aggregationBytesFor(&p.e.opts, p.e.shape, vol)
+		nv = net.LocalExchange(agg, p.e.shape.GPUsPerRank) + 2*net.Staging(w)
+	}
+	return t, nv
 }
 
 // policyScratch backs one rank's per-iteration cost evaluation: the
-// butterfly hop profile, its wire-byte equivalent, and the codec stages.
-// The shapes are fixed by the hypercube geometry (nhops+2 entries at most),
-// so after the first iteration the evaluation allocates nothing. The policy
-// object itself is shared by every rank goroutine and stays immutable; the
-// scratch is the per-rank mutable part, threaded in by the BSP loop.
+// butterfly hop profile, its wire-byte equivalent, and the codec and NVLink
+// stages. The shapes are fixed by the hypercube geometry (nhops+2 entries
+// at most), so after the first iteration the evaluation allocates nothing.
+// The policy object itself is shared by every rank goroutine and stays
+// immutable; the scratch is the per-rank mutable part, threaded in by the
+// BSP loop.
 type policyScratch struct {
 	hops, wire []int64
 	stages     []float64
+	nvStages   []float64
 }
 
 // butterflyHops predicts the per-hop volume profile of a butterfly exchange
@@ -380,18 +403,26 @@ func (p *exchangePolicy) appendButterflyCodec(buf []float64, hops []int64) (stag
 	return stages, gpu.CodecTime(hops[0])
 }
 
-// butterflyCost predicts the remote-normal seconds of a butterfly exchange
-// originating vol fixed-width bytes per rank — butterflyExchange.remoteTime
-// applied to the predicted profiles: codec stages over the raw hop volumes,
-// transfers over their wire-byte equivalents, combined by the pipelined
-// schedule when Options.PipelineHops is set or the sequential hop+codec sum
-// otherwise.
-func (p *exchangePolicy) butterflyCost(vol int64, wireRatio float64) float64 {
+// butterflyCost predicts a butterfly exchange originating vol fixed-width
+// bytes per rank — butterflyExchange.remoteTime applied to the predicted
+// profiles: codec stages over the raw hop volumes, transfers over their
+// wire-byte equivalents, combined by the pipelined schedule when
+// Options.PipelineHops is set or the sequential hop+codec sum otherwise.
+// sec is the remote-normal (wire+codec) prediction; nv the NVLink tier's
+// predicted exposure, charged to LocalComm by the timing model.
+func (p *exchangePolicy) butterflyCost(vol int64, wireRatio float64) (sec, nv float64) {
 	return p.butterflyCostS(vol, wireRatio, &policyScratch{})
 }
 
 // butterflyCostS is butterflyCost evaluated through a per-rank scratch.
-func (p *exchangePolicy) butterflyCostS(vol int64, wireRatio float64, ps *policyScratch) float64 {
+// Under the hierarchical exchange the predicted NVLink stages mirror how
+// butterflyExchange.remoteTime builds the measured ones: one staging charge
+// per direction per iteration spread over the hops in volume proportion
+// (received ≈ sent per hop — the hops are pairwise exchanges), the pre
+// stage the intra-rank aggregation plus the first send's share. The
+// predicted exposure is then the tier's marginal on the pipelined schedule
+// (three- minus two-resource total), or the whole tier when sequential.
+func (p *exchangePolicy) butterflyCostS(vol int64, wireRatio float64, ps *policyScratch) (sec, nvOut float64) {
 	ps.hops = p.appendButterflyHops(ps.hops, vol)
 	hops := ps.hops
 	var pre float64
@@ -405,23 +436,62 @@ func (p *exchangePolicy) butterflyCostS(vol int64, wireRatio float64, ps *policy
 			wireHops[i] = onWire(h, wireRatio)
 		}
 	}
-	if p.e.opts.PipelineHops {
-		return p.e.opts.Net.ButterflyPipelined(wireHops, stages, pre, p.e.opts.MessageBytes).Total
+	net := p.e.opts.Net
+	var nv []float64
+	var preNV, nvTotal float64
+	if hierExchangeFor(&p.e.opts, p.e.shape) {
+		var sendTot int64
+		for _, h := range wireHops {
+			sendTot += h
+		}
+		sendSecs := net.Staging(sendTot)
+		nv = grownFloat64(ps.nvStages, len(wireHops))
+		ps.nvStages = nv
+		for k := range wireHops {
+			t := stagingShare(sendSecs, wireHops[k], sendTot)
+			if k+1 < len(wireHops) {
+				t += stagingShare(sendSecs, wireHops[k+1], sendTot)
+			}
+			nv[k] = t
+			nvTotal += t
+		}
+		preNV = net.LocalExchange(aggregationBytesFor(&p.e.opts, p.e.shape, vol), p.e.shape.GPUsPerRank)
+		if len(wireHops) > 0 {
+			preNV += stagingShare(sendSecs, wireHops[0], sendTot)
+		}
+		nvTotal += preNV
 	}
-	t := p.e.opts.Net.Butterfly(wireHops, p.e.opts.MessageBytes) + pre
+	if p.e.opts.PipelineHops {
+		sched := simnet.ExchangeSchedule{
+			HopBytes: wireHops,
+			HopCodec: stages,
+			PreCodec: pre,
+			MsgCap:   p.e.opts.MessageBytes,
+		}
+		wc := net.PipelinedExchange(sched).Total
+		if nvTotal == 0 {
+			return wc, 0
+		}
+		sched.HopNVLink, sched.PreNVLink = nv, preNV
+		return wc, net.PipelinedExchange(sched).Total - wc
+	}
+	t := net.Butterfly(wireHops, p.e.opts.MessageBytes) + pre
 	for _, c := range stages {
 		t += c
 	}
-	return t
+	return t, nvTotal
 }
 
 // choose returns the strategy for the upcoming iteration plus its predicted
 // remote-normal seconds (calibrated by the session feedback). Fixed
 // configurations keep their strategy (the prediction is still recorded,
-// giving every run a predicted-vs-actual trace); hybrid takes the cheaper
-// calibrated side of the cost model, preferring the butterfly on ties —
-// equal-cost iterations are latency-bound, where fewer messages also mean
-// fewer software overheads the model does not charge.
+// giving every run a predicted-vs-actual trace); hybrid takes the side
+// whose full price — calibrated remote-normal plus the raw NVLink-tier
+// exposure — is cheaper, preferring the butterfly on ties — equal-cost
+// iterations are latency-bound, where fewer messages also mean fewer
+// software overheads the model does not charge. The NVLink term rides
+// uncalibrated: its actual lands in LocalComm, outside the remote-normal
+// calibration pair, and its curves are the exact simnet forms anyway.
 func (p *exchangePolicy) choose(inputNormals, inputDelegates, prevNormals, prevOriginated int64, fb policyFeedback) (Exchange, float64) {
 	return p.chooseS(inputNormals, inputDelegates, prevNormals, prevOriginated, fb, &policyScratch{})
 }
@@ -432,17 +502,21 @@ func (p *exchangePolicy) chooseS(inputNormals, inputDelegates, prevNormals, prev
 	vol := p.predictVolume(inputNormals, inputDelegates, prevNormals, prevOriginated, fb.skew)
 	switch p.configured {
 	case ExchangeAllPairs:
-		return ExchangeAllPairs, p.allPairsCost(vol, fb.wireRatio) * fb.calib[ExchangeAllPairs]
+		s, _ := p.allPairsCost(vol, fb.wireRatio)
+		return ExchangeAllPairs, s * fb.calib[ExchangeAllPairs]
 	case ExchangeButterfly:
-		return ExchangeButterfly, p.butterflyCostS(vol, fb.wireRatio, ps) * fb.calib[ExchangeButterfly]
+		s, _ := p.butterflyCostS(vol, fb.wireRatio, ps)
+		return ExchangeButterfly, s * fb.calib[ExchangeButterfly]
 	}
 	if p.prank <= 1 {
 		return ExchangeAllPairs, 0
 	}
-	ap := p.allPairsCost(vol, fb.wireRatio) * fb.calib[ExchangeAllPairs]
-	bf := p.butterflyCostS(vol, fb.wireRatio, ps) * fb.calib[ExchangeButterfly]
+	apS, apNV := p.allPairsCost(vol, fb.wireRatio)
+	bfS, bfNV := p.butterflyCostS(vol, fb.wireRatio, ps)
+	ap := apS*fb.calib[ExchangeAllPairs] + apNV
+	bf := bfS*fb.calib[ExchangeButterfly] + bfNV
 	if bf <= ap {
-		return ExchangeButterfly, bf
+		return ExchangeButterfly, bfS * fb.calib[ExchangeButterfly]
 	}
-	return ExchangeAllPairs, ap
+	return ExchangeAllPairs, apS * fb.calib[ExchangeAllPairs]
 }

@@ -20,6 +20,19 @@ func buildPolicy(t *testing.T, shape ClusterShape, opts Options) *exchangePolicy
 	return s.newExchangePolicy()
 }
 
+// apCost/bfCost unwrap the remote-normal component for the single-value
+// comparisons below — every shape here has one GPU per rank, so the
+// hierarchical NVLink component is zero and this is the full cost.
+func apCost(pol *exchangePolicy, vol int64) float64 {
+	s, _ := pol.allPairsCost(vol, 1)
+	return s
+}
+
+func bfCost(pol *exchangePolicy, vol int64) float64 {
+	s, _ := pol.butterflyCost(vol, 1)
+	return s
+}
+
 // TestPolicyCostMatchesSimnet: the cost model must be the α/β form realized
 // by the exact simnet curves the timing model charges — all-pairs cost is
 // PointToPoint over the effective message size, butterfly cost is the
@@ -41,11 +54,11 @@ func TestPolicyCostMatchesSimnet(t *testing.T) {
 				t.Fatalf("shape %s: %d predicted hops, want %d", tc.shape, len(hops), tc.hops)
 			}
 			wantBF := spec.Butterfly(hops, pol.e.opts.MessageBytes)
-			if got := pol.butterflyCost(vol, 1); math.Abs(got-wantBF) > 1e-12 {
+			if got := bfCost(pol, vol); math.Abs(got-wantBF) > 1e-12 {
 				t.Fatalf("shape %s vol %d: butterfly cost %g, want simnet %g", tc.shape, vol, got, wantBF)
 			}
 			wantAP := spec.PointToPoint(vol, pol.e.effMessageBytes(vol))
-			if got := pol.allPairsCost(vol, 1); math.Abs(got-wantAP) > 1e-12 {
+			if got := apCost(pol, vol); math.Abs(got-wantAP) > 1e-12 {
 				t.Fatalf("shape %s vol %d: all-pairs cost %g, want simnet %g", tc.shape, vol, got, wantAP)
 			}
 		}
@@ -63,10 +76,10 @@ func TestPolicyCrossover(t *testing.T) {
 	pol := buildPolicy(t, shape, opts)
 
 	small, large := int64(4<<10), int64(64<<20)
-	if ap, bf := pol.allPairsCost(small, 1), pol.butterflyCost(small, 1); bf >= ap {
+	if ap, bf := apCost(pol, small), bfCost(pol, small); bf >= ap {
 		t.Fatalf("small volume: butterfly %g not below all-pairs %g (latency-bound regime)", bf, ap)
 	}
-	if ap, bf := pol.allPairsCost(large, 1), pol.butterflyCost(large, 1); ap >= bf {
+	if ap, bf := apCost(pol, large), bfCost(pol, large); ap >= bf {
 		t.Fatalf("large volume: all-pairs %g not below butterfly %g (bandwidth-bound regime)", ap, bf)
 	}
 	// And choose follows the costs monotonically: there is one crossover.
@@ -74,7 +87,7 @@ func TestPolicyCrossover(t *testing.T) {
 	flips := 0
 	for vol := small; vol <= large; vol *= 2 {
 		s := ExchangeButterfly
-		if pol.allPairsCost(vol, 1) < pol.butterflyCost(vol, 1) {
+		if apCost(pol, vol) < bfCost(pol, vol) {
 			s = ExchangeAllPairs
 		}
 		if s != prev {
@@ -136,12 +149,12 @@ func TestPolicyOverlapCostMatchesSimnet(t *testing.T) {
 				if pipelined {
 					want = spec.ButterflyPipelined(hops, stages, pre, pol.e.opts.MessageBytes).Total
 				}
-				if got := pol.butterflyCost(vol, 1); math.Abs(got-want) > 1e-12 {
+				if got := bfCost(pol, vol); math.Abs(got-want) > 1e-12 {
 					t.Fatalf("shape %s vol %d pipelined=%v: butterfly cost %g, want %g",
 						shape, vol, pipelined, got, want)
 				}
 				wantAP := spec.PointToPoint(vol, pol.e.effMessageBytes(vol)) + gpu.CodecTime(2*vol)
-				if got := pol.allPairsCost(vol, 1); math.Abs(got-wantAP) > 1e-12 {
+				if got := apCost(pol, vol); math.Abs(got-wantAP) > 1e-12 {
 					t.Fatalf("shape %s vol %d: all-pairs cost %g, want %g", shape, vol, got, wantAP)
 				}
 			}
@@ -164,14 +177,14 @@ func TestPolicyPipelineMovesCrossover(t *testing.T) {
 	pipe, seq := mk(true), mk(false)
 	crossover := func(pol *exchangePolicy) int64 {
 		for vol := int64(4 << 10); vol <= 64<<20; vol *= 2 {
-			if pol.allPairsCost(vol, 1) < pol.butterflyCost(vol, 1) {
+			if apCost(pol, vol) < bfCost(pol, vol) {
 				return vol
 			}
 		}
 		return 64 << 20
 	}
 	for vol := int64(4 << 10); vol <= 64<<20; vol *= 2 {
-		p, s := pipe.butterflyCost(vol, 1), seq.butterflyCost(vol, 1)
+		p, s := bfCost(pipe, vol), bfCost(seq, vol)
 		if p > s {
 			t.Fatalf("vol %d: pipelined butterfly cost %g above sequential %g", vol, p, s)
 		}
@@ -197,8 +210,8 @@ func TestPolicySkewScalesPrediction(t *testing.T) {
 	if skewed != 3*balanced {
 		t.Fatalf("skew 3 predicted %d, want 3× balanced %d", skewed, balanced)
 	}
-	if pol.allPairsCost(skewed, 1) <= pol.allPairsCost(balanced, 1) ||
-		pol.butterflyCost(skewed, 1) <= pol.butterflyCost(balanced, 1) {
+	if apCost(pol, skewed) <= apCost(pol, balanced) ||
+		bfCost(pol, skewed) <= bfCost(pol, balanced) {
 		t.Fatal("skewed volume did not raise the cost predictions")
 	}
 	// Skew can flip the decision where the mean-volume estimate sits just

@@ -586,15 +586,20 @@ func (e *Session) runRepairRank(ctx context.Context, rank int, comm *mpi.Comm, r
 		aSent, aRecv, aIntra := e.ampBytes(sentBytes), e.ampBytes(counts.recv), e.ampBytes(intraBytes)
 		aMask := e.ampBytes(maskBytes)
 		aMaskWire := e.ampBytes(effMaskBytes)
+		hier := e.hierExchange()
 		var localComm float64
 		if maskExchanged {
 			localComm += e.opts.Net.LocalReduce(aMask, pgpu)
 			localComm += e.opts.Net.LocalBroadcast(aMask, pgpu)
 		}
-		if e.opts.LocalAll2All && aSent > 0 && pgpu > 1 {
-			localComm += e.opts.Net.LocalExchange(aSent*int64(pgpu-1)/int64(pgpu), pgpu)
+		if hier {
+			localComm += e.opts.Net.Staging(aIntra)
+		} else {
+			if e.opts.LocalAll2All && aSent > 0 && pgpu > 1 {
+				localComm += e.opts.Net.LocalExchange(aSent*int64(pgpu-1)/int64(pgpu), pgpu)
+			}
+			localComm += e.opts.Net.Staging(aSent) + e.opts.Net.Staging(aRecv) + e.opts.Net.Staging(aIntra)
 		}
-		localComm += e.opts.Net.Staging(aSent) + e.opts.Net.Staging(aRecv) + e.opts.Net.Staging(aIntra)
 		var remoteDelegate float64
 		if maskExchanged {
 			remoteDelegate = e.opts.Net.Allreduce(aMaskWire, prank, e.opts.BlockingReduce)
@@ -609,7 +614,15 @@ func (e *Session) runRepairRank(ctx context.Context, rank int, comm *mpi.Comm, r
 		for _, cr := range counts.hopCodecRaw {
 			vec = append(vec, float64(e.ampBytes(cr)))
 		}
+		for _, rb := range counts.hopRecvBytes {
+			vec = append(vec, float64(e.ampBytes(rb)))
+		}
 		vec = append(vec, float64(e.ampBytes(counts.preCodecRaw)))
+		var aggBytes int64
+		if hier {
+			aggBytes = e.ampBytes(aggregationBytesFor(&e.opts, e.shape, counts.sentRaw-counts.forwarded))
+		}
+		vec = append(vec, float64(aggBytes))
 		vec = append(vec, float64(e.ampBytes(counts.sentRaw-counts.forwarded)))
 		sc.vec = vec
 		sc.fbits = maxFloatsAllreduce(comm, vec, sc.fbits)
@@ -617,20 +630,35 @@ func (e *Session) runRepairRank(ctx context.Context, rank int, comm *mpi.Comm, r
 		sc.redWire = redWire
 		redCodec := grownInt64(sc.redCodec, nh)
 		sc.redCodec = redCodec
+		redRecv := grownInt64(sc.redRecv, nh)
+		sc.redRecv = redRecv
 		for i := 0; i < nh; i++ {
 			redWire[i] = int64(vec[4+i])
 			redCodec[i] = int64(vec[4+nh+i])
+			redRecv[i] = int64(vec[4+2*nh+i])
 		}
-		redPre := int64(vec[4+2*nh])
-		redMaxOriginated := vec[5+2*nh]
-		rt := ex.remoteTime(redWire, redCodec, redPre)
+		redPre := int64(vec[4+3*nh])
+		redMaxOriginated := vec[6+3*nh]
+		var maskWire int64
+		if maskExchanged {
+			maskWire = aMaskWire
+		}
+		rt := ex.remoteTime(remoteVolumes{
+			hopBytes:    redWire,
+			hopCodecRaw: redCodec,
+			hopRecv:     redRecv,
+			preCodecRaw: redPre,
+			aggBytes:    int64(vec[5+3*nh]),
+			maskWire:    maskWire,
+			maskSecs:    vec[2],
+		})
 		remoteNormal := rt.seconds + vec[3]
 		maxMsg := rt.maxMsg
 		parts := metrics.Breakdown{
 			Computation:    vec[0],
 			LocalComm:      vec[1],
 			RemoteNormal:   remoteNormal,
-			RemoteDelegate: vec[2],
+			RemoteDelegate: rt.maskSecs,
 		}
 		elapsed := e.iterElapsed(parts)
 
@@ -672,6 +700,8 @@ func (e *Session) runRepairRank(ctx context.Context, rank int, comm *mpi.Comm, r
 				PredictedRemote:   predicted,
 				CodecHidden:       rt.hiddenCodec,
 				CodecExposed:      rt.codecSeconds - rt.hiddenCodec + vec[3],
+				NVLinkHidden:      rt.hiddenNVLink,
+				NVLinkExposed:     rt.nvlinkSeconds - rt.hiddenNVLink,
 				Parts:             parts,
 			})
 			rec.edgesScanned += sums[0]
@@ -690,6 +720,9 @@ func (e *Session) runRepairRank(ctx context.Context, rank int, comm *mpi.Comm, r
 			rec.wire.CodecSeconds += rt.codecSeconds + vec[3]
 			rec.exchange.HiddenCodecSeconds += rt.hiddenCodec
 			rec.exchange.PipelineStalls += rt.stalls
+			rec.exchange.NVLinkSeconds += rt.nvlinkSeconds
+			rec.exchange.HiddenNVLinkSeconds += rt.hiddenNVLink
+			rec.exchange.MaskFoldSavedSeconds += vec[2] - rt.maskSecs
 			if maskExchanged && e.opts.Compression != wire.ModeOff {
 				rec.wire.MaskRawBytes += maskBytes
 				rec.wire.MaskWireBytes += effMaskBytes

@@ -360,17 +360,29 @@ func (e *Session) runRank(ctx context.Context, rank int, comm *mpi.Comm, rec *re
 		// inter-rank allreduce ships the codec-encoded size.
 		aMask := e.ampBytes(maskBytes)
 		aMaskWire := e.ampBytes(effMaskBytes)
+		hier := e.hierExchange()
 		var localComm float64
 		if maskExchanged {
 			localComm += e.opts.Net.LocalReduce(aMask, pgpu)
 			localComm += e.opts.Net.LocalBroadcast(aMask, pgpu)
 		}
-		if e.opts.LocalAll2All && aSent > 0 && pgpu > 1 {
-			// Staging bins through peer GPUs: (pgpu-1)/pgpu of the
-			// outgoing volume crosses NVLink first.
-			localComm += e.opts.Net.LocalExchange(aSent*int64(pgpu-1)/int64(pgpu), pgpu)
+		if hier {
+			// Hierarchical exchange: the intra-rank aggregation and the
+			// send/recv staging copies ride the exchange schedule
+			// (remoteTime) as NVLink stages; only the intra-rank direct
+			// applies stay here. The tier's exposed remainder — whatever
+			// the hop pipeline could not hide — is folded back into
+			// LocalComm after the reduce (rt.nvlinkExposed below), so
+			// remote-normal stays a pure wire+codec quantity in both modes.
+			localComm += e.opts.Net.Staging(aIntra)
+		} else {
+			if e.opts.LocalAll2All && aSent > 0 && pgpu > 1 {
+				// Staging bins through peer GPUs: (pgpu-1)/pgpu of the
+				// outgoing volume crosses NVLink first.
+				localComm += e.opts.Net.LocalExchange(aSent*int64(pgpu-1)/int64(pgpu), pgpu)
+			}
+			localComm += e.opts.Net.Staging(aSent) + e.opts.Net.Staging(aRecv) + e.opts.Net.Staging(aIntra)
 		}
-		localComm += e.opts.Net.Staging(aSent) + e.opts.Net.Staging(aRecv) + e.opts.Net.Staging(aIntra)
 		var remoteDelegate float64
 		if maskExchanged {
 			remoteDelegate = e.opts.Net.Allreduce(aMaskWire, prank, e.opts.BlockingReduce)
@@ -394,7 +406,17 @@ func (e *Session) runRank(ctx context.Context, rank int, comm *mpi.Comm, rec *re
 		for _, cr := range counts.hopCodecRaw {
 			vec = append(vec, float64(e.ampBytes(cr)))
 		}
+		for _, rb := range counts.hopRecvBytes {
+			vec = append(vec, float64(e.ampBytes(rb)))
+		}
 		vec = append(vec, float64(e.ampBytes(counts.preCodecRaw)))
+		// The hierarchical aggregation's NVLink volume rides the reduce so
+		// the slowest rank paces the pre stage like everything else.
+		var aggBytes int64
+		if hier {
+			aggBytes = e.ampBytes(aggregationBytesFor(&e.opts, e.shape, counts.sentRaw-counts.forwarded))
+		}
+		vec = append(vec, float64(aggBytes))
 		// The last entry is this rank's originated fixed-width volume
 		// (forwards excluded) — its maximum over the mean per-rank volume is
 		// the strategy-independent partition-skew signal the policy feeds
@@ -407,20 +429,35 @@ func (e *Session) runRank(ctx context.Context, rank int, comm *mpi.Comm, rec *re
 		sc.redWire = redWire
 		redCodec := grownInt64(sc.redCodec, nh)
 		sc.redCodec = redCodec
+		redRecv := grownInt64(sc.redRecv, nh)
+		sc.redRecv = redRecv
 		for i := 0; i < nh; i++ {
 			redWire[i] = int64(vec[4+i])
 			redCodec[i] = int64(vec[4+nh+i])
+			redRecv[i] = int64(vec[4+2*nh+i])
 		}
-		redPre := int64(vec[4+2*nh])
-		redMaxOriginated := vec[5+2*nh]
-		rt := ex.remoteTime(redWire, redCodec, redPre)
+		redPre := int64(vec[4+3*nh])
+		redMaxOriginated := vec[6+3*nh]
+		var maskWire int64
+		if maskExchanged {
+			maskWire = aMaskWire
+		}
+		rt := ex.remoteTime(remoteVolumes{
+			hopBytes:    redWire,
+			hopCodecRaw: redCodec,
+			hopRecv:     redRecv,
+			preCodecRaw: redPre,
+			aggBytes:    int64(vec[5+3*nh]),
+			maskWire:    maskWire,
+			maskSecs:    vec[2],
+		})
 		remoteNormal := rt.seconds + vec[3]
 		maxMsg := rt.maxMsg
 		parts := metrics.Breakdown{
 			Computation:    vec[0],
-			LocalComm:      vec[1],
+			LocalComm:      vec[1] + rt.nvlinkExposed,
 			RemoteNormal:   remoteNormal,
-			RemoteDelegate: vec[2],
+			RemoteDelegate: rt.maskSecs,
 		}
 		elapsed := e.iterElapsed(parts)
 
@@ -463,6 +500,8 @@ func (e *Session) runRank(ctx context.Context, rank int, comm *mpi.Comm, rec *re
 				PredictedRemote:   predicted,
 				CodecHidden:       rt.hiddenCodec,
 				CodecExposed:      rt.codecSeconds - rt.hiddenCodec + vec[3],
+				NVLinkHidden:      rt.hiddenNVLink,
+				NVLinkExposed:     rt.nvlinkSeconds - rt.hiddenNVLink,
 				Parts:             parts,
 			})
 			rec.edgesScanned += sums[0]
@@ -481,6 +520,9 @@ func (e *Session) runRank(ctx context.Context, rank int, comm *mpi.Comm, rec *re
 			rec.wire.CodecSeconds += rt.codecSeconds + vec[3]
 			rec.exchange.HiddenCodecSeconds += rt.hiddenCodec
 			rec.exchange.PipelineStalls += rt.stalls
+			rec.exchange.NVLinkSeconds += rt.nvlinkSeconds
+			rec.exchange.HiddenNVLinkSeconds += rt.hiddenNVLink
+			rec.exchange.MaskFoldSavedSeconds += vec[2] - rt.maskSecs
 			if maskExchanged && e.opts.Compression != wire.ModeOff {
 				rec.wire.MaskRawBytes += maskBytes
 				rec.wire.MaskWireBytes += effMaskBytes

@@ -55,12 +55,14 @@ type rankScratch struct {
 	// secs is the butterfly's per-hop section list.
 	secs []wire.Section
 
-	// hopBytes/hopCodecRaw back the exchangeCounts vectors; redWire/redCodec
-	// are run.go's reduced copies.
-	hopBytes    []int64
-	hopCodecRaw []int64
-	redWire     []int64
-	redCodec    []int64
+	// hopBytes/hopCodecRaw/hopRecvBytes back the exchangeCounts vectors;
+	// redWire/redCodec/redRecv are run.go's reduced copies.
+	hopBytes     []int64
+	hopCodecRaw  []int64
+	hopRecvBytes []int64
+	redWire      []int64
+	redCodec     []int64
+	redRecv      []int64
 
 	// rankMask is the delegate-mask reduction buffer (fully overwritten by
 	// CopyFrom before every read, so persisting it across queries is safe).
@@ -99,9 +101,13 @@ type rankScratch struct {
 	// its per-rank mutable half.
 	pol policyScratch
 
-	// rtStages is the butterfly remoteTime's codec-stage buffer (one entry
-	// per hop, consumed by the simnet pipeline schedule within the call).
-	rtStages []float64
+	// rtStages/nvStages are the butterfly remoteTime's per-hop codec and
+	// NVLink stage buffers; maskExtra holds the chunked delegate-mask wire
+	// extras of the fold evaluation. All consumed by the simnet pipeline
+	// schedule within the call.
+	rtStages  []float64
+	nvStages  []float64
+	maskExtra []float64
 
 	// wireSecs recycles the butterfly's decoded section headers (Section
 	// structs, slot rows, sorted rows). Bump-reset with the arena at each

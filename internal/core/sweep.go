@@ -144,6 +144,10 @@ type sweepSession struct {
 }
 
 func (p *Plan) newSweepSession(opts Options, sources []int64) *sweepSession {
+	// The sweep's record exchange still charges flat: its staging stays in
+	// LocalComm and its message sizing must match (hierarchical sweep
+	// charging is a follow-on; results are identical either way).
+	opts.FlatExchange = true
 	k := len(sources)
 	w := (k + 63) / 64
 	e := &sweepSession{

@@ -59,11 +59,44 @@ func syncOverheadFor(opts *Options, shape ClusterShape) float64 {
 	return 2 * stages * opts.Net.IB.Latency
 }
 
+// hierExchangeFor reports whether the two-level hierarchical exchange is in
+// effect: the rank's GPUs aggregate their bins over NVLink into one merged
+// message per destination rank, and the NVLink copies ride the exchange
+// schedule instead of LocalComm. At GPUsPerRank 1 the flat and hierarchical
+// shapes coincide, so the flat (legacy) charging applies.
+func hierExchangeFor(opts *Options, shape ClusterShape) bool {
+	return !opts.FlatExchange && shape.GPUsPerRank > 1
+}
+
+func (e *Session) hierExchange() bool {
+	return hierExchangeFor(&e.opts, e.shape)
+}
+
+// aggregationBytesFor is the NVLink volume of the hierarchical intra-rank
+// aggregation for ownRaw originated fixed-width bytes: each GPU's share
+// bound for the rank's merge lanes crosses NVLink once — (pgpu−1)/pgpu of
+// the originated volume — and twice when Local-All2All is off, where the
+// copies bounce through CPU staging buffers instead of peer-to-peer (the
+// L option keeps its meaning under the hierarchy).
+func aggregationBytesFor(opts *Options, shape ClusterShape, ownRaw int64) int64 {
+	pgpu := int64(shape.GPUsPerRank)
+	if pgpu <= 1 || ownRaw <= 0 {
+		return 0
+	}
+	agg := ownRaw * (pgpu - 1) / pgpu
+	if !opts.LocalAll2All {
+		agg *= 2
+	}
+	return agg
+}
+
 // effMessageBytes estimates the per-message payload of the normal exchange:
 // total volume divided by the number of communicating GPU pairs, capped at
 // the configured packing size. Local-All2All's benefit appears here — it
 // cuts pairs from p_gpu²·(p_rank-1) to p_gpu·(p_rank-1) per rank, making
-// messages bigger and the NIC more efficient (§V-B).
+// messages bigger and the NIC more efficient (§V-B). The hierarchical
+// exchange goes further: one merged message per destination rank, so pairs
+// fall to p_rank−1 regardless of GPU count.
 func (e *Session) effMessageBytes(totalBytes int64) int64 {
 	return effMessageBytesFor(&e.opts, e.shape, totalBytes)
 }
@@ -73,16 +106,14 @@ func effMessageBytesFor(opts *Options, shape ClusterShape, totalBytes int64) int
 	if totalBytes <= 0 {
 		return 0
 	}
-	pgpu := int64(shape.GPUsPerRank)
-	prank := int64(shape.Ranks())
-	pairs := pgpu * (prank - 1)
-	if !opts.LocalAll2All {
-		pairs *= pgpu
-	}
-	if pairs <= 0 {
-		pairs = 1
-	}
-	msg := totalBytes / pairs
+	pairs := effPairsFor(opts, shape)
+	// Ceiling split: the volume divides across exactly `pairs` messages, so
+	// the implied message count (ceil(total/msg) inside PointToPoint) is the
+	// pair count itself — a floor here would under-size the message and
+	// charge a spurious extra latency floor whenever the volume does not
+	// divide evenly, pure quantization noise once the hierarchical exchange
+	// cuts the pair count to p_rank−1.
+	msg := (totalBytes + pairs - 1) / pairs
 	if msg < 1 {
 		msg = 1
 	}
@@ -90,6 +121,23 @@ func effMessageBytesFor(opts *Options, shape ClusterShape, totalBytes int64) int
 		msg = opts.MessageBytes
 	}
 	return msg
+}
+
+// effPairsFor counts the communicating pairs per rank behind the normal
+// exchange's message split — the denominator of effMessageBytesFor.
+func effPairsFor(opts *Options, shape ClusterShape) int64 {
+	pgpu := int64(shape.GPUsPerRank)
+	prank := int64(shape.Ranks())
+	pairs := pgpu * (prank - 1)
+	if hierExchangeFor(opts, shape) {
+		pairs = prank - 1
+	} else if !opts.LocalAll2All {
+		pairs *= pgpu
+	}
+	if pairs <= 0 {
+		pairs = 1
+	}
+	return pairs
 }
 
 // maxFloatsAllreduce reduces a non-negative float vector to its element-wise

@@ -74,7 +74,15 @@ type IterationStats struct {
 	// CodecHidden is zero for all-pairs iterations and with PipelineHops
 	// off.
 	CodecHidden, CodecExposed float64
-	Parts                     Breakdown
+	// NVLinkHidden/NVLinkExposed split the hierarchical exchange's NVLink
+	// tier (intra-rank aggregation plus send/recv staging) the same way:
+	// hidden under concurrent hop transfers and codec stages vs exposed as
+	// the tier's critical-path marginal. The exposed part is charged to
+	// Parts.LocalComm — the pre-hierarchy home of staging time — so
+	// Parts.RemoteNormal stays a pure wire+codec quantity in both modes.
+	// Both zero with the flat exchange or at one GPU per rank.
+	NVLinkHidden, NVLinkExposed float64
+	Parts                       Breakdown
 }
 
 // WireStats summarizes the frontier-exchange codec's effect over a run:
@@ -179,11 +187,26 @@ type ExchangeStats struct {
 	// appear in RemoteNormal with PipelineHops off. Always at most the
 	// run's total codec seconds: overlap hides time, never creates it.
 	HiddenCodecSeconds float64
-	// PipelineStalls counts pipeline steps where a hop's codec stage
-	// outlasted the transfer it overlapped — the exchange was
-	// compute-bound there, so a faster codec (not a faster network) is
-	// what would help.
+	// PipelineStalls counts pipeline steps where a hop's codec or NVLink
+	// stage outlasted the transfer it overlapped — the exchange was
+	// compute- or staging-bound there, so a faster codec or NVLink (not a
+	// faster network) is what would help.
 	PipelineStalls int64
+	// NVLinkSeconds is the hierarchical exchange's NVLink tier across the
+	// run — the intra-rank aggregation plus the send/recv staging copies
+	// that ride the exchange schedule as a third pipeline resource.
+	// HiddenNVLinkSeconds is the part the pipelined butterfly absorbed
+	// under concurrent hop transfers and codec stages (mirroring
+	// HiddenCodecSeconds; at most NVLinkSeconds); the exposed remainder is
+	// charged to the run's LocalComm breakdown component — the
+	// pre-hierarchy home of staging time — never RemoteNormal. Both zero
+	// with Options.FlatExchange or at one GPU per rank.
+	NVLinkSeconds, HiddenNVLinkSeconds float64
+	// MaskFoldSavedSeconds is the delegate-mask allreduce time saved by
+	// folding its chunked reduction into the pipelined butterfly's hop
+	// steps — the serial reduction cost minus the fold's marginal elapsed
+	// delta, summed over iterations where the fold won (never negative).
+	MaskFoldSavedSeconds float64
 	// CalibrationAllPairs/CalibrationButterfly are the session's final
 	// predicted-vs-actual EWMA factors per strategy (1 ≈ the cost model
 	// tracked the simulated network exactly; 0 means the strategy never
@@ -216,6 +239,9 @@ func (e *ExchangeStats) Accumulate(other ExchangeStats) {
 	e.PredictedSeconds += other.PredictedSeconds
 	e.HiddenCodecSeconds += other.HiddenCodecSeconds
 	e.PipelineStalls += other.PipelineStalls
+	e.NVLinkSeconds += other.NVLinkSeconds
+	e.HiddenNVLinkSeconds += other.HiddenNVLinkSeconds
+	e.MaskFoldSavedSeconds += other.MaskFoldSavedSeconds
 	// Calibration factors are per-run session state, not additive: keep the
 	// most recent run's final factors.
 	if other.CalibrationAllPairs != 0 {

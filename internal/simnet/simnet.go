@@ -135,23 +135,125 @@ func (s Spec) Butterfly(hopBytes []int64, msgCap int64) float64 {
 }
 
 // PipelineTiming breaks one pipelined butterfly exchange into its parts.
-// The invariant Total = WireSeconds + CodecSeconds − HiddenCodec holds by
-// construction: overlap can hide time, never create it.
+// The invariant Total = WireSeconds + CodecSeconds + NVLinkSeconds −
+// HiddenCodec − HiddenNVLink holds by construction: overlap can hide time,
+// never create it.
 type PipelineTiming struct {
 	// Total is the elapsed time of the software-pipelined exchange.
 	Total float64
 	// WireSeconds is the sum of the sequential hop transfer times — what the
-	// exchange would cost with free codec kernels.
+	// exchange would cost with free codec kernels — including any per-hop
+	// WireExtra seconds riding the NIC alongside the hop payloads.
 	WireSeconds float64
 	// CodecSeconds is the total per-hop codec compute (the pre-hop encode
 	// plus every hop's decode/merge/re-encode stage), hidden or not.
 	CodecSeconds float64
 	// HiddenCodec is the codec compute that ran under a concurrent hop
-	// transfer and therefore does not appear in Total.
+	// transfer (or an outlasting NVLink stage) and therefore does not appear
+	// in Total.
 	HiddenCodec float64
-	// Stalls counts pipeline steps where the codec stage outlasted the
-	// concurrent transfer — the wire sat idle waiting for compute.
+	// NVLinkSeconds is the total NVLink stage time (the hierarchical
+	// exchange's aggregation and per-hop staging copies), hidden or not.
+	// Zero for the flat two-resource schedule.
+	NVLinkSeconds float64
+	// HiddenNVLink is the NVLink stage time that ran under a concurrent hop
+	// transfer or codec stage and therefore does not appear in Total.
+	HiddenNVLink float64
+	// Stalls counts pipeline steps where a compute or NVLink stage outlasted
+	// the concurrent transfer — the wire sat idle waiting.
 	Stalls int64
+}
+
+// ExchangeSchedule is the input of the three-resource pipeline model
+// (PipelinedExchange): per-hop wire volumes plus the codec and NVLink
+// stages each hop's arrival triggers.
+type ExchangeSchedule struct {
+	// HopBytes is the per-hop wire profile (cleanup hops included, exactly
+	// as Butterfly takes it).
+	HopBytes []int64
+	// HopCodec[k] is the codec compute triggered by hop k's arrival — its
+	// decode plus the re-encode feeding hop k+1. May be shorter than
+	// HopBytes (missing entries are zero).
+	HopCodec []float64
+	// HopNVLink[k] is the NVLink stage triggered by hop k's arrival — the
+	// received payload's staging copy plus the staging of hop k+1's
+	// outgoing message. May be shorter than HopBytes.
+	HopNVLink []float64
+	// PreCodec is the encode of the first hop's payload; PreNVLink is the
+	// intra-rank aggregation plus the first hop's send staging. Both precede
+	// all communication and cannot be hidden.
+	PreCodec, PreNVLink float64
+	// WireExtra[k] adds seconds to hop k's transfer on the NIC resource —
+	// the chunked delegate-mask allreduce rides here, filling wire idle time
+	// on compute-bound steps. May be shorter than HopBytes.
+	WireExtra []float64
+	// MsgCap is the per-message packing cap (Options.MessageBytes).
+	MsgCap int64
+}
+
+// PipelinedExchange returns the timing of one iteration's hop exchange with
+// three overlappable resources — NIC transfers, codec compute, NVLink
+// staging copies: hop k's transfer runs concurrently with hop k−1's codec
+// stage AND hop k−1's NVLink stage, so each pipeline step costs
+// max(wire_k, codec_{k−1}, nvlink_{k−1}) instead of their sum. The pre
+// stages (first-hop encode and aggregation/staging) precede all
+// communication; the last hop's codec and NVLink stages have only each
+// other left to overlap. Hidden time is attributed per step to the
+// non-pacing resources: whichever resource paces the step is exposed, the
+// others ran entirely under it.
+func (s Spec) PipelinedExchange(sched ExchangeSchedule) PipelineTiming {
+	pt := PipelineTiming{
+		Total:         sched.PreCodec + sched.PreNVLink,
+		CodecSeconds:  sched.PreCodec,
+		NVLinkSeconds: sched.PreNVLink,
+	}
+	var prevC, prevN float64 // the previous hop's codec/NVLink stages, still in flight
+	for k, b := range sched.HopBytes {
+		w := s.ButterflyHop(b, sched.MsgCap)
+		if k < len(sched.WireExtra) {
+			w += sched.WireExtra[k]
+		}
+		pt.WireSeconds += w
+		var c, n float64
+		if k < len(sched.HopCodec) {
+			c = sched.HopCodec[k]
+			pt.CodecSeconds += c
+		}
+		if k < len(sched.HopNVLink) {
+			n = sched.HopNVLink[k]
+			pt.NVLinkSeconds += n
+		}
+		if k == 0 {
+			pt.Total += w
+		} else {
+			switch {
+			case w >= prevC && w >= prevN: // wire paces: both stages fully hidden
+				pt.Total += w
+				pt.HiddenCodec += prevC
+				pt.HiddenNVLink += prevN
+			case prevC >= prevN: // codec paces: wire's worth of it hides, NVLink fully
+				pt.Total += prevC
+				pt.HiddenCodec += w
+				pt.HiddenNVLink += prevN
+				pt.Stalls++
+			default: // NVLink paces
+				pt.Total += prevN
+				pt.HiddenCodec += prevC
+				pt.HiddenNVLink += w
+				pt.Stalls++
+			}
+		}
+		prevC, prevN = c, n
+	}
+	// Tail: the last hop's codec and NVLink stages overlap only each other.
+	if prevC >= prevN {
+		pt.Total += prevC
+		pt.HiddenNVLink += prevN
+	} else {
+		pt.Total += prevN
+		pt.HiddenCodec += prevC
+	}
+	return pt
 }
 
 // ButterflyPipelined returns the timing of one iteration's butterfly
@@ -165,31 +267,15 @@ type PipelineTiming struct {
 // decode plus the re-encode feeding hop k+1 — and preCodec is the encode of
 // the first hop's payload, which precedes all communication and cannot be
 // hidden. The last hop's codec stage has nothing left to hide under, so it
-// is charged in full after the final transfer.
+// is charged in full after the final transfer. Exactly PipelinedExchange
+// with empty NVLink stages.
 func (s Spec) ButterflyPipelined(hopBytes []int64, hopCodec []float64, preCodec float64, msgCap int64) PipelineTiming {
-	pt := PipelineTiming{Total: preCodec, CodecSeconds: preCodec}
-	var prev float64 // the previous hop's codec stage, still in flight
-	for k, b := range hopBytes {
-		w := s.ButterflyHop(b, msgCap)
-		pt.WireSeconds += w
-		var c float64
-		if k < len(hopCodec) {
-			c = hopCodec[k]
-			pt.CodecSeconds += c
-		}
-		if k == 0 {
-			pt.Total += w
-		} else {
-			pt.Total += math.Max(w, prev)
-			pt.HiddenCodec += math.Min(w, prev)
-			if prev > w {
-				pt.Stalls++
-			}
-		}
-		prev = c
-	}
-	pt.Total += prev
-	return pt
+	return s.PipelinedExchange(ExchangeSchedule{
+		HopBytes: hopBytes,
+		HopCodec: hopCodec,
+		PreCodec: preCodec,
+		MsgCap:   msgCap,
+	})
 }
 
 // Staging returns the NVLink copy time for moving bytes between GPU and CPU

@@ -23,6 +23,7 @@ package gcbfs
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -137,6 +138,82 @@ type MutableService struct {
 	// cur is the live epoch's immutable Service. Swapped whole; never
 	// mutated in place.
 	cur atomic.Pointer[Service]
+
+	// ep tracks the epoch chain's garbage collection: which retired epochs
+	// are still reachable (pinned by Snapshot references or in-flight
+	// queries) and which the runtime has reclaimed.
+	ep epochTracker
+}
+
+// epochTracker observes retired epoch Services without keeping them alive:
+// it records only epoch numbers and retirement times, and learns about
+// reclamation through per-Service finalizers.
+type epochTracker struct {
+	mu        sync.Mutex
+	pinned    map[uint64]time.Time // superseded-at per retired epoch not yet collected
+	retired   int64
+	collected int64
+}
+
+// retire records an epoch superseded by an ApplyDelta swap and arms the
+// finalizer that reports its eventual collection. Called with the swap
+// already published; svc must be the superseded Service.
+func (t *epochTracker) retire(svc *Service) {
+	epoch := svc.plan.Epoch()
+	t.mu.Lock()
+	if t.pinned == nil {
+		t.pinned = make(map[uint64]time.Time)
+	}
+	t.pinned[epoch] = time.Now()
+	t.retired++
+	t.mu.Unlock()
+	// The closure captures the epoch number and the tracker, never svc —
+	// a finalizer that kept its object reachable would never run.
+	runtime.SetFinalizer(svc, func(*Service) {
+		t.mu.Lock()
+		delete(t.pinned, epoch)
+		t.collected++
+		t.mu.Unlock()
+	})
+}
+
+// EpochStats reports the epoch chain's garbage-collection telemetry: how
+// many epoch Services are still reachable, how many ApplyDelta has retired
+// over the service's lifetime, and how many of those the runtime has
+// reclaimed. Collection is observed through finalizers, so CollectedEpochs
+// lags actual unreachability until a GC cycle runs.
+type EpochStats struct {
+	// LiveEpochs counts epoch Services still reachable: the current epoch
+	// plus every retired epoch not yet reclaimed (pinned by a Snapshot
+	// reference, an in-flight query, or simply not yet collected).
+	LiveEpochs int
+	// RetiredEpochs counts epochs superseded by ApplyDelta swaps.
+	RetiredEpochs int64
+	// CollectedEpochs counts retired epochs whose Service the runtime has
+	// reclaimed; RetiredEpochs − CollectedEpochs epochs are still held.
+	CollectedEpochs int64
+	// OldestPinnedAge is the time since the oldest still-reachable retired
+	// epoch was superseded — the age of the longest-held snapshot. Zero when
+	// every retired epoch has been collected.
+	OldestPinnedAge time.Duration
+}
+
+// Stats returns the current epoch-chain GC telemetry.
+func (m *MutableService) Stats() EpochStats {
+	t := &m.ep
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := EpochStats{
+		LiveEpochs:      1 + len(t.pinned),
+		RetiredEpochs:   t.retired,
+		CollectedEpochs: t.collected,
+	}
+	for _, at := range t.pinned {
+		if age := time.Since(at); age > s.OldestPinnedAge {
+			s.OldestPinnedAge = age
+		}
+	}
+	return s
 }
 
 // NewMutableService builds epoch 1 of the service: the graph is partitioned
@@ -170,6 +247,11 @@ type EpochUpdate struct {
 	// BuildSeconds is the wall-clock time the next-epoch build took —
 	// overlap it mentally with the queries the old epoch answered meanwhile.
 	BuildSeconds float64
+	// LiveEpochs and RetiredEpochs snapshot the epoch-chain GC telemetry as
+	// of this swap (see EpochStats): reachable epoch Services including the
+	// one just published, and lifetime epochs superseded so far.
+	LiveEpochs    int
+	RetiredEpochs int64
 }
 
 // ApplyDelta advances the graph by one atomic batch of edge mutations: the
@@ -195,7 +277,12 @@ func (m *MutableService) ApplyDelta(d *Delta) (*EpochUpdate, error) {
 	}
 	svc.deltaFP = d.fingerprint()
 	m.cur.Store(svc)
-	return &EpochUpdate{Epoch: epoch, SharedGPUs: shared, BuildSeconds: time.Since(start).Seconds()}, nil
+	m.ep.retire(cur)
+	st := m.Stats()
+	return &EpochUpdate{
+		Epoch: epoch, SharedGPUs: shared, BuildSeconds: time.Since(start).Seconds(),
+		LiveEpochs: st.LiveEpochs, RetiredEpochs: st.RetiredEpochs,
+	}, nil
 }
 
 // Epoch returns the current live epoch number.

@@ -2,10 +2,12 @@ package gcbfs
 
 import (
 	"context"
+	"runtime"
 	"slices"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func mutableConfig() Config {
@@ -308,5 +310,83 @@ func TestMutableIncrementalSharing(t *testing.T) {
 	}
 	if up.BuildSeconds < 0 {
 		t.Fatalf("negative build time %v", up.BuildSeconds)
+	}
+}
+
+// TestEpochGCTelemetry pins an epoch-1 snapshot across two ApplyDeltas and
+// watches the epoch-chain GC stats: both superseded epochs count as retired,
+// the pinned one keeps LiveEpochs elevated and ages OldestPinnedAge, and once
+// the snapshot reference drops the runtime reclaims every retired epoch
+// (observed through the finalizer-driven CollectedEpochs counter).
+func TestEpochGCTelemetry(t *testing.T) {
+	g := RMAT(10)
+	m, err := NewMutableService(g, mutableConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.LiveEpochs != 1 || st.RetiredEpochs != 0 || st.CollectedEpochs != 0 || st.OldestPinnedAge != 0 {
+		t.Fatalf("fresh service stats %+v, want one live epoch and zeros", st)
+	}
+	ctx := context.Background()
+	src := Sources(g, 1, 1)[0]
+
+	snap := m.Snapshot() // pin epoch 1
+	for i := 0; i < 2; i++ {
+		d, err := SynthesizeDelta(m.Graph(), 0.01, "mixed", uint64(21+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		up, err := m.ApplyDelta(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if up.RetiredEpochs != int64(i+1) {
+			t.Fatalf("after delta %d: update reports %d retired, want %d", i+1, up.RetiredEpochs, i+1)
+		}
+		if up.LiveEpochs < 2 {
+			t.Fatalf("after delta %d: %d live epochs with a snapshot pinned, want >= 2", i+1, up.LiveEpochs)
+		}
+	}
+	st := m.Stats()
+	if st.RetiredEpochs != 2 {
+		t.Fatalf("retired %d epochs, want 2", st.RetiredEpochs)
+	}
+	if st.LiveEpochs < 2 {
+		t.Fatalf("%d live epochs while the epoch-1 snapshot is pinned, want >= 2", st.LiveEpochs)
+	}
+	if st.OldestPinnedAge <= 0 {
+		t.Fatalf("OldestPinnedAge %v with a pinned retired epoch, want > 0", st.OldestPinnedAge)
+	}
+	// The pinned snapshot still answers against its own epoch.
+	r, err := snap.Run(ctx, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Epoch != 1 {
+		t.Fatalf("pinned snapshot answered epoch %d, want 1", r.Epoch)
+	}
+
+	// Drop the pin: every retired epoch becomes unreachable and the runtime
+	// reclaims it. Finalizers need GC cycles to run, so poll with a generous
+	// deadline rather than asserting after one collection.
+	snap = nil
+	_ = snap
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		runtime.GC()
+		st = m.Stats()
+		if st.CollectedEpochs == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("retired epochs not collected: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st.LiveEpochs != 1 {
+		t.Fatalf("%d live epochs after collection, want 1 (the current epoch)", st.LiveEpochs)
+	}
+	if st.OldestPinnedAge != 0 {
+		t.Fatalf("OldestPinnedAge %v with nothing pinned, want 0", st.OldestPinnedAge)
 	}
 }
