@@ -39,10 +39,16 @@
 // epoch plus the serial/Graph500 rules:
 //
 //	bfsrun -rmat 14 -nodes 3 -ranks 2 -gpus 2 -updates 3 -updatefrac 0.01 -updatekind mixed -validate
+//
+// -timeout bounds the whole run (all queries, or the whole update replay)
+// with a context deadline; the engine aborts within one BSP iteration of
+// expiry. Exit codes: 0 success, 1 any other error, 3 deadline expired —
+// scripts distinguish a slow run (3) from a wrong one (1).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -83,8 +89,25 @@ func main() {
 		updates   = flag.Int("updates", 0, "replay this many synthetic edge-delta batches, repairing the BFS across each epoch")
 		updFrac   = flag.Float64("updatefrac", 0.01, "delta size as a fraction of the undirected edge count (with -updates)")
 		updKind   = flag.String("updatekind", "mixed", "delta kind: insert, delete or mixed (with -updates)")
+		timeout   = flag.Duration("timeout", 0, "abort the whole run after this long (0 = no bound; expiry exits with code 3)")
 	)
 	flag.Parse()
+
+	// exitErr maps an error to the documented exit codes: 3 for a deadline
+	// expiry (the run was slow, not wrong), 1 for everything else.
+	exitErr := func(err error) {
+		fmt.Fprintf(os.Stderr, "bfsrun: %v\n", err)
+		if errors.Is(err, context.DeadlineExceeded) {
+			os.Exit(3)
+		}
+		os.Exit(1)
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	el, err := loadGraph(*graphPath, *rmatScale)
 	if err != nil {
@@ -152,10 +175,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "bfsrun: no positive-degree source for -updates")
 			os.Exit(1)
 		}
-		if err := runUpdates(el, sg, shape, threshold, opts, sources[0],
+		if err := runUpdates(ctx, el, sg, shape, threshold, opts, sources[0],
 			*updates, *updFrac, *updKind, uint64(*seed), *validate); err != nil {
-			fmt.Fprintf(os.Stderr, "bfsrun: %v\n", err)
-			os.Exit(1)
+			exitErr(err)
 		}
 		return
 	}
@@ -166,21 +188,20 @@ func main() {
 	// parents bit-identical to independent runs.
 	var results []*metrics.RunResult
 	if *sweep {
-		results, err = plan.RunSweep(context.Background(), sources, core.Overrides{})
+		results, err = plan.RunSweep(ctx, sources, core.Overrides{})
 		if err == nil {
 			fmt.Printf("sweep: %d queries answered by one shared traversal (per-query rates are sweep shares)\n",
 				len(sources))
 		}
 	} else {
-		results, err = plan.RunBatch(context.Background(), sources, *parallel, core.Overrides{})
+		results, err = plan.RunBatch(ctx, sources, *parallel, core.Overrides{})
 		if err == nil && *parallel > 1 {
 			fmt.Printf("batch: %d queries, %d in flight (deterministic, source-ordered)\n",
 				len(sources), *parallel)
 		}
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "bfsrun: %v\n", err)
-		os.Exit(1)
+		exitErr(err)
 	}
 
 	var serialCSR *graph.CSR
@@ -255,7 +276,7 @@ func main() {
 // running BFS result through the corrective traversal. With validate, every
 // repaired result is compared bit-identically against a full recompute on
 // the new epoch and checked against the serial/Graph500 rules.
-func runUpdates(el *graph.EdgeList, sg *partition.Subgraphs, shape core.ClusterShape,
+func runUpdates(ctx context.Context, el *graph.EdgeList, sg *partition.Subgraphs, shape core.ClusterShape,
 	threshold int64, opts core.Options, source int64, n int, frac float64,
 	kindName string, seed uint64, validate bool) error {
 	kind, err := delta.ParseKind(kindName)
@@ -270,7 +291,6 @@ func runUpdates(el *graph.EdgeList, sg *partition.Subgraphs, shape core.ClusterS
 	if err != nil {
 		return err
 	}
-	ctx := context.Background()
 	prior, err := plan.Run(ctx, source, core.Overrides{})
 	if err != nil {
 		return err

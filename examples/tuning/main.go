@@ -13,9 +13,11 @@ import (
 	"fmt"
 	"log"
 	"path/filepath"
+	"time"
 
 	"gcbfs"
 	"gcbfs/internal/bench"
+	"gcbfs/internal/faults"
 )
 
 func main() {
@@ -254,6 +256,65 @@ func main() {
 	//	                    model (+25%: small base, widest band).
 	//	allocs_per_query    heap allocations per query at Parallelism 1 and 8
 	//	bytes_per_query     (+10%: ReadMemStats noise; falling is free).
+	// Fault tolerance: arm the deterministic chaos injector (corrupt bit
+	// flips on the simulated wire, caught by the adaptive codec's CRC) and
+	// let the retry policy re-execute contained failures — degrading to the
+	// flat all-pairs profile after two failed attempts. Every recovery is
+	// bit-identical to the fault-free run; an exhausted budget surfaces as a
+	// typed error, never a silently wrong result. The full ablation is
+	// cmp8: go run ./cmd/bfsbench -exp cmp8.
+	fmt.Println("\nfault injection + retry (corrupt@0.05, adaptive codec, 8-attempt budget, degrade after 2):")
+	fmt.Println("  seed  injected  attempts  degraded  outcome")
+	chaosRef, err := func() (*gcbfs.Result, error) {
+		cfg := gcbfs.DefaultConfig(cluster)
+		cfg.Compression = gcbfs.CompressionAdaptive
+		svc, err := gcbfs.NewService(g, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return svc.Run(ctx, sources[0])
+	}()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for seed := uint64(1); seed <= 6; seed++ {
+		cfg := gcbfs.DefaultConfig(cluster)
+		cfg.Compression = gcbfs.CompressionAdaptive
+		cfg.Inject = faults.New(seed, faults.KindCorrupt, 0.05)
+		cfg.Retry = gcbfs.RetryPolicy{MaxAttempts: 8, DegradeAfter: 2}
+		svc, err := gcbfs.NewService(g, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := svc.Run(ctx, sources[0])
+		st := svc.FaultStats()
+		switch {
+		case err != nil:
+			fmt.Printf("  %4d  %8d  %8d  %8v  typed error: %v\n",
+				seed, st.Injected, st.Retries+1, st.Degraded > 0, err)
+		default:
+			for v := range chaosRef.Levels {
+				if r.Levels[v] != chaosRef.Levels[v] {
+					log.Fatalf("seed %d: recovery diverged at vertex %d", seed, v)
+				}
+			}
+			fmt.Printf("  %4d  %8d  %8d  %8v  recovered, bit-identical\n",
+				seed, st.Injected, r.Attempts, r.Degraded)
+		}
+	}
+	// Deadlines compose with retries: the per-query (or Config.QueryTimeout)
+	// bound caps the whole attempt sequence and is final — expiry is
+	// context.DeadlineExceeded, counted in FaultStats.Timeouts, never retried.
+	{
+		cfg := gcbfs.DefaultConfig(cluster)
+		svc, err := gcbfs.NewService(g, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, err = svc.Run(ctx, sources[0], gcbfs.WithDeadline(time.Nanosecond))
+		fmt.Printf("  1 ns deadline: err=%v, timeouts=%d\n", err, svc.FaultStats().Timeouts)
+	}
+
 	fmt.Println("\nbenchmark trajectory (latest committed BENCH_*.json):")
 	if path := latestBenchReport(); path == "" {
 		fmt.Println("  none found — generate one: go run ./cmd/bfsbench -json BENCH_<pr>.json -quick")

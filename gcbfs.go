@@ -186,6 +186,36 @@
 // — typically in a fraction of the simulated time when the delta is small
 // (the cmp6 ablation quantifies the crossover). See examples/streaming.
 //
+// # Fault tolerance
+//
+// The execution stack is fault-contained: every wire payload is checksummed
+// (wire.ErrCorrupt typed errors, never panics, on any decode failure), every
+// per-rank goroutine runs behind a recover boundary, and a fault on any rank
+// poisons the whole communicator so all ranks unwind within one BSP
+// iteration — the caller always sees an error or a complete, validated
+// result, never a partial one. Sessions that absorbed a fault are discarded,
+// not recycled through the query pool.
+//
+// Config.Retry layers recovery on top: queries failing with a contained
+// fault re-execute up to RetryPolicy.MaxAttempts times with exponential
+// backoff, optionally switching to a degraded execution profile (flat
+// all-pairs exchange, pipelining off) after DegradeAfter failures.
+// Result.Attempts and Result.Degraded report the outcome per query;
+// Service.FaultStats aggregates retries, degraded runs, exhausted budgets
+// and deadline expiries. A recovered query's levels and parents are
+// bit-identical to an undisturbed run.
+//
+// Config.QueryTimeout (per-query WithDeadline) bounds each query's total
+// execution including retries; expiry surfaces as context.DeadlineExceeded
+// and is never retried.
+//
+// Config.Inject arms the deterministic fault injector (internal/faults) that
+// the cmp8 chaos ablation drives: corrupt, truncated and dropped messages,
+// stalled ranks and mid-iteration rank crashes, keyed by (rank, iteration,
+// site) so every failure replays exactly. Unarmed (the default), every fault
+// decision point reduces to a nil check and results, wire bytes and timing
+// are identical to a build without the machinery.
+//
 // # Benchmark trajectory
 //
 // Performance claims are trended, not narrated: every PR regenerates a
@@ -204,12 +234,15 @@ package gcbfs
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"slices"
 	"sync"
+	"time"
 
 	"gcbfs/internal/baseline"
 	"gcbfs/internal/core"
+	"gcbfs/internal/faults"
 	"gcbfs/internal/g500"
 	"gcbfs/internal/gen"
 	"gcbfs/internal/graph"
@@ -361,6 +394,54 @@ type Config struct {
 	// merge). Results are unaffected; only policy convergence and therefore
 	// simulated exchange timing change. Off by default.
 	WarmStart bool
+	// Inject arms deterministic fault injection for chaos testing (see the
+	// package comment's fault-tolerance section): payload faults fire on the
+	// simulated wire, boundary faults at BSP iteration boundaries, keyed by
+	// (rank, iteration, site) so every failure replays exactly. nil — the
+	// default — keeps every decision point on the fault-free fast path.
+	Inject *faults.Injector
+	// Retry re-executes queries that fail with a contained fault (a
+	// wire.ErrCorrupt or faults.ErrInjected chain). The zero value disables
+	// retries: one attempt per query, faults surface as typed errors.
+	Retry RetryPolicy
+	// QueryTimeout bounds every query's total execution (all retry attempts
+	// included) with context.WithTimeout; expiry surfaces as
+	// context.DeadlineExceeded and is never retried. 0 means no bound.
+	// Overridable per query with WithDeadline.
+	QueryTimeout time.Duration
+}
+
+// RetryPolicy bounds how the Service re-executes queries that fail with a
+// contained fault. Only fault-typed errors are retried — context
+// cancellation, configuration errors and genuine bugs are always final. The
+// zero value disables retries.
+type RetryPolicy struct {
+	// MaxAttempts is the total execution budget per query, first attempt
+	// included; values ≤ 1 mean no retries.
+	MaxAttempts int
+	// Backoff is the wait before the first retry, doubling on each
+	// subsequent one (0: retry immediately).
+	Backoff time.Duration
+	// AttemptTimeout bounds each individual attempt; an expired attempt is
+	// retried like a contained fault as long as the query-level deadline
+	// (Config.QueryTimeout / WithDeadline) has not passed. 0: no
+	// per-attempt bound.
+	AttemptTimeout time.Duration
+	// DegradeAfter switches retries to the degraded execution profile —
+	// flat all-pairs exchange, hop pipelining off — once this many attempts
+	// have failed (0: never degrade). The degraded profile trades simulated
+	// speed for the simplest communication pattern, maximizing the chance a
+	// transient exchange fault does not recur; levels and parents stay
+	// bit-identical to the fast path.
+	DegradeAfter int
+}
+
+// attempts returns the normalized per-query attempt budget.
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
 }
 
 // DefaultSweepWidth is the sweep width used when Config.SweepWidth is 0.
@@ -463,6 +544,7 @@ func (cfg Config) engineOptions() core.Options {
 	o.Exchange = cfg.Exchange.strategy()
 	o.PipelineHops = cfg.Pipeline
 	o.FlatExchange = cfg.FlatExchange
+	o.Inject = cfg.Inject
 	return o
 }
 
@@ -541,6 +623,13 @@ type Result struct {
 	// model tracked the simulated network exactly; 0 = the strategy never
 	// ran this query).
 	CalibrationAllPairs, CalibrationButterfly float64
+	// Attempts is how many executions the retry policy spent on this query
+	// (1 on the fault-free fast path); Degraded reports whether the
+	// successful attempt ran the degraded profile (flat all-pairs exchange,
+	// pipelining off). Batch-level calls retry the batch as a unit, so every
+	// result of one call reports the same pair.
+	Attempts int
+	Degraded bool
 }
 
 // Service is a persistent, concurrency-safe BFS query service: the graph is
@@ -570,6 +659,10 @@ type Service struct {
 	// feedback.
 	warmMu sync.Mutex
 	warm   *core.PolicySnapshot
+
+	// Fault-tolerance counters (FaultStats accessor).
+	faultMu    sync.Mutex
+	faultStats metrics.FaultStats
 }
 
 // validate checks the construction-time knobs shared by NewService and
@@ -637,8 +730,18 @@ func newEpochService(g *Graph, cfg Config, th int64, epoch uint64, prev *partiti
 type QueryOption func(*queryConfig)
 
 type queryConfig struct {
-	ov  core.Overrides
-	err error
+	ov      core.Overrides
+	timeout *time.Duration
+	err     error
+}
+
+// deadline resolves the query-level time bound: the per-query override when
+// set, the service default otherwise (0: unbounded).
+func (q *queryConfig) deadline(def time.Duration) time.Duration {
+	if q.timeout != nil {
+		return *q.timeout
+	}
+	return def
 }
 
 // WithCompression selects the frontier-exchange codec for this query.
@@ -698,6 +801,15 @@ func WithWorkAmplification(f float64) QueryOption {
 	return func(q *queryConfig) { q.ov.WorkAmplification = &f }
 }
 
+// WithDeadline bounds this query's total execution — every retry attempt
+// included — overriding Config.QueryTimeout. Expiry aborts the query within
+// one BFS iteration and surfaces as context.DeadlineExceeded, which the
+// retry policy never retries. d ≤ 0 removes the service default for this
+// query.
+func WithDeadline(d time.Duration) QueryOption {
+	return func(q *queryConfig) { q.timeout = &d }
+}
+
 func buildQuery(opts []QueryOption) (queryConfig, error) {
 	var q queryConfig
 	for _, o := range opts {
@@ -707,6 +819,116 @@ func buildQuery(opts []QueryOption) (queryConfig, error) {
 		}
 	}
 	return q, nil
+}
+
+// retryable reports whether err is a contained fault the retry policy may
+// re-execute: a corrupt-payload or injected-fault chain. Context errors,
+// configuration errors and genuine bugs are final.
+func retryable(err error) bool {
+	return errors.Is(err, wire.ErrCorrupt) || errors.Is(err, faults.ErrInjected)
+}
+
+// degradedOverrides applies the degraded execution profile on top of the
+// query's overrides: flat all-pairs exchange, hop pipelining off — the
+// simplest communication pattern the engine has. Levels and parents are
+// bit-identical to the fast path; only message pattern and simulated time
+// change.
+func degradedOverrides(ov core.Overrides) core.Overrides {
+	flat, pipeline := true, false
+	allPairs := core.ExchangeAllPairs
+	ov.FlatExchange = &flat
+	ov.PipelineHops = &pipeline
+	ov.Exchange = &allPairs
+	return ov
+}
+
+// countFault updates the service's fault-tolerance counters under the lock.
+func (s *Service) countFault(f func(*metrics.FaultStats)) {
+	s.faultMu.Lock()
+	f(&s.faultStats)
+	s.faultMu.Unlock()
+}
+
+// FaultStats returns the service's fault-tolerance counters: faults the
+// armed injector fired, retries spent, degraded re-runs, queries that
+// exhausted their attempt budget, and per-query deadline expiries. All zero
+// on an unarmed service with the zero RetryPolicy.
+func (s *Service) FaultStats() metrics.FaultStats {
+	s.faultMu.Lock()
+	st := s.faultStats
+	s.faultMu.Unlock()
+	if in := s.cfg.Inject; in != nil {
+		st.Injected = in.Injected()
+	}
+	return st
+}
+
+// withRetry executes run under the service's retry policy and the query's
+// deadline. Each attempt gets the policy's per-attempt timeout; contained
+// faults (and expired attempts) are retried with exponential backoff until
+// the attempt budget or the query deadline runs out, degrading the execution
+// profile after RetryPolicy.DegradeAfter failures. Returns the attempts
+// spent, whether the last attempt ran degraded, and the final error.
+func (s *Service) withRetry(ctx context.Context, q *queryConfig, run func(ctx context.Context, ov core.Overrides) error) (attempts int, degraded bool, err error) {
+	if d := q.deadline(s.cfg.QueryTimeout); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	pol := s.cfg.Retry
+	backoff := pol.Backoff
+	for attempts = 1; ; attempts++ {
+		attemptCtx, cancel := ctx, context.CancelFunc(func() {})
+		if pol.AttemptTimeout > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, pol.AttemptTimeout)
+		}
+		ov := q.ov
+		if degraded {
+			ov = degradedOverrides(ov)
+			s.countFault(func(f *metrics.FaultStats) { f.Degraded++ })
+		}
+		err = run(attemptCtx, ov)
+		cancel()
+		if err == nil {
+			return attempts, degraded, nil
+		}
+		// The query-level deadline (or the caller's cancellation) is final.
+		if ctx.Err() != nil {
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				s.countFault(func(f *metrics.FaultStats) { f.Timeouts++ })
+			}
+			return attempts, degraded, ctx.Err()
+		}
+		// An expired attempt counts as a transient fault; anything else
+		// non-fault-typed is final.
+		expired := pol.AttemptTimeout > 0 && errors.Is(err, context.DeadlineExceeded)
+		if !retryable(err) && !expired {
+			return attempts, degraded, err
+		}
+		if attempts >= pol.attempts() {
+			s.countFault(func(f *metrics.FaultStats) { f.Exhausted++ })
+			return attempts, degraded, err
+		}
+		s.countFault(func(f *metrics.FaultStats) { f.Retries++ })
+		// Re-key the injector so the retry rolls fresh fault decisions —
+		// a deterministic fault would otherwise recur forever.
+		if in := s.cfg.Inject; in != nil {
+			in.NextAttempt()
+		}
+		if pol.DegradeAfter > 0 && attempts >= pol.DegradeAfter {
+			degraded = true
+		}
+		if backoff > 0 {
+			t := time.NewTimer(backoff)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return attempts, degraded, ctx.Err()
+			case <-t.C:
+			}
+			backoff *= 2
+		}
+	}
 }
 
 // Run executes one BFS from source. The context is honored at iteration
@@ -726,12 +948,19 @@ func (s *Service) Run(ctx context.Context, source int64, opts ...QueryOption) (*
 		return nil, err
 	}
 	s.warmOverride(&q)
-	r, err := s.plan.Run(ctx, source, q.ov)
+	var r *metrics.RunResult
+	attempts, degraded, err := s.withRetry(ctx, &q, func(ctx context.Context, ov core.Overrides) error {
+		var err error
+		r, err = s.plan.Run(ctx, source, ov)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
 	s.recordWarm([]*metrics.RunResult{r})
-	return convert(r), nil
+	res := convert(r)
+	res.Attempts, res.Degraded = attempts, degraded
+	return res, nil
 }
 
 // sweepReq is one coalesced Run call waiting for its sweep.
@@ -798,7 +1027,12 @@ func (s *Service) serveSweep(batch []*sweepReq) {
 	}
 	var q queryConfig
 	s.warmOverride(&q)
-	rs, err := s.plan.RunSweep(context.Background(), uniq, q.ov)
+	var rs []*metrics.RunResult
+	attempts, degraded, err := s.withRetry(context.Background(), &q, func(ctx context.Context, ov core.Overrides) error {
+		var err error
+		rs, err = s.plan.RunSweep(ctx, uniq, ov)
+		return err
+	})
 	if err != nil {
 		for _, req := range batch {
 			req.err = err
@@ -816,6 +1050,7 @@ func (s *Service) serveSweep(batch []*sweepReq) {
 			req.res = convert(rs[l])
 			used[l] = true
 		}
+		req.res.Attempts, req.res.Degraded = attempts, degraded
 		close(req.done)
 	}
 }
@@ -1019,7 +1254,12 @@ func (s *Service) RunBatch(ctx context.Context, sources []int64, bo BatchOptions
 	s.warmOverride(&q)
 	uniq, lane := dedupSources(sources)
 	poolBefore := s.plan.PoolStats()
-	rs, err := s.plan.RunBatch(ctx, uniq, bo.Parallelism, q.ov)
+	var rs []*metrics.RunResult
+	attempts, degraded, err := s.withRetry(ctx, &q, func(ctx context.Context, ov core.Overrides) error {
+		var err error
+		rs, err = s.plan.RunBatch(ctx, uniq, bo.Parallelism, ov)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -1030,7 +1270,16 @@ func (s *Service) RunBatch(ctx context.Context, sources []int64, bo BatchOptions
 	br.Stats.PoolMisses = poolAfter.Misses - poolBefore.Misses
 	br.Stats.PeakInFlight = poolAfter.PeakInFlight
 	expandResults(br, rs, lane)
+	stampRetry(br.Results, attempts, degraded)
 	return br, nil
+}
+
+// stampRetry records the call's retry outcome on every result (batch-level
+// calls retry as a unit).
+func stampRetry(results []*Result, attempts int, degraded bool) {
+	for _, r := range results {
+		r.Attempts, r.Degraded = attempts, degraded
+	}
 }
 
 // RunSweep answers one BFS per source through shared multi-source sweeps
@@ -1052,17 +1301,26 @@ func (s *Service) RunSweep(ctx context.Context, sources []int64, opts ...QueryOp
 	uniq, lane := dedupSources(sources)
 	width := s.cfg.sweepWidth()
 	rs := make([]*metrics.RunResult, 0, len(uniq))
+	maxAttempts, anyDegraded := 0, false
 	for start := 0; start < len(uniq); start += width {
 		chunk := uniq[start:min(start+width, len(uniq))]
-		part, err := s.plan.RunSweep(ctx, chunk, q.ov)
+		var part []*metrics.RunResult
+		attempts, degraded, err := s.withRetry(ctx, &q, func(ctx context.Context, ov core.Overrides) error {
+			var err error
+			part, err = s.plan.RunSweep(ctx, chunk, ov)
+			return err
+		})
 		if err != nil {
 			return nil, err
 		}
+		maxAttempts = max(maxAttempts, attempts)
+		anyDegraded = anyDegraded || degraded
 		rs = append(rs, part...)
 	}
 	s.recordWarm(rs)
 	br := &BatchResult{Results: make([]*Result, len(sources))}
 	expandResults(br, rs, lane)
+	stampRetry(br.Results, maxAttempts, anyDegraded)
 	return br, nil
 }
 

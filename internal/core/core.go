@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 
 	"gcbfs/internal/bitmask"
+	"gcbfs/internal/faults"
 	"gcbfs/internal/frontier"
 	"gcbfs/internal/metrics"
 	"gcbfs/internal/mpi"
@@ -185,6 +186,13 @@ type Options struct {
 	// overhead-vs-work balance — and hence every figure's shape — matches
 	// cluster scale. 0 or 1 disables amplification.
 	WorkAmplification float64
+	// Inject arms deterministic fault injection (chaos testing): payload
+	// faults fire through the communicator's send hook, boundary faults
+	// (stall, crash) at the BSP iteration boundary. nil — the default —
+	// leaves every decision point on its fault-free fast path, so an unarmed
+	// engine's results, wire bytes and timing are byte-identical to a build
+	// without the machinery.
+	Inject *faults.Injector
 
 	GPU simgpu.Spec
 	Net simnet.Spec
@@ -423,10 +431,16 @@ func (p *Plan) acquire(opts Options) *Session {
 }
 
 // release returns a Session to the pool once its query (and any result
-// gathering) is complete.
+// gathering) is complete. A poisoned Session — one whose query aborted on a
+// fault, leaving frontiers, collectives or mailboxes in an undefined state —
+// is dropped instead of recycled, so the next acquire allocates fresh (an
+// observable pool miss) and no later query can inherit corrupt state.
 func (p *Plan) release(s *Session) {
-	p.pool.Put(s)
 	p.inFlight.Add(-1)
+	if s.poisoned {
+		return
+	}
+	p.pool.Put(s)
 }
 
 // planEnv is the immutable execution environment shared by every query
@@ -484,6 +498,10 @@ type Session struct {
 	// completed query leaves it empty (every message received, every
 	// collective folded), so reuse replaces per-query construction.
 	world *mpi.World
+
+	// poisoned marks a session whose query aborted on a fault: its state is
+	// undefined, so release drops it instead of recycling it.
+	poisoned bool
 }
 
 // acquireWorld returns the session's communicator, reset for a new query
@@ -494,7 +512,22 @@ func (e *Session) acquireWorld() *mpi.World {
 	} else {
 		e.world.Reset()
 	}
+	armWorld(e.world, e.opts.Inject)
 	return e.world
+}
+
+// armWorld installs (or clears) the fault injector's payload hook on a
+// communicator. The hook recovers (iteration, site) from the message tag so
+// injected payload faults key exactly like boundary faults.
+func armWorld(w *mpi.World, in *faults.Injector) {
+	if in == nil {
+		w.SetSendHook(nil)
+		return
+	}
+	w.SetSendHook(func(src, dst, tag int, data []byte) []byte {
+		iter, site := tagSite(tag)
+		return in.Payload(src, iter, site, data)
+	})
 }
 
 // newSession allocates the per-GPU state for one concurrent query.
@@ -537,6 +570,7 @@ func (p *Plan) newSession() *Session {
 func (s *Session) configure(opts Options) {
 	s.opts = opts
 	s.amp = opts.WorkAmplification
+	s.poisoned = false
 	for _, gs := range s.gpus {
 		gs.trackParents = opts.CollectParents
 		if opts.CollectParents && gs.parents == nil {

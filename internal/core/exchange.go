@@ -471,7 +471,7 @@ func (x *allPairsExchange) exchange(comm *mpi.Comm, myGPUs []*gpuState, iter int
 			c.codecRaw += 4 * (countIDs(c.arrivals) - before)
 		}
 		if err != nil {
-			panic(fmt.Sprintf("core: corrupt exchange payload: %v", err))
+			panic(corruptErr("core: corrupt exchange payload", err))
 		}
 	}
 	for src := 0; src < prank; src++ {
@@ -808,7 +808,7 @@ func (x *butterflyExchange) receiveOne(comm *mpi.Comm, src, tag, hop int, mode w
 	buf := comm.Recv(src, tag)
 	secsIn, err := wire.DecodeSectionsScratch(buf, pgpu, prank, mode, &x.sc.arena, &x.sc.wireSecs)
 	if err != nil {
-		panic(fmt.Sprintf("core: corrupt butterfly payload (hop %d): %v", hop, err))
+		panic(corruptErr(fmt.Sprintf("core: corrupt butterfly payload (hop %d)", hop), err))
 	}
 	if mode == wire.ModeOff {
 		for _, sec := range secsIn {

@@ -292,7 +292,7 @@ func (pe *planEnv) resolveNormalParents(mode wire.Mode, rank int, comm *mpi.Comm
 			slots, err = wire.DecodePairsRank(buf, pgpu)
 		}
 		if err != nil {
-			panic(fmt.Sprintf("core: corrupt parent payload: %v", err))
+			panic(corruptErr("core: corrupt parent payload", err))
 		}
 		for s, prs := range slots {
 			g := myStart + s

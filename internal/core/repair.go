@@ -50,6 +50,7 @@ import (
 	"sync"
 
 	"gcbfs/internal/bitmask"
+	"gcbfs/internal/faults"
 	"gcbfs/internal/frontier"
 	"gcbfs/internal/metrics"
 	"gcbfs/internal/mpi"
@@ -136,11 +137,16 @@ func (e *Session) runRepair(ctx context.Context, source int64, prior []int32, in
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
+			defer containRank(world, rank)
 			e.runRepairRank(ctx, rank, world.Rank(rank), rec, pol, source, prior, invalid, seeds)
 		}(r)
 	}
 	wg.Wait()
 
+	if err := world.Aborted(); err != nil {
+		e.poisoned = true
+		return nil, err
+	}
 	if rec.cancelled {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -316,7 +322,7 @@ func (e *Session) repairProbe(rank int, comm *mpi.Comm, myGPUs []*gpuState, sc *
 		for k := 0; k < pgpu; k++ {
 			buf := comm.Recv(src, probeTag+k)
 			if err := frontier.UnpackRankInto(buf, arrivals); err != nil {
-				panic(fmt.Sprintf("core: corrupt probe payload: %v", err))
+				panic(corruptErr("core: corrupt probe payload", err))
 			}
 		}
 	}
@@ -450,6 +456,10 @@ func (e *Session) runRepairRank(ctx context.Context, rank int, comm *mpi.Comm, r
 	}
 
 	for iter := int32(lo); ; iter++ {
+		// ---- Fault injection (chaos testing): see Session.runRank.
+		if in := e.opts.Inject; in != nil {
+			in.Crash(rank, int(iter), faults.SiteIter)
+		}
 		// ---- Seed injection: schedules advance with the wave; the guard
 		// (level still equals the stored level) drops seeds the wave already
 		// improved past — those entered the frontier at their better level.
@@ -582,6 +592,10 @@ func (e *Session) runRepairRank(ctx context.Context, rank int, comm *mpi.Comm, r
 			if c := streamCombine(gs.it.delegateStream, gs.it.normalStream); c > comp {
 				comp = c
 			}
+		}
+		// Injected stall: timing skew only, results stay bit-identical.
+		if in := e.opts.Inject; in != nil {
+			comp += in.Stall(rank, int(iter), faults.SiteIter)
 		}
 		aSent, aRecv, aIntra := e.ampBytes(sentBytes), e.ampBytes(counts.recv), e.ampBytes(intraBytes)
 		aMask := e.ampBytes(maskBytes)

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"gcbfs/internal/faults"
 	"gcbfs/internal/metrics"
 	"gcbfs/internal/mpi"
 	"gcbfs/internal/simgpu"
@@ -162,11 +163,16 @@ func (e *Session) run(ctx context.Context, source int64) (*metrics.RunResult, er
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
+			defer containRank(world, rank)
 			e.runRank(ctx, rank, world.Rank(rank), rec, pol, srcIsDelegate, source)
 		}(r)
 	}
 	wg.Wait()
 
+	if err := world.Aborted(); err != nil {
+		e.poisoned = true
+		return nil, err
+	}
 	if rec.cancelled {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -232,6 +238,12 @@ func (e *Session) runRank(ctx context.Context, rank int, comm *mpi.Comm, rec *re
 	}
 
 	for iter := int32(0); ; iter++ {
+		// ---- Fault injection (chaos testing): an armed injector may crash
+		// this rank at the iteration boundary — a real panic the containment
+		// boundary must recover and turn into an all-rank abort.
+		if in := e.opts.Inject; in != nil {
+			in.Crash(rank, int(iter), faults.SiteIter)
+		}
 		// ---- Exchange policy: every rank derives the identical strategy
 		// decision for this iteration from globally known inputs, the way
 		// direction optimization derives push vs pull (policy.go).
@@ -353,6 +365,12 @@ func (e *Session) runRank(ctx context.Context, rank int, comm *mpi.Comm, rec *re
 			if c := streamCombine(gs.it.delegateStream, gs.it.normalStream); c > comp {
 				comp = c
 			}
+		}
+		// An injected stall charges this rank extra simulated seconds; the
+		// max-reduce below propagates the skew exactly like a slow kernel.
+		// Timing only — levels and parents stay bit-identical.
+		if in := e.opts.Inject; in != nil {
+			comp += in.Stall(rank, int(iter), faults.SiteIter)
 		}
 		// Timing uses amplified volumes (scale-model, see Options).
 		aSent, aRecv, aIntra := e.ampBytes(sentBytes), e.ampBytes(counts.recv), e.ampBytes(intraBytes)

@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"gcbfs/internal/bitmask"
+	"gcbfs/internal/faults"
 	"gcbfs/internal/frontier"
 	"gcbfs/internal/metrics"
 	"gcbfs/internal/mpi"
@@ -414,6 +415,7 @@ func (e *sweepSession) run(ctx context.Context) ([]*metrics.RunResult, error) {
 	e.seed()
 	prank := e.shape.Ranks()
 	world := mpi.NewWorld(prank)
+	armWorldAs(world, e.opts.Inject, faults.SiteSweep)
 	rec := &sweepRecorder{}
 	parentsOut := make([][]int64, e.k)
 	var wg sync.WaitGroup
@@ -421,11 +423,15 @@ func (e *sweepSession) run(ctx context.Context) ([]*metrics.RunResult, error) {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
+			defer containRank(world, rank)
 			e.runRank(ctx, rank, world.Rank(rank), rec, parentsOut)
 		}(r)
 	}
 	wg.Wait()
 
+	if err := world.Aborted(); err != nil {
+		return nil, err
+	}
 	if rec.cancelled {
 		if err := ctx.Err(); err != nil {
 			return nil, err

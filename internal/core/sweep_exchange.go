@@ -14,10 +14,10 @@ package core
 import (
 	"cmp"
 	"context"
-	"fmt"
 	"slices"
 
 	"gcbfs/internal/bitmask"
+	"gcbfs/internal/faults"
 	"gcbfs/internal/frontier"
 	"gcbfs/internal/metrics"
 	"gcbfs/internal/mpi"
@@ -175,7 +175,7 @@ func (e *sweepSession) exchangeRecords(comm *mpi.Comm, rank int, myGPUs []*sweep
 			err = wire.DecodeRecordsRank(buf, w, sc.arrIDs, sc.arrMasks)
 		}
 		if err != nil {
-			panic(fmt.Sprintf("core: corrupt sweep payload: %v", err))
+			panic(corruptErr("core: corrupt sweep payload", err))
 		}
 		for s := 0; s < pgpu; s++ {
 			gs := myGPUs[s]
@@ -215,6 +215,10 @@ func (e *sweepSession) runRank(ctx context.Context, rank int, comm *mpi.Comm, re
 	cancelled := false
 
 	for iter := int32(0); ; iter++ {
+		// ---- Fault injection (chaos testing): see Session.runRank.
+		if in := e.opts.Inject; in != nil {
+			in.Crash(rank, int(iter), faults.SiteIter)
+		}
 		// ---- Local computation (all GPUs of this rank).
 		for _, gs := range myGPUs {
 			gs.it = sweepIterWork{}
@@ -253,6 +257,10 @@ func (e *sweepSession) runRank(ctx context.Context, rank int, comm *mpi.Comm, re
 			if t := streamCombine(gs.it.delegateStream, gs.it.normalStream); t > comp {
 				comp = t
 			}
+		}
+		// Injected stall: timing skew only, results stay bit-identical.
+		if in := e.opts.Inject; in != nil {
+			comp += in.Stall(rank, int(iter), faults.SiteIter)
 		}
 		aSent, aRecv, aIntra := e.ampBytes(c.sent), e.ampBytes(c.recv), e.ampBytes(c.intra)
 		aMask := e.ampBytes(maskBytes)

@@ -1,0 +1,20 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+)
+
+// TestCmp8Chaos runs the chaos ablation in quick mode: its assertions — every
+// injected fault detected-and-retried or surfaced as a typed error, every
+// recovery bit-identical in levels and parents — are the test.
+func TestCmp8Chaos(t *testing.T) {
+	tab, err := Cmp8Chaos(Params{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.Render(io.Discard)
+	if len(tab.Rows) == 0 {
+		t.Fatal("cmp8 produced no cells")
+	}
+}

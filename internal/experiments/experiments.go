@@ -137,6 +137,7 @@ var registry = []struct {
 	{"cmp5", Cmp5MultiSource, "multi-source sweep ablation: MS-BFS shared traversal vs independent batch queries (internal/core/sweep.go)"},
 	{"cmp6", Cmp6Dynamic, "dynamic-graph ablation: delta BFS repair vs full recompute across edge-delta sizes (internal/delta, internal/core/repair.go)"},
 	{"cmp7", Cmp7Hierarchy, "hierarchical-exchange ablation: flat per-GPU fragments vs intra-rank NVLink aggregation (internal/core/exchange.go)"},
+	{"cmp8", Cmp8Chaos, "chaos ablation: fault kind × rate × strategy under contain/retry/degrade (internal/faults, internal/core containment)"},
 	{"app1", App1BeyondBFS, "§VI-D beyond-BFS: PageRank and components"},
 	{"mem1", Mem1Capacity, "§VI-C device-memory capacity per representation"},
 }

@@ -54,7 +54,7 @@ func cellFloat(t *testing.T, cell string) float64 {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "net1", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "tab1", "tab2", "wdc1", "do1",
-		"abl1", "abl2", "cmp1", "cmp2", "cmp3", "cmp4", "cmp5", "cmp6", "cmp7", "app1", "mem1"}
+		"abl1", "abl2", "cmp1", "cmp2", "cmp3", "cmp4", "cmp5", "cmp6", "cmp7", "cmp8", "app1", "mem1"}
 	ids := IDs()
 	if len(ids) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(ids), len(want))

@@ -258,6 +258,37 @@ func (e *ExchangeStats) Accumulate(other ExchangeStats) {
 	}
 }
 
+// FaultStats counts the fault-tolerance machinery's activity at the service
+// level: faults the injector fired, retries the retry policy spent, runs that
+// fell back to the degraded exchange, and runs that exhausted retries and
+// surfaced a typed error. All zero on the fault-free fast path.
+type FaultStats struct {
+	// Injected is the number of fault decisions the armed injector fired
+	// across all attempts of the accounted queries.
+	Injected int64
+	// Retries counts re-executions after a contained fault (first attempts
+	// are not retries: a query that succeeds immediately contributes 0).
+	Retries int64
+	// Degraded counts attempts re-run with the degraded configuration
+	// (flat all-pairs exchange, pipelining off).
+	Degraded int64
+	// Exhausted counts queries that spent every attempt and returned the
+	// typed error to the caller.
+	Exhausted int64
+	// Timeouts counts queries that ended on a per-query deadline
+	// (context.DeadlineExceeded), which the retry policy never retries.
+	Timeouts int64
+}
+
+// Accumulate folds other into f.
+func (f *FaultStats) Accumulate(other FaultStats) {
+	f.Injected += other.Injected
+	f.Retries += other.Retries
+	f.Degraded += other.Degraded
+	f.Exhausted += other.Exhausted
+	f.Timeouts += other.Timeouts
+}
+
 // RunResult is the outcome of one BFS execution.
 type RunResult struct {
 	Source int64

@@ -10,6 +10,7 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -31,6 +32,87 @@ type World struct {
 
 	bytesSent atomic.Int64
 	msgsSent  atomic.Int64
+
+	// hook, when set, intercepts every Isend payload (fault injection).
+	hook SendHook
+
+	// Abort poison: once aborted is set every blocked or future MPI call on
+	// this World panics with a typed abort value carrying abortErr, so no
+	// rank goroutine is ever stranded waiting on a peer that unwound.
+	aborted  atomic.Bool
+	abortMu  sync.Mutex
+	abortErr error
+}
+
+// SendHook intercepts every point-to-point payload before delivery — the
+// fault-injection seam. It receives the sender, destination, tag and encoded
+// payload and returns the payload to deliver; implementations must mutate
+// only copies (senders may reuse their buffers).
+type SendHook func(src, dst, tag int, data []byte) []byte
+
+// SetSendHook installs (nil clears) the send hook. Install before launching
+// rank goroutines; the hook is read without synchronization on the send path.
+func (w *World) SetSendHook(h SendHook) { w.hook = h }
+
+// abortPanic is the typed panic value MPI calls throw on an aborted World.
+type abortPanic struct{ err error }
+
+// AbortError reports whether a recovered panic value came from an aborted
+// World, returning the abort cause. Rank containment boundaries use it to
+// tell a secondary unwind (a peer woken by Abort) from a genuine bug.
+func AbortError(v any) (error, bool) {
+	if ap, ok := v.(abortPanic); ok {
+		return ap.err, true
+	}
+	return nil, false
+}
+
+// Abort poisons the World: the first call records err as the cause, and every
+// rank currently blocked in Recv or a collective — plus every later MPI call
+// — panics with a typed abort value. A rank goroutine that hit a fault calls
+// Abort before unwinding so its peers never deadlock on messages or
+// collective arrivals that will not come. An aborted World must be discarded
+// (or Reset) before reuse.
+func (w *World) Abort(err error) {
+	if err == nil {
+		err = errors.New("mpi: world aborted")
+	}
+	w.abortMu.Lock()
+	if w.abortErr == nil {
+		w.abortErr = err
+	}
+	w.abortMu.Unlock()
+	w.aborted.Store(true)
+	// Wake every waiter under its own lock so nobody sleeps through the
+	// poison flag.
+	for i := range w.boxes {
+		mb := &w.boxes[i]
+		mb.mu.Lock()
+		mb.cond.Broadcast()
+		mb.mu.Unlock()
+	}
+	cl := w.coll
+	cl.mu.Lock()
+	cl.cond.Broadcast()
+	cl.mu.Unlock()
+}
+
+// Aborted returns the abort cause, or nil if the World is healthy.
+func (w *World) Aborted() error {
+	if !w.aborted.Load() {
+		return nil
+	}
+	w.abortMu.Lock()
+	defer w.abortMu.Unlock()
+	return w.abortErr
+}
+
+// checkAbort panics with the typed abort value on a poisoned World — one
+// predictable atomic load on the healthy path.
+func (w *World) checkAbort() {
+	if w.aborted.Load() {
+		panic(abortPanic{w.Aborted()})
+	}
 }
 
 // NewWorld creates a communicator with size ranks.
@@ -46,6 +128,7 @@ func NewWorld(size int) *World {
 		w.comms[i] = Comm{w: w, rank: i}
 	}
 	w.coll = newCollective(size)
+	w.coll.w = w
 	return w
 }
 
@@ -82,6 +165,17 @@ func (w *World) Reset() {
 	}
 	w.bytesSent.Store(0)
 	w.msgsSent.Store(0)
+	// Clear abort poison and any half-folded collective state an aborted
+	// query left behind (ranks that unwound never arrived).
+	cl := w.coll
+	cl.mu.Lock()
+	cl.arrived = 0
+	cl.acc = nil
+	cl.mu.Unlock()
+	w.abortMu.Lock()
+	w.abortErr = nil
+	w.abortMu.Unlock()
+	w.aborted.Store(false)
 }
 
 // Comm is one rank's endpoint. The b1 scratch makes the single-flag
@@ -117,6 +211,10 @@ func (c *Comm) Isend(dst, tag int, data []byte) {
 	if dst < 0 || dst >= c.w.size {
 		panic(fmt.Sprintf("mpi: Isend to invalid rank %d", dst))
 	}
+	c.w.checkAbort()
+	if c.w.hook != nil {
+		data = c.w.hook(c.rank, dst, tag, data)
+	}
 	c.w.bytesSent.Add(int64(len(data)))
 	c.w.msgsSent.Add(1)
 	mb := &c.w.boxes[dst]
@@ -134,6 +232,7 @@ func (c *Comm) Recv(src, tag int) []byte {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for {
+		c.w.checkAbort()
 		for i, m := range mb.queue {
 			if m.src == src && m.tag == tag {
 				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
@@ -149,6 +248,7 @@ func (c *Comm) Recv(src, tag int) []byte {
 type collective struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
+	w       *World
 	size    int
 	gen     uint64
 	arrived int
@@ -175,6 +275,7 @@ func newCollective(size int) *collective {
 func (cl *collective) run(contrib any, init func(any) any, combine func(acc, in any)) any {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
+	cl.w.checkAbort()
 	gen := cl.gen
 	if cl.arrived == 0 {
 		cl.acc = init(contrib)
@@ -192,6 +293,7 @@ func (cl *collective) run(contrib any, init func(any) any, combine func(acc, in 
 	}
 	for cl.gen == gen {
 		cl.cond.Wait()
+		cl.w.checkAbort()
 	}
 	return cl.result
 }
@@ -203,6 +305,7 @@ func (cl *collective) run(contrib any, init func(any) any, combine func(acc, in 
 func (cl *collective) runI64(vals []int64, op func(acc, in []int64)) {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
+	cl.w.checkAbort()
 	gen := cl.gen
 	acc := &cl.accI64[gen%2]
 	if cl.arrived == 0 {
@@ -223,6 +326,7 @@ func (cl *collective) runI64(vals []int64, op func(acc, in []int64)) {
 	}
 	for cl.gen == gen {
 		cl.cond.Wait()
+		cl.w.checkAbort()
 	}
 	copy(vals, cl.accI64[gen%2])
 }
@@ -231,6 +335,7 @@ func (cl *collective) runI64(vals []int64, op func(acc, in []int64)) {
 func (cl *collective) runU64(vals []uint64, op func(acc, in []uint64)) {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
+	cl.w.checkAbort()
 	gen := cl.gen
 	acc := &cl.accU64[gen%2]
 	if cl.arrived == 0 {
@@ -251,6 +356,7 @@ func (cl *collective) runU64(vals []uint64, op func(acc, in []uint64)) {
 	}
 	for cl.gen == gen {
 		cl.cond.Wait()
+		cl.w.checkAbort()
 	}
 	copy(vals, cl.accU64[gen%2])
 }
@@ -367,18 +473,36 @@ func (c *Comm) AllreduceBoolOr(flag bool) bool {
 // distinction matters only to the timing model (§VI-B's BR vs IR options).
 type Request struct {
 	done chan struct{}
+	err  error
 }
 
-// Wait blocks until the operation completes.
-func (r *Request) Wait() { <-r.done }
+// Wait blocks until the operation completes. If the World was aborted while
+// the reduction was in flight, Wait re-throws the typed abort panic on the
+// caller's goroutine — the rank's containment boundary, not the helper
+// goroutine, owns the unwind.
+func (r *Request) Wait() {
+	<-r.done
+	if r.err != nil {
+		panic(abortPanic{r.err})
+	}
+}
 
 // IallreduceOr starts a non-blocking OR-allreduce on words; the slice is
 // updated in place by the time Wait returns.
 func (c *Comm) IallreduceOr(words []uint64) *Request {
 	req := &Request{done: make(chan struct{})}
 	go func() {
+		defer close(req.done)
+		defer func() {
+			if v := recover(); v != nil {
+				if err, ok := AbortError(v); ok {
+					req.err = err
+					return
+				}
+				panic(v)
+			}
+		}()
 		c.AllreduceOr(words)
-		close(req.done)
 	}()
 	return req
 }

@@ -14,17 +14,20 @@
 package pagerank
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
 
 	"gcbfs/internal/core"
+	"gcbfs/internal/faults"
 	"gcbfs/internal/frontier"
 	"gcbfs/internal/metrics"
 	"gcbfs/internal/mpi"
 	"gcbfs/internal/partition"
 	"gcbfs/internal/simgpu"
 	"gcbfs/internal/simnet"
+	"gcbfs/internal/wire"
 )
 
 // Options configures a PageRank run.
@@ -38,6 +41,9 @@ type Options struct {
 	Tolerance float64
 	// WorkAmplification scales the timing model (see core.Options).
 	WorkAmplification float64
+	// Inject arms deterministic fault injection (see core.Options.Inject);
+	// nil keeps every decision point on the fault-free fast path.
+	Inject *faults.Injector
 
 	GPU simgpu.Spec
 	Net simnet.Spec
@@ -163,16 +169,21 @@ func (e *engine) build() {
 func (e *engine) run() (*Result, error) {
 	prank := e.shape.Ranks()
 	world := mpi.NewWorld(prank)
+	armWorld(world, e.opts.Inject)
 	var wg sync.WaitGroup
 	for r := 0; r < prank; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
+			defer containRank(world, rank)
 			e.runRank(rank, world.Rank(rank))
 		}(r)
 	}
 	wg.Wait()
 
+	if err := world.Aborted(); err != nil {
+		return nil, err
+	}
 	res := &Result{
 		Ranks:         e.gather(),
 		Iterations:    e.iters,
@@ -195,6 +206,10 @@ func (e *engine) runRank(rank int, comm *mpi.Comm) {
 	delAcc := make([]float64, e.d)
 
 	for iter := 0; iter < e.opts.MaxIterations; iter++ {
+		// ---- Fault injection (chaos testing): see core.Session.runRank.
+		if in := e.opts.Inject; in != nil {
+			in.Crash(rank, iter, faults.SiteIter)
+		}
 		// ---- Push phase (all local edges).
 		for _, gs := range myGPUs {
 			gs.seconds = 0
@@ -249,7 +264,7 @@ func (e *engine) runRank(rank int, comm *mpi.Comm) {
 			recvBytes += int64(len(buf))
 			slots, err := frontier.UnpackPairsRank(buf, pgpu)
 			if err != nil {
-				panic(fmt.Sprintf("pagerank: corrupt payload: %v", err))
+				panic(fmt.Errorf("pagerank: corrupt payload: %v: %w", err, wire.ErrCorrupt))
 			}
 			for s, prs := range slots {
 				applyPairs(myGPUs[s], prs)
@@ -297,6 +312,10 @@ func (e *engine) runRank(rank int, comm *mpi.Comm) {
 			if gs.seconds > comp {
 				comp = gs.seconds
 			}
+		}
+		// Injected stall: timing skew only, results stay bit-identical.
+		if in := e.opts.Inject; in != nil {
+			comp += in.Stall(rank, iter, faults.SiteIter)
 		}
 		aSent := int64(float64(sentBytes) * amp)
 		aMask := int64(float64(e.d*8) * amp)
@@ -421,6 +440,35 @@ func packForRank(myGPUs []*gpuState, dst, pgpu int) []byte {
 		}
 	}
 	return merged.PackRank(0, pgpu)
+}
+
+// armWorld installs the fault injector's payload hook on the communicator
+// (message tags are plain iteration numbers here).
+func armWorld(w *mpi.World, in *faults.Injector) {
+	if in == nil {
+		return
+	}
+	w.SetSendHook(func(src, dst, tag int, data []byte) []byte {
+		return in.Payload(src, tag, faults.SiteExchange, data)
+	})
+}
+
+// containRank is the per-rank recover boundary: contained faults (corrupt
+// payloads, injected crashes) poison the world so every sibling rank unwinds
+// and the typed error reaches the caller; genuine bugs re-panic.
+func containRank(world *mpi.World, rank int) {
+	v := recover()
+	if v == nil {
+		return
+	}
+	if _, ok := mpi.AbortError(v); ok {
+		return
+	}
+	if err, ok := v.(error); ok && (errors.Is(err, wire.ErrCorrupt) || errors.Is(err, faults.ErrInjected)) {
+		world.Abort(fmt.Errorf("pagerank: rank %d: %w", rank, err))
+		return
+	}
+	panic(v)
 }
 
 // gather assembles the global rank vector.

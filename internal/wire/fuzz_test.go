@@ -1,0 +1,220 @@
+package wire
+
+// Native fuzz targets for every wire decoder. The contract under arbitrary
+// bytes: a decoder returns a wire.ErrCorrupt-typed error or a valid decode —
+// it never panics, and it never lets a corrupt length field drive a huge
+// allocation (the bitmap scheme's 64 ids per 8-byte word bounds any honest
+// decode to at most 8 ids per input byte, plus small framing slack).
+//
+// Seed corpora live in testdata/fuzz/<target>/ (valid one-block encodings of
+// every scheme plus truncations); `go test` replays them on every run, and
+// `go test -fuzz=FuzzDecode...` explores from there.
+
+import (
+	"errors"
+	"testing"
+
+	"gcbfs/internal/frontier"
+)
+
+// idBound is the allocation ceiling for id-producing decoders.
+func idBound(inputLen int) int { return 8*inputLen + 64 }
+
+// checkErr fails the target when a decoder error is not ErrCorrupt-typed.
+func checkErr(t *testing.T, err error) {
+	t.Helper()
+	if err != nil && !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("decoder error not wire.ErrCorrupt-typed: %v", err)
+	}
+}
+
+// seedBlocks yields valid single-block encodings across schemes, plus
+// truncated and bit-flipped variants — the corpus floor every target shares.
+func seedBlocks(f *testing.F, encode func(ids []uint32, mode Mode) []byte) {
+	idSets := [][]uint32{
+		{},
+		{1, 2, 3},
+		{0, 7, 63, 64, 65, 1 << 20, 1<<32 - 1},
+		{5, 5, 5, 9},
+	}
+	for _, ids := range idSets {
+		for _, mode := range []Mode{ModeRaw, ModeDelta, ModeBitmap, ModeAdaptive} {
+			b := encode(ids, mode)
+			f.Add(b)
+			if len(b) > 2 {
+				f.Add(b[:len(b)/2])
+				flipped := append([]byte(nil), b...)
+				flipped[len(flipped)/2] ^= 0x10
+				f.Add(flipped)
+			}
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff})
+}
+
+func FuzzDecode(f *testing.F) {
+	seedBlocks(f, func(ids []uint32, mode Mode) []byte {
+		b, _ := Append(nil, ids, mode)
+		return b
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ids, n, _, err := Decode(data)
+		checkErr(t, err)
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("consumed %d bytes of a %d-byte input", n, len(data))
+		}
+		if len(ids) > idBound(len(data)) {
+			t.Fatalf("decoded %d ids from %d bytes — over-allocation", len(ids), len(data))
+		}
+	})
+}
+
+func FuzzDecodeRank(f *testing.F) {
+	seedBlocks(f, func(ids []uint32, mode Mode) []byte {
+		b, _ := EncodeRank([][]uint32{ids, ids}, mode)
+		return b
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, gpus := range []int{1, 2, 4} {
+			slots, err := DecodeRank(data, gpus)
+			checkErr(t, err)
+			if err != nil {
+				continue
+			}
+			total := 0
+			for _, s := range slots {
+				total += len(s)
+			}
+			if total > idBound(len(data)) {
+				t.Fatalf("decoded %d ids from %d bytes (%d slots) — over-allocation", total, len(data), gpus)
+			}
+			// The zero-copy path must agree with the allocating one.
+			into := make([][]uint32, gpus)
+			if err := DecodeRankInto(data, into); err != nil {
+				t.Fatalf("DecodeRank accepted but DecodeRankInto rejected: %v", err)
+			}
+		}
+	})
+}
+
+func FuzzDecodePairs(f *testing.F) {
+	pairSets := [][]frontier.Pair{
+		{},
+		{{ID: 1, Val: 10}, {ID: 2, Val: 20}},
+		{{ID: 1 << 30, Val: 1 << 60}, {ID: 1<<32 - 1, Val: 0}},
+	}
+	for _, pairs := range pairSets {
+		for _, mode := range []Mode{ModeRaw, ModeDelta, ModeAdaptive} {
+			b, _ := AppendPairs(nil, pairs, mode)
+			f.Add(b)
+			if len(b) > 2 {
+				f.Add(b[:len(b)-2])
+			}
+		}
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pairs, n, _, err := DecodePairs(data)
+		checkErr(t, err)
+		if err == nil {
+			if n > len(data) {
+				t.Fatalf("consumed %d bytes of a %d-byte input", n, len(data))
+			}
+			if len(pairs) > len(data) {
+				t.Fatalf("decoded %d pairs from %d bytes — over-allocation", len(pairs), len(data))
+			}
+		}
+		for _, gpus := range []int{1, 2} {
+			slots, err := DecodePairsRank(data, gpus)
+			checkErr(t, err)
+			if err != nil {
+				continue
+			}
+			total := 0
+			for _, s := range slots {
+				total += len(s)
+			}
+			if total > len(data) {
+				t.Fatalf("decoded %d pairs from %d bytes (%d slots) — over-allocation", total, len(data), gpus)
+			}
+		}
+	})
+}
+
+func FuzzDecodeRecords(f *testing.F) {
+	for _, w := range []int{1, 2} {
+		ids := []uint32{3, 9, 300}
+		masks := make([]uint64, len(ids)*w)
+		for i := range masks {
+			masks[i] = uint64(i + 1)
+		}
+		for _, mode := range []Mode{ModeRaw, ModeDelta, ModeAdaptive} {
+			b, _, _ := AppendRecords(nil, ids, masks, w, mode)
+			f.Add(b)
+			if len(b) > 2 {
+				f.Add(b[:len(b)-2])
+			}
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, w := range []int{1, 2} {
+			ids, masks, n, err := DecodeRecordsAppend(data, w, nil, nil)
+			checkErr(t, err)
+			if err != nil {
+				continue
+			}
+			if n > len(data) {
+				t.Fatalf("consumed %d bytes of a %d-byte input", n, len(data))
+			}
+			if len(ids) > idBound(len(data)) || len(masks) > w*idBound(len(data)) {
+				t.Fatalf("decoded %d ids / %d mask words from %d bytes — over-allocation",
+					len(ids), len(masks), len(data))
+			}
+			idsInto := make([][]uint32, 2)
+			masksInto := make([][]uint64, 2)
+			err = DecodeRecordsRank(data, w, idsInto, masksInto)
+			checkErr(t, err)
+		}
+	})
+}
+
+func FuzzDecodeSections(f *testing.F) {
+	secs := []Section{
+		{Rank: 0, Slots: [][]uint32{{1, 2}, {3}}},
+		{Rank: 1, Slots: [][]uint32{{}, {4, 5, 6}}},
+	}
+	for _, mode := range []Mode{ModeOff, ModeRaw, ModeAdaptive} {
+		b, _ := (*Selector)(nil).EncodeSections(secs, 2, mode)
+		f.Add(b)
+		if len(b) > 2 {
+			f.Add(b[:len(b)-2])
+		}
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, mode := range []Mode{ModeOff, ModeAdaptive} {
+			for _, gpus := range []int{1, 2} {
+				out, err := DecodeSections(data, gpus, 4, mode)
+				checkErr(t, err)
+				if err != nil {
+					continue
+				}
+				total := 0
+				for _, sec := range out {
+					for _, slot := range sec.Slots {
+						total += len(slot)
+					}
+				}
+				if total > idBound(len(data)) {
+					t.Fatalf("decoded %d ids from %d bytes — over-allocation", total, len(data))
+				}
+			}
+		}
+	})
+}

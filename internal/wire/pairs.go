@@ -110,21 +110,21 @@ func AppendPairs(dst []byte, pairs []frontier.Pair, mode Mode) ([]byte, Scheme) 
 // yields an error, never silently wrong pairs.
 func DecodePairs(buf []byte) ([]frontier.Pair, int, Scheme, error) {
 	if len(buf) < 1+1+crcLen {
-		return nil, 0, 0, fmt.Errorf("wire: pairs block truncated (%d bytes)", len(buf))
+		return nil, 0, 0, corruptf("wire: pairs block truncated (%d bytes)", len(buf))
 	}
 	scheme := Scheme(buf[0])
 	if scheme != SchemeRaw && scheme != SchemeDelta {
-		return nil, 0, 0, fmt.Errorf("wire: unknown pairs scheme byte %d", buf[0])
+		return nil, 0, 0, corruptf("wire: unknown pairs scheme byte %d", buf[0])
 	}
 	off := 1
 	count, k := binary.Uvarint(buf[off:])
 	if k <= 0 {
-		return nil, 0, 0, fmt.Errorf("wire: bad pair count varint")
+		return nil, 0, 0, corruptf("wire: bad pair count varint")
 	}
 	off += k
 	body := len(buf) - off - crcLen
 	if body < 0 {
-		return nil, 0, 0, fmt.Errorf("wire: pairs block truncated before checksum")
+		return nil, 0, 0, corruptf("wire: pairs block truncated before checksum")
 	}
 	n := int(count)
 	pairs := make([]frontier.Pair, 0, min(n, body))
@@ -132,7 +132,7 @@ func DecodePairs(buf []byte) ([]frontier.Pair, int, Scheme, error) {
 	switch scheme {
 	case SchemeRaw:
 		if count > uint64(body)/12 {
-			return nil, 0, 0, fmt.Errorf("wire: raw pairs block truncated (%d pairs, %d payload bytes)", count, body)
+			return nil, 0, 0, corruptf("wire: raw pairs block truncated (%d pairs, %d payload bytes)", count, body)
 		}
 		for i := 0; i < n; i++ {
 			pairs = append(pairs, frontier.Pair{
@@ -143,28 +143,28 @@ func DecodePairs(buf []byte) ([]frontier.Pair, int, Scheme, error) {
 		}
 	case SchemeDelta:
 		if count > uint64(body)/2 {
-			return nil, 0, 0, fmt.Errorf("wire: delta pairs block truncated (%d pairs, %d payload bytes)", count, body)
+			return nil, 0, 0, corruptf("wire: delta pairs block truncated (%d pairs, %d payload bytes)", count, body)
 		}
 		prev := uint64(0)
 		for i := 0; i < n; i++ {
 			gap, k := binary.Uvarint(buf[off:])
 			if k <= 0 || off+k+crcLen > len(buf) {
-				return nil, 0, 0, fmt.Errorf("wire: delta pairs block truncated at pair %d/%d", i, n)
+				return nil, 0, 0, corruptf("wire: delta pairs block truncated at pair %d/%d", i, n)
 			}
 			off += k
 			if gap > 1<<32-1 {
-				return nil, 0, 0, fmt.Errorf("wire: pair id gap %d overflows uint32", gap)
+				return nil, 0, 0, corruptf("wire: pair id gap %d overflows uint32", gap)
 			}
 			if i > 0 {
 				gap += prev
 			}
 			if gap > 1<<32-1 {
-				return nil, 0, 0, fmt.Errorf("wire: pair id %d overflows uint32", gap)
+				return nil, 0, 0, corruptf("wire: pair id %d overflows uint32", gap)
 			}
 			prev = gap
 			val, k := binary.Uvarint(buf[off:])
 			if k <= 0 || off+k+crcLen > len(buf) {
-				return nil, 0, 0, fmt.Errorf("wire: delta pairs value truncated at pair %d/%d", i, n)
+				return nil, 0, 0, corruptf("wire: delta pairs value truncated at pair %d/%d", i, n)
 			}
 			off += k
 			pairs = append(pairs, frontier.Pair{ID: uint32(gap), Val: val})
@@ -172,11 +172,11 @@ func DecodePairs(buf []byte) ([]frontier.Pair, int, Scheme, error) {
 	}
 
 	if off+crcLen > len(buf) {
-		return nil, 0, 0, fmt.Errorf("wire: pairs block truncated before checksum")
+		return nil, 0, 0, corruptf("wire: pairs block truncated before checksum")
 	}
 	want := binary.LittleEndian.Uint32(buf[off:])
 	if got := crc32.Checksum(buf[:off], crcTable); got != want {
-		return nil, 0, 0, fmt.Errorf("wire: pairs checksum mismatch (got %08x, want %08x)", got, want)
+		return nil, 0, 0, corruptf("wire: pairs checksum mismatch (got %08x, want %08x)", got, want)
 	}
 	return pairs, off + crcLen, scheme, nil
 }
@@ -210,7 +210,7 @@ func DecodePairsRank(buf []byte, gpusPerRank int) ([][]frontier.Pair, error) {
 		off += n
 	}
 	if off != len(buf) {
-		return nil, fmt.Errorf("wire: %d trailing bytes after %d pairs slots", len(buf)-off, gpusPerRank)
+		return nil, corruptf("wire: %d trailing bytes after %d pairs slots", len(buf)-off, gpusPerRank)
 	}
 	return out, nil
 }

@@ -144,13 +144,13 @@ func DecodeRecordsAppend(buf []byte, w int, idDst []uint32, maskDst []uint64) ([
 	}
 	n := len(ids) - base
 	if off+1+crcLen > len(buf) {
-		return nil, nil, 0, fmt.Errorf("wire: mask section truncated (%d bytes left)", len(buf)-off)
+		return nil, nil, 0, corruptf("wire: mask section truncated (%d bytes left)", len(buf)-off)
 	}
 	start := off
 	ms := MaskScheme(buf[off])
 	off++
 	if ms >= NumMaskSchemes {
-		return nil, nil, 0, fmt.Errorf("wire: unknown mask scheme byte %d", buf[off-1])
+		return nil, nil, 0, corruptf("wire: unknown mask scheme byte %d", buf[off-1])
 	}
 	mbase := len(maskDst)
 	maskDst = slices.Grow(maskDst, n*w)
@@ -159,7 +159,7 @@ func DecodeRecordsAppend(buf []byte, w int, idDst []uint32, maskDst []uint64) ([
 	switch ms {
 	case MaskRaw:
 		if off+8*n*w+crcLen > len(buf) {
-			return nil, nil, 0, fmt.Errorf("wire: raw mask section truncated (%d records × %d words)", n, w)
+			return nil, nil, 0, corruptf("wire: raw mask section truncated (%d records × %d words)", n, w)
 		}
 		for i := 0; i < n*w; i++ {
 			maskDst[mbase+i] = binary.LittleEndian.Uint64(buf[off:])
@@ -169,22 +169,22 @@ func DecodeRecordsAppend(buf []byte, w int, idDst []uint32, maskDst []uint64) ([
 		for i := 0; i < n; i++ {
 			c, k := binary.Uvarint(buf[off:])
 			if k <= 0 || off+k+crcLen > len(buf) {
-				return nil, nil, 0, fmt.Errorf("wire: sparse mask truncated at record %d/%d", i, n)
+				return nil, nil, 0, corruptf("wire: sparse mask truncated at record %d/%d", i, n)
 			}
 			off += k
 			if c > uint64(64*w) {
-				return nil, nil, 0, fmt.Errorf("wire: sparse mask popcount %d exceeds %d bits", c, 64*w)
+				return nil, nil, 0, corruptf("wire: sparse mask popcount %d exceeds %d bits", c, 64*w)
 			}
 			row := maskDst[mbase+i*w : mbase+(i+1)*w]
 			prev := -1
 			for j := uint64(0); j < c; j++ {
 				pos, k := binary.Uvarint(buf[off:])
 				if k <= 0 || off+k+crcLen > len(buf) {
-					return nil, nil, 0, fmt.Errorf("wire: sparse mask truncated at record %d bit %d", i, j)
+					return nil, nil, 0, corruptf("wire: sparse mask truncated at record %d bit %d", i, j)
 				}
 				off += k
 				if pos >= uint64(64*w) || int(pos) <= prev {
-					return nil, nil, 0, fmt.Errorf("wire: sparse mask bit %d out of order or range", pos)
+					return nil, nil, 0, corruptf("wire: sparse mask bit %d out of order or range", pos)
 				}
 				prev = int(pos)
 				row[pos/64] |= 1 << (pos % 64)
@@ -192,11 +192,11 @@ func DecodeRecordsAppend(buf []byte, w int, idDst []uint32, maskDst []uint64) ([
 		}
 	}
 	if off+crcLen > len(buf) {
-		return nil, nil, 0, fmt.Errorf("wire: mask section truncated before checksum")
+		return nil, nil, 0, corruptf("wire: mask section truncated before checksum")
 	}
 	want := binary.LittleEndian.Uint32(buf[off:])
 	if got := crc32.Checksum(buf[start:off], crcTable); got != want {
-		return nil, nil, 0, fmt.Errorf("wire: mask checksum mismatch (got %08x, want %08x)", got, want)
+		return nil, nil, 0, corruptf("wire: mask checksum mismatch (got %08x, want %08x)", got, want)
 	}
 	return ids, maskDst, off + crcLen, nil
 }
@@ -217,7 +217,7 @@ func DecodeRecordsRank(buf []byte, w int, idsInto [][]uint32, masksInto [][]uint
 		off += n
 	}
 	if off != len(buf) {
-		return fmt.Errorf("wire: %d trailing bytes after %d record slots", len(buf)-off, len(idsInto))
+		return corruptf("wire: %d trailing bytes after %d record slots", len(buf)-off, len(idsInto))
 	}
 	return nil
 }

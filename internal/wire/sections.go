@@ -170,14 +170,14 @@ func DecodeSectionsScratch(buf []byte, gpusPerRank, ranks int, mode Mode, arena 
 	off := 0
 	count, k := binary.Uvarint(buf)
 	if k <= 0 {
-		return nil, fmt.Errorf("wire: bad section count varint")
+		return nil, corruptf("wire: bad section count varint")
 	}
 	off += k
 	// Each section carries at least two framing bytes, so this bound runs
 	// before the allocation and keeps a corrupt count from reserving huge
 	// Section headers (the framing varints sit outside any CRC).
 	if count > uint64(len(buf))/2 {
-		return nil, fmt.Errorf("wire: section count %d exceeds message size", count)
+		return nil, corruptf("wire: section count %d exceeds message size", count)
 	}
 	var out []Section
 	if h != nil {
@@ -188,16 +188,16 @@ func DecodeSectionsScratch(buf []byte, gpusPerRank, ranks int, mode Mode, arena 
 	for i := uint64(0); i < count; i++ {
 		rank, k := binary.Uvarint(buf[off:])
 		if k <= 0 || rank >= uint64(ranks) {
-			return nil, fmt.Errorf("wire: section %d: bad destination rank", i)
+			return nil, corruptf("wire: section %d: bad destination rank", i)
 		}
 		off += k
 		plen, k := binary.Uvarint(buf[off:])
 		if k <= 0 {
-			return nil, fmt.Errorf("wire: section %d: bad payload length", i)
+			return nil, corruptf("wire: section %d: bad payload length", i)
 		}
 		off += k
 		if plen > uint64(len(buf)-off) {
-			return nil, fmt.Errorf("wire: section %d: payload truncated (%d of %d bytes)",
+			return nil, corruptf("wire: section %d: payload truncated (%d of %d bytes)",
 				i, len(buf)-off, plen)
 		}
 		payload := buf[off : off+int(plen)]
@@ -211,7 +211,9 @@ func DecodeSectionsScratch(buf []byte, gpusPerRank, ranks int, mode Mode, arena 
 		if mode == ModeOff {
 			slots, err := frontier.UnpackRank(payload, gpusPerRank)
 			if err != nil {
-				return nil, fmt.Errorf("wire: section %d: %w", i, err)
+				// frontier cannot import wire, so its errors carry no
+				// ErrCorrupt — retype them at the boundary.
+				return nil, corruptf("wire: section %d: %v", i, err)
 			}
 			sec.Slots = slots
 		} else {
@@ -232,7 +234,7 @@ func DecodeSectionsScratch(buf []byte, gpusPerRank, ranks int, mode Mode, arena 
 		out = append(out, sec)
 	}
 	if off != len(buf) {
-		return nil, fmt.Errorf("wire: %d trailing bytes after %d sections", len(buf)-off, count)
+		return nil, corruptf("wire: %d trailing bytes after %d sections", len(buf)-off, count)
 	}
 	return out, nil
 }

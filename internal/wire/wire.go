@@ -37,6 +37,7 @@ package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"math/bits"
@@ -44,6 +45,18 @@ import (
 
 	"gcbfs/internal/frontier"
 )
+
+// ErrCorrupt is the sentinel wrapped by every decoder error: truncation,
+// unknown scheme bytes, malformed varints, out-of-range counts and checksum
+// mismatches all satisfy errors.Is(err, ErrCorrupt). Consumers use it to
+// classify a failed exchange as payload corruption — the retryable fault
+// class — without matching message strings.
+var ErrCorrupt = errors.New("corrupt payload")
+
+// corruptf builds a decoder error wrapping ErrCorrupt.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrCorrupt)...)
+}
 
 // Scheme identifies one block encoding.
 type Scheme uint8
@@ -340,21 +353,21 @@ func DecodeAppend(buf []byte, dst []uint32) ([]uint32, int, Scheme, error) {
 // 8-byte word.
 func decodeBlock(buf []byte, grow func(n int) []uint32) ([]uint32, int, Scheme, error) {
 	if len(buf) < 1+1+crcLen {
-		return nil, 0, 0, fmt.Errorf("wire: block truncated (%d bytes)", len(buf))
+		return nil, 0, 0, corruptf("wire: block truncated (%d bytes)", len(buf))
 	}
 	scheme := Scheme(buf[0])
 	if scheme >= NumSchemes {
-		return nil, 0, 0, fmt.Errorf("wire: unknown scheme byte %d", buf[0])
+		return nil, 0, 0, corruptf("wire: unknown scheme byte %d", buf[0])
 	}
 	off := 1
 	count, k := binary.Uvarint(buf[off:])
 	if k <= 0 {
-		return nil, 0, 0, fmt.Errorf("wire: bad id count varint")
+		return nil, 0, 0, corruptf("wire: bad id count varint")
 	}
 	off += k
 	body := len(buf) - off - crcLen
 	if body < 0 {
-		return nil, 0, 0, fmt.Errorf("wire: block truncated before checksum")
+		return nil, 0, 0, corruptf("wire: block truncated before checksum")
 	}
 	var ids []uint32
 	n := int(count)
@@ -362,7 +375,7 @@ func decodeBlock(buf []byte, grow func(n int) []uint32) ([]uint32, int, Scheme, 
 	switch scheme {
 	case SchemeRaw:
 		if count > uint64(body)/4 {
-			return nil, 0, 0, fmt.Errorf("wire: raw block truncated (%d ids, %d payload bytes)", count, body)
+			return nil, 0, 0, corruptf("wire: raw block truncated (%d ids, %d payload bytes)", count, body)
 		}
 		ids = grow(n)
 		for i := 0; i < n; i++ {
@@ -371,27 +384,27 @@ func decodeBlock(buf []byte, grow func(n int) []uint32) ([]uint32, int, Scheme, 
 		}
 	case SchemeDelta:
 		if count > uint64(body) {
-			return nil, 0, 0, fmt.Errorf("wire: delta block truncated (%d ids, %d payload bytes)", count, body)
+			return nil, 0, 0, corruptf("wire: delta block truncated (%d ids, %d payload bytes)", count, body)
 		}
 		ids = grow(n)
 		prev := uint64(0)
 		for i := 0; i < n; i++ {
 			v, k := binary.Uvarint(buf[off:])
 			if k <= 0 || off+k+crcLen > len(buf) {
-				return nil, 0, 0, fmt.Errorf("wire: delta block truncated at id %d/%d", i, n)
+				return nil, 0, 0, corruptf("wire: delta block truncated at id %d/%d", i, n)
 			}
 			off += k
 			// Bound the gap before adding prev: a 10-byte uvarint can
 			// exceed 2^64-2^32 and wrap the sum back into uint32 range,
 			// which would decode to wrong ids instead of an error.
 			if v > 1<<32-1 {
-				return nil, 0, 0, fmt.Errorf("wire: delta gap %d overflows uint32", v)
+				return nil, 0, 0, corruptf("wire: delta gap %d overflows uint32", v)
 			}
 			if i > 0 {
 				v += prev
 			}
 			if v > 1<<32-1 {
-				return nil, 0, 0, fmt.Errorf("wire: delta id %d overflows uint32", v)
+				return nil, 0, 0, corruptf("wire: delta id %d overflows uint32", v)
 			}
 			prev = v
 			ids = append(ids, uint32(v))
@@ -399,14 +412,14 @@ func decodeBlock(buf []byte, grow func(n int) []uint32) ([]uint32, int, Scheme, 
 	case SchemeBitmap:
 		words, k := binary.Uvarint(buf[off:])
 		if k <= 0 {
-			return nil, 0, 0, fmt.Errorf("wire: bad bitmap word count varint")
+			return nil, 0, 0, corruptf("wire: bad bitmap word count varint")
 		}
 		off += k
 		if words > uint64(len(buf))/8 || off+8*int(words)+crcLen > len(buf) {
-			return nil, 0, 0, fmt.Errorf("wire: bitmap block truncated (%d words)", words)
+			return nil, 0, 0, corruptf("wire: bitmap block truncated (%d words)", words)
 		}
 		if count > 64*words {
-			return nil, 0, 0, fmt.Errorf("wire: bitmap id count %d exceeds capacity of %d words", count, words)
+			return nil, 0, 0, corruptf("wire: bitmap id count %d exceeds capacity of %d words", count, words)
 		}
 		ids = grow(n)
 		base := len(ids)
@@ -420,16 +433,16 @@ func decodeBlock(buf []byte, grow func(n int) []uint32) ([]uint32, int, Scheme, 
 			}
 		}
 		if len(ids)-base != n {
-			return nil, 0, 0, fmt.Errorf("wire: bitmap population %d does not match id count %d", len(ids)-base, n)
+			return nil, 0, 0, corruptf("wire: bitmap population %d does not match id count %d", len(ids)-base, n)
 		}
 	}
 
 	if off+crcLen > len(buf) {
-		return nil, 0, 0, fmt.Errorf("wire: block truncated before checksum")
+		return nil, 0, 0, corruptf("wire: block truncated before checksum")
 	}
 	want := binary.LittleEndian.Uint32(buf[off:])
 	if got := crc32.Checksum(buf[:off], crcTable); got != want {
-		return nil, 0, 0, fmt.Errorf("wire: checksum mismatch (got %08x, want %08x)", got, want)
+		return nil, 0, 0, corruptf("wire: checksum mismatch (got %08x, want %08x)", got, want)
 	}
 	return ids, off + crcLen, scheme, nil
 }
@@ -467,7 +480,7 @@ func DecodeRankInto(buf []byte, into [][]uint32) error {
 		off += n
 	}
 	if off != len(buf) {
-		return fmt.Errorf("wire: %d trailing bytes after %d slots", len(buf)-off, len(into))
+		return corruptf("wire: %d trailing bytes after %d slots", len(buf)-off, len(into))
 	}
 	return nil
 }
@@ -508,7 +521,7 @@ func decodeRankSchemes(buf []byte, gpusPerRank int, arena *frontier.Arena, h *Se
 		off += n
 	}
 	if off != len(buf) {
-		return nil, nil, fmt.Errorf("wire: %d trailing bytes after %d slots", len(buf)-off, gpusPerRank)
+		return nil, nil, corruptf("wire: %d trailing bytes after %d slots", len(buf)-off, gpusPerRank)
 	}
 	return out, schemes, nil
 }

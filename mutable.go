@@ -28,8 +28,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gcbfs/internal/core"
 	"gcbfs/internal/delta"
 	"gcbfs/internal/graph"
+	"gcbfs/internal/metrics"
 )
 
 // Edge names one undirected vertex pair {U, V} in a Delta.
@@ -344,11 +346,18 @@ func (m *MutableService) Repair(ctx context.Context, prior *Result, d *Delta, op
 		return nil, err
 	}
 	invalid, seeds := delta.Affected(prior.Levels, prior.Parents, d.batch())
-	r, err := cur.plan.RunRepair(ctx, prior.Source, prior.Levels, invalid, seeds, q.ov)
+	var r *metrics.RunResult
+	attempts, degraded, err := cur.withRetry(ctx, &q, func(ctx context.Context, ov core.Overrides) error {
+		var err error
+		r, err = cur.plan.RunRepair(ctx, prior.Source, prior.Levels, invalid, seeds, ov)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	return convert(r), nil
+	res := convert(r)
+	res.Attempts, res.Degraded = attempts, degraded
+	return res, nil
 }
 
 // Validate checks a result produced on the CURRENT epoch against the
